@@ -1,0 +1,231 @@
+//! A bare fixed-sequencer total order (ABCAST-style): members unicast to a
+//! designated sequencer which stamps a sequence number and multicasts.
+//!
+//! This is the ordering skeleton that Newtop's asymmetric variant (§4.2)
+//! generalises: no membership service, no overlapping groups, no causal
+//! consistency with anything outside the group. It exists as the fairest
+//! possible latency/throughput baseline for experiment E3.
+
+use bytes::Bytes;
+use newtop_sim::{Outbox, SimNode};
+use newtop_types::{Instant, ProcessId};
+use std::collections::BTreeMap;
+
+/// Protocol messages of the bare sequencer protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbcastMsg {
+    /// A member's request to disseminate `payload`.
+    Request {
+        /// The requesting member.
+        origin: ProcessId,
+        /// Payload.
+        payload: Bytes,
+    },
+    /// The sequencer's numbered multicast.
+    Sequenced {
+        /// Global sequence number (dense, from 1).
+        seq: u64,
+        /// The requesting member.
+        origin: ProcessId,
+        /// Payload.
+        payload: Bytes,
+    },
+}
+
+/// One member (possibly the sequencer) of a bare ABCAST group.
+#[derive(Debug)]
+pub struct AbcastNode {
+    id: ProcessId,
+    sequencer: ProcessId,
+    members: Vec<ProcessId>,
+    next_seq: u64,
+    /// Out-of-order sequenced messages awaiting their predecessors.
+    hold: BTreeMap<u64, (ProcessId, Bytes)>,
+    next_deliver: u64,
+    delivered: Vec<(u64, ProcessId, Bytes)>,
+    delivered_at: Vec<Instant>,
+}
+
+impl AbcastNode {
+    /// Creates a member; the smallest member identifier is the sequencer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    #[must_use]
+    pub fn new(id: ProcessId, members: Vec<ProcessId>) -> AbcastNode {
+        let sequencer = *members.iter().min().expect("nonempty membership");
+        AbcastNode {
+            id,
+            sequencer,
+            members,
+            next_seq: 1,
+            hold: BTreeMap::new(),
+            next_deliver: 1,
+            delivered: Vec::new(),
+            delivered_at: Vec::new(),
+        }
+    }
+
+    /// Requests dissemination of `payload` in total order.
+    pub fn app_send(&mut self, now: Instant, payload: Bytes, out: &mut Outbox<AbcastMsg>) {
+        if self.id == self.sequencer {
+            self.sequence(now, self.id, payload, out);
+        } else {
+            out.send(
+                self.sequencer,
+                AbcastMsg::Request {
+                    origin: self.id,
+                    payload,
+                },
+            );
+        }
+    }
+
+    fn sequence(&mut self, now: Instant, origin: ProcessId, payload: Bytes, out: &mut Outbox<AbcastMsg>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        for dst in &self.members {
+            if *dst != self.id {
+                out.send(
+                    *dst,
+                    AbcastMsg::Sequenced {
+                        seq,
+                        origin,
+                        payload: payload.clone(),
+                    },
+                );
+            }
+        }
+        self.accept(now, seq, origin, payload);
+    }
+
+    fn accept(&mut self, now: Instant, seq: u64, origin: ProcessId, payload: Bytes) {
+        self.hold.insert(seq, (origin, payload));
+        while let Some((origin, payload)) = self.hold.remove(&self.next_deliver) {
+            self.delivered.push((self.next_deliver, origin, payload));
+            self.delivered_at.push(now);
+            self.next_deliver += 1;
+        }
+    }
+
+    /// Messages delivered so far, in sequence order.
+    #[must_use]
+    pub fn delivered(&self) -> &[(u64, ProcessId, Bytes)] {
+        &self.delivered
+    }
+
+    /// Delivery instants, parallel to [`AbcastNode::delivered`].
+    #[must_use]
+    pub fn delivered_at(&self) -> &[Instant] {
+        &self.delivered_at
+    }
+}
+
+impl SimNode for AbcastNode {
+    type Msg = AbcastMsg;
+
+    fn on_message(&mut self, now: Instant, _from: ProcessId, msg: AbcastMsg, out: &mut Outbox<AbcastMsg>) {
+        match msg {
+            AbcastMsg::Request { origin, payload } => {
+                if self.id == self.sequencer {
+                    self.sequence(now, origin, payload, out);
+                }
+            }
+            AbcastMsg::Sequenced {
+                seq,
+                origin,
+                payload,
+            } => self.accept(now, seq, origin, payload),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newtop_sim::{LatencyModel, NetConfig, Sim};
+    use newtop_types::Span;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn cluster(n: u32, seed: u64) -> Sim<AbcastNode> {
+        let members: Vec<ProcessId> = (1..=n).map(p).collect();
+        let mut sim = Sim::new(NetConfig::new(seed).with_latency(LatencyModel::Uniform {
+            lo: Span::from_micros(100),
+            hi: Span::from_millis(2),
+        }));
+        for m in &members {
+            sim.add_node(*m, AbcastNode::new(*m, members.clone()));
+        }
+        sim
+    }
+
+    #[test]
+    fn identical_total_order_everywhere() {
+        let mut sim = cluster(4, 5);
+        for i in 1..=4u32 {
+            sim.schedule_call(
+                Instant::from_micros(u64::from(i) * 50),
+                p(i),
+                move |n: &mut AbcastNode, out| {
+                    n.app_send(Instant::ZERO, Bytes::from(format!("m{i}")), out);
+                },
+            );
+        }
+        sim.run_until(Instant::from_micros(1_000_000));
+        let reference: Vec<u64> = sim
+            .node(p(1))
+            .unwrap()
+            .delivered()
+            .iter()
+            .map(|(s, _, _)| *s)
+            .collect();
+        assert_eq!(reference, vec![1, 2, 3, 4]);
+        for i in 2..=4 {
+            let seqs: Vec<(u64, ProcessId)> = sim
+                .node(p(i))
+                .unwrap()
+                .delivered()
+                .iter()
+                .map(|(s, o, _)| (*s, *o))
+                .collect();
+            let ref_full: Vec<(u64, ProcessId)> = sim
+                .node(p(1))
+                .unwrap()
+                .delivered()
+                .iter()
+                .map(|(s, o, _)| (*s, *o))
+                .collect();
+            assert_eq!(seqs, ref_full, "order differs at P{i}");
+        }
+    }
+
+    #[test]
+    fn gaps_are_held_until_filled() {
+        let mut n = AbcastNode::new(p(2), vec![p(1), p(2)]);
+        n.accept(Instant::ZERO, 2, p(1), Bytes::from_static(b"b"));
+        assert!(n.delivered().is_empty(), "seq 1 missing");
+        n.accept(Instant::ZERO, 1, p(1), Bytes::from_static(b"a"));
+        assert_eq!(n.delivered().len(), 2);
+        assert_eq!(n.delivered()[0].2.as_ref(), b"a");
+    }
+
+    #[test]
+    fn non_sequencer_requests_are_ignored_by_members() {
+        let mut n = AbcastNode::new(p(3), vec![p(1), p(2), p(3)]);
+        let mut out = Outbox::new();
+        n.on_message(
+            Instant::ZERO,
+            p(2),
+            AbcastMsg::Request {
+                origin: p(2),
+                payload: Bytes::new(),
+            },
+            &mut out,
+        );
+        assert!(out.is_empty(), "only the sequencer sequences");
+    }
+}

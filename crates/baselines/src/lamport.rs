@@ -1,0 +1,268 @@
+//! The classic all-ack total order built directly on Lamport clocks
+//! (Lamport 1978, the mutual-exclusion queue generalised to multicast).
+//!
+//! Every multicast is timestamped; every receipt is acknowledged to the
+//! whole group; a message is delivered once it heads the timestamp queue
+//! and a message or acknowledgement with a higher timestamp has been seen
+//! from *every* member. This is the ancestor of Newtop's symmetric variant:
+//! Newtop replaces the per-message ack storm with receive vectors fed by
+//! piggybacks and time-silence nulls.
+
+use bytes::Bytes;
+use newtop_sim::{Outbox, SimNode};
+use newtop_types::{Instant, ProcessId};
+use std::collections::BTreeMap;
+
+/// Protocol messages of the all-ack algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LamportMsg {
+    /// An application multicast with its Lamport timestamp.
+    App {
+        /// Logical timestamp (CA1).
+        ts: u64,
+        /// The sender.
+        sender: ProcessId,
+        /// Payload.
+        payload: Bytes,
+    },
+    /// An acknowledgement of everything up to `ts` from `sender`.
+    Ack {
+        /// The acknowledger's clock at send.
+        ts: u64,
+        /// The acknowledger.
+        sender: ProcessId,
+    },
+}
+
+impl LamportMsg {
+    fn ts(&self) -> u64 {
+        match self {
+            LamportMsg::App { ts, .. } | LamportMsg::Ack { ts, .. } => *ts,
+        }
+    }
+
+    fn sender(&self) -> ProcessId {
+        match self {
+            LamportMsg::App { sender, .. } | LamportMsg::Ack { sender, .. } => *sender,
+        }
+    }
+}
+
+/// One member of the all-ack total order group.
+#[derive(Debug)]
+pub struct LamportNode {
+    id: ProcessId,
+    members: Vec<ProcessId>,
+    clock: u64,
+    /// Highest timestamp seen from each member (self included).
+    seen: BTreeMap<ProcessId, u64>,
+    /// Undelivered messages ordered by (ts, sender).
+    queue: BTreeMap<(u64, ProcessId), Bytes>,
+    delivered: Vec<(u64, ProcessId, Bytes)>,
+    delivered_at: Vec<Instant>,
+    /// Protocol messages sent (for the message-complexity comparison).
+    pub sent_count: u64,
+}
+
+impl LamportNode {
+    /// Creates a member of a static group.
+    #[must_use]
+    pub fn new(id: ProcessId, members: Vec<ProcessId>) -> LamportNode {
+        let seen = members.iter().map(|m| (*m, 0)).collect();
+        LamportNode {
+            id,
+            members,
+            clock: 0,
+            seen,
+            queue: BTreeMap::new(),
+            delivered: Vec::new(),
+            delivered_at: Vec::new(),
+            sent_count: 0,
+        }
+    }
+
+    /// Multicasts `payload` with a fresh timestamp.
+    pub fn app_send(&mut self, payload: Bytes, out: &mut Outbox<LamportMsg>) {
+        self.clock += 1;
+        let ts = self.clock;
+        self.seen.insert(self.id, ts);
+        self.queue.insert((ts, self.id), payload.clone());
+        for dst in &self.members {
+            if *dst != self.id {
+                out.send(
+                    *dst,
+                    LamportMsg::App {
+                        ts,
+                        sender: self.id,
+                        payload: payload.clone(),
+                    },
+                );
+                self.sent_count += 1;
+            }
+        }
+    }
+
+    fn drain(&mut self, now: Instant) {
+        loop {
+            let Some((&(ts, sender), _)) = self.queue.iter().next() else {
+                return;
+            };
+            // Deliverable once everyone has spoken with a timestamp >= ts
+            // (with the sender tie-break, > is needed only for equal ts from
+            // smaller ids; >= from strictly larger senders is safe because
+            // their next message would carry a larger ts).
+            let all_past = self.members.iter().all(|m| {
+                let s = self.seen.get(m).copied().unwrap_or(0);
+                if *m < sender {
+                    s > ts || (s == ts && *m == sender)
+                } else {
+                    s >= ts
+                }
+            });
+            if !all_past {
+                return;
+            }
+            let payload = self.queue.remove(&(ts, sender)).expect("head exists");
+            self.delivered.push((ts, sender, payload));
+            self.delivered_at.push(now);
+        }
+    }
+
+    /// Messages delivered so far, in total order.
+    #[must_use]
+    pub fn delivered(&self) -> &[(u64, ProcessId, Bytes)] {
+        &self.delivered
+    }
+
+    /// Delivery instants, parallel to [`LamportNode::delivered`].
+    #[must_use]
+    pub fn delivered_at(&self) -> &[Instant] {
+        &self.delivered_at
+    }
+}
+
+impl SimNode for LamportNode {
+    type Msg = LamportMsg;
+
+    fn on_message(&mut self, now: Instant, _from: ProcessId, msg: LamportMsg, out: &mut Outbox<LamportMsg>) {
+        self.clock = self.clock.max(msg.ts());
+        let sender = msg.sender();
+        let e = self.seen.entry(sender).or_insert(0);
+        *e = (*e).max(msg.ts());
+        if let LamportMsg::App { ts, sender, payload } = msg {
+            self.queue.insert((ts, sender), payload);
+            // Acknowledge to everyone so the total order can proceed.
+            self.clock += 1;
+            let ack_ts = self.clock;
+            self.seen.insert(self.id, ack_ts);
+            for dst in &self.members {
+                if *dst != self.id {
+                    out.send(
+                        *dst,
+                        LamportMsg::Ack {
+                            ts: ack_ts,
+                            sender: self.id,
+                        },
+                    );
+                    self.sent_count += 1;
+                }
+            }
+        }
+        self.drain(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newtop_sim::{LatencyModel, NetConfig, Sim};
+    use newtop_types::Span;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn cluster(n: u32, seed: u64) -> Sim<LamportNode> {
+        let members: Vec<ProcessId> = (1..=n).map(p).collect();
+        let mut sim = Sim::new(NetConfig::new(seed).with_latency(LatencyModel::Uniform {
+            lo: Span::from_micros(200),
+            hi: Span::from_millis(3),
+        }));
+        for m in &members {
+            sim.add_node(*m, LamportNode::new(*m, members.clone()));
+        }
+        sim
+    }
+
+    #[test]
+    fn total_order_identical_at_every_member() {
+        let mut sim = cluster(5, 11);
+        for i in 1..=5u32 {
+            for k in 0..3u32 {
+                sim.schedule_call(
+                    Instant::from_micros(u64::from(i * 7 + k) * 100),
+                    p(i),
+                    move |n: &mut LamportNode, out| {
+                        n.app_send(Bytes::from(format!("m{i}-{k}")), out);
+                    },
+                );
+            }
+        }
+        sim.run_until(Instant::from_micros(5_000_000));
+        let reference: Vec<(u64, ProcessId)> = sim
+            .node(p(1))
+            .unwrap()
+            .delivered()
+            .iter()
+            .map(|(ts, s, _)| (*ts, *s))
+            .collect();
+        assert_eq!(reference.len(), 15, "all multicasts delivered");
+        for i in 2..=5 {
+            let order: Vec<(u64, ProcessId)> = sim
+                .node(p(i))
+                .unwrap()
+                .delivered()
+                .iter()
+                .map(|(ts, s, _)| (*ts, *s))
+                .collect();
+            assert_eq!(order, reference, "divergent order at P{i}");
+        }
+    }
+
+    #[test]
+    fn ack_storm_costs_n_squared_messages() {
+        let mut sim = cluster(4, 12);
+        sim.schedule_call(Instant::ZERO, p(1), |n: &mut LamportNode, out| {
+            n.app_send(Bytes::from_static(b"x"), out);
+        });
+        sim.run_until(Instant::from_micros(1_000_000));
+        // 1 multicast = (n-1) app sends + (n-1) ack multicasts of (n-1).
+        let total: u64 = (1..=4).map(|i| sim.node(p(i)).unwrap().sent_count).sum();
+        assert_eq!(total, 3 + 3 * 3, "(n-1) + (n-1)^2 protocol messages");
+        for i in 1..=4 {
+            assert_eq!(sim.node(p(i)).unwrap().delivered().len(), 1);
+        }
+    }
+
+    #[test]
+    fn delivery_waits_for_slowest_member() {
+        let mut n1 = LamportNode::new(p(1), vec![p(1), p(2), p(3)]);
+        let mut out = Outbox::new();
+        n1.app_send(Bytes::from_static(b"x"), &mut out);
+        assert!(n1.delivered().is_empty(), "own message not yet safe");
+        n1.on_message(
+            Instant::ZERO,
+            p(2),
+            LamportMsg::Ack { ts: 2, sender: p(2) },
+            &mut out,
+        );
+        assert!(n1.delivered().is_empty(), "P3 has not spoken");
+        n1.on_message(
+            Instant::ZERO,
+            p(3),
+            LamportMsg::Ack { ts: 2, sender: p(3) },
+            &mut out,
+        );
+        assert_eq!(n1.delivered().len(), 1);
+    }
+}

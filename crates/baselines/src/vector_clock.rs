@@ -1,0 +1,212 @@
+//! ISIS-style vector-clock causal multicast (CBCAST, Birman et al. 1991).
+//!
+//! Each message carries the sender's full per-group vector clock. A receipt
+//! is delivered once it is the sender's next message and everything the
+//! sender had seen has been delivered locally — the classic causal
+//! condition. Total order is *not* provided (ISIS layered ABCAST on top).
+
+use bytes::Bytes;
+use newtop_sim::{Outbox, SimNode};
+use newtop_types::{Instant, ProcessId};
+use std::collections::BTreeMap;
+
+/// A causal multicast message with its vector-clock header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VcMessage {
+    /// The sending process.
+    pub sender: ProcessId,
+    /// The sender's vector clock *after* incrementing its own entry.
+    pub vc: BTreeMap<ProcessId, u64>,
+    /// Application payload.
+    pub payload: Bytes,
+}
+
+/// One group member running vector-clock causal multicast.
+#[derive(Debug)]
+pub struct VcCausalNode {
+    id: ProcessId,
+    members: Vec<ProcessId>,
+    vc: BTreeMap<ProcessId, u64>,
+    pending: Vec<VcMessage>,
+    delivered: Vec<VcMessage>,
+    delivered_at: Vec<Instant>,
+}
+
+impl VcCausalNode {
+    /// Creates a member of a static group.
+    #[must_use]
+    pub fn new(id: ProcessId, members: Vec<ProcessId>) -> VcCausalNode {
+        let vc = members.iter().map(|m| (*m, 0)).collect();
+        VcCausalNode {
+            id,
+            members,
+            vc,
+            pending: Vec::new(),
+            delivered: Vec::new(),
+            delivered_at: Vec::new(),
+        }
+    }
+
+    /// Multicasts `payload` to the group (deliver-to-self included).
+    pub fn app_send(&mut self, payload: Bytes, out: &mut Outbox<VcMessage>) {
+        *self.vc.entry(self.id).or_insert(0) += 1;
+        let m = VcMessage {
+            sender: self.id,
+            vc: self.vc.clone(),
+            payload,
+        };
+        for dst in &self.members {
+            if *dst != self.id {
+                out.send(*dst, m.clone());
+            }
+        }
+        self.delivered.push(m);
+        self.delivered_at.push(Instant::ZERO);
+    }
+
+    fn causally_ready(&self, m: &VcMessage) -> bool {
+        let next_from_sender = self.vc.get(&m.sender).copied().unwrap_or(0) + 1;
+        if m.vc.get(&m.sender).copied().unwrap_or(0) != next_from_sender {
+            return false;
+        }
+        m.vc.iter().all(|(k, v)| {
+            *k == m.sender || *v <= self.vc.get(k).copied().unwrap_or(0)
+        })
+    }
+
+    fn drain(&mut self, now: Instant) {
+        loop {
+            let Some(pos) = self.pending.iter().position(|m| self.causally_ready(m)) else {
+                return;
+            };
+            let m = self.pending.swap_remove(pos);
+            *self.vc.entry(m.sender).or_insert(0) += 1;
+            self.delivered.push(m);
+            self.delivered_at.push(now);
+        }
+    }
+
+    /// Messages delivered so far, in delivery order.
+    #[must_use]
+    pub fn delivered(&self) -> &[VcMessage] {
+        &self.delivered
+    }
+
+    /// Delivery instants, parallel to [`VcCausalNode::delivered`].
+    #[must_use]
+    pub fn delivered_at(&self) -> &[Instant] {
+        &self.delivered_at
+    }
+
+    /// Messages received but not yet causally deliverable.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+impl SimNode for VcCausalNode {
+    type Msg = VcMessage;
+
+    fn on_message(&mut self, now: Instant, _from: ProcessId, msg: VcMessage, _out: &mut Outbox<VcMessage>) {
+        self.pending.push(msg);
+        self.drain(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newtop_sim::{LatencyModel, NetConfig, Sim};
+    use newtop_types::Span;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn cluster(n: u32, seed: u64) -> Sim<VcCausalNode> {
+        let members: Vec<ProcessId> = (1..=n).map(p).collect();
+        let mut sim = Sim::new(NetConfig::new(seed).with_latency(LatencyModel::Uniform {
+            lo: Span::from_micros(100),
+            hi: Span::from_millis(5),
+        }));
+        for m in &members {
+            sim.add_node(*m, VcCausalNode::new(*m, members.clone()));
+        }
+        sim
+    }
+
+    #[test]
+    fn all_messages_delivered_everywhere() {
+        let mut sim = cluster(4, 1);
+        for i in 1..=4u32 {
+            sim.schedule_call(
+                Instant::from_micros(u64::from(i) * 10),
+                p(i),
+                move |n: &mut VcCausalNode, out| {
+                    n.app_send(Bytes::from(format!("m{i}")), out);
+                },
+            );
+        }
+        sim.run_until(Instant::from_micros(1_000_000));
+        for i in 1..=4 {
+            assert_eq!(sim.node(p(i)).unwrap().delivered().len(), 4);
+            assert_eq!(sim.node(p(i)).unwrap().pending(), 0);
+        }
+    }
+
+    #[test]
+    fn causality_is_never_violated() {
+        // P1 sends a; P2, upon delivering a, sends b; every node must
+        // deliver a before b.
+        let mut sim = cluster(3, 2);
+        sim.schedule_call(Instant::ZERO, p(1), |n: &mut VcCausalNode, out| {
+            n.app_send(Bytes::from_static(b"a"), out);
+        });
+        sim.schedule_call(Instant::from_micros(500_000), p(2), |n, out| {
+            assert_eq!(n.delivered().len(), 1, "P2 has delivered a");
+            n.app_send(Bytes::from_static(b"b"), out);
+        });
+        sim.run_until(Instant::from_micros(2_000_000));
+        for i in 1..=3 {
+            let seq: Vec<&[u8]> = sim
+                .node(p(i))
+                .unwrap()
+                .delivered()
+                .iter()
+                .map(|m| m.payload.as_ref())
+                .collect();
+            let a = seq.iter().position(|x| *x == b"a").unwrap();
+            let b = seq.iter().position(|x| *x == b"b").unwrap();
+            assert!(a < b, "causal violation at P{i}");
+        }
+    }
+
+    #[test]
+    fn out_of_causal_order_arrivals_are_buffered() {
+        let mut n = VcCausalNode::new(p(1), vec![p(1), p(2)]);
+        // A message whose vc claims it is P2's *second*: must wait.
+        let mut vc = BTreeMap::new();
+        vc.insert(p(2), 2u64);
+        let m = VcMessage {
+            sender: p(2),
+            vc,
+            payload: Bytes::new(),
+        };
+        let mut out = Outbox::new();
+        n.on_message(Instant::ZERO, p(2), m, &mut out);
+        assert_eq!(n.pending(), 1);
+        assert!(n.delivered().is_empty());
+        // The first one arrives: both deliver, in order.
+        let mut vc1 = BTreeMap::new();
+        vc1.insert(p(2), 1u64);
+        let m1 = VcMessage {
+            sender: p(2),
+            vc: vc1,
+            payload: Bytes::new(),
+        };
+        n.on_message(Instant::ZERO, p(2), m1, &mut out);
+        assert_eq!(n.pending(), 0);
+        assert_eq!(n.delivered().len(), 2);
+    }
+}

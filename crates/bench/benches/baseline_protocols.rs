@@ -1,0 +1,74 @@
+//! Microbenchmarks of the §6 comparator protocols, so the cost comparison
+//! E1/E3 rest on (header sizes, per-message protocol work) stays honest
+//! over time.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use newtop_baselines::headers;
+use newtop_baselines::lamport::LamportNode;
+use newtop_baselines::vector_clock::VcCausalNode;
+use newtop_sim::Outbox;
+use newtop_types::{Instant, ProcessId};
+use std::hint::black_box;
+
+fn bench_headers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("header_models");
+    for n in [8usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("vector_clock", n), &n, |b, &n| {
+            b.iter(|| black_box(headers::vector_clock_header_len(n, 100_000)));
+        });
+    }
+    group.bench_function("newtop", |b| {
+        b.iter(|| black_box(headers::newtop_header_len(100_000)));
+    });
+    group.finish();
+}
+
+fn bench_vc_causal_receive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vc_causal_receive_path");
+    for n in [4u32, 32] {
+        group.bench_with_input(BenchmarkId::new("members", n), &n, |b, &n| {
+            let members: Vec<ProcessId> = (1..=n).map(ProcessId).collect();
+            b.iter(|| {
+                let mut node = VcCausalNode::new(ProcessId(1), members.clone());
+                let mut sender = VcCausalNode::new(ProcessId(2), members.clone());
+                let mut out = Outbox::new();
+                for _ in 0..16 {
+                    sender.app_send(Bytes::from_static(b"x"), &mut out);
+                }
+                use newtop_sim::SimNode;
+                for (dst, msg) in out.drain() {
+                    if dst == ProcessId(1) {
+                        node.on_message(Instant::ZERO, ProcessId(2), msg, &mut Outbox::new());
+                    }
+                }
+                black_box(node.delivered().len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_lamport_receive(c: &mut Criterion) {
+    c.bench_function("lamport_all_ack_receive_path", |b| {
+        use newtop_sim::SimNode;
+        let members: Vec<ProcessId> = (1..=4).map(ProcessId).collect();
+        b.iter(|| {
+            let mut node = LamportNode::new(ProcessId(1), members.clone());
+            let mut sender = LamportNode::new(ProcessId(2), members.clone());
+            let mut out = Outbox::new();
+            for _ in 0..8 {
+                sender.app_send(Bytes::from_static(b"y"), &mut out);
+            }
+            for (dst, msg) in out.drain() {
+                if dst == ProcessId(1) {
+                    node.on_message(Instant::ZERO, ProcessId(2), msg, &mut Outbox::new());
+                }
+            }
+            black_box(node.delivered().len())
+        });
+    });
+}
+
+criterion_group!(benches, bench_headers, bench_vc_causal_receive, bench_lamport_receive);
+criterion_main!(benches);

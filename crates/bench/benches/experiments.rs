@@ -1,0 +1,23 @@
+//! One Criterion bench per experiment table (E1–E10), timing a full
+//! quick-sweep simulated run per iteration. These are the regeneration
+//! targets DESIGN.md §4 maps each paper claim to; the printed tables come
+//! from `newtop-exp`, these track the cost of producing them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use newtop_harness::experiments;
+use std::hint::black_box;
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    // Full simulations per iteration: keep sampling modest.
+    group.sample_size(10);
+    for (id, _desc, run) in experiments::all() {
+        group.bench_function(id, |b| {
+            b.iter(|| black_box(run(true)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

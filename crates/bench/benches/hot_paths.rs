@@ -1,0 +1,143 @@
+//! Microbenchmarks of Newtop's per-message work: the costs §6 claims are
+//! "low and bounded" — header encode/decode, clock and vector updates, the
+//! symmetric receive path, and end-to-end engine throughput on the
+//! zero-latency test network.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use newtop_bench::sample_app_message;
+use newtop_core::testkit::TestNet;
+use newtop_core::{LogicalClock, MsnVector};
+use newtop_types::{wire, GroupConfig, GroupId, Msn, OrderMode, ProcessId};
+use std::hint::black_box;
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_codec");
+    for payload in [0usize, 64, 1024] {
+        let env = sample_app_message(100_000, payload);
+        group.bench_with_input(BenchmarkId::new("encode", payload), &env, |b, env| {
+            b.iter(|| black_box(wire::encode(env)));
+        });
+        let encoded = wire::encode(&env);
+        group.bench_with_input(BenchmarkId::new("decode", payload), &encoded, |b, enc| {
+            b.iter(|| {
+                let mut buf = enc.clone();
+                black_box(wire::decode(&mut buf).expect("valid frame"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_clock_and_vectors(c: &mut Criterion) {
+    c.bench_function("logical_clock_send_receive_pair", |b| {
+        let mut lc = LogicalClock::new();
+        b.iter(|| {
+            let c1 = lc.advance_for_send();
+            lc.observe(black_box(Msn(c1.0 + 3)));
+            black_box(lc.value())
+        });
+    });
+    let mut group = c.benchmark_group("receive_vector");
+    for n in [4u32, 32, 256] {
+        group.bench_with_input(BenchmarkId::new("advance_and_min", n), &n, |b, &n| {
+            let mut rv = MsnVector::new((1..=n).map(ProcessId));
+            let mut c = 0u64;
+            b.iter(|| {
+                c += 1;
+                rv.advance(ProcessId(c as u32 % n + 1), Msn(c));
+                black_box(rv.min_live_excluding(ProcessId(1)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_multicast_roundtrip");
+    group.sample_size(20);
+    for n in [3u32, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("symmetric", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = TestNet::new(1..=n);
+                net.bootstrap_group(
+                    GroupId(1),
+                    &(1..=n).collect::<Vec<_>>(),
+                    GroupConfig::new(OrderMode::Symmetric),
+                );
+                for k in 0..20u32 {
+                    net.multicast(k % n + 1, GroupId(1), b"bench-payload");
+                }
+                net.run_to_quiescence();
+                net.advance_past_omega(GroupId(1));
+                black_box(net.deliveries(1).len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("asymmetric", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = TestNet::new(1..=n);
+                net.bootstrap_group(
+                    GroupId(1),
+                    &(1..=n).collect::<Vec<_>>(),
+                    GroupConfig::new(OrderMode::Asymmetric),
+                );
+                for k in 0..20u32 {
+                    net.multicast(k % n + 1, GroupId(1), b"bench-payload");
+                }
+                net.run_to_quiescence();
+                black_box(net.deliveries(1).len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_membership_agreement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("membership_crash_to_view");
+    group.sample_size(10);
+    for n in [4u32, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("crash_exclusion", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = TestNet::new(1..=n);
+                net.bootstrap_group(
+                    GroupId(1),
+                    &(1..=n).collect::<Vec<_>>(),
+                    GroupConfig::new(OrderMode::Symmetric),
+                );
+                net.advance_past_omega(GroupId(1));
+                net.crash(n);
+                net.advance_past_big_omega(GroupId(1));
+                black_box(net.view_history(1, GroupId(1)).len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_payload_paths(c: &mut Criterion) {
+    c.bench_function("multicast_1kb_payload_3_members", |b| {
+        b.iter(|| {
+            let mut net = TestNet::new([1, 2, 3]);
+            net.bootstrap_group(
+                GroupId(1),
+                &[1, 2, 3],
+                GroupConfig::new(OrderMode::Symmetric),
+            );
+            let payload = Bytes::from(vec![7u8; 1024]);
+            net.multicast(1, GroupId(1), &payload);
+            net.run_to_quiescence();
+            net.advance_past_omega(GroupId(1));
+            black_box(net.deliveries(2).len())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_clock_and_vectors,
+    bench_engine_throughput,
+    bench_membership_agreement,
+    bench_payload_paths
+);
+criterion_main!(benches);

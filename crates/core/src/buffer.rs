@@ -1,0 +1,295 @@
+//! Undelivered-message buffering and the unstable-message retention store.
+
+use newtop_types::{Message, Msn, ProcessId};
+use std::collections::BTreeMap;
+
+/// Received-but-undelivered messages of one group, ordered by the fixed
+/// delivery order of condition *safe2*: non-decreasing message number with
+/// the sender identifier as deterministic tie-break.
+///
+/// Only deliverable-class bodies are buffered (application multicasts,
+/// sequencer relays and view cuts); nulls and membership messages act at
+/// receipt and never enter the buffer.
+#[derive(Debug, Clone, Default)]
+pub struct DeliveryBuffer {
+    map: BTreeMap<(Msn, ProcessId), Message>,
+}
+
+impl DeliveryBuffer {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> DeliveryBuffer {
+        DeliveryBuffer::default()
+    }
+
+    /// Inserts a message (idempotent on its `(c, sender)` key).
+    pub fn insert(&mut self, m: Message) {
+        self.map.entry((m.c, m.sender)).or_insert(m);
+    }
+
+    /// The key of the next message in delivery order.
+    #[must_use]
+    pub fn first_key(&self) -> Option<(Msn, ProcessId)> {
+        self.map.keys().next().copied()
+    }
+
+    /// Removes and returns the message at `key`.
+    pub fn take(&mut self, key: (Msn, ProcessId)) -> Option<Message> {
+        self.map.remove(&key)
+    }
+
+    /// Whether any buffered message has number at most `n`.
+    #[must_use]
+    pub fn has_le(&self, n: Msn) -> bool {
+        self.first_key().is_some_and(|(c, _)| c <= n)
+    }
+
+    /// Discards messages from `sender` with number above `n`, returning how
+    /// many were dropped. This is the step-(viii) safety measure: messages
+    /// of a failed process beyond the agreed `lnmn` are discarded "even
+    /// though it has been agreed that m was sent before Pk failed", to
+    /// preserve MD5.
+    pub fn discard_from_above(&mut self, sender: ProcessId, n: Msn) -> usize {
+        let before = self.map.len();
+        self.map.retain(|(c, s), _| !(*s == sender && *c > n));
+        before - self.map.len()
+    }
+
+    /// Number of buffered messages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates in delivery order.
+    pub fn iter(&self) -> impl Iterator<Item = &Message> {
+        self.map.values()
+    }
+}
+
+/// Retained copies of unstable messages, per original sender, for the
+/// recovery path of §5.2: a `refute` of suspicion `{P_k, ln}` piggybacks
+/// every retained message of `P_k` with number above `ln` ("by definition
+/// any missing m is unstable, so would not have been discarded").
+#[derive(Debug, Clone, Default)]
+pub struct RetentionStore {
+    map: BTreeMap<ProcessId, BTreeMap<Msn, Message>>,
+}
+
+impl RetentionStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> RetentionStore {
+        RetentionStore::default()
+    }
+
+    /// Retains a copy of `m` under its transport sender.
+    pub fn store(&mut self, m: Message) {
+        self.map.entry(m.sender).or_default().insert(m.c, m);
+    }
+
+    /// All retained messages of `sender` with number above `ln`, in number
+    /// order — the refute piggyback.
+    #[must_use]
+    pub fn above(&self, sender: ProcessId, ln: Msn) -> Vec<Message> {
+        self.map
+            .get(&sender)
+            .map(|msgs| {
+                msgs.range((
+                    std::ops::Bound::Excluded(ln),
+                    std::ops::Bound::Unbounded,
+                ))
+                    .map(|(_, m)| m.clone())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Drops messages that have become stable (number at or below
+    /// `stable_min`): every member has received them, nobody can need a
+    /// recovery copy (§5.1: "A process can safely discard stable messages").
+    pub fn gc_stable(&mut self, stable_min: Msn) {
+        if stable_min.is_infinite() {
+            // An all-∞ stability vector (sole survivor) stabilises everything.
+            self.map.clear();
+            return;
+        }
+        for msgs in self.map.values_mut() {
+            *msgs = msgs.split_off(&stable_min.next());
+        }
+        self.map.retain(|_, msgs| !msgs.is_empty());
+    }
+
+    /// Discards retained messages of `sender` above `n` (they were agreed
+    /// out of existence by step (viii) and must not be re-supplied).
+    pub fn discard_from_above(&mut self, sender: ProcessId, n: Msn) {
+        if let Some(msgs) = self.map.get_mut(&sender) {
+            msgs.retain(|c, _| *c <= n);
+            if msgs.is_empty() {
+                self.map.remove(&sender);
+            }
+        }
+    }
+
+    /// Drops everything retained for `sender`.
+    pub fn remove_sender(&mut self, sender: ProcessId) {
+        self.map.remove(&sender);
+    }
+
+    /// Total number of retained messages (buffer-occupancy metric for the
+    /// flow-control experiment E9).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.values().map(BTreeMap::len).sum()
+    }
+
+    /// Whether nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of retained *application* messages (multicasts and relays).
+    #[must_use]
+    pub fn app_len(&self) -> usize {
+        self.map
+            .values()
+            .flat_map(|m| m.values())
+            .filter(|m| m.is_app())
+            .count()
+    }
+
+    /// Number of retained messages from `sender` above `n` (flow-control
+    /// accounting: a member's own unstable messages).
+    #[must_use]
+    pub fn count_above(&self, sender: ProcessId, n: Msn) -> usize {
+        if n.is_infinite() {
+            return 0;
+        }
+        self.map
+            .get(&sender)
+            .map(|msgs| msgs.range(n.next()..).count())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use newtop_types::{GroupId, MessageBody};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn msg(sender: u32, c: u64) -> Message {
+        Message {
+            group: GroupId(1),
+            sender: p(sender),
+            c: Msn(c),
+            ldn: Msn(0),
+            body: MessageBody::App(Bytes::from_static(b"x")),
+        }
+    }
+
+    #[test]
+    fn buffer_orders_by_number_then_sender() {
+        let mut b = DeliveryBuffer::new();
+        b.insert(msg(2, 5));
+        b.insert(msg(1, 5));
+        b.insert(msg(3, 4));
+        assert_eq!(b.first_key(), Some((Msn(4), p(3))));
+        b.take((Msn(4), p(3)));
+        assert_eq!(b.first_key(), Some((Msn(5), p(1))));
+    }
+
+    #[test]
+    fn buffer_insert_is_idempotent() {
+        let mut b = DeliveryBuffer::new();
+        b.insert(msg(1, 5));
+        b.insert(msg(1, 5));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn buffer_has_le() {
+        let mut b = DeliveryBuffer::new();
+        assert!(!b.has_le(Msn(100)));
+        b.insert(msg(1, 7));
+        assert!(b.has_le(Msn(7)));
+        assert!(!b.has_le(Msn(6)));
+    }
+
+    #[test]
+    fn buffer_discard_above_respects_sender_and_bound() {
+        let mut b = DeliveryBuffer::new();
+        b.insert(msg(1, 5));
+        b.insert(msg(1, 9));
+        b.insert(msg(2, 9));
+        let dropped = b.discard_from_above(p(1), Msn(5));
+        assert_eq!(dropped, 1);
+        assert_eq!(b.len(), 2);
+        assert!(b.iter().any(|m| m.sender == p(2) && m.c == Msn(9)));
+    }
+
+    #[test]
+    fn retention_supplies_messages_above_ln() {
+        let mut r = RetentionStore::new();
+        for c in 1..=5 {
+            r.store(msg(1, c));
+        }
+        let rec = r.above(p(1), Msn(2));
+        let nums: Vec<u64> = rec.iter().map(|m| m.c.0).collect();
+        assert_eq!(nums, vec![3, 4, 5]);
+        assert!(r.above(p(9), Msn(0)).is_empty());
+    }
+
+    #[test]
+    fn retention_gc_drops_stable_prefix() {
+        let mut r = RetentionStore::new();
+        for c in 1..=5 {
+            r.store(msg(1, c));
+        }
+        r.gc_stable(Msn(3));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.above(p(1), Msn(0)).len(), 2);
+        r.gc_stable(Msn::INFINITY);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn retention_discard_above() {
+        let mut r = RetentionStore::new();
+        r.store(msg(1, 4));
+        r.store(msg(1, 8));
+        r.discard_from_above(p(1), Msn(5));
+        assert_eq!(r.above(p(1), Msn(0)).len(), 1);
+    }
+
+    #[test]
+    fn retention_count_above() {
+        let mut r = RetentionStore::new();
+        for c in 1..=4 {
+            r.store(msg(7, c));
+        }
+        assert_eq!(r.count_above(p(7), Msn(1)), 3);
+        assert_eq!(r.count_above(p(7), Msn::INFINITY), 0);
+        assert_eq!(r.count_above(p(8), Msn(0)), 0);
+    }
+
+    #[test]
+    fn retention_remove_sender() {
+        let mut r = RetentionStore::new();
+        r.store(msg(1, 1));
+        r.store(msg(2, 1));
+        r.remove_sender(p(1));
+        assert_eq!(r.len(), 1);
+    }
+}

@@ -1,0 +1,335 @@
+//! Per-group protocol state (`GV_{x,i}` plus the ordering-layer vectors).
+
+use crate::buffer::{DeliveryBuffer, RetentionStore};
+use crate::vectors::MsnVector;
+use bytes::Bytes;
+use newtop_types::{
+    GroupConfig, GroupId, Instant, Message, Msn, OrderMode, ProcessId, SignedView, Suspicion, View,
+};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Lifecycle of an activated group at one member.
+///
+/// (The two-phase vote of §5.3 happens *before* a `GroupState` exists; see
+/// `formation.rs`.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum GroupPhase {
+    /// Formation step 5: waiting for a `start-group` message from every
+    /// member of the current view before application sends may flow.
+    /// Deliveries already run under the normal *safe1'* rule — a
+    /// documented, strictly conservative deviation from the paper's
+    /// pinned-`D` optimisation (see DESIGN.md).
+    AwaitStart {
+        /// Members whose start-group message has been received (or, for the
+        /// local process, sent).
+        starters: BTreeSet<ProcessId>,
+        /// Running maximum of received start-numbers; the logical clock is
+        /// raised to this on activation (step 5).
+        start_number_max: Msn,
+    },
+    /// Normal operation.
+    Active,
+}
+
+/// A confirmed detection awaiting its view installation barrier
+/// (step (viii)'s `update_view(F, N)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct PendingInstall {
+    /// Processes agreed failed (the detection's suspects).
+    pub failed: BTreeSet<ProcessId>,
+    /// The number bound: the view is installed once every buffered message
+    /// with `c <= bound` has been delivered and no more can arrive.
+    pub bound: Msn,
+}
+
+/// Everything one member keeps about one group.
+#[derive(Debug)]
+pub(crate) struct GroupState {
+    pub cfg: GroupConfig,
+    pub me: ProcessId,
+    pub view: View,
+    /// Cumulative number of processes excluded since the initial view — the
+    /// `e_i` of the §6 signed-view extension.
+    pub excluded_count: u32,
+    /// Receive vector `RV_{x,i}`.
+    pub rv: MsnVector,
+    /// Stability vector `SV_{x,i}`.
+    pub sv: MsnVector,
+    /// Asymmetric groups: number of the last in-stream message received
+    /// from the current sequencer (`D_{x,i}` of §4.2).
+    pub d_asym: Msn,
+    pub phase: GroupPhase,
+    pub buffer: DeliveryBuffer,
+    pub retention: RetentionStore,
+    /// When this member last sent anything in the group (time-silence).
+    pub last_send: Instant,
+    /// When each co-member was last heard from (failure suspector).
+    pub last_heard: BTreeMap<ProcessId, Instant>,
+    /// Own live suspicions: suspect → `ln`.
+    pub suspicions: BTreeMap<ProcessId, Msn>,
+    /// Which processes have multicast a `suspect` for each exact pair
+    /// (gossip plus support tracking for consensus condition (v)).
+    pub supporters: BTreeMap<(ProcessId, Msn), BTreeSet<ProcessId>>,
+    /// Messages received from currently suspected senders, held pending the
+    /// outcome of the agreement (§5.2).
+    pub pending_from: BTreeMap<ProcessId, Vec<Message>>,
+    /// Confirmed messages whose detection is not yet a subset of our
+    /// suspicions (step (vi) re-evaluated as suspicions grow).
+    pub pending_confirms: Vec<(ProcessId, Vec<Suspicion>)>,
+    /// Adopted detections awaiting their installation barrier.
+    pub install_queue: VecDeque<PendingInstall>,
+    /// Asymmetric groups, sequencer alive: adopted detections awaiting the
+    /// sequencer's in-stream `ViewCut`.
+    pub asym_awaiting: VecDeque<Vec<Suspicion>>,
+    /// Asymmetric groups: own unicast requests not yet seen back as relays,
+    /// in submission order (drives the send-blocking rule and sequencer
+    /// fail-over resubmission).
+    pub outstanding: VecDeque<(Msn, Bytes)>,
+    /// Numbers of own application messages not yet stable (flow-control
+    /// accounting).
+    pub own_unstable: BTreeSet<Msn>,
+    /// Set once the member has announced departure; no further sends.
+    pub departing: bool,
+}
+
+impl GroupState {
+    pub(crate) fn new(
+        _id: GroupId,
+        me: ProcessId,
+        cfg: GroupConfig,
+        members: BTreeSet<ProcessId>,
+        now: Instant,
+        phase: GroupPhase,
+    ) -> GroupState {
+        let view = View::initial(members.iter().copied());
+        let rv = MsnVector::new(members.iter().copied());
+        let sv = MsnVector::new(members.iter().copied());
+        let last_heard = members
+            .iter()
+            .copied()
+            .filter(|p| *p != me)
+            .map(|p| (p, now))
+            .collect();
+        GroupState {
+            cfg,
+            me,
+            view,
+            excluded_count: 0,
+            rv,
+            sv,
+            d_asym: Msn::ZERO,
+            phase,
+            buffer: DeliveryBuffer::new(),
+            retention: RetentionStore::new(),
+            last_send: now,
+            last_heard,
+            suspicions: BTreeMap::new(),
+            supporters: BTreeMap::new(),
+            pending_from: BTreeMap::new(),
+            pending_confirms: Vec::new(),
+            install_queue: VecDeque::new(),
+            asym_awaiting: VecDeque::new(),
+            outstanding: VecDeque::new(),
+            own_unstable: BTreeSet::new(),
+            departing: false,
+        }
+    }
+
+    /// The group-local deliverability bound `D_{x,i}` (conditions *safe1*
+    /// / *safe1'*): minimum of the receive vector over *other* members for
+    /// symmetric groups (one's own CA1-numbered sends can never undercut
+    /// the local clock, so the own entry is no constraint), the last
+    /// sequencer stream position for asymmetric ones. A sole-survivor view
+    /// constrains nothing.
+    pub(crate) fn d_x(&self) -> Msn {
+        if self.view.len() <= 1 {
+            return Msn::INFINITY;
+        }
+        match self.cfg.mode {
+            OrderMode::Symmetric => self.rv.min_live_excluding(self.me),
+            OrderMode::Asymmetric => self.d_asym,
+        }
+    }
+
+    /// The bound used by installation barriers to decide "no message with
+    /// `c <= N` can still arrive": arrivals only come from other members,
+    /// so the same own-entry exclusion applies.
+    pub(crate) fn barrier_d(&self) -> Msn {
+        self.d_x()
+    }
+
+    /// Deterministic sequencer of the current view (§4.2).
+    pub(crate) fn sequencer(&self) -> Option<ProcessId> {
+        self.view.sequencer()
+    }
+
+    /// Whether this member is the current sequencer.
+    pub(crate) fn is_sequencer(&self) -> bool {
+        self.sequencer() == Some(self.me)
+    }
+
+    /// Union of all processes in adopted-but-not-yet-installed detections;
+    /// their messages are discarded on receipt ("Pi discards any messages
+    /// received from Pk and GVk, if Pk ∈ failed").
+    pub(crate) fn failed_union(&self) -> BTreeSet<ProcessId> {
+        let mut set: BTreeSet<ProcessId> = self
+            .install_queue
+            .iter()
+            .flat_map(|i| i.failed.iter().copied())
+            .collect();
+        set.extend(
+            self.asym_awaiting
+                .iter()
+                .flat_map(|d| d.iter().map(|s| s.suspect)),
+        );
+        set
+    }
+
+    /// The §6 signed view `ϑ_i`.
+    pub(crate) fn signed_view(&self) -> SignedView {
+        SignedView::new(self.view.iter(), self.excluded_count)
+    }
+
+    /// Number of own unstable messages plus outstanding unicasts — the
+    /// quantity bounded by the flow-control window.
+    pub(crate) fn flow_in_use(&self) -> usize {
+        self.own_unstable.len() + self.outstanding.len()
+    }
+
+    /// Whether the flow-control window (if any) has room for another send.
+    pub(crate) fn flow_has_room(&self) -> bool {
+        match self.cfg.flow_window {
+            None => true,
+            Some(w) => self.flow_in_use() < w as usize,
+        }
+    }
+
+    /// Prunes stability-dependent state after `SV` advanced.
+    pub(crate) fn on_stability_advance(&mut self) {
+        let stable = self.sv.min_live();
+        self.retention.gc_stable(stable);
+        if stable.is_infinite() {
+            self.own_unstable.clear();
+        } else {
+            self.own_unstable = self.own_unstable.split_off(&stable.next());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newtop_types::DeliveryMode;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn state(mode: OrderMode) -> GroupState {
+        let cfg = GroupConfig::new(mode).with_flow_window(2);
+        GroupState::new(
+            GroupId(1),
+            p(2),
+            cfg,
+            [p(1), p(2), p(3)].into(),
+            Instant::ZERO,
+            GroupPhase::Active,
+        )
+    }
+
+    #[test]
+    fn d_x_symmetric_is_rv_min_over_others() {
+        // The local member is P2; its own entry does not constrain D.
+        let mut gs = state(OrderMode::Symmetric);
+        gs.rv.advance(p(1), Msn(3));
+        gs.rv.advance(p(2), Msn(1));
+        gs.rv.advance(p(3), Msn(5));
+        assert_eq!(gs.d_x(), Msn(3));
+    }
+
+    #[test]
+    fn singleton_view_constrains_nothing() {
+        let mut gs = state(OrderMode::Symmetric);
+        gs.view = gs.view.excluding([p(1), p(3)].into());
+        assert_eq!(gs.d_x(), Msn::INFINITY);
+    }
+
+    #[test]
+    fn d_x_asymmetric_is_stream_position() {
+        let mut gs = state(OrderMode::Asymmetric);
+        gs.rv.advance(p(1), Msn(3));
+        gs.d_asym = Msn(7);
+        assert_eq!(gs.d_x(), Msn(7));
+    }
+
+    #[test]
+    fn sequencer_is_min_member_of_view() {
+        let gs = state(OrderMode::Asymmetric);
+        assert_eq!(gs.sequencer(), Some(p(1)));
+        assert!(!gs.is_sequencer()); // we are P2
+    }
+
+    #[test]
+    fn failed_union_merges_queues() {
+        let mut gs = state(OrderMode::Symmetric);
+        gs.install_queue.push_back(PendingInstall {
+            failed: [p(1)].into(),
+            bound: Msn(4),
+        });
+        gs.asym_awaiting.push_back(vec![Suspicion {
+            suspect: p(3),
+            ln: Msn(2),
+        }]);
+        assert_eq!(gs.failed_union(), [p(1), p(3)].into());
+    }
+
+    #[test]
+    fn flow_accounting_counts_unstable_and_outstanding() {
+        let mut gs = state(OrderMode::Asymmetric);
+        assert!(gs.flow_has_room());
+        gs.own_unstable.insert(Msn(4));
+        gs.outstanding.push_back((Msn(5), Bytes::new()));
+        assert_eq!(gs.flow_in_use(), 2);
+        assert!(!gs.flow_has_room()); // window is 2
+    }
+
+    #[test]
+    fn stability_advance_prunes_own_unstable() {
+        let mut gs = state(OrderMode::Symmetric);
+        gs.own_unstable.extend([Msn(1), Msn(2), Msn(5)]);
+        gs.sv.advance(p(1), Msn(2));
+        gs.sv.advance(p(2), Msn(2));
+        gs.sv.advance(p(3), Msn(2));
+        gs.on_stability_advance();
+        assert_eq!(gs.own_unstable.len(), 1);
+        assert!(gs.own_unstable.contains(&Msn(5)));
+    }
+
+    #[test]
+    fn await_start_phase_constructs() {
+        let gs2 = GroupState::new(
+            GroupId(2),
+            p(1),
+            GroupConfig::new(OrderMode::Symmetric).with_delivery(DeliveryMode::Total),
+            [p(1)].into(),
+            Instant::ZERO,
+            GroupPhase::AwaitStart {
+                starters: BTreeSet::new(),
+                start_number_max: Msn::ZERO,
+            },
+        );
+        assert!(matches!(gs2.phase, GroupPhase::AwaitStart { .. }));
+        assert!(!gs2.departing);
+    }
+
+    #[test]
+    fn signed_view_tracks_exclusions() {
+        let mut gs = state(OrderMode::Symmetric);
+        assert_eq!(gs.signed_view().excluded_count(), 0);
+        gs.view = gs.view.excluding([p(3)].into());
+        gs.excluded_count += 1;
+        let sv = gs.signed_view();
+        assert_eq!(sv.excluded_count(), 1);
+        assert_eq!(sv.members().len(), 2);
+    }
+}

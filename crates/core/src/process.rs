@@ -1,0 +1,992 @@
+//! The Newtop protocol engine: one [`Process`] instance per participant.
+//!
+//! `Process` is a *sans-IO* state machine. Hosts feed it received envelopes
+//! ([`Process::handle`]), timer ticks ([`Process::tick`]) and application
+//! requests ([`Process::multicast`], [`Process::depart`],
+//! [`Process::initiate_group`]); it returns [`Action`]s to execute. The same
+//! engine therefore runs identically under the deterministic simulator, the
+//! threaded runtime and plain unit tests.
+
+use crate::action::{Action, Delivery, ProcessStats, ProtocolEvent};
+
+use crate::clock::LogicalClock;
+use crate::formation::Forming;
+use crate::group::{GroupPhase, GroupState};
+use bytes::Bytes;
+use newtop_types::{
+    ConfigError, DeliveryMode, Envelope, FormationDecision, GroupConfig, GroupId, Instant,
+    Message, MessageBody, Msn, OrderMode, ProcessConfig, ProcessId, SendError, SignedView,
+    Suspicion, View,
+};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+/// Why a group could not be created or joined into formation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupError {
+    /// A group (or formation attempt) with this identifier already exists.
+    AlreadyExists {
+        /// The conflicting identifier.
+        group: GroupId,
+    },
+    /// The local process is not in the proposed member list.
+    NotInMemberList {
+        /// The proposed group.
+        group: GroupId,
+    },
+    /// The member list is empty.
+    EmptyMembership,
+    /// §5.3 precondition: "Pi must not be a member of any gx such that
+    /// Vx,i = gn" — a group with exactly this membership already exists.
+    DuplicateMembership {
+        /// The existing group with identical membership.
+        existing: GroupId,
+    },
+    /// The supplied group configuration is invalid.
+    Config(ConfigError),
+}
+
+impl fmt::Display for GroupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupError::AlreadyExists { group } => {
+                write!(f, "group {group} already exists at this process")
+            }
+            GroupError::NotInMemberList { group } => {
+                write!(f, "local process is not in the member list of {group}")
+            }
+            GroupError::EmptyMembership => write!(f, "member list is empty"),
+            GroupError::DuplicateMembership { existing } => write!(
+                f,
+                "an existing group ({existing}) already has exactly this membership"
+            ),
+            GroupError::Config(e) => write!(f, "invalid group configuration: {e}"),
+        }
+    }
+}
+
+impl Error for GroupError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GroupError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for GroupError {
+    fn from(e: ConfigError) -> GroupError {
+        GroupError::Config(e)
+    }
+}
+
+/// An application-initiated send parked in the strict-FIFO deferred queue.
+///
+/// The queue is the engine's realisation of the paper's blocking rules: a
+/// blocked head blocks everything behind it, because letting a later send
+/// overtake would assign it a smaller logical-clock number and break the
+/// causal delivery order.
+#[derive(Debug, Clone)]
+pub(crate) enum DeferredSend {
+    /// An application multicast (§4.1 symmetric / §4.2 asymmetric).
+    App { group: GroupId, payload: Bytes },
+    /// The formation step-4 start-group announcement.
+    StartGroup { group: GroupId },
+    /// The voluntary-departure announcement.
+    Depart { group: GroupId },
+}
+
+/// A Newtop protocol participant (one per process in the system).
+///
+/// # Examples
+///
+/// Three processes bootstrap a static group and exchange one multicast; see
+/// `newtop_core::testkit` for the harness that moves the envelopes:
+///
+/// ```
+/// use newtop_core::testkit::TestNet;
+/// use newtop_types::{GroupConfig, GroupId, OrderMode, ProcessId};
+///
+/// let mut net = TestNet::new([1, 2, 3]);
+/// net.bootstrap_group(GroupId(1), &[1, 2, 3], GroupConfig::new(OrderMode::Symmetric));
+/// net.multicast(1, GroupId(1), b"hello");
+/// net.run_to_quiescence();
+/// // Liveness needs time-silence nulls from the quiet members:
+/// net.advance_past_omega(GroupId(1));
+/// assert_eq!(net.deliveries(2).len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Process {
+    id: ProcessId,
+    cfg: ProcessConfig,
+    pub(crate) lc: LogicalClock,
+    now: Instant,
+    pub(crate) groups: BTreeMap<GroupId, GroupState>,
+    pub(crate) forming: BTreeMap<GroupId, Forming>,
+    pub(crate) orphan_votes: BTreeMap<GroupId, Vec<(ProcessId, FormationDecision)>>,
+    pub(crate) vote_policy: BTreeMap<GroupId, FormationDecision>,
+    deferred: VecDeque<DeferredSend>,
+    stats: ProcessStats,
+}
+
+impl Process {
+    /// Creates a process with no group memberships.
+    #[must_use]
+    pub fn new(id: ProcessId, cfg: ProcessConfig) -> Process {
+        Process {
+            id,
+            cfg,
+            lc: LogicalClock::new(),
+            now: Instant::ZERO,
+            groups: BTreeMap::new(),
+            forming: BTreeMap::new(),
+            orphan_votes: BTreeMap::new(),
+            vote_policy: BTreeMap::new(),
+            deferred: VecDeque::new(),
+            stats: ProcessStats::default(),
+        }
+    }
+
+    /// This process's identifier.
+    #[must_use]
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Current logical-clock value.
+    #[must_use]
+    pub fn lc(&self) -> Msn {
+        self.lc.value()
+    }
+
+    /// The process configuration.
+    #[must_use]
+    pub fn config(&self) -> &ProcessConfig {
+        &self.cfg
+    }
+
+    /// Protocol counters.
+    #[must_use]
+    pub fn stats(&self) -> ProcessStats {
+        let mut s = self.stats;
+        s.deferred_now = self.deferred.len() as u64;
+        s
+    }
+
+    /// Installs membership of a statically configured group (the §4 setting:
+    /// every listed member calls this with identical arguments before any
+    /// traffic flows; the initial view `V0` is `members`).
+    ///
+    /// For dynamic creation at runtime use [`Process::initiate_group`]
+    /// (§5.3) instead.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError`] if the group already exists, the configuration is
+    /// invalid, the member list is empty or does not include this process.
+    pub fn bootstrap_group(
+        &mut self,
+        now: Instant,
+        group: GroupId,
+        members: &BTreeSet<ProcessId>,
+        config: GroupConfig,
+    ) -> Result<(), GroupError> {
+        self.observe_time(now);
+        config.validate()?;
+        if self.groups.contains_key(&group) || self.forming.contains_key(&group) {
+            return Err(GroupError::AlreadyExists { group });
+        }
+        if members.is_empty() {
+            return Err(GroupError::EmptyMembership);
+        }
+        if !members.contains(&self.id) {
+            return Err(GroupError::NotInMemberList { group });
+        }
+        self.groups.insert(
+            group,
+            GroupState::new(group, self.id, config, members.clone(), now, GroupPhase::Active),
+        );
+        Ok(())
+    }
+
+    /// Requests an application multicast in `group` (delivered back to every
+    /// functioning member, including the caller, in the group's delivery
+    /// order).
+    ///
+    /// The send may be deferred by the §4.2/§4.3 blocking rules, the
+    /// flow-control window, or an incomplete formation; deferred sends flow
+    /// automatically once unblocked, in submission order.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::NotMember`] if this process is not a member (or the
+    /// group is unknown); [`SendError::Departed`] after [`Process::depart`].
+    pub fn multicast(
+        &mut self,
+        now: Instant,
+        group: GroupId,
+        payload: Bytes,
+    ) -> Result<Vec<Action>, SendError> {
+        self.observe_time(now);
+        if let Some(gs) = self.groups.get(&group) {
+            if gs.departing {
+                return Err(SendError::Departed { group });
+            }
+        } else if !self.forming.contains_key(&group) {
+            return Err(SendError::NotMember { group });
+        }
+        self.stats.app_sends += 1;
+        self.deferred.push_back(DeferredSend::App { group, payload });
+        let mut out = Vec::new();
+        self.drain_deferred(&mut out);
+        self.pump(&mut out);
+        if !self.deferred.is_empty() {
+            // The freshly submitted send (and anything before it) is parked.
+            self.stats.deferred_total += 1;
+        }
+        Ok(out)
+    }
+
+    /// Announces voluntary departure from `group`. The departure message is
+    /// the member's last in the group; the remaining members agree on it as
+    /// the cut (§3: "once Pi leaves gx, it maintains no membership view for
+    /// gx") and install a view without this process.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::NotMember`] if not a member; [`SendError::Departed`] if
+    /// already departing.
+    pub fn depart(&mut self, now: Instant, group: GroupId) -> Result<Vec<Action>, SendError> {
+        self.observe_time(now);
+        let mut out = Vec::new();
+        if let Some(f) = self.forming.remove(&group) {
+            // Cancel an in-flight formation by vetoing it.
+            self.veto_forming(&f, group, &mut out);
+            return Ok(out);
+        }
+        let Some(gs) = self.groups.get_mut(&group) else {
+            return Err(SendError::NotMember { group });
+        };
+        if gs.departing {
+            return Err(SendError::Departed { group });
+        }
+        gs.departing = true;
+        self.deferred.push_back(DeferredSend::Depart { group });
+        self.drain_deferred(&mut out);
+        self.pump(&mut out);
+        Ok(out)
+    }
+
+    /// Handles one envelope from the reliable FIFO transport.
+    pub fn handle(&mut self, now: Instant, from: ProcessId, env: Envelope) -> Vec<Action> {
+        self.observe_time(now);
+        let mut out = Vec::new();
+        match env {
+            Envelope::Control(c) => self.handle_control(from, c, &mut out),
+            Envelope::Group(m) => self.receive_group_message(from, m, &mut out),
+        }
+        self.pump(&mut out);
+        self.drain_deferred(&mut out);
+        // Deferred sends may have unblocked deliveries of our own messages.
+        self.pump(&mut out);
+        out
+    }
+
+    /// Advances local timers: time-silence null emission (§4.1), failure
+    /// suspicion (§5.2 `S_i`), and formation deadlines (§5.3 step 3).
+    pub fn tick(&mut self, now: Instant) -> Vec<Action> {
+        self.observe_time(now);
+        let mut out = Vec::new();
+        self.formation_tick(&mut out);
+        let gids: Vec<GroupId> = self.groups.keys().copied().collect();
+        for gid in gids {
+            self.group_tick(gid, &mut out);
+        }
+        self.pump(&mut out);
+        self.drain_deferred(&mut out);
+        self.pump(&mut out);
+        out
+    }
+
+    /// The earliest instant at which [`Process::tick`] has work to do, or
+    /// `None` when no timers are pending.
+    #[must_use]
+    pub fn next_deadline(&self) -> Option<Instant> {
+        let mut next: Option<Instant> = None;
+        let mut fold = |t: Instant| {
+            next = Some(match next {
+                None => t,
+                Some(n) => n.min(t),
+            });
+        };
+        for f in self.forming.values() {
+            fold(f.deadline);
+        }
+        for gs in self.groups.values() {
+            if gs.view.len() > 1 && !gs.departing {
+                fold(gs.last_send + gs.cfg.omega);
+            }
+            let failed = gs.failed_union();
+            for (j, heard) in &gs.last_heard {
+                if gs.suspicions.contains_key(j) || failed.contains(j) {
+                    continue;
+                }
+                fold(*heard + gs.cfg.big_omega);
+            }
+        }
+        next
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection (tests, experiments, monitoring)
+    // ------------------------------------------------------------------
+
+    /// The current view of `group`, if this process is a member.
+    #[must_use]
+    pub fn view(&self, group: GroupId) -> Option<&View> {
+        self.groups.get(&group).map(|g| &g.view)
+    }
+
+    /// The §6 signed view of `group`.
+    #[must_use]
+    pub fn signed_view(&self, group: GroupId) -> Option<SignedView> {
+        self.groups.get(&group).map(GroupState::signed_view)
+    }
+
+    /// Whether this process currently holds membership state for `group`.
+    #[must_use]
+    pub fn is_member(&self, group: GroupId) -> bool {
+        self.groups.contains_key(&group)
+    }
+
+    /// Whether `group` has completed formation (application sends permitted).
+    #[must_use]
+    pub fn is_active(&self, group: GroupId) -> bool {
+        self.groups
+            .get(&group)
+            .is_some_and(|g| g.phase == GroupPhase::Active)
+    }
+
+    /// Identifiers of all groups with local state.
+    #[must_use]
+    pub fn group_ids(&self) -> Vec<GroupId> {
+        self.groups.keys().copied().collect()
+    }
+
+    /// The group-local deliverability bound `D_{x,i}`.
+    #[must_use]
+    pub fn d_of(&self, group: GroupId) -> Option<Msn> {
+        self.groups.get(&group).map(GroupState::d_x)
+    }
+
+    /// The global deliverability bound `D_i = min over groups` (*safe1'*).
+    /// Atomic-mode groups do not constrain it (they bypass ordering).
+    #[must_use]
+    pub fn di(&self) -> Msn {
+        self.groups
+            .values()
+            .filter(|g| g.cfg.delivery == DeliveryMode::Total)
+            .map(GroupState::d_x)
+            .min()
+            .unwrap_or(Msn::INFINITY)
+    }
+
+    /// Number of received-but-undelivered messages buffered for `group`.
+    #[must_use]
+    pub fn buffered(&self, group: GroupId) -> usize {
+        self.groups.get(&group).map_or(0, |g| g.buffer.len())
+    }
+
+    /// Number of unstable messages retained for recovery in `group` (the
+    /// buffer-occupancy metric of experiment E9). Includes nulls and
+    /// membership messages — see [`Process::retained_app`] for application
+    /// traffic only.
+    #[must_use]
+    pub fn retained(&self, group: GroupId) -> usize {
+        self.groups.get(&group).map_or(0, |g| g.retention.len())
+    }
+
+    /// Number of unstable *application* messages retained for recovery in
+    /// `group` (steady-state this reaches zero; the most recent nulls always
+    /// linger in [`Process::retained`]).
+    #[must_use]
+    pub fn retained_app(&self, group: GroupId) -> usize {
+        self.groups
+            .get(&group)
+            .map_or(0, |g| g.retention.app_len())
+    }
+
+    /// Outstanding (unsequenced) unicast requests in an asymmetric `group`.
+    #[must_use]
+    pub fn outstanding(&self, group: GroupId) -> usize {
+        self.groups.get(&group).map_or(0, |g| g.outstanding.len())
+    }
+
+    /// Application sends currently parked in the deferred queue.
+    #[must_use]
+    pub fn deferred_len(&self) -> usize {
+        self.deferred.len()
+    }
+
+    /// Live suspicions held for `group`.
+    #[must_use]
+    pub fn suspicions_of(&self, group: GroupId) -> Vec<Suspicion> {
+        self.groups.get(&group).map_or_else(Vec::new, |g| {
+            g.suspicions
+                .iter()
+                .map(|(p, ln)| Suspicion {
+                    suspect: *p,
+                    ln: *ln,
+                })
+                .collect()
+        })
+    }
+
+    /// Presets the vote this process will cast if invited to form `group`
+    /// (§5.3 step 2). The default is yes.
+    pub fn set_vote_policy(&mut self, group: GroupId, decision: FormationDecision) {
+        self.vote_policy.insert(group, decision);
+    }
+
+    // ------------------------------------------------------------------
+    // Internal plumbing
+    // ------------------------------------------------------------------
+
+    pub(crate) fn observe_time(&mut self, now: Instant) {
+        if now > self.now {
+            self.now = now;
+        }
+    }
+
+    pub(crate) fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Queues an item *ahead* of everything already deferred. Used for the
+    /// start-group announcement: application sends for the forming group may
+    /// already be queued, and they cannot flow until the announcement does —
+    /// a strict-FIFO insertion behind them would deadlock. Overtaking is
+    /// sound here because a start-group message is never delivered to the
+    /// application, so its number cannot perturb app-visible causal order.
+    pub(crate) fn push_deferred_front(&mut self, item: DeferredSend) {
+        self.deferred.push_front(item);
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut ProcessStats {
+        &mut self.stats
+    }
+
+    /// CA1-number and emit a multicast in `group` to every other view
+    /// member, applying all self-receipt effects. Returns the number used.
+    pub(crate) fn send_numbered(
+        &mut self,
+        group: GroupId,
+        mk_body: impl FnOnce(Msn) -> MessageBody,
+        out: &mut Vec<Action>,
+    ) -> Msn {
+        let c = self.lc.advance_for_send();
+        let me = self.id;
+        let now = self.now;
+        let Some(gs) = self.groups.get_mut(&group) else {
+            return c;
+        };
+        let body = mk_body(c);
+        // m.ldn = D_{x,i}, capped at the clock (the paper's D <= LC): an
+        // unconstrained D (sole survivor) reports the clock itself.
+        let ldn = gs.d_x().min(c);
+        let m = Message {
+            group,
+            sender: me,
+            c,
+            ldn,
+            body,
+        };
+        gs.rv.advance(me, c);
+        gs.sv.advance(me, ldn);
+        gs.last_send = now;
+        if m.is_retained() {
+            gs.retention.store(m.for_retention());
+        }
+        if gs.cfg.mode == OrderMode::Asymmetric && gs.is_sequencer() {
+            // The sequencer's own stream position advances with *every* of
+            // its numbered multicasts. Receivers count any message from the
+            // sequencer — including nulls — so the sequencer must too, or
+            // its own D would lag its members' and its deliveries wedge.
+            gs.d_asym = gs.d_asym.max(c);
+        }
+        let dsts: Vec<ProcessId> = gs.view.iter().filter(|p| *p != me).collect();
+        for dst in dsts {
+            out.push(Action::Send {
+                to: dst,
+                envelope: Envelope::Group(m.clone()),
+            });
+        }
+        // Self-receipt of deliverable-class bodies: "Pi delivers its own
+        // messages also by executing the protocol in operation" (§3).
+        match &m.body {
+            MessageBody::App(_) | MessageBody::Relay { .. } | MessageBody::ViewCut { .. } => {
+                self.deliver_or_buffer(group, m, out);
+            }
+            _ => {}
+        }
+        c
+    }
+
+    /// Routes a deliverable-class message into the ordered buffer (total
+    /// order) or straight out (atomic mode).
+    pub(crate) fn deliver_or_buffer(&mut self, group: GroupId, m: Message, out: &mut Vec<Action>) {
+        let Some(gs) = self.groups.get_mut(&group) else {
+            return;
+        };
+        match gs.cfg.delivery {
+            DeliveryMode::Total => gs.buffer.insert(m),
+            DeliveryMode::Atomic => match m.body {
+                MessageBody::App(_) | MessageBody::Relay { .. } => {
+                    let d = Delivery {
+                        group,
+                        origin: m.origin(),
+                        c: m.c,
+                        view_seq: gs.view.seq(),
+                        payload: match m.body {
+                            MessageBody::App(p) => p,
+                            MessageBody::Relay { payload, .. } => payload,
+                            _ => unreachable!(),
+                        },
+                    };
+                    self.stats.deliveries += 1;
+                    out.push(Action::Deliver(d));
+                }
+                MessageBody::ViewCut { detection } => {
+                    self.install_from_viewcut(group, detection, out);
+                }
+                _ => {}
+            },
+        }
+    }
+
+    /// The shared receipt path for a message from an unsuspected, in-view
+    /// sender (also used when draining pending messages after a refutation).
+    pub(crate) fn integrate_live_message(
+        &mut self,
+        group: GroupId,
+        from: ProcessId,
+        m: Message,
+        out: &mut Vec<Action>,
+    ) {
+        let now = self.now;
+        let me = self.id;
+        let Some(gs) = self.groups.get_mut(&group) else {
+            return;
+        };
+        self.stats.received += 1;
+        self.lc.observe(m.c);
+        if from != me {
+            gs.last_heard.insert(from, now);
+        }
+        let is_request = matches!(m.body, MessageBody::SeqRequest { .. });
+        if !is_request {
+            // Sequencer unicast requests are point-to-point: they advance the
+            // logical clock but not the receive vector, so suspicion `ln`
+            // values stay comparable across members (only multicasts count).
+            gs.rv.advance(from, m.c);
+            gs.sv.advance(from, m.ldn);
+            gs.on_stability_advance();
+            if gs.cfg.mode == OrderMode::Asymmetric && gs.sequencer() == Some(from) {
+                gs.d_asym = gs.d_asym.max(m.c);
+            }
+        }
+        if m.is_retained() {
+            gs.retention.store(m.for_retention());
+        }
+        match m.body.clone() {
+            MessageBody::App(_) => self.deliver_or_buffer(group, m, out),
+            MessageBody::Null => {}
+            MessageBody::SeqRequest { origin_c, payload } => {
+                self.on_seq_request(group, from, origin_c, payload, out);
+            }
+            MessageBody::Relay {
+                origin, origin_c, ..
+            } => {
+                if origin == me {
+                    self.clear_outstanding(group, origin_c, m.c);
+                }
+                self.deliver_or_buffer(group, m, out);
+            }
+            MessageBody::Suspect(s) => self.on_suspect(group, from, s, out),
+            MessageBody::Refute {
+                suspicion,
+                recovered,
+            } => self.on_refute(group, from, suspicion, recovered, out),
+            MessageBody::Confirmed { detection } => {
+                self.on_confirmed(group, from, detection, out);
+            }
+            MessageBody::StartGroup => self.on_start_group(group, from, m.c, out),
+            MessageBody::Depart => self.on_depart_msg(group, from, m.c, out),
+            MessageBody::ViewCut { .. } => self.deliver_or_buffer(group, m, out),
+        }
+        // This receipt may refute recorded suspicions about `from`
+        // (condition (iii): we now hold a message numbered above their ln).
+        self.refute_scan(group, from, out);
+    }
+
+    pub(crate) fn receive_group_message(&mut self, from: ProcessId, m: Message, out: &mut Vec<Action>) {
+        let group = m.group;
+        let Some(gs) = self.groups.get_mut(&group) else {
+            if let Some(f) = self.forming.get_mut(&group) {
+                f.early.push((from, m));
+            }
+            return;
+        };
+        if !gs.view.contains(from) || gs.failed_union().contains(&from) {
+            // "Pi discards any messages received from Pk and GVk, if either
+            // Pk ∈ failed or Pk ∉ Vi" (§5.2).
+            return;
+        }
+        if gs.suspicions.contains_key(&from) {
+            // Held pending the agreement outcome (§5.2): integrated if the
+            // suspicion is refuted, discarded if it is confirmed.
+            gs.pending_from.entry(from).or_default().push(m);
+            return;
+        }
+        self.integrate_live_message(group, from, m, out);
+    }
+
+    /// Removes a now-sequenced request from the outstanding queue and marks
+    /// its relayed number as our own unstable message.
+    fn clear_outstanding(&mut self, group: GroupId, origin_c: Msn, relay_c: Msn) {
+        let Some(gs) = self.groups.get_mut(&group) else {
+            return;
+        };
+        if let Some(pos) = gs.outstanding.iter().position(|(c, _)| *c == origin_c) {
+            gs.outstanding.remove(pos);
+            gs.own_unstable.insert(relay_c);
+        }
+    }
+
+    fn on_seq_request(
+        &mut self,
+        group: GroupId,
+        from: ProcessId,
+        origin_c: Msn,
+        payload: Bytes,
+        out: &mut Vec<Action>,
+    ) {
+        let Some(gs) = self.groups.get(&group) else {
+            return;
+        };
+        if !gs.is_sequencer() {
+            // The sender held a stale view; it will resubmit to the new
+            // sequencer after its own view installation.
+            return;
+        }
+        self.send_numbered(
+            group,
+            |_| MessageBody::Relay {
+                origin: from,
+                origin_c,
+                payload,
+            },
+            out,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // The delivery pump: installs and ordered deliveries to a fixpoint.
+    // ------------------------------------------------------------------
+
+    /// Runs view installations and ordered deliveries until neither can make
+    /// progress. Delivery obeys *safe1'* (`c <= D_i`) and *safe2*
+    /// (non-decreasing `c`, ties broken by `(group, sender)`), and the
+    /// step-(viii) barrier: a pending install with bound `N` precedes any
+    /// delivery with `c > N` in its group.
+    pub(crate) fn pump(&mut self, out: &mut Vec<Action>) {
+        loop {
+            let mut progress = false;
+            let gids: Vec<GroupId> = self.groups.keys().copied().collect();
+            for gid in &gids {
+                while self.try_install_head(*gid, out) {
+                    progress = true;
+                }
+            }
+            let di = self.di();
+            let mut best: Option<(Msn, GroupId, ProcessId)> = None;
+            for (gid, gs) in &self.groups {
+                if gs.cfg.delivery == DeliveryMode::Atomic {
+                    continue;
+                }
+                let Some((c, s)) = gs.buffer.first_key() else {
+                    continue;
+                };
+                if c > di {
+                    continue;
+                }
+                if let Some(head) = gs.install_queue.front() {
+                    if c > head.bound {
+                        // Barrier: the view must install before this message
+                        // delivers; the install attempt above was not ready.
+                        continue;
+                    }
+                }
+                let key = (c, *gid, s);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+            if let Some((c, gid, s)) = best {
+                self.deliver_one(gid, (c, s), out);
+                progress = true;
+            }
+            if !progress {
+                return;
+            }
+        }
+    }
+
+    fn deliver_one(&mut self, group: GroupId, key: (Msn, ProcessId), out: &mut Vec<Action>) {
+        let Some(gs) = self.groups.get_mut(&group) else {
+            return;
+        };
+        let Some(m) = gs.buffer.take(key) else {
+            return;
+        };
+        let view_seq = gs.view.seq();
+        match m.body {
+            MessageBody::App(payload) => {
+                self.stats.deliveries += 1;
+                out.push(Action::Deliver(Delivery {
+                    group,
+                    origin: m.sender,
+                    c: m.c,
+                    view_seq,
+                    payload,
+                }));
+            }
+            MessageBody::Relay {
+                origin, payload, ..
+            } => {
+                self.stats.deliveries += 1;
+                out.push(Action::Deliver(Delivery {
+                    group,
+                    origin,
+                    c: m.c,
+                    view_seq,
+                    payload,
+                }));
+            }
+            MessageBody::ViewCut { detection } => {
+                // The sequencer's in-stream cut: install here, at this
+                // position of the delivery stream (identical at every
+                // member).
+                self.install_from_viewcut(group, detection, out);
+            }
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Deferred sends (blocking rules, flow control, formation gating)
+    // ------------------------------------------------------------------
+
+    /// Whether any group other than `g` has outstanding unsequenced
+    /// unicasts — the §4.3 mixed-mode blocking-rule predicate.
+    fn blocked_by_other_unicasts(&self, g: GroupId) -> bool {
+        self.groups
+            .iter()
+            .any(|(gid, gs)| *gid != g && !gs.outstanding.is_empty())
+    }
+
+    fn any_outstanding(&self) -> bool {
+        self.groups.values().any(|gs| !gs.outstanding.is_empty())
+    }
+
+    pub(crate) fn drain_deferred(&mut self, out: &mut Vec<Action>) {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Kind {
+            App,
+            Start,
+            Depart,
+        }
+        loop {
+            let (kind, g) = match self.deferred.front() {
+                None => return,
+                Some(DeferredSend::App { group, .. }) => (Kind::App, *group),
+                Some(DeferredSend::StartGroup { group }) => (Kind::Start, *group),
+                Some(DeferredSend::Depart { group }) => (Kind::Depart, *group),
+            };
+            match kind {
+                Kind::App => {
+                    let Some(gs) = self.groups.get(&g) else {
+                        if self.forming.contains_key(&g) {
+                            return; // still forming: wait
+                        }
+                        self.deferred.pop_front(); // group gone: drop send
+                        continue;
+                    };
+                    let eligible = matches!(gs.phase, GroupPhase::Active)
+                        && gs.flow_has_room()
+                        && !self.blocked_by_other_unicasts(g);
+                    if !eligible {
+                        return;
+                    }
+                    let Some(DeferredSend::App { payload, .. }) = self.deferred.pop_front()
+                    else {
+                        unreachable!("head re-checked under exclusive access");
+                    };
+                    self.execute_app_send(g, payload, out);
+                }
+                Kind::Start => {
+                    if !self.groups.contains_key(&g) {
+                        self.deferred.pop_front();
+                        continue;
+                    }
+                    if self.blocked_by_other_unicasts(g) {
+                        return;
+                    }
+                    self.deferred.pop_front();
+                    self.send_numbered(g, |_| MessageBody::StartGroup, out);
+                    let me = self.id;
+                    if let Some(gs) = self.groups.get_mut(&g) {
+                        if let GroupPhase::AwaitStart { starters, .. } = &mut gs.phase {
+                            starters.insert(me);
+                        }
+                    }
+                    self.check_start_complete(g, out);
+                }
+                Kind::Depart => {
+                    if !self.groups.contains_key(&g) {
+                        self.deferred.pop_front();
+                        continue;
+                    }
+                    if self.any_outstanding() {
+                        return;
+                    }
+                    self.deferred.pop_front();
+                    self.send_numbered(g, |_| MessageBody::Depart, out);
+                    self.groups.remove(&g);
+                }
+            }
+        }
+    }
+
+    fn execute_app_send(&mut self, group: GroupId, payload: Bytes, out: &mut Vec<Action>) {
+        let Some(gs) = self.groups.get(&group) else {
+            return;
+        };
+        match gs.cfg.mode {
+            OrderMode::Symmetric => {
+                let c = self.send_numbered(group, |_| MessageBody::App(payload), out);
+                if let Some(gs) = self.groups.get_mut(&group) {
+                    gs.own_unstable.insert(c);
+                }
+            }
+            OrderMode::Asymmetric => {
+                if gs.is_sequencer() {
+                    let me = self.id;
+                    let c = self.send_numbered(
+                        group,
+                        |c| MessageBody::Relay {
+                            origin: me,
+                            origin_c: c,
+                            payload,
+                        },
+                        out,
+                    );
+                    if let Some(gs) = self.groups.get_mut(&group) {
+                        gs.own_unstable.insert(c);
+                    }
+                } else {
+                    let sequencer = gs.sequencer().expect("nonempty view has a sequencer");
+                    let c = self.lc.advance_for_send();
+                    let Some(gs) = self.groups.get_mut(&group) else {
+                        return;
+                    };
+                    let ldn = gs.d_x().min(c);
+                    let m = Message {
+                        group,
+                        sender: self.id,
+                        c,
+                        ldn,
+                        body: MessageBody::SeqRequest {
+                            origin_c: c,
+                            payload: payload.clone(),
+                        },
+                    };
+                    gs.outstanding.push_back((c, payload));
+                    out.push(Action::Send {
+                        to: sequencer,
+                        envelope: Envelope::Group(m),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Resubmits outstanding unicasts to the (possibly new) sequencer after
+    /// a view installation in an asymmetric group — our completion of the
+    /// fail-over the paper defers to its technical-report version.
+    pub(crate) fn resubmit_outstanding(&mut self, group: GroupId, out: &mut Vec<Action>) {
+        let Some(gs) = self.groups.get_mut(&group) else {
+            return;
+        };
+        if gs.cfg.mode != OrderMode::Asymmetric || gs.outstanding.is_empty() {
+            return;
+        }
+        let pending: Vec<Bytes> = gs.outstanding.drain(..).map(|(_, p)| p).collect();
+        let n = pending.len();
+        for payload in pending {
+            self.execute_app_send(group, payload, out);
+        }
+        let Some(gs) = self.groups.get(&group) else {
+            return;
+        };
+        if let Some(new) = gs.sequencer() {
+            out.push(Action::Event(ProtocolEvent::SequencerChanged {
+                group,
+                new,
+                resubmitted: n,
+            }));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    fn group_tick(&mut self, group: GroupId, out: &mut Vec<Action>) {
+        let now = self.now;
+        let me = self.id;
+        let Some(gs) = self.groups.get(&group) else {
+            return;
+        };
+        // Time-silence (§4.1): stay lively with a null message if nothing
+        // was sent in the last ω. Required of every member in every group
+        // when fault tolerance is on (§5).
+        let needs_null =
+            gs.view.len() > 1 && !gs.departing && now.saturating_since(gs.last_send) >= gs.cfg.omega;
+        if needs_null {
+            self.send_numbered(group, |_| MessageBody::Null, out);
+            self.stats.nulls_sent += 1;
+        }
+        // Failure suspector S_i (§5.2): suspect members silent for Ω.
+        let Some(gs) = self.groups.get(&group) else {
+            return;
+        };
+        let failed = gs.failed_union();
+        let silent: Vec<ProcessId> = gs
+            .last_heard
+            .iter()
+            .filter(|(j, heard)| {
+                **j != me
+                    && gs.view.contains(**j)
+                    && !gs.suspicions.contains_key(*j)
+                    && !failed.contains(*j)
+                    && now.saturating_since(**heard) >= gs.cfg.big_omega
+            })
+            .map(|(j, _)| *j)
+            .collect();
+        for j in silent {
+            self.suspector_notify(group, j, out);
+        }
+    }
+}

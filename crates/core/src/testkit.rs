@@ -1,0 +1,527 @@
+//! A deterministic, synchronous in-memory network for driving [`Process`]
+//! instances in tests.
+//!
+//! Unlike `newtop-sim` (which models latency and randomness), the test
+//! network delivers messages over per-link FIFO queues in a fixed
+//! round-robin order with zero latency, and advances virtual time only when
+//! told to. That makes protocol unit tests exact: the same calls always
+//! produce the same interleaving.
+//!
+//! Fault injection is manual and surgical — crash a process, drop the
+//! in-flight contents of selected links (to reproduce a multicast severed
+//! by a crash, as in the paper's Example 1), or partition the network into
+//! blocks.
+
+use crate::action::{Action, Delivery, FormationFailure, ProtocolEvent};
+use crate::process::Process;
+use bytes::Bytes;
+use newtop_types::{
+    Envelope, GroupConfig, GroupId, Instant, ProcessConfig, ProcessId, SendError, SignedView,
+    Span, View,
+};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Shorthand used throughout the test suites.
+#[must_use]
+pub fn pid(i: u32) -> ProcessId {
+    ProcessId(i)
+}
+
+/// One entry of a process's observable history, in the exact order the
+/// engine emitted it — lets tests assert orderings such as "the view
+/// excluding the unreachable sender was installed *before* the causally
+/// dependent message was delivered" (MD5', paper Example 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimelineEntry {
+    /// An application delivery.
+    Delivered(Delivery),
+    /// A view installation.
+    View(GroupId, View),
+}
+
+/// The deterministic test network.
+///
+/// See the [crate-level example](crate) for typical usage.
+#[derive(Debug)]
+pub struct TestNet {
+    now: Instant,
+    procs: BTreeMap<ProcessId, Process>,
+    queues: BTreeMap<(ProcessId, ProcessId), VecDeque<Envelope>>,
+    crashed: BTreeSet<ProcessId>,
+    partition: Vec<BTreeSet<ProcessId>>,
+    blocked_links: BTreeSet<(ProcessId, ProcessId)>,
+    deliveries: BTreeMap<ProcessId, Vec<Delivery>>,
+    views: BTreeMap<ProcessId, Vec<(GroupId, View, SignedView)>>,
+    events: BTreeMap<ProcessId, Vec<ProtocolEvent>>,
+    actives: BTreeMap<ProcessId, Vec<GroupId>>,
+    failures: BTreeMap<ProcessId, Vec<(GroupId, FormationFailure)>>,
+    timeline: BTreeMap<ProcessId, Vec<TimelineEntry>>,
+    group_cfgs: BTreeMap<GroupId, GroupConfig>,
+}
+
+impl TestNet {
+    /// Creates a network of processes with the given numeric identifiers.
+    pub fn new<I: IntoIterator<Item = u32>>(ids: I) -> TestNet {
+        let procs: BTreeMap<ProcessId, Process> = ids
+            .into_iter()
+            .map(|i| (pid(i), Process::new(pid(i), ProcessConfig::new())))
+            .collect();
+        TestNet {
+            now: Instant::ZERO,
+            procs,
+            queues: BTreeMap::new(),
+            crashed: BTreeSet::new(),
+            partition: Vec::new(),
+            blocked_links: BTreeSet::new(),
+            deliveries: BTreeMap::new(),
+            views: BTreeMap::new(),
+            events: BTreeMap::new(),
+            actives: BTreeMap::new(),
+            failures: BTreeMap::new(),
+            timeline: BTreeMap::new(),
+            group_cfgs: BTreeMap::new(),
+        }
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Statically installs `group` at every listed (non-crashed) member —
+    /// the §4 bootstrap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any member rejects the bootstrap (identifier clash or
+    /// invalid configuration) — test configurations are expected to be
+    /// valid.
+    pub fn bootstrap_group(&mut self, group: GroupId, members: &[u32], cfg: GroupConfig) {
+        let set: BTreeSet<ProcessId> = members.iter().map(|i| pid(*i)).collect();
+        self.group_cfgs.insert(group, cfg);
+        for m in members {
+            let p = pid(*m);
+            if self.crashed.contains(&p) {
+                continue;
+            }
+            let now = self.now;
+            self.procs
+                .get_mut(&p)
+                .expect("unknown process id in bootstrap")
+                .bootstrap_group(now, group, &set, cfg)
+                .expect("bootstrap must succeed in tests");
+        }
+    }
+
+    /// Initiates dynamic formation (§5.3) from process `initiator`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initiator rejects the request.
+    pub fn initiate(&mut self, initiator: u32, group: GroupId, members: &[u32], cfg: GroupConfig) {
+        let set: BTreeSet<ProcessId> = members.iter().map(|i| pid(*i)).collect();
+        self.group_cfgs.insert(group, cfg);
+        let now = self.now;
+        let actions = self
+            .procs
+            .get_mut(&pid(initiator))
+            .expect("unknown initiator")
+            .initiate_group(now, group, &set, cfg)
+            .expect("initiation must be accepted in tests");
+        self.execute(pid(initiator), actions);
+    }
+
+    /// Requests an application multicast.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine rejects the send; use
+    /// [`TestNet::try_multicast`] to assert on errors.
+    pub fn multicast(&mut self, from: u32, group: GroupId, payload: &[u8]) {
+        self.try_multicast(from, group, payload)
+            .expect("multicast must be accepted in tests");
+    }
+
+    /// Requests an application multicast, returning the engine's verdict.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's [`SendError`].
+    pub fn try_multicast(
+        &mut self,
+        from: u32,
+        group: GroupId,
+        payload: &[u8],
+    ) -> Result<(), SendError> {
+        let now = self.now;
+        let actions = self
+            .procs
+            .get_mut(&pid(from))
+            .expect("unknown sender")
+            .multicast(now, group, Bytes::copy_from_slice(payload))?;
+        self.execute(pid(from), actions);
+        Ok(())
+    }
+
+    /// Announces voluntary departure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine rejects the departure.
+    pub fn depart(&mut self, from: u32, group: GroupId) {
+        let now = self.now;
+        let actions = self
+            .procs
+            .get_mut(&pid(from))
+            .expect("unknown process")
+            .depart(now, group)
+            .expect("departure must be accepted in tests");
+        self.execute(pid(from), actions);
+    }
+
+    /// Crashes a process: it stops processing and everything addressed to
+    /// it is dropped. Messages it already sent remain in flight.
+    pub fn crash(&mut self, p: u32) {
+        self.crashed.insert(pid(p));
+        let dead = pid(p);
+        for ((_, dst), q) in self.queues.iter_mut() {
+            if *dst == dead {
+                q.clear();
+            }
+        }
+    }
+
+    /// Drops the in-flight contents of the link `from → to` (a crash that
+    /// severed a multicast, Example-1 style).
+    pub fn drop_in_flight(&mut self, from: u32, to: u32) {
+        if let Some(q) = self.queues.get_mut(&(pid(from), pid(to))) {
+            q.clear();
+        }
+    }
+
+    /// Partitions the network into the given blocks (processes absent from
+    /// every block form a residual block). Crossing in-flight messages are
+    /// dropped, as are crossing sends made while the partition holds.
+    pub fn partition(&mut self, blocks: &[&[u32]]) {
+        self.partition = blocks
+            .iter()
+            .map(|b| b.iter().map(|i| pid(*i)).collect())
+            .collect();
+        let cut: Vec<(ProcessId, ProcessId)> = self
+            .queues
+            .keys()
+            .filter(|(a, b)| !self.connected(*a, *b))
+            .copied()
+            .collect();
+        for k in cut {
+            self.queues.get_mut(&k).expect("key from scan").clear();
+        }
+    }
+
+    /// Removes any partition.
+    pub fn heal(&mut self) {
+        self.partition.clear();
+    }
+
+    fn connected(&self, a: ProcessId, b: ProcessId) -> bool {
+        if self.blocked_links.contains(&(a, b)) {
+            return false;
+        }
+        let block_of = |p: ProcessId| self.partition.iter().position(|blk| blk.contains(&p));
+        block_of(a) == block_of(b)
+    }
+
+    /// Cuts the directional link `from → to`: sends made while blocked are
+    /// dropped (the reverse direction is unaffected).
+    pub fn block_link(&mut self, from: u32, to: u32) {
+        self.blocked_links.insert((pid(from), pid(to)));
+        if let Some(q) = self.queues.get_mut(&(pid(from), pid(to))) {
+            q.clear();
+        }
+    }
+
+    /// Restores the directional link `from → to`.
+    pub fn unblock_link(&mut self, from: u32, to: u32) {
+        self.blocked_links.remove(&(pid(from), pid(to)));
+    }
+
+    /// Ticks a single process at the current time (for tests that need to
+    /// control which suspector fires first).
+    pub fn tick_one(&mut self, p: u32) {
+        if self.crashed.contains(&pid(p)) {
+            return;
+        }
+        let now = self.now;
+        let actions = self.procs.get_mut(&pid(p)).expect("known id").tick(now);
+        self.execute(pid(p), actions);
+    }
+
+    /// Advances the clock without ticking anyone.
+    pub fn set_elapsed(&mut self, span: Span) {
+        self.now += span;
+    }
+
+    /// Advances virtual time by `span` in one jump, then runs ticks and
+    /// message exchange to quiescence.
+    pub fn advance(&mut self, span: Span) {
+        self.now += span;
+        self.tick_all();
+        self.run_to_quiescence();
+    }
+
+    /// Advances `total` in increments of `step`, ticking and quiescing at
+    /// each step — the way to let suspicion timeouts (Ω) expire while
+    /// time-silence traffic (ω) keeps flowing.
+    pub fn advance_steps(&mut self, total: Span, step: Span) {
+        assert!(step > Span::ZERO, "step must be positive");
+        let mut elapsed = Span::ZERO;
+        while elapsed < total {
+            elapsed = elapsed + step;
+            self.advance(step);
+        }
+    }
+
+    /// Advances just past the group's time-silence interval ω, so every
+    /// quiet member sends a null and pending messages become deliverable.
+    pub fn advance_past_omega(&mut self, group: GroupId) {
+        let omega = self.group_cfgs.get(&group).expect("known group").omega;
+        self.advance(omega + Span::from_micros(1));
+        // A second quiescent exchange lets deliveries unlocked by the nulls
+        // (and any stability updates they carry) settle.
+        self.run_to_quiescence();
+    }
+
+    /// Advances past the group's suspicion timeout Ω in ω-sized steps so the
+    /// membership protocol can run while time-silence keeps the live
+    /// members mutually unsuspected.
+    pub fn advance_past_big_omega(&mut self, group: GroupId) {
+        let cfg = self.group_cfgs.get(&group).expect("known group");
+        let omega = cfg.omega;
+        let big = cfg.big_omega;
+        self.advance_steps(big + omega + omega, omega);
+    }
+
+    /// Ticks every live process at the current time.
+    pub fn tick_all(&mut self) {
+        let ids: Vec<ProcessId> = self.procs.keys().copied().collect();
+        let now = self.now;
+        for p in ids {
+            if self.crashed.contains(&p) {
+                continue;
+            }
+            let actions = self.procs.get_mut(&p).expect("known id").tick(now);
+            self.execute(p, actions);
+        }
+    }
+
+    /// Exchanges queued messages in deterministic round-robin order until
+    /// every link is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics after a million exchanges — the protocol livelocked.
+    pub fn run_to_quiescence(&mut self) {
+        for _ in 0..1_000_000u32 {
+            let Some(key) = self
+                .queues
+                .iter()
+                .find(|(_, q)| !q.is_empty())
+                .map(|(k, _)| *k)
+            else {
+                return;
+            };
+            let env = self
+                .queues
+                .get_mut(&key)
+                .expect("key from scan")
+                .pop_front()
+                .expect("nonempty queue");
+            let (src, dst) = key;
+            if self.crashed.contains(&dst) || !self.connected(src, dst) {
+                continue;
+            }
+            let now = self.now;
+            let actions = self.procs.get_mut(&dst).expect("known dst").handle(now, src, env);
+            self.execute(dst, actions);
+        }
+        panic!("run_to_quiescence did not converge: protocol livelock");
+    }
+
+    fn execute(&mut self, from: ProcessId, actions: Vec<Action>) {
+        for a in actions {
+            match a {
+                Action::Send { to, envelope } => {
+                    if self.crashed.contains(&from) {
+                        continue;
+                    }
+                    if !self.connected(from, to) || self.crashed.contains(&to) {
+                        continue; // loss-mode partition / dead destination
+                    }
+                    self.queues.entry((from, to)).or_default().push_back(envelope);
+                }
+                Action::Deliver(d) => {
+                    self.timeline
+                        .entry(from)
+                        .or_default()
+                        .push(TimelineEntry::Delivered(d.clone()));
+                    self.deliveries.entry(from).or_default().push(d);
+                }
+                Action::ViewChange {
+                    group,
+                    view,
+                    signed,
+                } => {
+                    self.timeline
+                        .entry(from)
+                        .or_default()
+                        .push(TimelineEntry::View(group, view.clone()));
+                    self.views.entry(from).or_default().push((group, view, signed));
+                }
+                Action::Event(e) => self.events.entry(from).or_default().push(e),
+                Action::GroupActive { group, .. } => {
+                    self.actives.entry(from).or_default().push(group);
+                }
+                Action::FormationFailed { group, reason } => {
+                    self.failures.entry(from).or_default().push((group, reason));
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Observations
+    // ------------------------------------------------------------------
+
+    /// All application deliveries observed at `p`, in delivery order.
+    #[must_use]
+    pub fn deliveries(&self, p: u32) -> Vec<Delivery> {
+        self.deliveries.get(&pid(p)).cloned().unwrap_or_default()
+    }
+
+    /// Payloads delivered at `p` in `group`, as UTF-8 strings (test sugar).
+    #[must_use]
+    pub fn delivered_payloads(&self, p: u32, group: GroupId) -> Vec<String> {
+        self.deliveries(p)
+            .into_iter()
+            .filter(|d| d.group == group)
+            .map(|d| String::from_utf8_lossy(&d.payload).into_owned())
+            .collect()
+    }
+
+    /// The sequence of views `p` installed in `group` (excluding `V0`).
+    #[must_use]
+    pub fn view_history(&self, p: u32, group: GroupId) -> Vec<View> {
+        self.views
+            .get(&pid(p))
+            .map(|v| {
+                v.iter()
+                    .filter(|(g, _, _)| *g == group)
+                    .map(|(_, view, _)| view.clone())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The sequence of signed views `p` installed in `group`.
+    #[must_use]
+    pub fn signed_view_history(&self, p: u32, group: GroupId) -> Vec<SignedView> {
+        self.views
+            .get(&pid(p))
+            .map(|v| {
+                v.iter()
+                    .filter(|(g, _, _)| *g == group)
+                    .map(|(_, _, s)| s.clone())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Protocol trace events observed at `p`.
+    #[must_use]
+    pub fn events(&self, p: u32) -> Vec<ProtocolEvent> {
+        self.events.get(&pid(p)).cloned().unwrap_or_default()
+    }
+
+    /// Groups for which `p` observed `GroupActive` (formation completed).
+    #[must_use]
+    pub fn actives(&self, p: u32) -> Vec<GroupId> {
+        self.actives.get(&pid(p)).cloned().unwrap_or_default()
+    }
+
+    /// Formation failures observed at `p`.
+    #[must_use]
+    pub fn formation_failures(&self, p: u32) -> Vec<(GroupId, FormationFailure)> {
+        self.failures.get(&pid(p)).cloned().unwrap_or_default()
+    }
+
+    /// Immutable access to a process.
+    #[must_use]
+    pub fn proc(&self, p: u32) -> &Process {
+        self.procs.get(&pid(p)).expect("unknown process id")
+    }
+
+    /// Mutable access to a process (for vote policies and direct calls).
+    pub fn proc_mut(&mut self, p: u32) -> &mut Process {
+        self.procs.get_mut(&pid(p)).expect("unknown process id")
+    }
+
+    /// Whether `p` has been crashed by the test.
+    #[must_use]
+    pub fn is_crashed(&self, p: u32) -> bool {
+        self.crashed.contains(&pid(p))
+    }
+
+    /// The interleaved delivery/view history of `p`.
+    #[must_use]
+    pub fn timeline(&self, p: u32) -> Vec<TimelineEntry> {
+        self.timeline.get(&pid(p)).cloned().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newtop_types::OrderMode;
+
+    #[test]
+    fn quiescence_on_empty_net_is_immediate() {
+        let mut net = TestNet::new([1, 2]);
+        net.run_to_quiescence();
+        assert_eq!(net.now(), Instant::ZERO);
+    }
+
+    #[test]
+    fn bootstrap_and_single_multicast_delivers_everywhere() {
+        let mut net = TestNet::new([1, 2, 3]);
+        net.bootstrap_group(GroupId(1), &[1, 2, 3], GroupConfig::new(OrderMode::Symmetric));
+        net.multicast(1, GroupId(1), b"x");
+        net.run_to_quiescence();
+        net.advance_past_omega(GroupId(1));
+        for p in [1, 2, 3] {
+            assert_eq!(net.delivered_payloads(p, GroupId(1)), vec!["x"]);
+        }
+    }
+
+    #[test]
+    fn crash_severs_links() {
+        let mut net = TestNet::new([1, 2]);
+        net.bootstrap_group(GroupId(1), &[1, 2], GroupConfig::new(OrderMode::Symmetric));
+        net.crash(2);
+        net.multicast(1, GroupId(1), b"x");
+        net.run_to_quiescence();
+        assert!(net.deliveries(2).is_empty());
+        assert!(net.is_crashed(2));
+    }
+
+    #[test]
+    fn partition_blocks_cross_traffic() {
+        let mut net = TestNet::new([1, 2]);
+        net.bootstrap_group(GroupId(1), &[1, 2], GroupConfig::new(OrderMode::Symmetric));
+        net.partition(&[&[1], &[2]]);
+        net.multicast(1, GroupId(1), b"x");
+        net.run_to_quiescence();
+        assert!(net.deliveries(2).is_empty());
+        net.heal();
+    }
+}

@@ -1,0 +1,211 @@
+//! Receive vectors and stability vectors (§4.1, §5.1).
+//!
+//! Both are per-group maps from member to a message number:
+//!
+//! * the **receive vector** `RV_{x,i}[j]` records the number of the latest
+//!   message received from `P_j` in group `g_x`; its minimum is the
+//!   group-local deliverability bound `D_{x,i}`;
+//! * the **stability vector** `SV_{x,i}[j]` records the latest `m.ldn`
+//!   piggybacked by `P_j`; its minimum bounds the stable prefix — messages
+//!   at or below it have been received by every member and may be discarded.
+//!
+//! View-installation step (viii) sets entries of failed processes to ∞ so
+//! the minima are no longer held back by the departed.
+
+use newtop_types::{Msn, ProcessId};
+use std::collections::BTreeMap;
+
+/// A per-member vector of message numbers with an ∞-aware minimum.
+///
+/// # Examples
+///
+/// ```
+/// use newtop_core::MsnVector;
+/// use newtop_types::{Msn, ProcessId};
+///
+/// let mut rv = MsnVector::new([ProcessId(1), ProcessId(2)]);
+/// assert_eq!(rv.min_live(), Msn(0));
+/// rv.advance(ProcessId(1), Msn(4));
+/// rv.advance(ProcessId(2), Msn(9));
+/// assert_eq!(rv.min_live(), Msn(4));
+/// rv.set_infinite(ProcessId(1)); // step (viii): P1 agreed failed
+/// assert_eq!(rv.min_live(), Msn(9));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MsnVector {
+    entries: BTreeMap<ProcessId, Msn>,
+}
+
+impl MsnVector {
+    /// Creates a vector with one zero entry per member.
+    pub fn new<I: IntoIterator<Item = ProcessId>>(members: I) -> MsnVector {
+        MsnVector {
+            entries: members.into_iter().map(|p| (p, Msn::ZERO)).collect(),
+        }
+    }
+
+    /// The recorded number for `p` (zero if absent).
+    #[must_use]
+    pub fn get(&self, p: ProcessId) -> Msn {
+        self.entries.get(&p).copied().unwrap_or(Msn::ZERO)
+    }
+
+    /// Whether the vector tracks `p`.
+    #[must_use]
+    pub fn contains(&self, p: ProcessId) -> bool {
+        self.entries.contains_key(&p)
+    }
+
+    /// Raises `p`'s entry to `c` if larger (receipts arrive in FIFO order,
+    /// so entries are monotone). Entries already set to ∞ stay ∞.
+    pub fn advance(&mut self, p: ProcessId, c: Msn) {
+        if let Some(e) = self.entries.get_mut(&p) {
+            if !e.is_infinite() && c > *e {
+                *e = c;
+            }
+        }
+    }
+
+    /// Sets `p`'s entry to the ∞ sentinel (step (viii)).
+    pub fn set_infinite(&mut self, p: ProcessId) {
+        if let Some(e) = self.entries.get_mut(&p) {
+            *e = Msn::INFINITY;
+        }
+    }
+
+    /// Removes `p` entirely (view installation removes failed members).
+    pub fn remove(&mut self, p: ProcessId) {
+        self.entries.remove(&p);
+    }
+
+    /// The minimum over non-∞ entries, or [`Msn::INFINITY`] if none remain.
+    ///
+    /// For a receive vector this is `D_{x,i}`; for a stability vector it is
+    /// the stable prefix bound.
+    #[must_use]
+    pub fn min_live(&self) -> Msn {
+        self.entries
+            .values()
+            .copied()
+            .filter(|m| !m.is_infinite())
+            .min()
+            .unwrap_or(Msn::INFINITY)
+    }
+
+    /// The minimum over non-∞ entries of members other than `me`, or
+    /// [`Msn::INFINITY`] if none remain.
+    ///
+    /// This is the deliverability bound `D_{x,i}` actually used by the
+    /// engine: the local member's own entry cannot constrain `D`, because
+    /// by CA1 every future local send is numbered above the local clock —
+    /// nothing with a smaller number can ever be "received from myself".
+    /// (Without this, a sole-survivor group would freeze its own entry and
+    /// wedge the global `D_i` of a multi-group process.)
+    #[must_use]
+    pub fn min_live_excluding(&self, me: ProcessId) -> Msn {
+        self.entries
+            .iter()
+            .filter(|(p, m)| **p != me && !m.is_infinite())
+            .map(|(_, m)| *m)
+            .min()
+            .unwrap_or(Msn::INFINITY)
+    }
+
+    /// Number of tracked members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the vector is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(member, number)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, Msn)> + '_ {
+        self.entries.iter().map(|(p, m)| (*p, *m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    #[test]
+    fn starts_at_zero() {
+        let rv = MsnVector::new([p(1), p(2), p(3)]);
+        assert_eq!(rv.min_live(), Msn::ZERO);
+        assert_eq!(rv.get(p(2)), Msn::ZERO);
+        assert_eq!(rv.len(), 3);
+    }
+
+    #[test]
+    fn advance_is_monotone() {
+        let mut rv = MsnVector::new([p(1)]);
+        rv.advance(p(1), Msn(7));
+        rv.advance(p(1), Msn(3)); // stale recovery duplicate must not regress
+        assert_eq!(rv.get(p(1)), Msn(7));
+    }
+
+    #[test]
+    fn advance_unknown_member_is_noop() {
+        let mut rv = MsnVector::new([p(1)]);
+        rv.advance(p(9), Msn(5));
+        assert!(!rv.contains(p(9)));
+        assert_eq!(rv.get(p(9)), Msn::ZERO);
+    }
+
+    #[test]
+    fn min_live_skips_infinite_entries() {
+        let mut rv = MsnVector::new([p(1), p(2)]);
+        rv.advance(p(1), Msn(2));
+        rv.advance(p(2), Msn(10));
+        rv.set_infinite(p(1));
+        assert_eq!(rv.min_live(), Msn(10));
+    }
+
+    #[test]
+    fn infinite_entry_never_advances_back() {
+        let mut rv = MsnVector::new([p(1)]);
+        rv.set_infinite(p(1));
+        rv.advance(p(1), Msn(99));
+        assert!(rv.get(p(1)).is_infinite());
+    }
+
+    #[test]
+    fn all_infinite_or_empty_yields_infinity() {
+        let mut rv = MsnVector::new([p(1)]);
+        rv.set_infinite(p(1));
+        assert_eq!(rv.min_live(), Msn::INFINITY);
+        rv.remove(p(1));
+        assert!(rv.is_empty());
+        assert_eq!(rv.min_live(), Msn::INFINITY);
+    }
+
+    #[test]
+    fn min_excluding_skips_own_entry() {
+        let mut rv = MsnVector::new([p(1), p(2)]);
+        rv.advance(p(1), Msn(3));
+        rv.advance(p(2), Msn(50));
+        assert_eq!(rv.min_live_excluding(p(1)), Msn(50));
+        rv.remove(p(2));
+        assert_eq!(rv.min_live_excluding(p(1)), Msn::INFINITY);
+    }
+
+    #[test]
+    fn d_is_bounded_by_slowest_member() {
+        // The defining property of safe1: D = min RV means a process can
+        // never deliver past the quietest member.
+        let mut rv = MsnVector::new([p(1), p(2), p(3)]);
+        rv.advance(p(1), Msn(100));
+        rv.advance(p(2), Msn(50));
+        rv.advance(p(3), Msn(75));
+        assert_eq!(rv.min_live(), Msn(50));
+    }
+}

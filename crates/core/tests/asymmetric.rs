@@ -1,0 +1,210 @@
+//! Integration tests of the asymmetric (sequencer) protocol (§4.2), the
+//! mixed-mode blocking rule (§4.3) and sequencer fail-over (our completion
+//! of the part the paper defers to its technical report).
+
+use newtop_core::testkit::TestNet;
+use newtop_types::{GroupConfig, GroupId, OrderMode, ProcessId};
+
+const GA: GroupId = GroupId(1);
+const GS: GroupId = GroupId(2);
+
+fn asym() -> GroupConfig {
+    GroupConfig::new(OrderMode::Asymmetric)
+}
+
+fn sym() -> GroupConfig {
+    GroupConfig::new(OrderMode::Symmetric)
+}
+
+fn payloads(net: &TestNet, p: u32, g: GroupId) -> Vec<String> {
+    net.delivered_payloads(p, g)
+}
+
+#[test]
+fn sequencer_relays_and_origin_is_preserved() {
+    let mut net = TestNet::new([1, 2, 3]);
+    net.bootstrap_group(GA, &[1, 2, 3], asym());
+    // P3 is not the sequencer (P1 is, as the smallest id).
+    net.multicast(3, GA, b"via-seq");
+    net.run_to_quiescence();
+    for p in [1, 2, 3] {
+        let d = net.deliveries(p);
+        assert_eq!(d.len(), 1, "P{p} delivered the relay");
+        assert_eq!(d[0].origin, ProcessId(3), "origin is the requester");
+    }
+}
+
+#[test]
+fn asymmetric_delivery_is_immediate_no_wait_for_all() {
+    // The §4.2 advantage: no time-silence round needed before delivery.
+    let mut net = TestNet::new([1, 2, 3]);
+    net.bootstrap_group(GA, &[1, 2, 3], asym());
+    net.multicast(2, GA, b"x");
+    net.run_to_quiescence(); // no advance_past_omega!
+    for p in [1, 2, 3] {
+        assert_eq!(payloads(&net, p, GA), vec!["x"], "at P{p}");
+    }
+}
+
+#[test]
+fn all_members_deliver_in_sequencer_order() {
+    let mut net = TestNet::new([1, 2, 3, 4]);
+    net.bootstrap_group(GA, &[1, 2, 3, 4], asym());
+    // Concurrent requests from everyone, including the sequencer itself.
+    for p in [4, 2, 1, 3] {
+        net.multicast(p, GA, format!("m{p}").as_bytes());
+    }
+    net.run_to_quiescence();
+    let reference = payloads(&net, 1, GA);
+    assert_eq!(reference.len(), 4);
+    for p in [2, 3, 4] {
+        assert_eq!(payloads(&net, p, GA), reference, "divergent at P{p}");
+    }
+}
+
+#[test]
+fn sequencer_sends_are_delivered_too() {
+    let mut net = TestNet::new([1, 2]);
+    net.bootstrap_group(GA, &[1, 2], asym());
+    net.multicast(1, GA, b"from-sequencer");
+    net.run_to_quiescence();
+    assert_eq!(payloads(&net, 1, GA), vec!["from-sequencer"]);
+    assert_eq!(payloads(&net, 2, GA), vec!["from-sequencer"]);
+}
+
+/// §4.3 mixed-mode blocking rule: a send in another group is delayed while
+/// a unicast to a sequencer is outstanding.
+#[test]
+fn mixed_mode_send_blocks_on_outstanding_unicast() {
+    let mut net = TestNet::new([1, 2, 3]);
+    net.bootstrap_group(GA, &[1, 2, 3], asym()); // sequencer P1
+    net.bootstrap_group(GS, &[2, 3], sym());
+    // P3 unicasts to the sequencer; before the relay returns, it multicasts
+    // in the symmetric group. The multicast must wait.
+    net.multicast(3, GA, b"first");
+    assert_eq!(net.proc(3).outstanding(GA), 1);
+    net.multicast(3, GS, b"second");
+    assert_eq!(
+        net.proc(3).deferred_len(),
+        1,
+        "blocking rule must defer the cross-group send"
+    );
+    assert!(net.proc(3).stats().deferred_total >= 1);
+    net.run_to_quiescence(); // relay returns, deferred send flows
+    assert_eq!(net.proc(3).outstanding(GA), 0);
+    assert_eq!(net.proc(3).deferred_len(), 0);
+    net.advance_past_omega(GS);
+    assert_eq!(payloads(&net, 2, GS), vec!["second"]);
+    // Causality across the two groups: P3's numbers grew monotonically, so
+    // the relay's number is below the symmetric multicast's.
+    let d3 = net.deliveries(3);
+    let first = d3.iter().find(|d| d.group == GA).expect("relay delivered");
+    let second = d3.iter().find(|d| d.group == GS).expect("sym delivered");
+    assert!(first.c < second.c, "blocking rule preserves number order");
+}
+
+/// §7: "If only symmetric version is used, Newtop is totally non-blocking
+/// on send operations."
+#[test]
+fn pure_symmetric_sends_never_block() {
+    let mut net = TestNet::new([1, 2, 3]);
+    net.bootstrap_group(GroupId(10), &[1, 2, 3], sym());
+    net.bootstrap_group(GroupId(11), &[1, 2], sym());
+    for i in 0..10 {
+        let g = if i % 2 == 0 { GroupId(10) } else { GroupId(11) };
+        net.multicast(1, g, b"x");
+        assert_eq!(net.proc(1).deferred_len(), 0, "symmetric send blocked");
+    }
+    assert_eq!(net.proc(1).stats().deferred_total, 0);
+}
+
+/// Same-group consecutive unicasts need not wait for each other (the rule
+/// quantifies over m'.g ≠ m.g only).
+#[test]
+fn same_group_unicasts_do_not_block_each_other() {
+    let mut net = TestNet::new([1, 2]);
+    net.bootstrap_group(GA, &[1, 2], asym());
+    net.multicast(2, GA, b"a");
+    net.multicast(2, GA, b"b");
+    assert_eq!(net.proc(2).deferred_len(), 0);
+    assert_eq!(net.proc(2).outstanding(GA), 2);
+    net.run_to_quiescence();
+    assert_eq!(payloads(&net, 1, GA), vec!["a", "b"]);
+    assert_eq!(payloads(&net, 2, GA), vec!["a", "b"]);
+}
+
+#[test]
+fn sequencer_crash_fails_over_and_resubmits() {
+    let mut net = TestNet::new([1, 2, 3]);
+    net.bootstrap_group(GA, &[1, 2, 3], asym()); // sequencer P1
+    net.multicast(2, GA, b"pre");
+    net.run_to_quiescence();
+    assert_eq!(payloads(&net, 3, GA), vec!["pre"]);
+    // P3's request reaches the dead sequencer: the unicast is lost.
+    net.crash(1);
+    net.multicast(3, GA, b"lost-then-resubmitted");
+    net.run_to_quiescence();
+    assert_eq!(net.proc(3).outstanding(GA), 1);
+    // Membership detects the crash, installs {2,3}, new sequencer P2, and
+    // P3 resubmits.
+    net.advance_past_big_omega(GA);
+    net.advance_past_big_omega(GA);
+    let v2 = net.proc(2).view(GA).expect("member").clone();
+    let v3 = net.proc(3).view(GA).expect("member").clone();
+    assert_eq!(v2.members(), v3.members());
+    assert!(!v2.contains(ProcessId(1)));
+    assert_eq!(v2.sequencer(), Some(ProcessId(2)));
+    assert_eq!(net.proc(3).outstanding(GA), 0, "resubmitted and sequenced");
+    assert_eq!(
+        payloads(&net, 2, GA),
+        vec!["pre", "lost-then-resubmitted"],
+        "post-fail-over delivery"
+    );
+    assert_eq!(payloads(&net, 3, GA), vec!["pre", "lost-then-resubmitted"]);
+}
+
+/// A member crash in an asymmetric group: survivors agree via the
+/// sequencer's in-stream view cut, and the delivery stream never stalls.
+#[test]
+fn member_crash_in_asymmetric_group_uses_view_cut() {
+    let mut net = TestNet::new([1, 2, 3]);
+    net.bootstrap_group(GA, &[1, 2, 3], asym());
+    net.multicast(3, GA, b"before");
+    net.run_to_quiescence();
+    net.crash(3);
+    net.advance_past_big_omega(GA);
+    net.advance_past_big_omega(GA);
+    let v1 = net.proc(1).view(GA).expect("member").clone();
+    let v2 = net.proc(2).view(GA).expect("member").clone();
+    assert_eq!(v1, v2);
+    assert!(!v1.contains(ProcessId(3)));
+    // Traffic continues in the new view.
+    net.multicast(2, GA, b"after");
+    net.run_to_quiescence();
+    assert_eq!(payloads(&net, 1, GA), vec!["before", "after"]);
+    assert_eq!(payloads(&net, 2, GA), vec!["before", "after"]);
+}
+
+/// Mixed-mode process: asymmetric in one group, symmetric in another, with
+/// consistent cross-group delivery order at the shared members (MD4' in the
+/// generic version, §4.3).
+#[test]
+fn generic_version_mixes_modes_consistently() {
+    let mut net = TestNet::new([1, 2, 3]);
+    net.bootstrap_group(GA, &[1, 2, 3], asym());
+    net.bootstrap_group(GS, &[1, 2, 3], sym());
+    net.multicast(2, GA, b"a1");
+    net.run_to_quiescence();
+    net.multicast(2, GS, b"s1");
+    net.run_to_quiescence();
+    net.multicast(3, GA, b"a2");
+    net.run_to_quiescence();
+    net.advance_past_omega(GS);
+    net.advance_past_omega(GA);
+    let order = |p: u32| -> Vec<(u64, u32)> {
+        net.deliveries(p).iter().map(|d| (d.c.0, d.group.0)).collect()
+    };
+    assert_eq!(order(1).len(), 3);
+    assert_eq!(order(1), order(2));
+    assert_eq!(order(1), order(3));
+}

@@ -1,0 +1,31 @@
+use newtop_harness::{HistoryEvent, MessageId, SimCluster};
+use newtop_sim::{LatencyModel, NetConfig};
+use newtop_types::{GroupConfig, GroupId, Instant, OrderMode, ProcessId, Span};
+fn cfg() -> GroupConfig {
+    GroupConfig::new(OrderMode::Symmetric).with_omega(Span::from_millis(5)).with_big_omega(Span::from_millis(60))
+}
+fn main() {
+    let g1 = GroupId(1); let g2 = GroupId(2); let g3 = GroupId(3);
+    let mut cluster = SimCluster::new(4, NetConfig::new(13).with_latency(LatencyModel::Fixed(Span::from_millis(1))));
+    cluster.bootstrap_group(g1, &[1, 2, 4], cfg());
+    cluster.bootstrap_group(g2, &[4, 3], cfg());
+    cluster.bootstrap_group(g3, &[3, 2], cfg());
+    cluster.schedule_send(Instant::from_micros(30_000), 1, g1, MessageId(1));
+    cluster.schedule_partition(Instant::from_micros(30_050), &[&[1], &[2, 3, 4]]);
+    cluster.schedule_send(Instant::from_micros(45_000), 4, g2, MessageId(2));
+    cluster.schedule_send(Instant::from_micros(60_000), 3, g3, MessageId(3));
+    cluster.schedule_partition(Instant::from_micros(61_000), &[&[1, 4], &[2, 3]]);
+    cluster.run_for(Span::from_millis(1_000));
+    let h = cluster.history();
+    for p in [1u32, 4] {
+        println!("--- P{p} ---");
+        for e in h.events.get(&ProcessId(p)).unwrap() {
+            match e {
+                HistoryEvent::Protocol { at, event } => println!("  {at} {event:?}"),
+                HistoryEvent::ViewChange { at, view, group, .. } => println!("  {at} VIEW {group} {view}"),
+                HistoryEvent::Delivered { at, mid, delivery } => println!("  {at} DELIVER {mid:?} in {} viewseq {}", delivery.group, delivery.view_seq),
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! `newtop-exp` — runs the reproduction's experiment suite and prints the
+//! tables recorded in EXPERIMENTS.md.
+//!
+//! ```text
+//! newtop-exp all            # run every experiment (full sweeps)
+//! newtop-exp e3 e6          # run selected experiments
+//! newtop-exp --quick all    # reduced sweeps (what the tests run)
+//! newtop-exp --list         # list experiments
+//! ```
+
+use newtop_harness::experiments;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let list = args.iter().any(|a| a == "--list");
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    let registry = experiments::all();
+    if list || (selected.is_empty()) {
+        eprintln!("usage: newtop-exp [--quick] (all | <id>...)\n\nexperiments:");
+        for (id, desc, _) in &registry {
+            eprintln!("  {id:<4} {desc}");
+        }
+        return if list { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+    let run_all = selected.iter().any(|s| s == "all");
+    let mut ran = 0;
+    for (id, desc, runner) in &registry {
+        if run_all || selected.iter().any(|s| s == id) {
+            eprintln!("running {id} — {desc} ...");
+            let table = runner(quick);
+            println!("{table}");
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!("no experiment matched {selected:?}; try --list");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

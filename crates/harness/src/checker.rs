@@ -1,0 +1,644 @@
+//! The property checker: validates the paper's correctness properties over
+//! a recorded [`History`].
+//!
+//! | Property | Paper statement | Check |
+//! |---|---|---|
+//! | MD1 | a message is delivered in view `Vr` only if its sender is in `Vr` | every delivery's origin is in the delivering view |
+//! | MD4/MD4' | total order within and across groups | every pair of processes orders its common deliveries identically |
+//! | MD5 | same-group causal prefix | if `m → m'` (same group) and `m'` delivered, `m` was delivered earlier |
+//! | MD5' | cross-group causal prefix | as MD5 across groups, conditioned on `m.s` still being in the local view of `m.g` at the delivery of `m'` |
+//! | VC1 | processes that never crash nor suspect each other install identical view sequences | prefix-compatible per-group view sequences |
+//! | VC3/MD3 | identical consecutive views bracket identical delivery sets | delivery sets per closed view interval are equal |
+//! | liveness/atomicity | quiescent runs: co-members of the final view delivered the same set, including everything its members sent | optional (fault schedules that partition meaningfully set their own expectations) |
+//!
+//! The happened-before relation is reconstructed from the per-process logs:
+//! `a → b` iff a process sent `a` before sending `b`, or delivered `a`
+//! before sending `b`, or transitively so.
+
+use crate::history::{History, HistoryEvent, MessageId};
+use newtop_types::{GroupId, ProcessId, ViewSeq};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// What to check (all on by default).
+#[derive(Debug, Clone, Copy)]
+pub struct CheckOptions {
+    /// MD4/MD4' pairwise total order.
+    pub total_order: bool,
+    /// MD5/MD5' causal prefixes (disable for atomic-mode runs).
+    pub causality: bool,
+    /// VC1/VC3 view consistency.
+    pub views: bool,
+    /// Quiescent liveness/atomicity (enable for runs that end settled).
+    pub liveness: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> CheckOptions {
+        CheckOptions {
+            total_order: true,
+            causality: true,
+            views: true,
+            liveness: true,
+        }
+    }
+}
+
+/// A property violation found in a history.
+#[derive(Debug, Clone)]
+pub enum Violation {
+    /// MD4/MD4': two processes ordered common messages differently.
+    TotalOrder {
+        /// The disagreeing pair.
+        a: ProcessId,
+        /// The disagreeing pair.
+        b: ProcessId,
+        /// The first messages at which their common order diverges.
+        at: (MessageId, MessageId),
+    },
+    /// MD5/MD5': an effect was delivered without its cause.
+    CausalPrefix {
+        /// The process that delivered out of causal order.
+        p: ProcessId,
+        /// The cause.
+        cause: MessageId,
+        /// The delivered effect.
+        effect: MessageId,
+    },
+    /// MD1: a delivery's origin was not in the delivering view.
+    SenderNotInView {
+        /// The delivering process.
+        p: ProcessId,
+        /// The message.
+        mid: Option<MessageId>,
+        /// The group.
+        group: GroupId,
+        /// The view sequence the delivery was attributed to.
+        view_seq: ViewSeq,
+    },
+    /// VC1: mutually unsuspecting processes installed diverging views.
+    ViewSequence {
+        /// The disagreeing pair.
+        a: ProcessId,
+        /// The disagreeing pair.
+        b: ProcessId,
+        /// The group.
+        group: GroupId,
+        /// The first diverging view sequence number.
+        seq: ViewSeq,
+    },
+    /// VC3: identical consecutive views bracket different delivery sets.
+    DeliverySet {
+        /// The disagreeing pair.
+        a: ProcessId,
+        /// The disagreeing pair.
+        b: ProcessId,
+        /// The group.
+        group: GroupId,
+        /// The view interval with differing sets.
+        seq: ViewSeq,
+    },
+    /// Liveness/atomicity at quiescence.
+    Liveness {
+        /// The process that is missing a delivery.
+        p: ProcessId,
+        /// The group.
+        group: GroupId,
+        /// The missing message.
+        mid: MessageId,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::TotalOrder { a, b, at } => write!(
+                f,
+                "MD4' violation: {a} and {b} disagree on the order of {:?} vs {:?}",
+                at.0, at.1
+            ),
+            Violation::CausalPrefix { p, cause, effect } => write!(
+                f,
+                "MD5' violation at {p}: delivered {effect:?} without its cause {cause:?}"
+            ),
+            Violation::SenderNotInView {
+                p,
+                mid,
+                group,
+                view_seq,
+            } => write!(
+                f,
+                "MD1 violation at {p}: delivery {mid:?} in {group} {view_seq} whose origin is not a member"
+            ),
+            Violation::ViewSequence { a, b, group, seq } => write!(
+                f,
+                "VC1 violation: {a} and {b} diverge in {group} at {seq} without mutual suspicion"
+            ),
+            Violation::DeliverySet { a, b, group, seq } => write!(
+                f,
+                "VC3 violation: {a} and {b} delivered different sets in {group} view {seq}"
+            ),
+            Violation::Liveness { p, group, mid } => write!(
+                f,
+                "liveness violation: {p} never delivered {mid:?} in {group}"
+            ),
+        }
+    }
+}
+
+/// Per-process digested log used by several checks.
+struct Digest {
+    /// (log index, mid) of deliveries, all groups, in order.
+    deliveries: Vec<(usize, MessageId, GroupId, ViewSeq)>,
+    /// mid → log index of its delivery.
+    delivered_at: BTreeMap<MessageId, usize>,
+    /// (log index, group, mid) of sends.
+    sends: Vec<(usize, GroupId, MessageId)>,
+    /// group → (log index, view) in log order, including V0.
+    views: BTreeMap<GroupId, Vec<(usize, newtop_types::View)>>,
+    /// groups suspected pairs: (group, suspect).
+    suspected: BTreeSet<(GroupId, ProcessId)>,
+    /// groups this process voluntarily departed.
+    departed: BTreeSet<GroupId>,
+}
+
+fn digest(h: &History, p: ProcessId) -> Digest {
+    let mut d = Digest {
+        deliveries: Vec::new(),
+        delivered_at: BTreeMap::new(),
+        sends: Vec::new(),
+        views: BTreeMap::new(),
+        suspected: BTreeSet::new(),
+        departed: BTreeSet::new(),
+    };
+    let Some(evs) = h.events.get(&p) else {
+        return d;
+    };
+    for (i, e) in evs.iter().enumerate() {
+        match e {
+            HistoryEvent::Delivered { delivery, mid, .. } => {
+                if let Some(mid) = mid {
+                    d.deliveries
+                        .push((i, *mid, delivery.group, delivery.view_seq));
+                    d.delivered_at.insert(*mid, i);
+                }
+            }
+            HistoryEvent::Sent { group, mid, .. } => d.sends.push((i, *group, *mid)),
+            HistoryEvent::InitialView { group, view } => {
+                d.views.entry(*group).or_default().push((0, view.clone()));
+            }
+            HistoryEvent::ViewChange { group, view, .. } => {
+                d.views.entry(*group).or_default().push((i, view.clone()));
+            }
+            HistoryEvent::Protocol { event, .. } => {
+                if let newtop_core::ProtocolEvent::Suspected { group, pair } = event {
+                    d.suspected.insert((*group, pair.suspect));
+                }
+            }
+            HistoryEvent::GroupActive { .. } => {}
+            HistoryEvent::Departed { group, .. } => {
+                d.departed.insert(*group);
+            }
+        }
+    }
+    d
+}
+
+/// The happened-before DAG over tagged messages, as predecessor sets.
+fn causal_predecessors(digests: &BTreeMap<ProcessId, Digest>) -> BTreeMap<MessageId, BTreeSet<MessageId>> {
+    // Direct edges.
+    let mut preds: BTreeMap<MessageId, BTreeSet<MessageId>> = BTreeMap::new();
+    for d in digests.values() {
+        // All deliveries and prior sends at this process precede each send.
+        for (k, (send_idx, _, mid)) in d.sends.iter().enumerate() {
+            let entry = preds.entry(*mid).or_default();
+            for (_, _, prior_mid) in d.sends.iter().take(k) {
+                entry.insert(*prior_mid);
+            }
+            for (del_idx, del_mid, _, _) in &d.deliveries {
+                if del_idx < send_idx {
+                    entry.insert(*del_mid);
+                }
+            }
+        }
+    }
+    // Transitive closure (BFS per message; workloads are small enough).
+    let keys: Vec<MessageId> = preds.keys().copied().collect();
+    let mut closed: BTreeMap<MessageId, BTreeSet<MessageId>> = BTreeMap::new();
+    for mid in keys {
+        let mut seen: BTreeSet<MessageId> = BTreeSet::new();
+        let mut queue: VecDeque<MessageId> =
+            preds.get(&mid).map(|s| s.iter().copied().collect()).unwrap_or_default();
+        while let Some(q) = queue.pop_front() {
+            if seen.insert(q) {
+                if let Some(more) = preds.get(&q) {
+                    queue.extend(more.iter().copied());
+                }
+            }
+        }
+        closed.insert(mid, seen);
+    }
+    closed
+}
+
+/// Runs every enabled check and returns the violations found (empty = all
+/// properties hold on this history).
+#[must_use]
+pub fn check_all(h: &History, opts: &CheckOptions) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let procs: Vec<ProcessId> = h.processes().collect();
+    let digests: BTreeMap<ProcessId, Digest> =
+        procs.iter().map(|p| (*p, digest(h, *p))).collect();
+
+    // mid → (group, origin) from the senders' logs.
+    let mut mid_group: BTreeMap<MessageId, (GroupId, ProcessId)> = BTreeMap::new();
+    for (p, d) in &digests {
+        for (_, g, mid) in &d.sends {
+            mid_group.insert(*mid, (*g, *p));
+        }
+    }
+
+    if opts.total_order {
+        check_total_order(&procs, &digests, &mut violations);
+    }
+    if opts.causality {
+        check_causality(&procs, &digests, &mid_group, &mut violations);
+    }
+    check_md1(&procs, &digests, &mid_group, &mut violations);
+    if opts.views {
+        check_vc1(h, &procs, &digests, &mut violations);
+        check_vc3(&procs, &digests, &mut violations);
+    }
+    if opts.liveness {
+        check_liveness(h, &procs, &digests, &mut violations);
+    }
+    violations
+}
+
+fn check_total_order(
+    procs: &[ProcessId],
+    digests: &BTreeMap<ProcessId, Digest>,
+    violations: &mut Vec<Violation>,
+) {
+    for (ai, a) in procs.iter().enumerate() {
+        for b in procs.iter().skip(ai + 1) {
+            let da = &digests[a];
+            let db = &digests[b];
+            let set_a: BTreeSet<MessageId> = da.deliveries.iter().map(|d| d.1).collect();
+            let set_b: BTreeSet<MessageId> = db.deliveries.iter().map(|d| d.1).collect();
+            let common: BTreeSet<MessageId> = set_a.intersection(&set_b).copied().collect();
+            let seq_a: Vec<MessageId> = da
+                .deliveries
+                .iter()
+                .map(|d| d.1)
+                .filter(|m| common.contains(m))
+                .collect();
+            let seq_b: Vec<MessageId> = db
+                .deliveries
+                .iter()
+                .map(|d| d.1)
+                .filter(|m| common.contains(m))
+                .collect();
+            if let Some(k) = (0..seq_a.len()).find(|k| seq_a[*k] != seq_b[*k]) {
+                violations.push(Violation::TotalOrder {
+                    a: *a,
+                    b: *b,
+                    at: (seq_a[k], seq_b[k]),
+                });
+            }
+        }
+    }
+}
+
+fn check_causality(
+    procs: &[ProcessId],
+    digests: &BTreeMap<ProcessId, Digest>,
+    mid_group: &BTreeMap<MessageId, (GroupId, ProcessId)>,
+    violations: &mut Vec<Violation>,
+) {
+    let preds = causal_predecessors(digests);
+    for p in procs {
+        let d = &digests[p];
+        for (eff_idx, eff_mid, eff_group, _) in &d.deliveries {
+            let Some(causes) = preds.get(eff_mid) else {
+                continue;
+            };
+            for cause in causes {
+                let Some((cause_group, cause_origin)) = mid_group.get(cause) else {
+                    continue;
+                };
+                if cause_group == eff_group {
+                    // MD5: unconditional within the group.
+                    match d.delivered_at.get(cause) {
+                        Some(ci) if ci < eff_idx => {}
+                        _ => violations.push(Violation::CausalPrefix {
+                            p: *p,
+                            cause: *cause,
+                            effect: *eff_mid,
+                        }),
+                    }
+                } else {
+                    // MD5': conditioned on the cause's sender being in p's
+                    // current view of the cause's group at this delivery.
+                    let Some(views) = d.views.get(cause_group) else {
+                        continue; // never a member of that group
+                    };
+                    let current = views
+                        .iter()
+                        .filter(|(vi, _)| vi <= eff_idx)
+                        .next_back()
+                        .map(|(_, v)| v);
+                    let Some(view) = current else { continue };
+                    if !view.contains(*cause_origin) {
+                        continue; // sender excluded: no obligation
+                    }
+                    match d.delivered_at.get(cause) {
+                        Some(ci) if ci < eff_idx => {}
+                        _ => violations.push(Violation::CausalPrefix {
+                            p: *p,
+                            cause: *cause,
+                            effect: *eff_mid,
+                        }),
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn check_md1(
+    procs: &[ProcessId],
+    digests: &BTreeMap<ProcessId, Digest>,
+    mid_group: &BTreeMap<MessageId, (GroupId, ProcessId)>,
+    violations: &mut Vec<Violation>,
+) {
+    for p in procs {
+        let d = &digests[p];
+        for (_, mid, group, view_seq) in &d.deliveries {
+            let Some((_, origin)) = mid_group.get(mid) else {
+                continue;
+            };
+            let Some(views) = d.views.get(group) else {
+                continue;
+            };
+            let Some(view) = views
+                .iter()
+                .map(|(_, v)| v)
+                .find(|v| v.seq() == *view_seq)
+            else {
+                continue;
+            };
+            if !view.contains(*origin) {
+                violations.push(Violation::SenderNotInView {
+                    p: *p,
+                    mid: Some(*mid),
+                    group: *group,
+                    view_seq: *view_seq,
+                });
+            }
+        }
+    }
+}
+
+fn check_vc1(
+    h: &History,
+    procs: &[ProcessId],
+    digests: &BTreeMap<ProcessId, Digest>,
+    violations: &mut Vec<Violation>,
+) {
+    for (ai, a) in procs.iter().enumerate() {
+        for b in procs.iter().skip(ai + 1) {
+            if h.is_crashed(*a) || h.is_crashed(*b) {
+                continue;
+            }
+            let da = &digests[a];
+            let db = &digests[b];
+            let groups: BTreeSet<GroupId> = da
+                .views
+                .keys()
+                .chain(db.views.keys())
+                .copied()
+                .collect();
+            for g in groups {
+                let (Some(va), Some(vb)) = (da.views.get(&g), db.views.get(&g)) else {
+                    continue;
+                };
+                if da.suspected.contains(&(g, *b)) || db.suspected.contains(&(g, *a)) {
+                    continue; // VC1 precondition broken: they suspected each other
+                }
+                let shorter = va.len().min(vb.len());
+                for k in 0..shorter {
+                    let (_, view_a) = &va[k];
+                    let (_, view_b) = &vb[k];
+                    if view_a != view_b {
+                        violations.push(Violation::ViewSequence {
+                            a: *a,
+                            b: *b,
+                            group: g,
+                            seq: view_a.seq(),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn check_vc3(
+    procs: &[ProcessId],
+    digests: &BTreeMap<ProcessId, Digest>,
+    violations: &mut Vec<Violation>,
+) {
+    for (ai, a) in procs.iter().enumerate() {
+        for b in procs.iter().skip(ai + 1) {
+            let da = &digests[a];
+            let db = &digests[b];
+            let groups: BTreeSet<GroupId> = da.views.keys().copied().collect();
+            for g in groups {
+                let (Some(va), Some(vb)) = (da.views.get(&g), db.views.get(&g)) else {
+                    continue;
+                };
+                // Closed intervals: view r and r+1 present and identical at both.
+                for w in 0..va.len().saturating_sub(1) {
+                    let (r, r_next) = (&va[w].1, &va[w + 1].1);
+                    let Some(wb) = vb.iter().position(|(_, v)| v == r) else {
+                        continue;
+                    };
+                    if wb + 1 >= vb.len() || &vb[wb + 1].1 != r_next {
+                        continue;
+                    }
+                    let set = |d: &Digest, lo: usize, hi: usize| -> BTreeSet<MessageId> {
+                        d.deliveries
+                            .iter()
+                            .filter(|(i, _, grp, _)| *grp == g && *i > lo && *i < hi)
+                            .map(|(_, mid, _, _)| *mid)
+                            .collect()
+                    };
+                    let sa = set(da, va[w].0, va[w + 1].0);
+                    let sb = set(db, vb[wb].0, vb[wb + 1].0);
+                    if sa != sb {
+                        violations.push(Violation::DeliverySet {
+                            a: *a,
+                            b: *b,
+                            group: g,
+                            seq: r.seq(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn check_liveness(
+    h: &History,
+    procs: &[ProcessId],
+    digests: &BTreeMap<ProcessId, Digest>,
+    violations: &mut Vec<Violation>,
+) {
+    // For each group: survivors with identical final views must hold equal
+    // delivery sets that include everything sent by final-view members.
+    let groups: BTreeSet<GroupId> = digests
+        .values()
+        .flat_map(|d| d.views.keys().copied())
+        .collect();
+    for g in groups {
+        let survivors: Vec<ProcessId> = procs
+            .iter()
+            .copied()
+            .filter(|p| !h.is_crashed(*p) && digests[p].views.get(&g).is_some())
+            .collect();
+        for p in &survivors {
+            let d = &digests[p];
+            if d.departed.contains(&g) {
+                continue; // §3: no view, no obligations after leaving
+            }
+            let Some(final_view) = d.views.get(&g).and_then(|v| v.last()).map(|(_, v)| v) else {
+                continue;
+            };
+            if !final_view.contains(*p) {
+                continue;
+            }
+            let delivered: BTreeSet<MessageId> = d
+                .deliveries
+                .iter()
+                .filter(|(_, _, grp, _)| *grp == g)
+                .map(|(_, mid, _, _)| *mid)
+                .collect();
+            // Everything sent by a member of p's final view must be there.
+            for q in final_view.members() {
+                let Some(dq) = digests.get(q) else { continue };
+                for (_, sg, mid) in &dq.sends {
+                    if *sg == g && !delivered.contains(mid) {
+                        violations.push(Violation::Liveness {
+                            p: *p,
+                            group: g,
+                            mid: *mid,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::SimCluster;
+    use newtop_sim::NetConfig;
+    use newtop_types::{GroupConfig, Instant, OrderMode, Span};
+
+    fn run_simple(mode: OrderMode) -> History {
+        let mut c = SimCluster::new(3, NetConfig::new(7));
+        c.bootstrap_group(GroupId(1), &[1, 2, 3], GroupConfig::new(mode));
+        for k in 0..6u64 {
+            c.schedule_send(
+                Instant::from_micros(1000 + k * 500),
+                (k % 3) as u32 + 1,
+                GroupId(1),
+                MessageId(k),
+            );
+        }
+        c.run_for(Span::from_millis(500));
+        c.history()
+    }
+
+    #[test]
+    fn clean_symmetric_run_passes_all_checks() {
+        let h = run_simple(OrderMode::Symmetric);
+        let v = check_all(&h, &CheckOptions::default());
+        assert!(v.is_empty(), "violations: {v:?}");
+        // And the run actually delivered things.
+        assert_eq!(h.delivered_mids(ProcessId(1), GroupId(1)).len(), 6);
+    }
+
+    #[test]
+    fn clean_asymmetric_run_passes_all_checks() {
+        let h = run_simple(OrderMode::Asymmetric);
+        let v = check_all(&h, &CheckOptions::default());
+        assert!(v.is_empty(), "violations: {v:?}");
+    }
+
+    #[test]
+    fn checker_catches_fabricated_order_inversion() {
+        let mut h = run_simple(OrderMode::Symmetric);
+        // Swap two deliveries at P2 to fabricate an MD4 violation.
+        let evs = h.events.get_mut(&ProcessId(2)).unwrap();
+        let idxs: Vec<usize> = evs
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e, HistoryEvent::Delivered { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        evs.swap(idxs[0], idxs[1]);
+        let v = check_all(&h, &CheckOptions::default());
+        assert!(
+            v.iter().any(|x| matches!(x, Violation::TotalOrder { .. })),
+            "fabricated inversion must be caught, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn checker_catches_fabricated_missing_delivery() {
+        let mut h = run_simple(OrderMode::Symmetric);
+        let evs = h.events.get_mut(&ProcessId(3)).unwrap();
+        let idx = evs
+            .iter()
+            .position(|e| matches!(e, HistoryEvent::Delivered { .. }))
+            .unwrap();
+        evs.remove(idx);
+        let v = check_all(&h, &CheckOptions::default());
+        assert!(!v.is_empty(), "dropped delivery must violate something");
+    }
+
+    #[test]
+    fn crash_run_passes_with_liveness_scoped_to_survivors() {
+        let mut c = SimCluster::new(4, NetConfig::new(9));
+        c.bootstrap_group(GroupId(1), &[1, 2, 3, 4], GroupConfig::new(OrderMode::Symmetric));
+        for k in 0..4u64 {
+            c.schedule_send(
+                Instant::from_micros(1000 + k * 300),
+                (k % 4) as u32 + 1,
+                GroupId(1),
+                MessageId(k),
+            );
+        }
+        c.schedule_crash(Instant::from_millis_ext(50), 4);
+        c.run_for(Span::from_millis(1500));
+        let h = c.history();
+        let v = check_all(&h, &CheckOptions::default());
+        assert!(v.is_empty(), "violations: {v:?}");
+        assert!(h.is_crashed(ProcessId(4)));
+    }
+
+    trait InstantExt {
+        fn from_millis_ext(ms: u64) -> Instant;
+    }
+    impl InstantExt for Instant {
+        fn from_millis_ext(ms: u64) -> Instant {
+            Instant::from_micros(ms * 1000)
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Hosting `newtop_core::Process` state machines on the deterministic
+//! simulator, with scripted workloads, fault injection and full history
+//! recording.
+
+use crate::history::{History, HistoryEvent, MessageId};
+use bytes::Bytes;
+use newtop_core::{Action, Process};
+use newtop_sim::{NetConfig, Outbox, PartitionMode, PartitionSpec, Sim, SimNode};
+use newtop_types::{
+    wire, Envelope, GroupConfig, GroupId, Instant, ProcessConfig, ProcessId, Span,
+};
+use std::collections::BTreeSet;
+
+/// One simulated protocol participant: the engine plus its observable log.
+#[derive(Debug)]
+pub struct NewtopNode {
+    process: Process,
+    log: Vec<HistoryEvent>,
+}
+
+impl NewtopNode {
+    fn new(id: ProcessId) -> NewtopNode {
+        NewtopNode {
+            process: Process::new(id, ProcessConfig::new()),
+            log: Vec::new(),
+        }
+    }
+
+    /// The protocol engine (introspection).
+    #[must_use]
+    pub fn process(&self) -> &Process {
+        &self.process
+    }
+
+    /// The recorded event log.
+    #[must_use]
+    pub fn log(&self) -> &[HistoryEvent] {
+        &self.log
+    }
+
+    fn absorb(&mut self, now: Instant, actions: Vec<Action>, out: &mut Outbox<Envelope>) {
+        for a in actions {
+            match a {
+                Action::Send { to, envelope } => out.send(to, envelope),
+                Action::Deliver(delivery) => {
+                    let mid = MessageId::from_payload(&delivery.payload);
+                    self.log.push(HistoryEvent::Delivered {
+                        at: now,
+                        delivery,
+                        mid,
+                    });
+                }
+                Action::ViewChange {
+                    group,
+                    view,
+                    signed,
+                } => self.log.push(HistoryEvent::ViewChange {
+                    at: now,
+                    group,
+                    view,
+                    signed,
+                }),
+                Action::GroupActive { group, view } => {
+                    self.log.push(HistoryEvent::InitialView { group, view });
+                    self.log.push(HistoryEvent::GroupActive { at: now, group });
+                }
+                Action::FormationFailed { .. } => {}
+                Action::Event(event) => {
+                    self.log.push(HistoryEvent::Protocol { at: now, event });
+                }
+            }
+        }
+    }
+
+    /// Issues an application multicast tagged with `mid`.
+    pub fn do_multicast(
+        &mut self,
+        now: Instant,
+        group: GroupId,
+        mid: MessageId,
+        out: &mut Outbox<Envelope>,
+    ) {
+        match self.process.multicast(now, group, mid.to_payload()) {
+            Ok(actions) => {
+                self.log.push(HistoryEvent::Sent {
+                    at: now,
+                    group,
+                    mid,
+                });
+                self.absorb(now, actions, out);
+            }
+            Err(_) => { /* departed or unknown group: the script raced a fault */ }
+        }
+    }
+
+    /// Issues an untagged multicast (payload outside the workload scheme).
+    pub fn do_multicast_raw(
+        &mut self,
+        now: Instant,
+        group: GroupId,
+        payload: Bytes,
+        out: &mut Outbox<Envelope>,
+    ) {
+        if let Ok(actions) = self.process.multicast(now, group, payload) {
+            self.absorb(now, actions, out);
+        }
+    }
+
+    /// Announces departure from `group`.
+    pub fn do_depart(&mut self, now: Instant, group: GroupId, out: &mut Outbox<Envelope>) {
+        if let Ok(actions) = self.process.depart(now, group) {
+            self.log.push(HistoryEvent::Departed { at: now, group });
+            self.absorb(now, actions, out);
+        }
+    }
+
+    /// Initiates dynamic formation (§5.3).
+    pub fn do_initiate(
+        &mut self,
+        now: Instant,
+        group: GroupId,
+        members: &BTreeSet<ProcessId>,
+        config: GroupConfig,
+        out: &mut Outbox<Envelope>,
+    ) {
+        if let Ok(actions) = self.process.initiate_group(now, group, members, config) {
+            self.absorb(now, actions, out);
+        }
+    }
+}
+
+impl SimNode for NewtopNode {
+    type Msg = Envelope;
+
+    fn on_message(&mut self, now: Instant, from: ProcessId, msg: Envelope, out: &mut Outbox<Envelope>) {
+        let actions = self.process.handle(now, from, msg);
+        self.absorb(now, actions, out);
+    }
+
+    fn on_tick(&mut self, now: Instant, out: &mut Outbox<Envelope>) {
+        let actions = self.process.tick(now);
+        self.absorb(now, actions, out);
+    }
+
+    fn next_deadline(&self) -> Option<Instant> {
+        self.process.next_deadline()
+    }
+}
+
+/// A simulated Newtop cluster: the binding between `newtop_core` and
+/// `newtop_sim` used by every experiment and property test.
+///
+/// # Examples
+///
+/// ```
+/// use newtop_harness::{MessageId, SimCluster};
+/// use newtop_sim::NetConfig;
+/// use newtop_types::{GroupConfig, GroupId, Instant, OrderMode, Span};
+///
+/// let mut cluster = SimCluster::new(3, NetConfig::new(42));
+/// cluster.bootstrap_group(GroupId(1), &[1, 2, 3], GroupConfig::new(OrderMode::Symmetric));
+/// cluster.schedule_send(Instant::from_micros(1_000), 1, GroupId(1), MessageId(7));
+/// cluster.run_for(Span::from_millis(200));
+/// let h = cluster.history();
+/// use newtop_types::ProcessId;
+/// assert_eq!(h.delivered_mids(ProcessId(2), GroupId(1)), vec![MessageId(7)]);
+/// ```
+pub struct SimCluster {
+    sim: Sim<NewtopNode>,
+    ids: Vec<ProcessId>,
+}
+
+impl SimCluster {
+    /// A cluster of processes `P1..=Pn`.
+    #[must_use]
+    pub fn new(n: u32, net: NetConfig) -> SimCluster {
+        let mut sim = Sim::new(net);
+        let ids: Vec<ProcessId> = (1..=n).map(ProcessId).collect();
+        for id in &ids {
+            sim.add_node(*id, NewtopNode::new(*id));
+        }
+        SimCluster { sim, ids }
+    }
+
+    /// Installs the wire codec as the byte sizer, enabling `bytes_sent`.
+    pub fn measure_wire_bytes(&mut self) {
+        self.sim.set_sizer(|env| wire::encoded_len(env));
+    }
+
+    /// The member ids.
+    #[must_use]
+    pub fn ids(&self) -> &[ProcessId] {
+        &self.ids
+    }
+
+    /// Statically bootstraps `group` at every listed member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a listed member does not exist or rejects the bootstrap.
+    pub fn bootstrap_group(&mut self, group: GroupId, members: &[u32], cfg: GroupConfig) {
+        let set: BTreeSet<ProcessId> = members.iter().map(|i| ProcessId(*i)).collect();
+        for m in &set {
+            let node = self.sim.node_mut(*m).expect("member exists");
+            node.process
+                .bootstrap_group(Instant::ZERO, group, &set, cfg)
+                .expect("bootstrap succeeds");
+            let view = node.process.view(group).expect("just installed").clone();
+            node.log.push(HistoryEvent::InitialView { group, view });
+            self.sim.poke(*m);
+        }
+    }
+
+    /// Schedules a tagged application multicast.
+    pub fn schedule_send(&mut self, at: Instant, from: u32, group: GroupId, mid: MessageId) {
+        self.sim
+            .schedule_call(at, ProcessId(from), move |n: &mut NewtopNode, out| {
+                n.do_multicast(at, group, mid, out);
+            });
+    }
+
+    /// Schedules a voluntary departure.
+    pub fn schedule_depart(&mut self, at: Instant, from: u32, group: GroupId) {
+        self.sim
+            .schedule_call(at, ProcessId(from), move |n: &mut NewtopNode, out| {
+                n.do_depart(at, group, out);
+            });
+    }
+
+    /// Schedules a dynamic formation initiation.
+    pub fn schedule_initiate(
+        &mut self,
+        at: Instant,
+        initiator: u32,
+        group: GroupId,
+        members: &[u32],
+        cfg: GroupConfig,
+    ) {
+        let set: BTreeSet<ProcessId> = members.iter().map(|i| ProcessId(*i)).collect();
+        self.sim
+            .schedule_call(at, ProcessId(initiator), move |n: &mut NewtopNode, out| {
+                n.do_initiate(at, group, &set, cfg, out);
+            });
+    }
+
+    /// Schedules a crash.
+    pub fn schedule_crash(&mut self, at: Instant, p: u32) {
+        self.sim.schedule_crash(at, ProcessId(p));
+    }
+
+    /// Schedules a read-only probe of `p`'s engine state (experiments use
+    /// this to sample queue depths over time).
+    pub fn schedule_probe(&mut self, at: Instant, p: u32, f: impl FnOnce(&Process) + 'static) {
+        self.sim
+            .schedule_call(at, ProcessId(p), move |n: &mut NewtopNode, _out| {
+                f(n.process());
+            });
+    }
+
+    /// Schedules a loss-mode partition.
+    pub fn schedule_partition(&mut self, at: Instant, blocks: &[&[u32]]) {
+        let spec = PartitionSpec::blocks(
+            blocks
+                .iter()
+                .map(|b| b.iter().map(|i| ProcessId(*i)).collect())
+                .collect(),
+        );
+        self.sim.schedule_partition(at, spec, PartitionMode::Loss);
+    }
+
+    /// Schedules the network to heal.
+    pub fn schedule_heal(&mut self, at: Instant) {
+        self.sim.schedule_heal(at);
+    }
+
+    /// Runs the simulation until `t`.
+    pub fn run_until(&mut self, t: Instant) {
+        self.sim.run_until(t);
+    }
+
+    /// Runs the simulation for `span` more.
+    pub fn run_for(&mut self, span: Span) {
+        self.sim.run_for(span);
+    }
+
+    /// The current virtual time.
+    #[must_use]
+    pub fn now(&self) -> Instant {
+        self.sim.now()
+    }
+
+    /// Network counters.
+    #[must_use]
+    pub fn net_stats(&self) -> newtop_sim::NetStats {
+        self.sim.stats()
+    }
+
+    /// The protocol engine of `p` (introspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` does not exist.
+    #[must_use]
+    pub fn proc(&self, p: u32) -> &Process {
+        self.sim.node(ProcessId(p)).expect("known process").process()
+    }
+
+    /// Collects the full run history (clones the per-node logs).
+    #[must_use]
+    pub fn history(&self) -> History {
+        let mut h = History::default();
+        for (id, node) in self.sim.nodes() {
+            h.events.insert(id, node.log().to_vec());
+            if self.sim.crashed(id) {
+                h.crashed.push(id);
+            }
+        }
+        h
+    }
+}
+
+impl std::fmt::Debug for SimCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimCluster")
+            .field("nodes", &self.ids.len())
+            .field("now", &self.now())
+            .finish()
+    }
+}

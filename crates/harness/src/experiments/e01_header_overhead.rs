@@ -1,0 +1,60 @@
+//! E1 — message space overhead.
+//!
+//! Claim (§2, §6): "Newtop has low and bounded message space overhead …
+//! even smaller than the overhead of ISIS vector clocks", independent of
+//! group size and of how many groups the sender belongs to. We encode real
+//! headers with the shared varint codec and compare.
+
+use crate::table::Table;
+use newtop_baselines::headers;
+
+/// Runs E1. `quick` trims the sweep.
+#[must_use]
+pub fn run(quick: bool) -> Table {
+    let sizes: &[usize] = if quick {
+        &[4, 16, 64]
+    } else {
+        &[2, 4, 8, 16, 32, 64, 128, 256]
+    };
+    let clock = 100_000; // a mature run's clock magnitude
+    let mut t = Table::new(
+        "E1 header overhead (bytes) — Newtop vs vector clocks vs bare sequencer",
+        &[
+            "group size n",
+            "newtop",
+            "abcast",
+            "vc (1 group)",
+            "vc (4 groups)",
+            "vc/newtop",
+        ],
+    );
+    for &n in sizes {
+        let newtop = headers::newtop_header_len(clock);
+        let abcast = headers::abcast_header_len(clock);
+        let vc1 = headers::vector_clock_header_len(n, clock);
+        let vc4 = headers::vector_clock_multi_header_len(&[n, n, n, n], clock);
+        t.push(&[
+            n.to_string(),
+            newtop.to_string(),
+            abcast.to_string(),
+            vc1.to_string(),
+            vc4.to_string(),
+            format!("{:.1}x", vc1 as f64 / newtop as f64),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn newtop_column_is_constant_and_smallest_at_scale() {
+        let t = run(false);
+        let newtop_col: Vec<u64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        assert!(newtop_col.windows(2).all(|w| w[0] == w[1]), "O(1) header");
+        let vc_last: u64 = t.rows.last().unwrap()[3].parse().unwrap();
+        assert!(vc_last > newtop_col[0] * 10, "vector clock grows past 10x");
+    }
+}

@@ -1,0 +1,76 @@
+//! E2 — delivery latency vs the time-silence interval ω.
+//!
+//! Claim (§4.1): a received symmetric multicast becomes deliverable only
+//! after a message numbered at least as high arrives from *every* member;
+//! when the group is otherwise quiet, that message is the ω-triggered null.
+//! Latency should therefore track ω (plus network transit), the knob the
+//! paper says trades liveness overhead for delivery delay.
+
+use crate::checker::CheckOptions;
+use crate::cluster::SimCluster;
+use crate::experiments::{assert_correct, latency_ms};
+use crate::table::Table;
+use crate::workload::rotating_sends;
+use newtop_sim::{LatencyModel, NetConfig};
+use newtop_types::{GroupConfig, GroupId, Instant, OrderMode, Span};
+
+const G: GroupId = GroupId(1);
+
+fn one_run(omega_ms: u64, quick: bool) -> (f64, f64) {
+    let n = 8u32;
+    let net = NetConfig::new(21).with_latency(LatencyModel::Fixed(Span::from_millis(1)));
+    let mut cluster = SimCluster::new(n, net);
+    let cfg = GroupConfig::new(OrderMode::Symmetric)
+        .with_omega(Span::from_millis(omega_ms))
+        .with_big_omega(Span::from_millis(omega_ms * 50).max(Span::from_millis(500)));
+    cluster.bootstrap_group(G, &(1..=n).collect::<Vec<_>>(), cfg);
+    let count = if quick { 10 } else { 40 };
+    // A single quiet-period sender: everyone else only talks via nulls.
+    rotating_sends(
+        &mut cluster,
+        G,
+        &[1],
+        count,
+        Instant::from_micros(20_000),
+        Span::from_millis(omega_ms * 3 + 7),
+    );
+    cluster.run_for(Span::from_millis(u64::from(count) * (omega_ms * 3 + 7) + 500));
+    let h = cluster.history();
+    assert_correct(&h, &CheckOptions::default());
+    latency_ms(&h, Some(G))
+}
+
+/// Runs E2.
+#[must_use]
+pub fn run(quick: bool) -> Table {
+    let omegas: &[u64] = if quick { &[2, 10] } else { &[1, 2, 5, 10, 20, 50] };
+    let mut t = Table::new(
+        "E2 symmetric delivery latency vs time-silence ω (8 members, 1 ms links, quiet group)",
+        &["omega (ms)", "mean latency (ms)", "max latency (ms)"],
+    );
+    for &omega in omegas {
+        let (mean, max) = one_run(omega, quick);
+        t.push(&[
+            omega.to_string(),
+            format!("{mean:.2}"),
+            format!("{max:.2}"),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_grows_with_omega() {
+        let t = run(true);
+        let small: f64 = t.rows[0][1].parse().unwrap();
+        let large: f64 = t.rows[1][1].parse().unwrap();
+        assert!(
+            large > small,
+            "latency must track ω: {small} vs {large}"
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! E3 — symmetric vs asymmetric vs the Lamport all-ack baseline.
+//!
+//! Claims (§4.2, §6): the asymmetric version trades an extra network hop
+//! through the sequencer for independence from the slowest member, while
+//! the symmetric version waits to hear from everyone (bounded by ω in quiet
+//! groups) but needs no relay. The classic all-ack construction pays n²
+//! messages per multicast for the same order; Newtop amortises that away.
+
+use crate::checker::CheckOptions;
+use crate::cluster::SimCluster;
+use crate::experiments::{assert_correct, latency_ms};
+use crate::table::Table;
+use bytes::Bytes;
+use newtop_baselines::lamport::LamportNode;
+use newtop_sim::{LatencyModel, NetConfig, Sim};
+use newtop_types::{GroupConfig, GroupId, Instant, OrderMode, ProcessId, Span};
+
+const G: GroupId = GroupId(1);
+
+fn net(seed: u64) -> NetConfig {
+    NetConfig::new(seed).with_latency(LatencyModel::Uniform {
+        lo: Span::from_micros(500),
+        hi: Span::from_millis(2),
+    })
+}
+
+/// Newtop run: returns (mean latency ms, protocol messages per multicast).
+///
+/// Message cost is sampled at the end of the traffic phase (plus a short
+/// drain) so the idle tail's time-silence nulls do not pollute the
+/// steady-state figure; latency uses the full history.
+fn newtop_run(n: u32, mode: OrderMode, slots: u32) -> (f64, f64) {
+    let mut cluster = SimCluster::new(n, net(31));
+    let cfg = GroupConfig::new(mode)
+        .with_omega(Span::from_millis(5))
+        .with_big_omega(Span::from_millis(500));
+    cluster.bootstrap_group(G, &(1..=n).collect::<Vec<_>>(), cfg);
+    // Every member multicasts each 4 ms slot: application traffic itself
+    // carries the liveness, which is the piggybacking regime the paper's
+    // overhead claims are about.
+    let gap = Span::from_millis(4);
+    let start = Instant::from_micros(10_000);
+    let mut k = 0u64;
+    for slot in 0..slots {
+        for p in 1..=n {
+            let at = start
+                + Span::from_micros(u64::from(slot) * gap.as_micros())
+                + Span::from_micros(u64::from(p) * 20);
+            cluster.schedule_send(at, p, G, crate::history::MessageId(k));
+            k += 1;
+        }
+    }
+    let count = slots * n;
+    cluster.run_until(start);
+    let sent_before = cluster.net_stats().sent;
+    let traffic_end =
+        start + Span::from_micros(u64::from(slots) * gap.as_micros()) + Span::from_millis(10);
+    cluster.run_until(traffic_end);
+    let sent_in_window = cluster.net_stats().sent - sent_before;
+    cluster.run_for(Span::from_millis(400));
+    let h = cluster.history();
+    assert_correct(&h, &CheckOptions::default());
+    let (mean, _) = latency_ms(&h, Some(G));
+    let msgs = sent_in_window as f64 / f64::from(count);
+    (mean, msgs)
+}
+
+/// Lamport all-ack baseline on the identical network and workload.
+fn lamport_run(n: u32, slots: u32) -> (f64, f64) {
+    let members: Vec<ProcessId> = (1..=n).map(ProcessId).collect();
+    let mut sim: Sim<LamportNode> = Sim::new(net(31));
+    for m in &members {
+        sim.add_node(*m, LamportNode::new(*m, members.clone()));
+    }
+    let gap = Span::from_millis(4);
+    let start = Instant::from_micros(10_000);
+    let mut send_at: Vec<(Instant, ProcessId)> = Vec::new();
+    let mut at = start;
+    let count = slots * n;
+    for k in 0..count {
+        let slot = k / n;
+        let p = (k % n) + 1;
+        let from = ProcessId(p);
+        at = start
+            + Span::from_micros(u64::from(slot) * gap.as_micros())
+            + Span::from_micros(u64::from(p) * 20);
+        send_at.push((at, from));
+        sim.schedule_call(at, from, move |node: &mut LamportNode, out| {
+            node.app_send(Bytes::from(k.to_be_bytes().to_vec()), out);
+        });
+    }
+    sim.run_until(at + Span::from_millis(400));
+    // Latency: match deliveries to sends by payload.
+    let mut total = 0.0;
+    let mut cnt = 0u64;
+    for m in &members {
+        let node = sim.node(*m).expect("node");
+        for (i, (_, _, payload)) in node.delivered().iter().enumerate() {
+            let k = u32::from_be_bytes(payload.as_ref().try_into().expect("4B payload"));
+            let sent = send_at[k as usize].0;
+            let lat = node.delivered_at()[i].saturating_since(sent).as_millis_f64();
+            total += lat;
+            cnt += 1;
+        }
+    }
+    let mean = if cnt == 0 { f64::NAN } else { total / cnt as f64 };
+    let msgs = sim.stats().sent as f64 / f64::from(count);
+    (mean, msgs)
+}
+
+/// Runs E3.
+#[must_use]
+pub fn run(quick: bool) -> Table {
+    let sizes: &[u32] = if quick { &[4, 8] } else { &[4, 8, 16, 32] };
+    let slots = if quick { 8 } else { 25 };
+    let mut t = Table::new(
+        "E3 total-order cost by variant (every member sending each slot, 0.5-2 ms links)",
+        &[
+            "n",
+            "sym lat (ms)",
+            "asym lat (ms)",
+            "lamport lat (ms)",
+            "sym msgs/mcast",
+            "asym msgs/mcast",
+            "lamport msgs/mcast",
+        ],
+    );
+    for &n in sizes {
+        let (sym_lat, sym_msgs) = newtop_run(n, OrderMode::Symmetric, slots);
+        let (asym_lat, asym_msgs) = newtop_run(n, OrderMode::Asymmetric, slots);
+        let (lam_lat, lam_msgs) = lamport_run(n, slots);
+        t.push(&[
+            n.to_string(),
+            format!("{sym_lat:.2}"),
+            format!("{asym_lat:.2}"),
+            format!("{lam_lat:.2}"),
+            format!("{sym_msgs:.1}"),
+            format!("{asym_msgs:.1}"),
+            format!("{lam_msgs:.1}"),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lamport_message_cost_dominates_at_scale() {
+        let t = run(true);
+        let last = t.rows.last().unwrap();
+        let sym: f64 = last[4].parse().unwrap();
+        let lam: f64 = last[6].parse().unwrap();
+        assert!(
+            lam > sym,
+            "the all-ack baseline must cost more messages: sym {sym} vs lamport {lam}"
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! E5 — the multi-group member: one clock, `D_i = min over groups`.
+//!
+//! Claim (§4.1): a process in many groups delivers with condition *safe1'*
+//! (`m.c ≤ D_i`, the minimum over *all* its groups); the per-group
+//! time-silence keeps every `D_x` advancing, so extra quiet groups cost a
+//! bounded latency increment (the maximum of independent ω-waits), not a
+//! stall — "these conditions … can therefore cope with arbitrarily complex
+//! group structures".
+
+use crate::checker::CheckOptions;
+use crate::cluster::SimCluster;
+use crate::experiments::{assert_correct, latency_ms};
+use crate::table::Table;
+use crate::workload::rotating_sends;
+use newtop_sim::{LatencyModel, NetConfig};
+use newtop_types::{GroupConfig, GroupId, Instant, OrderMode, Span};
+
+/// Runs E5.
+#[must_use]
+pub fn run(quick: bool) -> Table {
+    let ks: &[u32] = if quick { &[1, 4] } else { &[1, 2, 4, 8, 12] };
+    let count = if quick { 10 } else { 30 };
+    let mut t = Table::new(
+        "E5 latency in group g1 while P1 belongs to k groups (others quiet, ω = 5 ms)",
+        &["k groups", "total procs", "mean lat (ms)", "max lat (ms)", "nulls sent"],
+    );
+    for &k in ks {
+        // P1 plus 3 dedicated members per group.
+        let n = 1 + 3 * k;
+        let net = NetConfig::new(51).with_latency(LatencyModel::Fixed(Span::from_millis(1)));
+        let mut cluster = SimCluster::new(n, net);
+        let cfg = GroupConfig::new(OrderMode::Symmetric)
+            .with_omega(Span::from_millis(5))
+            .with_big_omega(Span::from_millis(500));
+        for gi in 0..k {
+            let g = GroupId(gi + 1);
+            let mut members = vec![1u32];
+            members.extend((2 + 3 * gi)..(2 + 3 * gi + 3));
+            cluster.bootstrap_group(g, &members, cfg);
+        }
+        // Traffic only in g1; the other k-1 groups tick along on nulls.
+        rotating_sends(
+            &mut cluster,
+            GroupId(1),
+            &[2, 3, 4],
+            count,
+            Instant::from_micros(20_000),
+            Span::from_millis(12),
+        );
+        cluster.run_for(Span::from_millis(u64::from(count) * 12 + 400));
+        let h = cluster.history();
+        assert_correct(&h, &CheckOptions::default());
+        let (mean, max) = latency_ms(&h, Some(GroupId(1)));
+        let nulls = cluster.proc(1).stats().nulls_sent;
+        t.push(&[
+            k.to_string(),
+            n.to_string(),
+            format!("{mean:.2}"),
+            format!("{max:.2}"),
+            nulls.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extra_groups_cost_bounded_latency_not_stall() {
+        let t = run(true);
+        let k1: f64 = t.rows[0][2].parse().unwrap();
+        let k4: f64 = t.rows[1][2].parse().unwrap();
+        // Bounded: within ~2ω of the single-group case, never a stall.
+        assert!(k4.is_finite() && k1.is_finite());
+        assert!(
+            k4 < k1 + 12.0,
+            "multi-group latency must stay within the ω envelope: {k1} → {k4}"
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! E6 — membership convergence after a crash.
+//!
+//! Claim (§5.2): after a member crashes, the suspicion (Ω timeout), the
+//! suspect/confirm agreement and the view installation complete promptly at
+//! every survivor, and all survivors install the identical shrunk view
+//! (VC1/VC2). The detection time should track Ω plus one agreement round.
+
+use crate::checker::CheckOptions;
+use crate::cluster::SimCluster;
+use crate::experiments::assert_correct;
+use crate::history::HistoryEvent;
+use crate::table::Table;
+use newtop_sim::{LatencyModel, NetConfig};
+use newtop_types::{GroupConfig, GroupId, Instant, OrderMode, ProcessId, Span};
+
+const G: GroupId = GroupId(1);
+
+fn one_run(n: u32, big_omega_ms: u64) -> (f64, f64) {
+    let net = NetConfig::new(61).with_latency(LatencyModel::Fixed(Span::from_millis(1)));
+    let mut cluster = SimCluster::new(n, net);
+    let cfg = GroupConfig::new(OrderMode::Symmetric)
+        .with_omega(Span::from_millis(5))
+        .with_big_omega(Span::from_millis(big_omega_ms));
+    cluster.bootstrap_group(G, &(1..=n).collect::<Vec<_>>(), cfg);
+    let crash_at = Instant::from_micros(100_000);
+    cluster.schedule_crash(crash_at, n);
+    cluster.run_for(Span::from_millis(100 + big_omega_ms * 4 + 500));
+    let h = cluster.history();
+    assert_correct(&h, &CheckOptions::default());
+    // First and last survivor view-installation instants.
+    let mut first = f64::INFINITY;
+    let mut last: f64 = 0.0;
+    for p in 1..n {
+        let evs = h.events.get(&ProcessId(p)).expect("log");
+        let at = evs
+            .iter()
+            .find_map(|e| match e {
+                HistoryEvent::ViewChange { at, group, view, .. }
+                    if *group == G && !view.contains(ProcessId(n)) =>
+                {
+                    Some(*at)
+                }
+                _ => None,
+            })
+            .expect("survivor installed the shrunk view");
+        let ms = at.saturating_since(crash_at).as_millis_f64();
+        first = first.min(ms);
+        last = last.max(ms);
+    }
+    (first, last)
+}
+
+/// Runs E6.
+#[must_use]
+pub fn run(quick: bool) -> Table {
+    let cases: &[(u32, u64)] = if quick {
+        &[(4, 60), (8, 60)]
+    } else {
+        &[(4, 60), (8, 60), (16, 60), (8, 120), (8, 240), (32, 60)]
+    };
+    let mut t = Table::new(
+        "E6 crash → everyone installed the shrunk view (ω = 5 ms, 1 ms links)",
+        &[
+            "n",
+            "Omega (ms)",
+            "first install (ms)",
+            "last install (ms)",
+            "spread (ms)",
+        ],
+    );
+    for &(n, big) in cases {
+        let (first, last) = one_run(n, big);
+        t.push(&[
+            n.to_string(),
+            big.to_string(),
+            format!("{first:.1}"),
+            format!("{last:.1}"),
+            format!("{:.1}", last - first),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_tracks_omega() {
+        let t = run(true);
+        for row in &t.rows {
+            let big: f64 = row[1].parse().unwrap();
+            let last: f64 = row[3].parse().unwrap();
+            // The victim's silence began up to ω before the crash instant
+            // (its last null), so detection may lead the crash by ~ω.
+            assert!(last >= big - 10.0, "cannot detect before Ω elapses");
+            assert!(
+                last < big * 3.0 + 100.0,
+                "detection should track Ω: Ω={big} took {last}"
+            );
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! E8 — send blocking under the mixed-mode rule.
+//!
+//! Claim (§7): "new multicast in a given group is blocked only if any
+//! multicast made in a different asymmetric group is awaiting distribution
+//! by the sequencer. If only symmetric version is used, Newtop is totally
+//! non-blocking on send operations." The blocked time should therefore be
+//! zero for k = 0 asymmetric groups and roughly one sequencer round-trip
+//! otherwise.
+
+use crate::checker::CheckOptions;
+use crate::cluster::SimCluster;
+use crate::experiments::{assert_correct, latency_ms, send_times};
+use crate::history::MessageId;
+use crate::table::Table;
+use newtop_sim::{LatencyModel, NetConfig};
+use newtop_types::{GroupConfig, GroupId, Instant, OrderMode, ProcessId, Span};
+
+/// The observer process that is a member of every group. Its id is high so
+/// it is never the sequencer of the asymmetric groups (the deterministic
+/// rule picks the smallest member).
+const OBS: u32 = 90;
+const SYM_G: GroupId = GroupId(100);
+
+fn one_run(k_asym: u32, quick: bool) -> (f64, u64, f64) {
+    let rounds: u32 = if quick { 8 } else { 24 };
+    // Processes: 1..=k_asym are the sequencers; 91, 92 are the symmetric
+    // peers; OBS=90 is the multi-group member under test.
+    let net = NetConfig::new(81).with_latency(LatencyModel::Fixed(Span::from_millis(2)));
+    let mut cluster = {
+        // SimCluster::new numbers 1..=n; we need sparse ids, so build the
+        // dense range large enough and simply leave the middle idle.
+        SimCluster::new(92, net)
+    };
+    let cfg_sym = GroupConfig::new(OrderMode::Symmetric)
+        .with_omega(Span::from_millis(5))
+        .with_big_omega(Span::from_millis(800));
+    cluster.bootstrap_group(SYM_G, &[OBS, 91, 92], cfg_sym);
+    let cfg_asym = GroupConfig::new(OrderMode::Asymmetric)
+        .with_omega(Span::from_millis(5))
+        .with_big_omega(Span::from_millis(800));
+    for gi in 0..k_asym {
+        cluster.bootstrap_group(GroupId(gi + 1), &[gi + 1, OBS], cfg_asym);
+    }
+    // Each round: a unicast into every asymmetric group, then immediately a
+    // symmetric multicast — which must wait for the relays.
+    let mut at = Instant::from_micros(20_000);
+    let mut sym_mids = Vec::new();
+    for r in 0..rounds {
+        for gi in 0..k_asym {
+            cluster.schedule_send(
+                at,
+                OBS,
+                GroupId(gi + 1),
+                MessageId(u64::from(r) << 16 | u64::from(gi + 1)),
+            );
+        }
+        let mid = MessageId(u64::from(r) << 16 | 0xFFFF);
+        cluster.schedule_send(at, OBS, SYM_G, mid);
+        sym_mids.push(mid);
+        at += Span::from_millis(30);
+    }
+    cluster.run_for(Span::from_micros(at.as_micros()) + Span::from_millis(500));
+    let h = cluster.history();
+    assert_correct(&h, &CheckOptions::default());
+    // Blocked time: symmetric send request → its delivery at peer 91,
+    // minus the baseline delivery path.
+    let sends = send_times(&h);
+    let mut total = 0.0;
+    let mut count = 0;
+    for (at, d, mid) in h.deliveries(ProcessId(91)) {
+        if d.group != SYM_G {
+            continue;
+        }
+        let Some(mid) = mid else { continue };
+        if !sym_mids.contains(&mid) {
+            continue;
+        }
+        total += at.saturating_since(sends[&mid]).as_millis_f64();
+        count += 1;
+    }
+    let mean_sym = if count == 0 { f64::NAN } else { total / f64::from(count) };
+    let deferred = cluster.proc(OBS).stats().deferred_total;
+    let (mean_all, _) = latency_ms(&h, Some(SYM_G));
+    (mean_sym, deferred, mean_all)
+}
+
+/// Runs E8.
+#[must_use]
+pub fn run(quick: bool) -> Table {
+    let ks: &[u32] = if quick { &[0, 2] } else { &[0, 1, 2, 4] };
+    let mut t = Table::new(
+        "E8 mixed-mode send blocking at a multi-group member (2 ms links)",
+        &[
+            "asym groups k",
+            "sym delivery latency (ms)",
+            "sends ever deferred",
+        ],
+    );
+    for &k in ks {
+        let (lat, deferred, _) = one_run(k, quick);
+        t.push(&[k.to_string(), format!("{lat:.2}"), deferred.to_string()]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_symmetric_never_defers_and_mixed_does() {
+        let t = run(true);
+        let k0_deferred: u64 = t.rows[0][2].parse().unwrap();
+        let k2_deferred: u64 = t.rows[1][2].parse().unwrap();
+        assert_eq!(k0_deferred, 0, "§7: pure symmetric is non-blocking");
+        assert!(k2_deferred > 0, "mixed mode must defer behind the sequencer");
+        let k0_lat: f64 = t.rows[0][1].parse().unwrap();
+        let k2_lat: f64 = t.rows[1][1].parse().unwrap();
+        assert!(
+            k2_lat > k0_lat,
+            "blocking must add latency: {k0_lat} vs {k2_lat}"
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Experiment harness for the Newtop reproduction.
+//!
+//! The ICDCS'95 paper has no quantitative evaluation section; its
+//! measurable claims live in prose (§2, §6, §7) and in three worked
+//! examples. This crate turns each claim into a reproducible experiment:
+//!
+//! * [`cluster`] — hosts `newtop_core::Process` state machines on the
+//!   deterministic `newtop_sim` network, with scripted workloads and fault
+//!   injection;
+//! * [`history`] — per-process records of everything observable (sends,
+//!   deliveries, view changes, protocol events), in emission order;
+//! * [`checker`] — validates the paper's ordering and view-consistency
+//!   properties (MD1, MD4/MD4', MD5/MD5', VC1, VC3, and quiescent
+//!   liveness/atomicity) over a recorded history; used by the property
+//!   tests and by every experiment as a built-in sanity gate;
+//! * [`workload`] — randomized and scripted traffic generators;
+//! * [`experiments`] — E1–E10, one per claim (see DESIGN.md §4), each
+//!   printing the table EXPERIMENTS.md records;
+//! * [`table`] — plain-text aligned table rendering.
+//!
+//! Run everything with `cargo run -p newtop-harness --bin newtop-exp all`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod cluster;
+pub mod experiments;
+pub mod history;
+pub mod table;
+pub mod workload;
+
+pub use checker::{check_all, CheckOptions, Violation};
+pub use cluster::SimCluster;
+pub use history::{History, HistoryEvent, MessageId};
+pub use table::Table;

@@ -1,0 +1,666 @@
+//! Threaded real-time host for the Newtop protocol engine.
+//!
+//! The sans-IO [`newtop_core::Process`] needs a transport that is reliable
+//! and FIFO per ordered pair of processes (§3 of the paper). In-process
+//! [`crossbeam`] channels are exactly that, so this runtime runs one thread
+//! per protocol participant, connects every pair with a channel, drives
+//! timers off the wall clock, and exposes a small application API:
+//! multicast, depart, dynamic group formation, and a stream of outputs
+//! (deliveries, view changes, protocol events).
+//!
+//! A shared partition control lets demos sever connectivity at runtime —
+//! messages crossing a cut are dropped, which models the paper's
+//! partitioned-network scenarios.
+//!
+//! # Examples
+//!
+//! ```
+//! use newtop_runtime::Cluster;
+//! use newtop_types::{GroupConfig, GroupId, OrderMode, ProcessId, Span};
+//! use std::time::Duration;
+//!
+//! let mut cluster = Cluster::new();
+//! for i in 1..=3 {
+//!     cluster.add_process(ProcessId(i));
+//! }
+//! let g = GroupId(1);
+//! cluster
+//!     .bootstrap_group(g, [ProcessId(1), ProcessId(2), ProcessId(3)],
+//!                      GroupConfig::new(OrderMode::Symmetric)
+//!                          .with_omega(Span::from_millis(5))
+//!                          .with_big_omega(Span::from_millis(200)))
+//!     .unwrap();
+//! let cluster = cluster.start();
+//! cluster.node(ProcessId(1)).unwrap().multicast(g, b"hello".as_ref().into()).unwrap();
+//! let d = cluster
+//!     .node(ProcessId(2))
+//!     .unwrap()
+//!     .await_delivery(Duration::from_secs(5))
+//!     .expect("delivered");
+//! assert_eq!(&d.payload[..], b"hello");
+//! cluster.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bytes::Bytes;
+use crossbeam::channel::{after, bounded, never, unbounded, Receiver, Sender};
+use newtop_core::{Action, Delivery, FormationFailure, GroupError, Process, ProtocolEvent};
+use newtop_types::{
+    Envelope, GroupConfig, GroupId, Instant, ProcessConfig, ProcessId, SendError, SignedView,
+    View,
+};
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Everything a node reports to its application.
+#[derive(Debug, Clone)]
+pub enum Output {
+    /// An application message was delivered.
+    Delivery(Delivery),
+    /// A new membership view was installed.
+    ViewChange {
+        /// The group whose view changed.
+        group: GroupId,
+        /// The installed view.
+        view: View,
+        /// The §6 signed form.
+        signed: SignedView,
+    },
+    /// A dynamically formed group became usable.
+    GroupActive {
+        /// The group.
+        group: GroupId,
+        /// Its view at activation.
+        view: View,
+    },
+    /// A formation attempt failed.
+    FormationFailed {
+        /// The proposed group.
+        group: GroupId,
+        /// Why.
+        reason: FormationFailure,
+    },
+    /// A membership trace event.
+    Event(ProtocolEvent),
+}
+
+enum Command {
+    Multicast {
+        group: GroupId,
+        payload: Bytes,
+        reply: Sender<Result<(), SendError>>,
+    },
+    Depart {
+        group: GroupId,
+        reply: Sender<Result<(), SendError>>,
+    },
+    Initiate {
+        group: GroupId,
+        members: BTreeSet<ProcessId>,
+        config: GroupConfig,
+        reply: Sender<Result<(), GroupError>>,
+    },
+    Die,
+}
+
+type PartitionCtl = Arc<RwLock<Vec<BTreeSet<ProcessId>>>>;
+
+fn connected(partition: &PartitionCtl, a: ProcessId, b: ProcessId) -> bool {
+    let blocks = partition.read();
+    let block_of = |p: ProcessId| blocks.iter().position(|blk| blk.contains(&p));
+    block_of(a) == block_of(b)
+}
+
+/// A cluster under construction: processes and statically bootstrapped
+/// groups are configured before the threads start.
+#[derive(Default)]
+pub struct Cluster {
+    procs: BTreeMap<ProcessId, Process>,
+}
+
+impl Cluster {
+    /// An empty cluster builder.
+    #[must_use]
+    pub fn new() -> Cluster {
+        Cluster::default()
+    }
+
+    /// Adds a protocol participant.
+    pub fn add_process(&mut self, id: ProcessId) -> &mut Cluster {
+        self.procs
+            .entry(id)
+            .or_insert_with(|| Process::new(id, ProcessConfig::new()));
+        self
+    }
+
+    /// Statically installs a group at every listed member (paper §4
+    /// bootstrap). All members must have been added.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's [`GroupError`]; unknown members are reported
+    /// as [`GroupError::NotInMemberList`].
+    pub fn bootstrap_group<I: IntoIterator<Item = ProcessId>>(
+        &mut self,
+        group: GroupId,
+        members: I,
+        config: GroupConfig,
+    ) -> Result<(), GroupError> {
+        let set: BTreeSet<ProcessId> = members.into_iter().collect();
+        for m in &set {
+            let p = self
+                .procs
+                .get_mut(m)
+                .ok_or(GroupError::NotInMemberList { group })?;
+            p.bootstrap_group(Instant::ZERO, group, &set, config)?;
+        }
+        Ok(())
+    }
+
+    /// Spawns one thread per process and returns the running cluster.
+    #[must_use]
+    pub fn start(self) -> RunningCluster {
+        let epoch = std::time::Instant::now();
+        let partition: PartitionCtl = Arc::new(RwLock::new(Vec::new()));
+        let mut inboxes: BTreeMap<ProcessId, (Sender<(ProcessId, Envelope)>, Receiver<(ProcessId, Envelope)>)> =
+            BTreeMap::new();
+        for id in self.procs.keys() {
+            inboxes.insert(*id, unbounded());
+        }
+        let mesh: Arc<BTreeMap<ProcessId, Sender<(ProcessId, Envelope)>>> = Arc::new(
+            inboxes
+                .iter()
+                .map(|(id, (tx, _))| (*id, tx.clone()))
+                .collect(),
+        );
+        let mut nodes = BTreeMap::new();
+        let mut threads = Vec::new();
+        for (id, process) in self.procs {
+            let (cmd_tx, cmd_rx) = unbounded::<Command>();
+            let (out_tx, out_rx) = unbounded::<Output>();
+            let inbox_rx = inboxes.get(&id).expect("inbox created").1.clone();
+            let mesh = Arc::clone(&mesh);
+            let partition = Arc::clone(&partition);
+            let thread = std::thread::Builder::new()
+                .name(format!("newtop-{id}"))
+                .spawn(move || {
+                    node_main(id, process, epoch, inbox_rx, cmd_rx, out_tx, mesh, partition);
+                })
+                .expect("spawn node thread");
+            nodes.insert(
+                id,
+                NodeHandle {
+                    id,
+                    cmd_tx,
+                    outputs: out_rx,
+                },
+            );
+            threads.push(thread);
+        }
+        RunningCluster {
+            nodes,
+            threads,
+            partition,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn node_main(
+    id: ProcessId,
+    mut process: Process,
+    epoch: std::time::Instant,
+    inbox: Receiver<(ProcessId, Envelope)>,
+    commands: Receiver<Command>,
+    outputs: Sender<Output>,
+    mesh: Arc<BTreeMap<ProcessId, Sender<(ProcessId, Envelope)>>>,
+    partition: PartitionCtl,
+) {
+    let now = || Instant::from_micros(epoch.elapsed().as_micros() as u64);
+    loop {
+        let timer = match process.next_deadline() {
+            None => never(),
+            Some(d) => {
+                let current = now();
+                let wait = if d <= current {
+                    Duration::ZERO
+                } else {
+                    (d - current).to_duration()
+                };
+                after(wait)
+            }
+        };
+        let actions = crossbeam::channel::select! {
+            recv(inbox) -> msg => match msg {
+                Ok((from, env)) => process.handle(now(), from, env),
+                Err(_) => return, // cluster dropped
+            },
+            recv(commands) -> cmd => match cmd {
+                Ok(Command::Multicast { group, payload, reply }) => {
+                    match process.multicast(now(), group, payload) {
+                        Ok(actions) => {
+                            let _ = reply.send(Ok(()));
+                            actions
+                        }
+                        Err(e) => {
+                            let _ = reply.send(Err(e));
+                            Vec::new()
+                        }
+                    }
+                }
+                Ok(Command::Depart { group, reply }) => {
+                    match process.depart(now(), group) {
+                        Ok(actions) => {
+                            let _ = reply.send(Ok(()));
+                            actions
+                        }
+                        Err(e) => {
+                            let _ = reply.send(Err(e));
+                            Vec::new()
+                        }
+                    }
+                }
+                Ok(Command::Initiate { group, members, config, reply }) => {
+                    match process.initiate_group(now(), group, &members, config) {
+                        Ok(actions) => {
+                            let _ = reply.send(Ok(()));
+                            actions
+                        }
+                        Err(e) => {
+                            let _ = reply.send(Err(e));
+                            Vec::new()
+                        }
+                    }
+                }
+                Ok(Command::Die) | Err(_) => return,
+            },
+            recv(timer) -> _ => process.tick(now()),
+        };
+        for action in actions {
+            match action {
+                Action::Send { to, envelope } => {
+                    if !connected(&partition, id, to) {
+                        continue; // loss across the cut
+                    }
+                    if let Some(tx) = mesh.get(&to) {
+                        let _ = tx.send((id, envelope));
+                    }
+                }
+                Action::Deliver(d) => {
+                    let _ = outputs.send(Output::Delivery(d));
+                }
+                Action::ViewChange {
+                    group,
+                    view,
+                    signed,
+                } => {
+                    let _ = outputs.send(Output::ViewChange {
+                        group,
+                        view,
+                        signed,
+                    });
+                }
+                Action::GroupActive { group, view } => {
+                    let _ = outputs.send(Output::GroupActive { group, view });
+                }
+                Action::FormationFailed { group, reason } => {
+                    let _ = outputs.send(Output::FormationFailed { group, reason });
+                }
+                Action::Event(e) => {
+                    let _ = outputs.send(Output::Event(e));
+                }
+            }
+        }
+    }
+}
+
+/// Application-side handle to one running protocol participant.
+#[derive(Debug, Clone)]
+pub struct NodeHandle {
+    id: ProcessId,
+    cmd_tx: Sender<Command>,
+    outputs: Receiver<Output>,
+}
+
+impl NodeHandle {
+    /// The participant's identifier.
+    #[must_use]
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Requests an application multicast and waits for the engine's verdict.
+    ///
+    /// # Errors
+    ///
+    /// The engine's [`SendError`], or [`SendError::NotMember`] if the node
+    /// has terminated.
+    pub fn multicast(&self, group: GroupId, payload: Bytes) -> Result<(), SendError> {
+        let (reply, rx) = bounded(1);
+        if self
+            .cmd_tx
+            .send(Command::Multicast {
+                group,
+                payload,
+                reply,
+            })
+            .is_err()
+        {
+            return Err(SendError::NotMember { group });
+        }
+        rx.recv().unwrap_or(Err(SendError::NotMember { group }))
+    }
+
+    /// Announces voluntary departure from `group`.
+    ///
+    /// # Errors
+    ///
+    /// The engine's [`SendError`].
+    pub fn depart(&self, group: GroupId) -> Result<(), SendError> {
+        let (reply, rx) = bounded(1);
+        if self
+            .cmd_tx
+            .send(Command::Depart { group, reply })
+            .is_err()
+        {
+            return Err(SendError::NotMember { group });
+        }
+        rx.recv().unwrap_or(Err(SendError::NotMember { group }))
+    }
+
+    /// Initiates dynamic formation of `group` (§5.3) from this node.
+    ///
+    /// # Errors
+    ///
+    /// The engine's [`GroupError`].
+    pub fn initiate_group<I: IntoIterator<Item = ProcessId>>(
+        &self,
+        group: GroupId,
+        members: I,
+        config: GroupConfig,
+    ) -> Result<(), GroupError> {
+        let (reply, rx) = bounded(1);
+        if self
+            .cmd_tx
+            .send(Command::Initiate {
+                group,
+                members: members.into_iter().collect(),
+                config,
+                reply,
+            })
+            .is_err()
+        {
+            return Err(GroupError::AlreadyExists { group });
+        }
+        rx.recv()
+            .unwrap_or(Err(GroupError::AlreadyExists { group }))
+    }
+
+    /// The stream of outputs (deliveries, view changes, events).
+    #[must_use]
+    pub fn outputs(&self) -> &Receiver<Output> {
+        &self.outputs
+    }
+
+    /// Waits up to `timeout` for the next application delivery, skipping
+    /// other outputs.
+    #[must_use]
+    pub fn await_delivery(&self, timeout: Duration) -> Option<Delivery> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let left = deadline.checked_duration_since(std::time::Instant::now())?;
+            match self.outputs.recv_timeout(left) {
+                Ok(Output::Delivery(d)) => return Some(d),
+                Ok(_) => continue,
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Waits up to `timeout` for a view change in `group`.
+    #[must_use]
+    pub fn await_view_change(&self, group: GroupId, timeout: Duration) -> Option<View> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let left = deadline.checked_duration_since(std::time::Instant::now())?;
+            match self.outputs.recv_timeout(left) {
+                Ok(Output::ViewChange { group: g, view, .. }) if g == group => {
+                    return Some(view)
+                }
+                Ok(_) => continue,
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Waits up to `timeout` for `group` to become active (formation
+    /// completed).
+    #[must_use]
+    pub fn await_group_active(&self, group: GroupId, timeout: Duration) -> Option<View> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let left = deadline.checked_duration_since(std::time::Instant::now())?;
+            match self.outputs.recv_timeout(left) {
+                Ok(Output::GroupActive { group: g, view }) if g == group => return Some(view),
+                Ok(_) => continue,
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+/// A running cluster: handles to every node plus fault-injection controls.
+pub struct RunningCluster {
+    nodes: BTreeMap<ProcessId, NodeHandle>,
+    threads: Vec<JoinHandle<()>>,
+    partition: PartitionCtl,
+}
+
+impl RunningCluster {
+    /// The handle for `id`.
+    #[must_use]
+    pub fn node(&self, id: ProcessId) -> Option<&NodeHandle> {
+        self.nodes.get(&id)
+    }
+
+    /// Iterates over all node handles.
+    pub fn nodes(&self) -> impl Iterator<Item = &NodeHandle> {
+        self.nodes.values()
+    }
+
+    /// Splits the network into blocks; traffic across the cut is dropped.
+    pub fn partition(&self, blocks: Vec<BTreeSet<ProcessId>>) {
+        *self.partition.write() = blocks;
+    }
+
+    /// Removes any partition.
+    pub fn heal(&self) {
+        self.partition.write().clear();
+    }
+
+    /// Kills a node (crash failure): its thread exits without farewell.
+    pub fn kill(&self, id: ProcessId) {
+        if let Some(n) = self.nodes.get(&id) {
+            let _ = n.cmd_tx.send(Command::Die);
+        }
+    }
+
+    /// Stops every node and joins the threads.
+    pub fn shutdown(self) {
+        for n in self.nodes.values() {
+            let _ = n.cmd_tx.send(Command::Die);
+        }
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for RunningCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunningCluster")
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newtop_types::{OrderMode, Span};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn fast_cfg() -> GroupConfig {
+        GroupConfig::new(OrderMode::Symmetric)
+            .with_omega(Span::from_millis(5))
+            .with_big_omega(Span::from_millis(150))
+    }
+
+    #[test]
+    fn multicast_reaches_all_members_in_order() {
+        let mut cluster = Cluster::new();
+        for i in 1..=3 {
+            cluster.add_process(p(i));
+        }
+        let g = GroupId(1);
+        cluster
+            .bootstrap_group(g, [p(1), p(2), p(3)], fast_cfg())
+            .unwrap();
+        let cluster = cluster.start();
+        for k in 0..5 {
+            cluster
+                .node(p(1))
+                .unwrap()
+                .multicast(g, Bytes::from(format!("m{k}")))
+                .unwrap();
+        }
+        let collect = |i: u32| -> Vec<String> {
+            (0..5)
+                .map(|_| {
+                    let d = cluster
+                        .node(p(i))
+                        .unwrap()
+                        .await_delivery(Duration::from_secs(10))
+                        .expect("delivery");
+                    String::from_utf8_lossy(&d.payload).into_owned()
+                })
+                .collect()
+        };
+        let d2 = collect(2);
+        let d3 = collect(3);
+        assert_eq!(d2, vec!["m0", "m1", "m2", "m3", "m4"]);
+        assert_eq!(d2, d3);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn killed_node_is_excluded_from_views() {
+        let mut cluster = Cluster::new();
+        for i in 1..=3 {
+            cluster.add_process(p(i));
+        }
+        let g = GroupId(1);
+        cluster
+            .bootstrap_group(g, [p(1), p(2), p(3)], fast_cfg())
+            .unwrap();
+        let cluster = cluster.start();
+        cluster.kill(p(3));
+        let v1 = cluster
+            .node(p(1))
+            .unwrap()
+            .await_view_change(g, Duration::from_secs(30))
+            .expect("view change at P1");
+        assert!(!v1.contains(p(3)));
+        assert_eq!(v1.members().len(), 2);
+        let v2 = cluster
+            .node(p(2))
+            .unwrap()
+            .await_view_change(g, Duration::from_secs(30))
+            .expect("view change at P2");
+        assert_eq!(v1, v2);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn dynamic_formation_over_threads() {
+        let mut cluster = Cluster::new();
+        for i in 1..=3 {
+            cluster.add_process(p(i));
+        }
+        let cluster = cluster.start();
+        let g = GroupId(9);
+        cluster
+            .node(p(1))
+            .unwrap()
+            .initiate_group(g, [p(1), p(2), p(3)], fast_cfg())
+            .unwrap();
+        for i in 1..=3 {
+            let v = cluster
+                .node(p(i))
+                .unwrap()
+                .await_group_active(g, Duration::from_secs(10))
+                .expect("group active");
+            assert_eq!(v.members().len(), 3);
+        }
+        cluster
+            .node(p(2))
+            .unwrap()
+            .multicast(g, Bytes::from_static(b"formed"))
+            .unwrap();
+        let d = cluster
+            .node(p(3))
+            .unwrap()
+            .await_delivery(Duration::from_secs(10))
+            .expect("delivery in formed group");
+        assert_eq!(&d.payload[..], b"formed");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn partition_splits_views_both_ways() {
+        let mut cluster = Cluster::new();
+        for i in 1..=4 {
+            cluster.add_process(p(i));
+        }
+        let g = GroupId(1);
+        cluster
+            .bootstrap_group(g, [p(1), p(2), p(3), p(4)], fast_cfg())
+            .unwrap();
+        let cluster = cluster.start();
+        cluster.partition(vec![[p(1), p(2)].into(), [p(3), p(4)].into()]);
+        let deadline = Duration::from_secs(30);
+        let v1 = loop {
+            let v = cluster
+                .node(p(1))
+                .unwrap()
+                .await_view_change(g, deadline)
+                .expect("P1 view change");
+            if v.members().len() == 2 {
+                break v;
+            }
+        };
+        let v3 = loop {
+            let v = cluster
+                .node(p(3))
+                .unwrap()
+                .await_view_change(g, deadline)
+                .expect("P3 view change");
+            if v.members().len() == 2 {
+                break v;
+            }
+        };
+        let m1: Vec<u32> = v1.iter().map(|q| q.0).collect();
+        let m3: Vec<u32> = v3.iter().map(|q| q.0).collect();
+        assert_eq!(m1, vec![1, 2]);
+        assert_eq!(m3, vec![3, 4]);
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,755 @@
+//! The discrete-event engine.
+
+use crate::model::{NetConfig, NetStats, PartitionMode, PartitionSpec};
+use newtop_types::{Instant, ProcessId, Span};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
+
+/// Behaviour of one simulated node.
+///
+/// Implementations receive messages and timer wake-ups and respond by
+/// writing sends into the provided [`Outbox`]. The engine owns scheduling:
+/// after every callback it consults [`SimNode::next_deadline`] and arranges
+/// the next [`SimNode::on_tick`] accordingly.
+pub trait SimNode {
+    /// The message type this node exchanges.
+    type Msg;
+
+    /// A message has arrived on the (reliable, FIFO) link from `from`.
+    fn on_message(&mut self, now: Instant, from: ProcessId, msg: Self::Msg, out: &mut Outbox<Self::Msg>);
+
+    /// The engine woke the node at (or after) its requested deadline.
+    fn on_tick(&mut self, now: Instant, out: &mut Outbox<Self::Msg>) {
+        let _ = (now, out);
+    }
+
+    /// The next instant at which the node wants [`SimNode::on_tick`] to run,
+    /// or `None` if it has no pending timer.
+    fn next_deadline(&self) -> Option<Instant> {
+        None
+    }
+}
+
+/// Collects the sends a node produces while handling one event.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    sends: Vec<(ProcessId, M)>,
+}
+
+impl<M> Default for Outbox<M> {
+    fn default() -> Outbox<M> {
+        Outbox::new()
+    }
+}
+
+impl<M> Outbox<M> {
+    /// An empty outbox. Mostly useful for driving a [`SimNode`]
+    /// implementation directly in unit tests; inside a simulation the
+    /// engine provides the outbox.
+    #[must_use]
+    pub fn new() -> Outbox<M> {
+        Outbox { sends: Vec::new() }
+    }
+
+    /// Drains the queued `(destination, message)` pairs (test helper; the
+    /// engine consumes the outbox internally).
+    pub fn drain(&mut self) -> impl Iterator<Item = (ProcessId, M)> + '_ {
+        self.sends.drain(..)
+    }
+
+    /// Queues a unicast to `dst`. A multicast is a sequence of these; the
+    /// engine spaces consecutive sends by the configured send overhead, so
+    /// a crash can sever the sequence between destinations (Example 1 of
+    /// the paper needs exactly this failure mode).
+    pub fn send(&mut self, dst: ProcessId, msg: M) {
+        self.sends.push((dst, msg));
+    }
+
+    /// Number of sends queued so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sends.len()
+    }
+
+    /// Whether no sends are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sends.is_empty()
+    }
+}
+
+type CallFn<N> = Box<dyn FnOnce(&mut N, &mut Outbox<<N as SimNode>::Msg>)>;
+
+enum EventKind<N: SimNode> {
+    Deliver {
+        src: ProcessId,
+        dst: ProcessId,
+        departed: Instant,
+        msg: N::Msg,
+    },
+    Wake {
+        node: ProcessId,
+        epoch: u64,
+    },
+    Crash(ProcessId),
+    SetPartition(PartitionSpec, PartitionMode),
+    Heal,
+    Call(ProcessId, CallFn<N>),
+}
+
+struct Event<N: SimNode> {
+    at: Instant,
+    seq: u64,
+    kind: EventKind<N>,
+}
+
+impl<N: SimNode> PartialEq for Event<N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<N: SimNode> Eq for Event<N> {}
+impl<N: SimNode> PartialOrd for Event<N> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<N: SimNode> Ord for Event<N> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct NodeEntry<N> {
+    node: N,
+    crashed: bool,
+    wake_epoch: u64,
+    wake_at: Option<Instant>,
+}
+
+/// The deterministic discrete-event simulator.
+///
+/// See the [crate documentation](crate) for an overview and an example.
+pub struct Sim<N: SimNode> {
+    now: Instant,
+    seq: u64,
+    queue: BinaryHeap<Event<N>>,
+    nodes: BTreeMap<ProcessId, NodeEntry<N>>,
+    rng: StdRng,
+    config: NetConfig,
+    partition: PartitionSpec,
+    partition_mode: PartitionMode,
+    parked: BTreeMap<(ProcessId, ProcessId), VecDeque<(Instant, N::Msg)>>,
+    last_arrival: HashMap<(ProcessId, ProcessId), Instant>,
+    stats: NetStats,
+    sizer: Option<Box<dyn Fn(&N::Msg) -> usize>>,
+}
+
+impl<N: SimNode> Sim<N> {
+    /// Creates an empty simulation with the given network configuration.
+    #[must_use]
+    pub fn new(config: NetConfig) -> Sim<N> {
+        Sim {
+            now: Instant::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: BTreeMap::new(),
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+            partition: PartitionSpec::connected_all(),
+            partition_mode: PartitionMode::Loss,
+            parked: BTreeMap::new(),
+            last_arrival: HashMap::new(),
+            stats: NetStats::default(),
+            sizer: None,
+        }
+    }
+
+    /// Installs a function that reports the wire size of a message, enabling
+    /// the `bytes_sent` counter.
+    pub fn set_sizer(&mut self, sizer: impl Fn(&N::Msg) -> usize + 'static) {
+        self.sizer = Some(Box::new(sizer));
+    }
+
+    /// Adds a node. Panics if the id is already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate `id`.
+    pub fn add_node(&mut self, id: ProcessId, node: N) {
+        let deadline = node.next_deadline();
+        let prev = self.nodes.insert(
+            id,
+            NodeEntry {
+                node,
+                crashed: false,
+                wake_epoch: 0,
+                wake_at: None,
+            },
+        );
+        assert!(prev.is_none(), "duplicate node id {id}");
+        if deadline.is_some() {
+            self.refresh_wake(id);
+        }
+    }
+
+    /// Immutable access to a node's behaviour.
+    #[must_use]
+    pub fn node(&self, id: ProcessId) -> Option<&N> {
+        self.nodes.get(&id).map(|e| &e.node)
+    }
+
+    /// Mutable access to a node's behaviour (for inspection between runs;
+    /// sends produced outside callbacks are not observed). After mutating a
+    /// node this way, call [`Sim::poke`] so the engine re-reads its timer.
+    pub fn node_mut(&mut self, id: ProcessId) -> Option<&mut N> {
+        self.nodes.get_mut(&id).map(|e| &mut e.node)
+    }
+
+    /// Re-reads `id`'s [`SimNode::next_deadline`] and (re)schedules its
+    /// wake-up. Required after mutating a node through [`Sim::node_mut`],
+    /// because the engine otherwise only refreshes timers after events.
+    pub fn poke(&mut self, id: ProcessId) {
+        self.refresh_wake(id);
+    }
+
+    /// Iterates over `(id, node)` pairs.
+    pub fn nodes(&self) -> impl Iterator<Item = (ProcessId, &N)> {
+        self.nodes.iter().map(|(id, e)| (*id, &e.node))
+    }
+
+    /// Whether `id` has crashed.
+    #[must_use]
+    pub fn crashed(&self, id: ProcessId) -> bool {
+        self.nodes.get(&id).is_some_and(|e| e.crashed)
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Network counters.
+    #[must_use]
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// The current partition.
+    #[must_use]
+    pub fn partition(&self) -> &PartitionSpec {
+        &self.partition
+    }
+
+    fn push(&mut self, at: Instant, kind: EventKind<N>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Event { at, seq, kind });
+    }
+
+    /// Schedules a crash of `p` at time `at`. Messages that have not yet
+    /// departed `p`'s send pipeline by then are lost.
+    pub fn schedule_crash(&mut self, at: Instant, p: ProcessId) {
+        self.push(at, EventKind::Crash(p));
+    }
+
+    /// Schedules a partition to take effect at `at`.
+    pub fn schedule_partition(&mut self, at: Instant, spec: PartitionSpec, mode: PartitionMode) {
+        self.push(at, EventKind::SetPartition(spec, mode));
+    }
+
+    /// Schedules the network to heal (all nodes reconnected) at `at`.
+    pub fn schedule_heal(&mut self, at: Instant) {
+        self.push(at, EventKind::Heal);
+    }
+
+    /// Schedules an arbitrary call into node `p` at `at` — the hook through
+    /// which experiment scripts trigger application sends.
+    pub fn schedule_call(
+        &mut self,
+        at: Instant,
+        p: ProcessId,
+        f: impl FnOnce(&mut N, &mut Outbox<N::Msg>) + 'static,
+    ) {
+        self.push(at, EventKind::Call(p, Box::new(f)));
+    }
+
+    /// Runs the simulation up to and including events at `until`, then
+    /// advances the clock to `until`.
+    pub fn run_until(&mut self, until: Instant) {
+        while let Some(ev) = self.queue.peek() {
+            if ev.at > until {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event");
+            debug_assert!(ev.at >= self.now, "event time went backwards");
+            self.now = ev.at;
+            self.dispatch(ev);
+        }
+        self.now = until;
+    }
+
+    /// Runs for `span` beyond the current clock.
+    pub fn run_for(&mut self, span: Span) {
+        self.run_until(self.now + span);
+    }
+
+    /// Processes exactly one event, returning `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            None => false,
+            Some(ev) => {
+                self.now = ev.at;
+                self.dispatch(ev);
+                true
+            }
+        }
+    }
+
+    fn dispatch(&mut self, ev: Event<N>) {
+        match ev.kind {
+            EventKind::Deliver { src, dst, msg, .. } => {
+                let Some(entry) = self.nodes.get_mut(&dst) else {
+                    return;
+                };
+                if entry.crashed {
+                    self.stats.dropped_crash_dst += 1;
+                    return;
+                }
+                self.stats.delivered += 1;
+                let mut out = Outbox::new();
+                entry.node.on_message(self.now, src, msg, &mut out);
+                self.flush_outbox(dst, out);
+                self.refresh_wake(dst);
+            }
+            EventKind::Wake { node, epoch } => {
+                let Some(entry) = self.nodes.get_mut(&node) else {
+                    return;
+                };
+                if entry.crashed || entry.wake_epoch != epoch {
+                    return; // stale or dead
+                }
+                entry.wake_at = None;
+                let mut out = Outbox::new();
+                entry.node.on_tick(self.now, &mut out);
+                self.flush_outbox(node, out);
+                self.refresh_wake(node);
+            }
+            EventKind::Crash(p) => {
+                if let Some(entry) = self.nodes.get_mut(&p) {
+                    entry.crashed = true;
+                }
+                // Messages still in p's send pipeline (departure after the
+                // crash instant) never make it onto the wire.
+                let now = self.now;
+                let before = self.queue.len();
+                let kept: Vec<Event<N>> = self
+                    .queue
+                    .drain()
+                    .filter(|ev| match &ev.kind {
+                        EventKind::Deliver { src, departed, .. } => {
+                            !(*src == p && *departed > now)
+                        }
+                        _ => true,
+                    })
+                    .collect();
+                self.stats.dropped_crash_src += (before - kept.len()) as u64;
+                self.queue = kept.into_iter().collect();
+            }
+            EventKind::SetPartition(spec, mode) => {
+                self.partition = spec;
+                self.partition_mode = mode;
+                if self.partition.is_trivial() {
+                    return;
+                }
+                // In-flight messages crossing the new cut are lost (Loss)
+                // or parked until heal (Delay).
+                let mut kept: Vec<Event<N>> = Vec::with_capacity(self.queue.len());
+                let mut crossing: Vec<(Instant, u64, ProcessId, ProcessId, Instant, N::Msg)> =
+                    Vec::new();
+                for ev in self.queue.drain() {
+                    match ev.kind {
+                        EventKind::Deliver {
+                            src,
+                            dst,
+                            departed,
+                            msg,
+                        } if !self.partition.connected(src, dst) => {
+                            crossing.push((ev.at, ev.seq, src, dst, departed, msg));
+                        }
+                        kind => kept.push(Event { kind, ..ev }),
+                    }
+                }
+                self.queue = kept.into_iter().collect();
+                crossing.sort_by_key(|(at, seq, ..)| (*at, *seq));
+                for (_, _, src, dst, departed, msg) in crossing {
+                    match self.partition_mode {
+                        PartitionMode::Loss => self.stats.dropped_partition += 1,
+                        PartitionMode::Delay => {
+                            self.stats.parked += 1;
+                            self.parked
+                                .entry((src, dst))
+                                .or_default()
+                                .push_back((departed, msg));
+                        }
+                    }
+                }
+            }
+            EventKind::Heal => {
+                self.partition = PartitionSpec::connected_all();
+                let parked = std::mem::take(&mut self.parked);
+                for ((src, dst), queue) in parked {
+                    for (departed, msg) in queue {
+                        let arrival = self.now + self.config.latency.sample(&mut self.rng);
+                        let arrival = self.clamp_fifo(src, dst, arrival);
+                        self.push(
+                            arrival,
+                            EventKind::Deliver {
+                                src,
+                                dst,
+                                departed,
+                                msg,
+                            },
+                        );
+                    }
+                }
+            }
+            EventKind::Call(p, f) => {
+                let Some(entry) = self.nodes.get_mut(&p) else {
+                    return;
+                };
+                if entry.crashed {
+                    return;
+                }
+                let mut out = Outbox::new();
+                f(&mut entry.node, &mut out);
+                self.flush_outbox(p, out);
+                self.refresh_wake(p);
+            }
+        }
+    }
+
+    fn clamp_fifo(&mut self, src: ProcessId, dst: ProcessId, arrival: Instant) -> Instant {
+        let last = self.last_arrival.entry((src, dst)).or_insert(Instant::ZERO);
+        let clamped = if arrival <= *last {
+            *last + Span::from_micros(1)
+        } else {
+            arrival
+        };
+        *last = clamped;
+        clamped
+    }
+
+    fn flush_outbox(&mut self, src: ProcessId, out: Outbox<N::Msg>) {
+        for (i, (dst, msg)) in out.sends.into_iter().enumerate() {
+            let departed = self.now + self.config.send_overhead.saturating_mul(i as u64 + 1);
+            self.stats.sent += 1;
+            if let Some(sizer) = &self.sizer {
+                self.stats.bytes_sent += sizer(&msg) as u64;
+            }
+            if !self.partition.connected(src, dst) {
+                match self.partition_mode {
+                    PartitionMode::Loss => {
+                        self.stats.dropped_partition += 1;
+                        continue;
+                    }
+                    PartitionMode::Delay => {
+                        self.stats.parked += 1;
+                        self.parked
+                            .entry((src, dst))
+                            .or_default()
+                            .push_back((departed, msg));
+                        continue;
+                    }
+                }
+            }
+            let arrival = departed + self.config.latency.sample(&mut self.rng);
+            let arrival = self.clamp_fifo(src, dst, arrival);
+            self.push(
+                arrival,
+                EventKind::Deliver {
+                    src,
+                    dst,
+                    departed,
+                    msg,
+                },
+            );
+        }
+    }
+
+    fn refresh_wake(&mut self, id: ProcessId) {
+        let Some(entry) = self.nodes.get_mut(&id) else {
+            return;
+        };
+        if entry.crashed {
+            return;
+        }
+        let want = entry.node.next_deadline();
+        match want {
+            None => {
+                if entry.wake_at.is_some() {
+                    entry.wake_epoch += 1; // cancel outstanding wake
+                    entry.wake_at = None;
+                }
+            }
+            Some(d) => {
+                let d = if d <= self.now {
+                    self.now + Span::from_micros(1)
+                } else {
+                    d
+                };
+                if entry.wake_at == Some(d) {
+                    return;
+                }
+                entry.wake_epoch += 1;
+                entry.wake_at = Some(d);
+                let epoch = entry.wake_epoch;
+                self.push(d, EventKind::Wake { node: id, epoch });
+            }
+        }
+    }
+}
+
+impl<N: SimNode> std::fmt::Debug for Sim<N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("queued", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LatencyModel;
+
+    /// Records every message it receives, tagged with arrival time.
+    struct Recorder {
+        seen: Vec<(Instant, ProcessId, u64)>,
+        ticks: u32,
+        deadline: Option<Instant>,
+    }
+
+    impl Recorder {
+        fn new() -> Recorder {
+            Recorder {
+                seen: Vec::new(),
+                ticks: 0,
+                deadline: None,
+            }
+        }
+    }
+
+    impl SimNode for Recorder {
+        type Msg = u64;
+        fn on_message(&mut self, now: Instant, from: ProcessId, msg: u64, _out: &mut Outbox<u64>) {
+            self.seen.push((now, from, msg));
+        }
+        fn on_tick(&mut self, _now: Instant, _out: &mut Outbox<u64>) {
+            self.ticks += 1;
+            self.deadline = None;
+        }
+        fn next_deadline(&self) -> Option<Instant> {
+            self.deadline
+        }
+    }
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn two_node_sim(seed: u64, latency: LatencyModel) -> Sim<Recorder> {
+        let mut sim = Sim::new(NetConfig::new(seed).with_latency(latency));
+        sim.add_node(p(1), Recorder::new());
+        sim.add_node(p(2), Recorder::new());
+        sim
+    }
+
+    #[test]
+    fn fifo_preserved_under_random_latency() {
+        let mut sim = two_node_sim(
+            42,
+            LatencyModel::Uniform {
+                lo: Span::from_micros(10),
+                hi: Span::from_micros(5_000),
+            },
+        );
+        sim.schedule_call(Instant::ZERO, p(1), |_, out| {
+            for k in 0..100u64 {
+                out.send(p(2), k);
+            }
+        });
+        sim.run_until(Instant::from_micros(1_000_000));
+        let seen: Vec<u64> = sim.node(p(2)).unwrap().seen.iter().map(|s| s.2).collect();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>(), "link must be FIFO");
+    }
+
+    #[test]
+    fn crash_drops_undeparted_sends_only() {
+        // Send overhead 10µs; crash at 25µs severs a 5-destination multicast
+        // after the second departure.
+        let mut sim: Sim<Recorder> = Sim::new(
+            NetConfig::new(1)
+                .with_latency(LatencyModel::Fixed(Span::from_micros(100)))
+                .with_send_overhead(Span::from_micros(10)),
+        );
+        for i in 1..=6 {
+            sim.add_node(p(i), Recorder::new());
+        }
+        sim.schedule_call(Instant::ZERO, p(1), |_, out| {
+            for i in 2..=6 {
+                out.send(p(i), 7);
+            }
+        });
+        sim.schedule_crash(Instant::from_micros(25), p(1));
+        sim.run_until(Instant::from_micros(10_000));
+        let received: Vec<bool> = (2..=6)
+            .map(|i| !sim.node(p(i)).unwrap().seen.is_empty())
+            .collect();
+        assert_eq!(received, vec![true, true, false, false, false]);
+        assert_eq!(sim.stats().dropped_crash_src, 3);
+        assert!(sim.crashed(p(1)));
+    }
+
+    #[test]
+    fn messages_to_crashed_node_are_dropped() {
+        let mut sim = two_node_sim(3, LatencyModel::Fixed(Span::from_millis(1)));
+        sim.schedule_crash(Instant::from_micros(10), p(2));
+        sim.schedule_call(Instant::from_micros(100), p(1), |_, out| {
+            out.send(p(2), 1);
+        });
+        sim.run_until(Instant::from_micros(100_000));
+        assert!(sim.node(p(2)).unwrap().seen.is_empty());
+        assert_eq!(sim.stats().dropped_crash_dst, 1);
+    }
+
+    #[test]
+    fn loss_partition_drops_crossing_sends_and_inflight() {
+        let mut sim = two_node_sim(4, LatencyModel::Fixed(Span::from_millis(10)));
+        // In-flight message at partition time is lost.
+        sim.schedule_call(Instant::ZERO, p(1), |_, out| out.send(p(2), 1));
+        sim.schedule_partition(
+            Instant::from_micros(1_000),
+            PartitionSpec::split([p(1)]),
+            PartitionMode::Loss,
+        );
+        // Message sent during the partition is lost too.
+        sim.schedule_call(Instant::from_micros(2_000), p(1), |_, out| {
+            out.send(p(2), 2)
+        });
+        sim.schedule_heal(Instant::from_micros(50_000));
+        // After healing, traffic flows again.
+        sim.schedule_call(Instant::from_micros(60_000), p(1), |_, out| {
+            out.send(p(2), 3)
+        });
+        sim.run_until(Instant::from_micros(200_000));
+        let seen: Vec<u64> = sim.node(p(2)).unwrap().seen.iter().map(|s| s.2).collect();
+        assert_eq!(seen, vec![3]);
+        assert_eq!(sim.stats().dropped_partition, 2);
+    }
+
+    #[test]
+    fn delay_partition_parks_and_releases_in_order() {
+        let mut sim = two_node_sim(5, LatencyModel::Fixed(Span::from_millis(1)));
+        sim.schedule_partition(
+            Instant::ZERO,
+            PartitionSpec::split([p(1)]),
+            PartitionMode::Delay,
+        );
+        sim.schedule_call(Instant::from_micros(10), p(1), |_, out| {
+            out.send(p(2), 1);
+            out.send(p(2), 2);
+        });
+        sim.schedule_call(Instant::from_micros(20), p(1), |_, out| {
+            out.send(p(2), 3);
+        });
+        sim.schedule_heal(Instant::from_micros(5_000));
+        sim.run_until(Instant::from_micros(100_000));
+        let seen: Vec<u64> = sim.node(p(2)).unwrap().seen.iter().map(|s| s.2).collect();
+        assert_eq!(seen, vec![1, 2, 3]);
+        assert!(sim.node(p(2)).unwrap().seen[0].0 >= Instant::from_micros(5_000));
+        assert_eq!(sim.stats().parked, 3);
+    }
+
+    #[test]
+    fn wake_fires_at_deadline_once() {
+        let mut sim: Sim<Recorder> = Sim::new(NetConfig::new(6));
+        sim.add_node(p(1), Recorder::new());
+        sim.schedule_call(Instant::ZERO, p(1), |n, _| {
+            n.deadline = Some(Instant::from_micros(500));
+        });
+        sim.run_until(Instant::from_micros(10_000));
+        assert_eq!(sim.node(p(1)).unwrap().ticks, 1);
+    }
+
+    #[test]
+    fn deterministic_replay_with_same_seed() {
+        let run = |seed: u64| {
+            let mut sim = two_node_sim(
+                seed,
+                LatencyModel::Uniform {
+                    lo: Span::from_micros(5),
+                    hi: Span::from_micros(900),
+                },
+            );
+            sim.schedule_call(Instant::ZERO, p(1), |_, out| {
+                for k in 0..20 {
+                    out.send(p(2), k);
+                }
+            });
+            sim.run_until(Instant::from_micros(100_000));
+            sim.node(p(2)).unwrap().seen.clone()
+        };
+        assert_eq!(run(99), run(99));
+        // Different seeds should (overwhelmingly) differ in timing.
+        assert_ne!(run(99), run(100));
+    }
+
+    #[test]
+    fn call_on_crashed_node_is_ignored() {
+        let mut sim = two_node_sim(7, LatencyModel::default());
+        sim.schedule_crash(Instant::ZERO, p(1));
+        sim.schedule_call(Instant::from_micros(5), p(1), |_, out| {
+            out.send(p(2), 1);
+        });
+        sim.run_until(Instant::from_micros(10_000));
+        assert!(sim.node(p(2)).unwrap().seen.is_empty());
+        assert_eq!(sim.stats().sent, 0);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_without_events() {
+        let mut sim: Sim<Recorder> = Sim::new(NetConfig::new(8));
+        sim.run_until(Instant::from_micros(1234));
+        assert_eq!(sim.now(), Instant::from_micros(1234));
+        assert!(!sim.step());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node id")]
+    fn duplicate_node_panics() {
+        let mut sim: Sim<Recorder> = Sim::new(NetConfig::new(9));
+        sim.add_node(p(1), Recorder::new());
+        sim.add_node(p(1), Recorder::new());
+    }
+
+    #[test]
+    fn sizer_counts_bytes() {
+        let mut sim = two_node_sim(10, LatencyModel::default());
+        sim.set_sizer(|_m| 11);
+        sim.schedule_call(Instant::ZERO, p(1), |_, out| {
+            out.send(p(2), 1);
+            out.send(p(2), 2);
+        });
+        sim.run_until(Instant::from_micros(10_000));
+        assert_eq!(sim.stats().bytes_sent, 22);
+    }
+}

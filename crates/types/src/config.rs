@@ -1,0 +1,233 @@
+//! Protocol configuration: ordering mode, delivery mode and the paper's
+//! tunable timeouts (ω, Ω) plus the flow-control window of §7/[11].
+
+use crate::error::ConfigError;
+use crate::Span;
+use serde::{Deserialize, Serialize};
+
+/// Which total-order variant a group runs (§4).
+///
+/// A multi-group process may use different modes in different groups
+/// (the *generic* version, §4.3); the shared message-numbering scheme makes
+/// the mix sound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum OrderMode {
+    /// All members multicast directly; a message is deliverable once a
+    /// message with an equal-or-greater number has been received from every
+    /// member of every group (§4.1, conditions *safe1'*/*safe2*).
+    #[default]
+    Symmetric,
+    /// Members unicast to a deterministically chosen sequencer which relays
+    /// in receipt order (§4.2). Subject to the send-blocking rule for
+    /// multi-group members.
+    Asymmetric,
+}
+
+/// What delivery guarantee a group provides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum DeliveryMode {
+    /// Causality-preserving total order (MD4/MD4'), the Newtop default.
+    #[default]
+    Total,
+    /// Atomic-only delivery (§2): all-or-nothing among surviving mutually
+    /// connected members, delivered in receipt order, bypassing the
+    /// logical-clock ordering stage. No view-synchronous cut is provided in
+    /// this mode (the paper claims only "all the functioning members of a
+    /// group are delivered a multicast" for it).
+    Atomic,
+}
+
+/// Per-group protocol parameters.
+///
+/// # Examples
+///
+/// ```
+/// use newtop_types::{GroupConfig, OrderMode, Span};
+/// let cfg = GroupConfig::new(OrderMode::Symmetric)
+///     .with_omega(Span::from_millis(20))
+///     .with_big_omega(Span::from_millis(200));
+/// assert!(cfg.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GroupConfig {
+    /// Ordering variant the group runs.
+    pub mode: OrderMode,
+    /// Delivery guarantee the group provides.
+    pub delivery: DeliveryMode,
+    /// Time-silence interval ω (§4.1): a process sends a null message in the
+    /// group if it has sent nothing for ω.
+    pub omega: Span,
+    /// Suspicion timeout Ω (§5.2): the failure suspector suspects a member
+    /// after Ω without receiving any of its messages. Must exceed ω; "in
+    /// practice, Ω should be tuned to a value that minimises the possibility
+    /// of unfounded suspicions".
+    pub big_omega: Span,
+    /// Flow-control window (§7, detailed in the companion thesis, reference 11 of the paper): the maximum
+    /// number of *unstable* own application messages a member may have
+    /// outstanding in the group before further sends are queued locally.
+    /// `None` disables flow control.
+    pub flow_window: Option<u32>,
+}
+
+impl GroupConfig {
+    /// Creates a configuration with the given ordering mode and defaults:
+    /// total-order delivery, ω = 10 ms, Ω = 100 ms, no flow control.
+    #[must_use]
+    pub fn new(mode: OrderMode) -> GroupConfig {
+        GroupConfig {
+            mode,
+            delivery: DeliveryMode::Total,
+            omega: Span::from_millis(10),
+            big_omega: Span::from_millis(100),
+            flow_window: None,
+        }
+    }
+
+    /// Sets the time-silence interval ω.
+    #[must_use]
+    pub fn with_omega(mut self, omega: Span) -> GroupConfig {
+        self.omega = omega;
+        self
+    }
+
+    /// Sets the suspicion timeout Ω.
+    #[must_use]
+    pub fn with_big_omega(mut self, big_omega: Span) -> GroupConfig {
+        self.big_omega = big_omega;
+        self
+    }
+
+    /// Sets the delivery mode.
+    #[must_use]
+    pub fn with_delivery(mut self, delivery: DeliveryMode) -> GroupConfig {
+        self.delivery = delivery;
+        self
+    }
+
+    /// Sets the flow-control window.
+    #[must_use]
+    pub fn with_flow_window(mut self, window: u32) -> GroupConfig {
+        self.flow_window = Some(window);
+        self
+    }
+
+    /// Checks the paper's constraint Ω > ω and that the window is non-zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::TimeoutsInverted`] if `big_omega <= omega`, and
+    /// [`ConfigError::ZeroWindow`] if a flow window of zero is configured
+    /// (it would block every send forever).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.big_omega <= self.omega {
+            return Err(ConfigError::TimeoutsInverted {
+                omega: self.omega,
+                big_omega: self.big_omega,
+            });
+        }
+        if self.flow_window == Some(0) {
+            return Err(ConfigError::ZeroWindow);
+        }
+        Ok(())
+    }
+}
+
+impl Default for GroupConfig {
+    fn default() -> GroupConfig {
+        GroupConfig::new(OrderMode::Symmetric)
+    }
+}
+
+/// Per-process parameters (shared across all of the process's groups).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProcessConfig {
+    /// How long the initiator of a group formation waits for votes before
+    /// vetoing (§5.3 step 3: "within some time duration").
+    pub formation_timeout: Span,
+}
+
+impl ProcessConfig {
+    /// Default: a one-second formation timeout.
+    #[must_use]
+    pub fn new() -> ProcessConfig {
+        ProcessConfig {
+            formation_timeout: Span::from_secs(1),
+        }
+    }
+
+    /// Sets the formation timeout.
+    #[must_use]
+    pub fn with_formation_timeout(mut self, timeout: Span) -> ProcessConfig {
+        self.formation_timeout = timeout;
+        self
+    }
+}
+
+impl Default for ProcessConfig {
+    fn default() -> ProcessConfig {
+        ProcessConfig::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        assert!(GroupConfig::default().validate().is_ok());
+        assert_eq!(GroupConfig::default().mode, OrderMode::Symmetric);
+        assert_eq!(GroupConfig::default().delivery, DeliveryMode::Total);
+    }
+
+    #[test]
+    fn inverted_timeouts_rejected() {
+        let cfg = GroupConfig::new(OrderMode::Symmetric)
+            .with_omega(Span::from_millis(100))
+            .with_big_omega(Span::from_millis(50));
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::TimeoutsInverted { .. })
+        ));
+    }
+
+    #[test]
+    fn equal_timeouts_rejected() {
+        let cfg = GroupConfig::new(OrderMode::Symmetric)
+            .with_omega(Span::from_millis(50))
+            .with_big_omega(Span::from_millis(50));
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_window_rejected() {
+        let cfg = GroupConfig::new(OrderMode::Asymmetric).with_flow_window(0);
+        assert!(matches!(cfg.validate(), Err(ConfigError::ZeroWindow)));
+        let ok = GroupConfig::new(OrderMode::Asymmetric).with_flow_window(4);
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let cfg = GroupConfig::new(OrderMode::Asymmetric)
+            .with_delivery(DeliveryMode::Atomic)
+            .with_omega(Span::from_millis(1))
+            .with_big_omega(Span::from_millis(9))
+            .with_flow_window(16);
+        assert_eq!(cfg.mode, OrderMode::Asymmetric);
+        assert_eq!(cfg.delivery, DeliveryMode::Atomic);
+        assert_eq!(cfg.omega, Span::from_millis(1));
+        assert_eq!(cfg.big_omega, Span::from_millis(9));
+        assert_eq!(cfg.flow_window, Some(16));
+    }
+
+    #[test]
+    fn process_config_default() {
+        assert_eq!(
+            ProcessConfig::default().formation_timeout,
+            Span::from_secs(1)
+        );
+        let p = ProcessConfig::new().with_formation_timeout(Span::from_millis(5));
+        assert_eq!(p.formation_timeout, Span::from_millis(5));
+    }
+}

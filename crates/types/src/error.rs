@@ -1,0 +1,124 @@
+//! Error types (C-GOOD-ERR): meaningful, `Error + Send + Sync`, lowercase
+//! messages without trailing punctuation.
+
+use crate::{GroupId, Span};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Invalid protocol configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConfigError {
+    /// The suspicion timeout Ω must strictly exceed the time-silence
+    /// interval ω (§5.2 requires Ω > ω).
+    TimeoutsInverted {
+        /// Configured time-silence interval.
+        omega: Span,
+        /// Configured suspicion timeout.
+        big_omega: Span,
+    },
+    /// A flow-control window of zero would block every send forever.
+    ZeroWindow,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::TimeoutsInverted { omega, big_omega } => write!(
+                f,
+                "suspicion timeout Ω ({big_omega}) must exceed time-silence interval ω ({omega})"
+            ),
+            ConfigError::ZeroWindow => write!(f, "flow-control window must be at least one"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// A send request the protocol engine cannot accept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SendError {
+    /// The process is not (or no longer) a member of the group.
+    NotMember {
+        /// The group addressed by the send.
+        group: GroupId,
+    },
+    /// The process has departed the group and may no longer multicast in it.
+    Departed {
+        /// The group addressed by the send.
+        group: GroupId,
+    },
+}
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendError::NotMember { group } => {
+                write!(f, "process is not a member of {group}")
+            }
+            SendError::Departed { group } => {
+                write!(f, "process has departed {group} and may no longer send in it")
+            }
+        }
+    }
+}
+
+impl Error for SendError {}
+
+/// A malformed wire frame.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DecodeError {
+    /// The frame ended before the announced content.
+    Truncated,
+    /// A variable-length integer exceeded 64 bits.
+    VarintOverflow,
+    /// An unknown discriminant tag was encountered.
+    UnknownTag {
+        /// The offending tag byte.
+        tag: u8,
+        /// What was being decoded.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "frame truncated before announced content"),
+            DecodeError::VarintOverflow => write!(f, "variable-length integer exceeds 64 bits"),
+            DecodeError::UnknownTag { tag, context } => {
+                write!(f, "unknown tag {tag:#04x} while decoding {context}")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_period() {
+        let e = ConfigError::ZeroWindow.to_string();
+        assert!(e.starts_with("flow"));
+        assert!(!e.ends_with('.'));
+        let s = SendError::NotMember { group: GroupId(2) }.to_string();
+        assert!(s.contains("g2"));
+        let d = DecodeError::UnknownTag {
+            tag: 0xff,
+            context: "body",
+        }
+        .to_string();
+        assert!(d.contains("0xff"));
+    }
+
+    #[test]
+    fn errors_are_send_sync_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ConfigError>();
+        assert_err::<SendError>();
+        assert_err::<DecodeError>();
+    }
+}

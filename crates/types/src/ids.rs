@@ -1,0 +1,186 @@
+//! Identifier newtypes (C-NEWTYPE): processes, groups, view sequence numbers
+//! and message sequence numbers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identity of a protocol participant ("member process" in the paper).
+///
+/// Process identifiers are totally ordered; the order is used by the
+/// deterministic sequencer-selection function of the asymmetric protocol
+/// (§4.2: "using a deterministic algorithm, so processes that have the same
+/// view are guaranteed to choose the same sequencer") and by the fixed
+/// tie-break of delivery condition *safe2*.
+///
+/// # Examples
+///
+/// ```
+/// use newtop_types::ProcessId;
+/// let p1 = ProcessId(1);
+/// let p2 = ProcessId(2);
+/// assert!(p1 < p2);
+/// assert_eq!(p1.to_string(), "P1");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ProcessId(pub u32);
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identity of a process group.
+///
+/// A process may belong to many groups simultaneously (`G_i` in the paper);
+/// group identifiers distinguish the per-group state kept by each member.
+///
+/// # Examples
+///
+/// ```
+/// use newtop_types::GroupId;
+/// assert_eq!(GroupId(3).to_string(), "g3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct GroupId(pub u32);
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Sequence number of an installed membership view (the `r` of `V^r_{x,i}`).
+///
+/// Views are installed in strictly increasing sequence per group per process;
+/// property VC1 states that two processes which never suspect each other
+/// install identical view sequences.
+///
+/// # Examples
+///
+/// ```
+/// use newtop_types::ViewSeq;
+/// let v0 = ViewSeq(0);
+/// assert_eq!(v0.next(), ViewSeq(1));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ViewSeq(pub u32);
+
+impl ViewSeq {
+    /// The view sequence that follows this one.
+    #[must_use]
+    pub fn next(self) -> ViewSeq {
+        ViewSeq(self.0 + 1)
+    }
+}
+
+impl fmt::Display for ViewSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "V{}", self.0)
+    }
+}
+
+/// Message sequence number: the value of a Lamport logical clock (`m.c`).
+///
+/// Assigned by counter-advance rule CA1 on send and folded into the
+/// receiver's clock by CA2 on receive (§4.1). `Msn` is also the unit of the
+/// receive vectors, stability vectors and the deliverability bound `D_i`.
+///
+/// The special value [`Msn::INFINITY`] encodes the paper's
+/// `RV[k] := ∞; SV[k] := ∞` assignment of view-installation step (viii):
+/// an entry that no longer constrains the minimum.
+///
+/// # Examples
+///
+/// ```
+/// use newtop_types::Msn;
+/// let a = Msn(5);
+/// assert!(a < Msn::INFINITY);
+/// assert_eq!(a.max(Msn(3)), Msn(5));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Msn(pub u64);
+
+impl Msn {
+    /// The zero sequence number; receive vectors start here.
+    pub const ZERO: Msn = Msn(0);
+
+    /// Sentinel for "entry excluded from minimum computations"
+    /// (the `∞` of view-installation step (viii)).
+    pub const INFINITY: Msn = Msn(u64::MAX);
+
+    /// The next sequence number (CA1 increments by one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if incrementing would collide with [`Msn::INFINITY`]; a
+    /// logical clock can never legitimately reach that value.
+    #[must_use]
+    pub fn next(self) -> Msn {
+        assert!(
+            self.0 < u64::MAX - 1,
+            "logical clock overflow approaching the infinity sentinel"
+        );
+        Msn(self.0 + 1)
+    }
+
+    /// Whether this entry is the `∞` sentinel.
+    #[must_use]
+    pub fn is_infinite(self) -> bool {
+        self == Msn::INFINITY
+    }
+}
+
+impl fmt::Display for Msn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "∞")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_ids_order_and_display() {
+        assert!(ProcessId(1) < ProcessId(10));
+        assert_eq!(ProcessId(10).to_string(), "P10");
+    }
+
+    #[test]
+    fn group_id_display() {
+        assert_eq!(GroupId(0).to_string(), "g0");
+    }
+
+    #[test]
+    fn view_seq_next_increments() {
+        assert_eq!(ViewSeq(41).next(), ViewSeq(42));
+    }
+
+    #[test]
+    fn msn_ordering_and_infinity() {
+        assert!(Msn(100) < Msn::INFINITY);
+        assert!(Msn::INFINITY.is_infinite());
+        assert!(!Msn(0).is_infinite());
+        assert_eq!(Msn(7).next(), Msn(8));
+        assert_eq!(Msn::INFINITY.to_string(), "∞");
+    }
+
+    #[test]
+    #[should_panic(expected = "logical clock overflow")]
+    fn msn_next_panics_near_infinity() {
+        let _ = Msn(u64::MAX - 1).next();
+    }
+}

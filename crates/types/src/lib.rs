@@ -1,0 +1,49 @@
+//! Shared vocabulary types for the Newtop group-communication protocol suite.
+//!
+//! This crate defines the identifiers, logical-time scalars, view types,
+//! message model, configuration and compact wire codec used by every other
+//! crate in the workspace. It corresponds to the vocabulary of §3 ("Basic
+//! Concepts") of the paper:
+//!
+//! > P. D. Ezhilchelvan, R. A. Macêdo, S. K. Shrivastava,
+//! > *Newtop: A Fault-Tolerant Group Communication Protocol*, ICDCS 1995.
+//!
+//! Nothing in this crate performs I/O or holds protocol state; it is pure
+//! data. The protocol engine lives in `newtop-core`, the simulated network
+//! in `newtop-sim`, and the threaded runtime in `newtop-runtime`.
+//!
+//! # Examples
+//!
+//! ```
+//! use newtop_types::{GroupId, Message, MessageBody, Msn, ProcessId};
+//!
+//! let m = Message {
+//!     group: GroupId(7),
+//!     sender: ProcessId(1),
+//!     c: Msn(42),
+//!     ldn: Msn(40),
+//!     body: MessageBody::App(bytes::Bytes::from_static(b"state update")),
+//! };
+//! assert!(m.is_app());
+//! assert_eq!(m.c, Msn(42));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+mod ids;
+mod message;
+mod time;
+mod view;
+pub mod wire;
+
+pub use config::{DeliveryMode, GroupConfig, OrderMode, ProcessConfig};
+pub use error::{ConfigError, DecodeError, SendError};
+pub use ids::{GroupId, Msn, ProcessId, ViewSeq};
+pub use message::{
+    ControlMessage, Envelope, FormationDecision, Message, MessageBody, Suspicion,
+};
+pub use time::{Instant, Span};
+pub use view::{SignedView, View};

@@ -1,0 +1,191 @@
+//! Logical wall-time scalars shared by the simulator and the runtime.
+//!
+//! The paper assumes an asynchronous system, but its liveness mechanisms
+//! (time-silence ω, suspicion timeout Ω) are driven by local timers. We
+//! represent time as a microsecond counter so that the same protocol code
+//! runs unchanged under virtual (simulated) and wall-clock time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in (virtual or wall) time, in microseconds from an arbitrary epoch.
+///
+/// # Examples
+///
+/// ```
+/// use newtop_types::{Instant, Span};
+/// let t = Instant::ZERO + Span::from_millis(5);
+/// assert_eq!(t, Instant::from_micros(5_000));
+/// assert_eq!(t - Instant::ZERO, Span::from_millis(5));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Instant(u64);
+
+impl Instant {
+    /// The epoch.
+    pub const ZERO: Instant = Instant(0);
+
+    /// An instant later than every reachable instant (for deadline sentinels).
+    pub const FAR_FUTURE: Instant = Instant(u64::MAX);
+
+    /// Creates an instant `micros` microseconds after the epoch.
+    #[must_use]
+    pub fn from_micros(micros: u64) -> Instant {
+        Instant(micros)
+    }
+
+    /// Microseconds since the epoch.
+    #[must_use]
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Time elapsed since `earlier`, saturating at zero.
+    #[must_use]
+    pub fn saturating_since(self, earlier: Instant) -> Span {
+        Span(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<Span> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: Span) -> Instant {
+        Instant(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Span> for Instant {
+    fn add_assign(&mut self, rhs: Span) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Span;
+    fn sub(self, rhs: Instant) -> Span {
+        assert!(self.0 >= rhs.0, "instant subtraction went negative");
+        Span(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}µs", self.0)
+    }
+}
+
+/// A length of (virtual or wall) time, in microseconds.
+///
+/// # Examples
+///
+/// ```
+/// use newtop_types::Span;
+/// assert!(Span::from_millis(2) > Span::from_micros(1999));
+/// assert_eq!(Span::from_millis(1).as_micros(), 1000);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Span(u64);
+
+impl Span {
+    /// The empty span.
+    pub const ZERO: Span = Span(0);
+
+    /// Creates a span of `micros` microseconds.
+    #[must_use]
+    pub fn from_micros(micros: u64) -> Span {
+        Span(micros)
+    }
+
+    /// Creates a span of `millis` milliseconds.
+    #[must_use]
+    pub fn from_millis(millis: u64) -> Span {
+        Span(millis.saturating_mul(1_000))
+    }
+
+    /// Creates a span of `secs` seconds.
+    #[must_use]
+    pub fn from_secs(secs: u64) -> Span {
+        Span(secs.saturating_mul(1_000_000))
+    }
+
+    /// The span in microseconds.
+    #[must_use]
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The span as fractional milliseconds (for reporting).
+    #[must_use]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Multiplies the span by an integer factor, saturating.
+    #[must_use]
+    pub fn saturating_mul(self, factor: u64) -> Span {
+        Span(self.0.saturating_mul(factor))
+    }
+
+    /// Converts to a [`std::time::Duration`] (for the wall-clock runtime).
+    #[must_use]
+    pub fn to_duration(self) -> std::time::Duration {
+        std::time::Duration::from_micros(self.0)
+    }
+}
+
+impl Add for Span {
+    type Output = Span;
+    fn add(self, rhs: Span) -> Span {
+        Span(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}µs", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = Instant::ZERO + Span::from_millis(3);
+        assert_eq!(t.as_micros(), 3_000);
+        assert_eq!(t - Instant::ZERO, Span::from_millis(3));
+        assert_eq!(t.saturating_since(Instant::from_micros(5_000)), Span::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn sub_panics_when_negative() {
+        let _ = Instant::ZERO - Instant::from_micros(1);
+    }
+
+    #[test]
+    fn span_constructors_agree() {
+        assert_eq!(Span::from_secs(1), Span::from_millis(1_000));
+        assert_eq!(Span::from_millis(1), Span::from_micros(1_000));
+        assert_eq!(Span::from_millis(2).as_millis_f64(), 2.0);
+    }
+
+    #[test]
+    fn far_future_dominates() {
+        assert!(Instant::FAR_FUTURE > Instant::from_micros(u64::MAX - 1));
+    }
+
+    #[test]
+    fn span_to_duration() {
+        assert_eq!(
+            Span::from_millis(7).to_duration(),
+            std::time::Duration::from_millis(7)
+        );
+    }
+}

@@ -1,0 +1,259 @@
+//! Membership views and the never-intersecting *signed view* extension.
+
+use crate::{ProcessId, ViewSeq};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An installed membership view `V^r_{x,i}`: the set of processes a member
+/// currently believes to be the functioning membership of a group.
+///
+/// Views only ever shrink (§3: "a new view will always be a proper subset of
+/// the old view(s) since processes do not join the group they have departed";
+/// growth happens by forming a *new* group instead).
+///
+/// # Examples
+///
+/// ```
+/// use newtop_types::{ProcessId, View, ViewSeq};
+/// let v0 = View::initial([ProcessId(1), ProcessId(2), ProcessId(3)]);
+/// assert_eq!(v0.seq(), ViewSeq(0));
+/// let v1 = v0.excluding([ProcessId(2)].into_iter().collect());
+/// assert_eq!(v1.seq(), ViewSeq(1));
+/// assert!(!v1.contains(ProcessId(2)));
+/// assert_eq!(v1.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct View {
+    seq: ViewSeq,
+    members: BTreeSet<ProcessId>,
+}
+
+impl View {
+    /// Creates the initial view `V0` of a freshly formed group.
+    pub fn initial<I: IntoIterator<Item = ProcessId>>(members: I) -> View {
+        View {
+            seq: ViewSeq(0),
+            members: members.into_iter().collect(),
+        }
+    }
+
+    /// The installation sequence number of this view.
+    #[must_use]
+    pub fn seq(&self) -> ViewSeq {
+        self.seq
+    }
+
+    /// The member set.
+    #[must_use]
+    pub fn members(&self) -> &BTreeSet<ProcessId> {
+        &self.members
+    }
+
+    /// Whether `p` belongs to this view.
+    #[must_use]
+    pub fn contains(&self, p: ProcessId) -> bool {
+        self.members.contains(&p)
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the view is empty (a fully collapsed group).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Iterates over the members in ascending [`ProcessId`] order.
+    pub fn iter(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// The next view, with `excluded` removed and the sequence advanced.
+    ///
+    /// This is the `V := V − F` of view-installation step (viii). Members of
+    /// `excluded` not present in the view are ignored.
+    #[must_use]
+    pub fn excluding(&self, excluded: BTreeSet<ProcessId>) -> View {
+        View {
+            seq: self.seq.next(),
+            members: self.members.difference(&excluded).copied().collect(),
+        }
+    }
+
+    /// Deterministic sequencer choice for the asymmetric protocol (§4.2):
+    /// the smallest process identifier of the view.
+    ///
+    /// Processes holding the same view are guaranteed to pick the same
+    /// sequencer. Returns `None` for an empty view.
+    #[must_use]
+    pub fn sequencer(&self) -> Option<ProcessId> {
+        self.members.iter().next().copied()
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{{", self.seq)?;
+        for (i, m) in self.members.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A *signed view* `ϑ_i = {{P_j, e_i}}` (§6, after Schiper & Ricciardi):
+/// the member set tagged with the holder's cumulative exclusion count.
+///
+/// Two signed views intersect only if they share a `(process, count)` pair,
+/// which makes concurrent views of diverging subgroups *never*-intersecting
+/// rather than merely eventually non-intersecting.
+///
+/// # Examples
+///
+/// Reproduces the paper's §6 worked example: after a five-member group
+/// partitions, `{Pi,Pj}` (having excluded three processes) and
+/// `{Pi,Pj,Pk,Pl}` (having excluded one) do not intersect even though the
+/// raw member sets do:
+///
+/// ```
+/// use newtop_types::{ProcessId, SignedView};
+/// let ij: SignedView = SignedView::new([ProcessId(1), ProcessId(2)], 3);
+/// let klij = SignedView::new(
+///     [ProcessId(1), ProcessId(2), ProcessId(3), ProcessId(4)],
+///     1,
+/// );
+/// assert!(!ij.intersects(&klij));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SignedView {
+    members: BTreeSet<ProcessId>,
+    excluded_count: u32,
+}
+
+impl SignedView {
+    /// Creates a signed view from a member set and the holder's cumulative
+    /// exclusion count `e_i`.
+    pub fn new<I: IntoIterator<Item = ProcessId>>(members: I, excluded_count: u32) -> SignedView {
+        SignedView {
+            members: members.into_iter().collect(),
+            excluded_count,
+        }
+    }
+
+    /// The member set.
+    #[must_use]
+    pub fn members(&self) -> &BTreeSet<ProcessId> {
+        &self.members
+    }
+
+    /// The holder's cumulative exclusion count (`e_i` in §6).
+    #[must_use]
+    pub fn excluded_count(&self) -> u32 {
+        self.excluded_count
+    }
+
+    /// The signature set `{(P_j, e_i)}` this view denotes.
+    pub fn signatures(&self) -> impl Iterator<Item = (ProcessId, u32)> + '_ {
+        self.members.iter().map(move |p| (*p, self.excluded_count))
+    }
+
+    /// Whether two signed views share any `(process, count)` signature.
+    #[must_use]
+    pub fn intersects(&self, other: &SignedView) -> bool {
+        self.excluded_count == other.excluded_count
+            && self.members.intersection(&other.members).next().is_some()
+    }
+}
+
+impl fmt::Display for SignedView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ϑ{{")?;
+        for (i, m) in self.members.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "({m},{})", self.excluded_count)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    #[test]
+    fn initial_view_is_seq_zero() {
+        let v = View::initial([p(1), p(2)]);
+        assert_eq!(v.seq(), ViewSeq(0));
+        assert_eq!(v.len(), 2);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn excluding_advances_seq_and_removes() {
+        let v = View::initial([p(1), p(2), p(3)]);
+        let v1 = v.excluding([p(3), p(9)].into_iter().collect());
+        assert_eq!(v1.seq(), ViewSeq(1));
+        assert!(v1.contains(p(1)));
+        assert!(!v1.contains(p(3)));
+        assert_eq!(v1.len(), 2);
+    }
+
+    #[test]
+    fn sequencer_is_min_member() {
+        let v = View::initial([p(5), p(2), p(9)]);
+        assert_eq!(v.sequencer(), Some(p(2)));
+        let empty = v.excluding([p(5), p(2), p(9)].into_iter().collect());
+        assert_eq!(empty.sequencer(), None);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn view_display_is_compact() {
+        let v = View::initial([p(1), p(2)]);
+        assert_eq!(v.to_string(), "V0{P1,P2}");
+    }
+
+    #[test]
+    fn signed_views_same_count_intersect_on_members() {
+        let a = SignedView::new([p(1), p(2)], 0);
+        let b = SignedView::new([p(2), p(3)], 0);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn signed_views_different_count_never_intersect() {
+        let a = SignedView::new([p(1), p(2)], 3);
+        let b = SignedView::new([p(1), p(2), p(3), p(4)], 1);
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn paper_section6_example_signatures() {
+        // ϑ0 = all five with count 0; after the partition ϑ1 of {Pi,Pj} has
+        // count 3 and ϑ1 of {Pi..Pl} has count 1; after stabilising,
+        // ϑ2 = {Pk,Pl} with count 3.
+        let theta0 = SignedView::new([p(1), p(2), p(3), p(4), p(5)], 0);
+        let ij = SignedView::new([p(1), p(2)], 3);
+        let kl_wide = SignedView::new([p(1), p(2), p(3), p(4)], 1);
+        let kl_final = SignedView::new([p(3), p(4)], 3);
+        assert!(theta0.intersects(&theta0));
+        assert!(!ij.intersects(&kl_wide));
+        assert!(!ij.intersects(&kl_final));
+        assert!(!kl_wide.intersects(&kl_final));
+        assert_eq!(ij.signatures().count(), 2);
+    }
+}

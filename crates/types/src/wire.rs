@@ -1,0 +1,576 @@
+//! Compact binary codec for [`Envelope`]s.
+//!
+//! The codec exists for two reasons. First, the threaded runtime frames
+//! messages with it. Second — and more importantly for the reproduction —
+//! the paper's §6 efficiency argument is about *message space overhead*:
+//! Newtop piggybacks a constant-size header (`group`, `sender`, `c`, `ldn`)
+//! where vector-clock protocols piggyback O(group size) and causal-history
+//! protocols piggyback message graphs. Experiment E1 measures exactly the
+//! bytes this module produces (see `newtop-harness`).
+//!
+//! Integers use LEB128 variable-length encoding so that the measured sizes
+//! reflect what a careful 1995 implementation would have sent.
+//!
+//! # Examples
+//!
+//! ```
+//! use newtop_types::wire;
+//! use newtop_types::{Envelope, GroupId, Message, MessageBody, Msn, ProcessId};
+//!
+//! let env: Envelope = Message {
+//!     group: GroupId(1),
+//!     sender: ProcessId(2),
+//!     c: Msn(300),
+//!     ldn: Msn(250),
+//!     body: MessageBody::App(bytes::Bytes::from_static(b"hi")),
+//! }
+//! .into();
+//! let bytes = wire::encode(&env);
+//! let back = wire::decode(&mut bytes.clone()).expect("round-trip");
+//! assert_eq!(env, back);
+//! ```
+
+use crate::{
+    ControlMessage, DecodeError, DeliveryMode, Envelope, FormationDecision, GroupConfig, GroupId,
+    Message, MessageBody, Msn, OrderMode, ProcessId, Span, Suspicion,
+};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::BTreeSet;
+
+/// Appends `v` as a LEB128 varint.
+pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint.
+///
+/// # Errors
+///
+/// [`DecodeError::Truncated`] if the buffer empties mid-varint;
+/// [`DecodeError::VarintOverflow`] if more than 64 bits are encoded.
+pub fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(DecodeError::Truncated);
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(DecodeError::VarintOverflow);
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn put_bytes(buf: &mut BytesMut, b: &Bytes) {
+    put_varint(buf, b.len() as u64);
+    buf.put_slice(b);
+}
+
+fn get_bytes(buf: &mut Bytes) -> Result<Bytes, DecodeError> {
+    let len = get_varint(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.split_to(len))
+}
+
+fn put_suspicion(buf: &mut BytesMut, s: &Suspicion) {
+    put_varint(buf, u64::from(s.suspect.0));
+    put_varint(buf, s.ln.0);
+}
+
+fn get_suspicion(buf: &mut Bytes) -> Result<Suspicion, DecodeError> {
+    let suspect = ProcessId(get_varint(buf)? as u32);
+    let ln = Msn(get_varint(buf)?);
+    Ok(Suspicion { suspect, ln })
+}
+
+fn put_detection(buf: &mut BytesMut, d: &[Suspicion]) {
+    put_varint(buf, d.len() as u64);
+    for s in d {
+        put_suspicion(buf, s);
+    }
+}
+
+fn get_detection(buf: &mut Bytes) -> Result<Vec<Suspicion>, DecodeError> {
+    let n = get_varint(buf)? as usize;
+    let mut d = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        d.push(get_suspicion(buf)?);
+    }
+    Ok(d)
+}
+
+const BODY_APP: u8 = 0;
+const BODY_NULL: u8 = 1;
+const BODY_SEQ_REQUEST: u8 = 2;
+const BODY_RELAY: u8 = 3;
+const BODY_SUSPECT: u8 = 4;
+const BODY_REFUTE: u8 = 5;
+const BODY_CONFIRMED: u8 = 6;
+const BODY_START_GROUP: u8 = 7;
+const BODY_DEPART: u8 = 8;
+const BODY_VIEW_CUT: u8 = 9;
+
+fn put_message(buf: &mut BytesMut, m: &Message) {
+    put_varint(buf, u64::from(m.group.0));
+    put_varint(buf, u64::from(m.sender.0));
+    put_varint(buf, m.c.0);
+    put_varint(buf, m.ldn.0);
+    match &m.body {
+        MessageBody::App(p) => {
+            buf.put_u8(BODY_APP);
+            put_bytes(buf, p);
+        }
+        MessageBody::Null => buf.put_u8(BODY_NULL),
+        MessageBody::SeqRequest { origin_c, payload } => {
+            buf.put_u8(BODY_SEQ_REQUEST);
+            put_varint(buf, origin_c.0);
+            put_bytes(buf, payload);
+        }
+        MessageBody::Relay {
+            origin,
+            origin_c,
+            payload,
+        } => {
+            buf.put_u8(BODY_RELAY);
+            put_varint(buf, u64::from(origin.0));
+            put_varint(buf, origin_c.0);
+            put_bytes(buf, payload);
+        }
+        MessageBody::Suspect(s) => {
+            buf.put_u8(BODY_SUSPECT);
+            put_suspicion(buf, s);
+        }
+        MessageBody::Refute {
+            suspicion,
+            recovered,
+        } => {
+            buf.put_u8(BODY_REFUTE);
+            put_suspicion(buf, suspicion);
+            put_varint(buf, recovered.len() as u64);
+            for r in recovered {
+                put_message(buf, r);
+            }
+        }
+        MessageBody::Confirmed { detection } => {
+            buf.put_u8(BODY_CONFIRMED);
+            put_detection(buf, detection);
+        }
+        MessageBody::StartGroup => buf.put_u8(BODY_START_GROUP),
+        MessageBody::Depart => buf.put_u8(BODY_DEPART),
+        MessageBody::ViewCut { detection } => {
+            buf.put_u8(BODY_VIEW_CUT);
+            put_detection(buf, detection);
+        }
+    }
+}
+
+fn get_message(buf: &mut Bytes) -> Result<Message, DecodeError> {
+    let group = GroupId(get_varint(buf)? as u32);
+    let sender = ProcessId(get_varint(buf)? as u32);
+    let c = Msn(get_varint(buf)?);
+    let ldn = Msn(get_varint(buf)?);
+    if !buf.has_remaining() {
+        return Err(DecodeError::Truncated);
+    }
+    let tag = buf.get_u8();
+    let body = match tag {
+        BODY_APP => MessageBody::App(get_bytes(buf)?),
+        BODY_NULL => MessageBody::Null,
+        BODY_SEQ_REQUEST => MessageBody::SeqRequest {
+            origin_c: Msn(get_varint(buf)?),
+            payload: get_bytes(buf)?,
+        },
+        BODY_RELAY => MessageBody::Relay {
+            origin: ProcessId(get_varint(buf)? as u32),
+            origin_c: Msn(get_varint(buf)?),
+            payload: get_bytes(buf)?,
+        },
+        BODY_SUSPECT => MessageBody::Suspect(get_suspicion(buf)?),
+        BODY_REFUTE => {
+            let suspicion = get_suspicion(buf)?;
+            let n = get_varint(buf)? as usize;
+            let mut recovered = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                recovered.push(get_message(buf)?);
+            }
+            MessageBody::Refute {
+                suspicion,
+                recovered,
+            }
+        }
+        BODY_CONFIRMED => MessageBody::Confirmed {
+            detection: get_detection(buf)?,
+        },
+        BODY_START_GROUP => MessageBody::StartGroup,
+        BODY_DEPART => MessageBody::Depart,
+        BODY_VIEW_CUT => MessageBody::ViewCut {
+            detection: get_detection(buf)?,
+        },
+        tag => {
+            return Err(DecodeError::UnknownTag {
+                tag,
+                context: "message body",
+            })
+        }
+    };
+    Ok(Message {
+        group,
+        sender,
+        c,
+        ldn,
+        body,
+    })
+}
+
+const ENV_GROUP: u8 = 0;
+const ENV_CONTROL: u8 = 1;
+const CTRL_FORM_GROUP: u8 = 0;
+const CTRL_FORM_VOTE: u8 = 1;
+
+fn put_config(buf: &mut BytesMut, cfg: &GroupConfig) {
+    buf.put_u8(match cfg.mode {
+        OrderMode::Symmetric => 0,
+        OrderMode::Asymmetric => 1,
+    });
+    buf.put_u8(match cfg.delivery {
+        DeliveryMode::Total => 0,
+        DeliveryMode::Atomic => 1,
+    });
+    put_varint(buf, cfg.omega.as_micros());
+    put_varint(buf, cfg.big_omega.as_micros());
+    match cfg.flow_window {
+        None => buf.put_u8(0),
+        Some(w) => {
+            buf.put_u8(1);
+            put_varint(buf, u64::from(w));
+        }
+    }
+}
+
+fn get_config(buf: &mut Bytes) -> Result<GroupConfig, DecodeError> {
+    if buf.remaining() < 2 {
+        return Err(DecodeError::Truncated);
+    }
+    let mode = match buf.get_u8() {
+        0 => OrderMode::Symmetric,
+        1 => OrderMode::Asymmetric,
+        tag => {
+            return Err(DecodeError::UnknownTag {
+                tag,
+                context: "order mode",
+            })
+        }
+    };
+    let delivery = match buf.get_u8() {
+        0 => DeliveryMode::Total,
+        1 => DeliveryMode::Atomic,
+        tag => {
+            return Err(DecodeError::UnknownTag {
+                tag,
+                context: "delivery mode",
+            })
+        }
+    };
+    let omega = Span::from_micros(get_varint(buf)?);
+    let big_omega = Span::from_micros(get_varint(buf)?);
+    if !buf.has_remaining() {
+        return Err(DecodeError::Truncated);
+    }
+    let flow_window = match buf.get_u8() {
+        0 => None,
+        1 => Some(get_varint(buf)? as u32),
+        tag => {
+            return Err(DecodeError::UnknownTag {
+                tag,
+                context: "flow window option",
+            })
+        }
+    };
+    Ok(GroupConfig {
+        mode,
+        delivery,
+        omega,
+        big_omega,
+        flow_window,
+    })
+}
+
+/// Encodes an envelope into a fresh buffer.
+#[must_use]
+pub fn encode(env: &Envelope) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    match env {
+        Envelope::Group(m) => {
+            buf.put_u8(ENV_GROUP);
+            put_message(&mut buf, m);
+        }
+        Envelope::Control(c) => {
+            buf.put_u8(ENV_CONTROL);
+            match c {
+                ControlMessage::FormGroup {
+                    group,
+                    initiator,
+                    members,
+                    config,
+                } => {
+                    buf.put_u8(CTRL_FORM_GROUP);
+                    put_varint(&mut buf, u64::from(group.0));
+                    put_varint(&mut buf, u64::from(initiator.0));
+                    put_varint(&mut buf, members.len() as u64);
+                    for m in members {
+                        put_varint(&mut buf, u64::from(m.0));
+                    }
+                    put_config(&mut buf, config);
+                }
+                ControlMessage::FormVote {
+                    group,
+                    voter,
+                    decision,
+                } => {
+                    buf.put_u8(CTRL_FORM_VOTE);
+                    put_varint(&mut buf, u64::from(group.0));
+                    put_varint(&mut buf, u64::from(voter.0));
+                    buf.put_u8(match decision {
+                        FormationDecision::Yes => 1,
+                        FormationDecision::No => 0,
+                    });
+                }
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes an envelope, consuming from `buf`.
+///
+/// # Errors
+///
+/// Any [`DecodeError`] on malformed input; on error the buffer is left in an
+/// unspecified partially consumed state.
+pub fn decode(buf: &mut Bytes) -> Result<Envelope, DecodeError> {
+    if !buf.has_remaining() {
+        return Err(DecodeError::Truncated);
+    }
+    match buf.get_u8() {
+        ENV_GROUP => Ok(Envelope::Group(get_message(buf)?)),
+        ENV_CONTROL => {
+            if !buf.has_remaining() {
+                return Err(DecodeError::Truncated);
+            }
+            match buf.get_u8() {
+                CTRL_FORM_GROUP => {
+                    let group = GroupId(get_varint(buf)? as u32);
+                    let initiator = ProcessId(get_varint(buf)? as u32);
+                    let n = get_varint(buf)? as usize;
+                    let mut members = BTreeSet::new();
+                    for _ in 0..n {
+                        members.insert(ProcessId(get_varint(buf)? as u32));
+                    }
+                    let config = get_config(buf)?;
+                    Ok(Envelope::Control(ControlMessage::FormGroup {
+                        group,
+                        initiator,
+                        members,
+                        config,
+                    }))
+                }
+                CTRL_FORM_VOTE => {
+                    let group = GroupId(get_varint(buf)? as u32);
+                    let voter = ProcessId(get_varint(buf)? as u32);
+                    if !buf.has_remaining() {
+                        return Err(DecodeError::Truncated);
+                    }
+                    let decision = match buf.get_u8() {
+                        1 => FormationDecision::Yes,
+                        0 => FormationDecision::No,
+                        tag => {
+                            return Err(DecodeError::UnknownTag {
+                                tag,
+                                context: "formation decision",
+                            })
+                        }
+                    };
+                    Ok(Envelope::Control(ControlMessage::FormVote {
+                        group,
+                        voter,
+                        decision,
+                    }))
+                }
+                tag => Err(DecodeError::UnknownTag {
+                    tag,
+                    context: "control message",
+                }),
+            }
+        }
+        tag => Err(DecodeError::UnknownTag {
+            tag,
+            context: "envelope",
+        }),
+    }
+}
+
+/// Total encoded size of an envelope, in bytes.
+#[must_use]
+pub fn encoded_len(env: &Envelope) -> usize {
+    encode(env).len()
+}
+
+/// Protocol-header overhead of a message in bytes: everything the codec
+/// emits *except* the application payload itself.
+///
+/// This is the quantity compared against vector-clock headers in
+/// experiment E1; for Newtop it is bounded by a constant regardless of group
+/// size or how many groups the sender belongs to (§6).
+#[must_use]
+pub fn header_overhead(m: &Message) -> usize {
+    let payload_len = match &m.body {
+        MessageBody::App(p)
+        | MessageBody::SeqRequest { payload: p, .. }
+        | MessageBody::Relay { payload: p, .. } => p.len(),
+        _ => 0,
+    };
+    encoded_len(&Envelope::Group(m.clone())) - payload_len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(env: Envelope) {
+        let mut b = encode(&env);
+        let back = decode(&mut b).expect("decode");
+        assert_eq!(env, back);
+        assert!(!b.has_remaining(), "codec consumed exactly the frame");
+    }
+
+    fn app(c: u64, payload: &'static [u8]) -> Message {
+        Message {
+            group: GroupId(3),
+            sender: ProcessId(2),
+            c: Msn(c),
+            ldn: Msn(c.saturating_sub(1)),
+            body: MessageBody::App(Bytes::from_static(payload)),
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut b = buf.freeze();
+            assert_eq!(get_varint(&mut b).unwrap(), v);
+            assert!(!b.has_remaining());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation() {
+        let mut b = Bytes::from_static(&[0x80]);
+        assert_eq!(get_varint(&mut b), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn varint_rejects_overflow() {
+        let mut b = Bytes::from_static(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f]);
+        assert_eq!(get_varint(&mut b), Err(DecodeError::VarintOverflow));
+    }
+
+    #[test]
+    fn all_bodies_roundtrip() {
+        let s = Suspicion {
+            suspect: ProcessId(9),
+            ln: Msn(41),
+        };
+        let bodies = vec![
+            MessageBody::App(Bytes::from_static(b"payload")),
+            MessageBody::Null,
+            MessageBody::SeqRequest {
+                origin_c: Msn(5),
+                payload: Bytes::from_static(b"q"),
+            },
+            MessageBody::Relay {
+                origin: ProcessId(4),
+                origin_c: Msn(5),
+                payload: Bytes::from_static(b"r"),
+            },
+            MessageBody::Suspect(s),
+            MessageBody::Refute {
+                suspicion: s,
+                recovered: vec![app(42, b"lost")],
+            },
+            MessageBody::Confirmed { detection: vec![s] },
+            MessageBody::StartGroup,
+            MessageBody::Depart,
+            MessageBody::ViewCut { detection: vec![s] },
+        ];
+        for body in bodies {
+            roundtrip(Envelope::Group(Message {
+                group: GroupId(1),
+                sender: ProcessId(300),
+                c: Msn(1 << 20),
+                ldn: Msn(1 << 19),
+                body,
+            }));
+        }
+    }
+
+    #[test]
+    fn control_messages_roundtrip() {
+        roundtrip(Envelope::Control(ControlMessage::FormGroup {
+            group: GroupId(7),
+            initiator: ProcessId(1),
+            members: [ProcessId(1), ProcessId(2), ProcessId(3)].into(),
+            config: GroupConfig::default().with_flow_window(8),
+        }));
+        roundtrip(Envelope::Control(ControlMessage::FormVote {
+            group: GroupId(7),
+            voter: ProcessId(2),
+            decision: FormationDecision::No,
+        }));
+    }
+
+    #[test]
+    fn header_overhead_is_small_and_payload_independent() {
+        let small = header_overhead(&app(10, b""));
+        let large = header_overhead(&app(10, b"0123456789012345678901234567890123456789"));
+        // Payload length changes only the length varint, by at most a byte
+        // or two; the protocol fields themselves are identical.
+        assert!(small <= 16, "newtop header should be tiny, got {small}");
+        assert!(large - small <= 2);
+    }
+
+    #[test]
+    fn decode_rejects_unknown_envelope_tag() {
+        let mut b = Bytes::from_static(&[0x77]);
+        assert!(matches!(
+            decode(&mut b),
+            Err(DecodeError::UnknownTag {
+                context: "envelope",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_empty() {
+        let mut b = Bytes::new();
+        assert_eq!(decode(&mut b), Err(DecodeError::Truncated));
+    }
+}
