@@ -345,8 +345,7 @@ fn check_causality(
                     };
                     let current = views
                         .iter()
-                        .filter(|(vi, _)| vi <= eff_idx)
-                        .next_back()
+                        .rfind(|(vi, _)| vi <= eff_idx)
                         .map(|(_, v)| v);
                     let Some(view) = current else { continue };
                     if !view.contains(*cause_origin) {
@@ -507,7 +506,7 @@ fn check_liveness(
         let survivors: Vec<ProcessId> = procs
             .iter()
             .copied()
-            .filter(|p| !h.is_crashed(*p) && digests[p].views.get(&g).is_some())
+            .filter(|p| !h.is_crashed(*p) && digests[p].views.contains_key(&g))
             .collect();
         for p in &survivors {
             let d = &digests[p];

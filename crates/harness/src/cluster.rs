@@ -184,7 +184,7 @@ impl SimCluster {
 
     /// Installs the wire codec as the byte sizer, enabling `bytes_sent`.
     pub fn measure_wire_bytes(&mut self) {
-        self.sim.set_sizer(|env| wire::encoded_len(env));
+        self.sim.set_sizer(wire::encoded_len);
     }
 
     /// The member ids.

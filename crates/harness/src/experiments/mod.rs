@@ -33,9 +33,12 @@ use crate::table::Table;
 use newtop_types::{GroupId, Instant};
 use std::collections::BTreeMap;
 
+/// An experiment runner: called with `quick = true` for reduced sweeps.
+pub type ExperimentFn = fn(bool) -> Table;
+
 /// The registry: (id, description, runner).
 #[must_use]
-pub fn all() -> Vec<(&'static str, &'static str, fn(bool) -> Table)> {
+pub fn all() -> Vec<(&'static str, &'static str, ExperimentFn)> {
     vec![
         (
             "e1",

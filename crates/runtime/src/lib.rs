@@ -110,6 +110,9 @@ enum Command {
 
 type PartitionCtl = Arc<RwLock<Vec<BTreeSet<ProcessId>>>>;
 
+/// A frame in flight between nodes: (sender, payload).
+type Frame = (ProcessId, Envelope);
+
 fn connected(partition: &PartitionCtl, a: ProcessId, b: ProcessId) -> bool {
     let blocks = partition.read();
     let block_of = |p: ProcessId| blocks.iter().position(|blk| blk.contains(&p));
@@ -167,12 +170,11 @@ impl Cluster {
     pub fn start(self) -> RunningCluster {
         let epoch = std::time::Instant::now();
         let partition: PartitionCtl = Arc::new(RwLock::new(Vec::new()));
-        let mut inboxes: BTreeMap<ProcessId, (Sender<(ProcessId, Envelope)>, Receiver<(ProcessId, Envelope)>)> =
-            BTreeMap::new();
+        let mut inboxes: BTreeMap<ProcessId, (Sender<Frame>, Receiver<Frame>)> = BTreeMap::new();
         for id in self.procs.keys() {
             inboxes.insert(*id, unbounded());
         }
-        let mesh: Arc<BTreeMap<ProcessId, Sender<(ProcessId, Envelope)>>> = Arc::new(
+        let mesh: Arc<BTreeMap<ProcessId, Sender<Frame>>> = Arc::new(
             inboxes
                 .iter()
                 .map(|(id, (tx, _))| (*id, tx.clone()))
@@ -215,10 +217,10 @@ fn node_main(
     id: ProcessId,
     mut process: Process,
     epoch: std::time::Instant,
-    inbox: Receiver<(ProcessId, Envelope)>,
+    inbox: Receiver<Frame>,
     commands: Receiver<Command>,
     outputs: Sender<Output>,
-    mesh: Arc<BTreeMap<ProcessId, Sender<(ProcessId, Envelope)>>>,
+    mesh: Arc<BTreeMap<ProcessId, Sender<Frame>>>,
     partition: PartitionCtl,
 ) {
     let now = || Instant::from_micros(epoch.elapsed().as_micros() as u64);

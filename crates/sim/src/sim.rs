@@ -130,6 +130,13 @@ struct NodeEntry<N> {
     wake_at: Option<Instant>,
 }
 
+/// Messages parked on a severed link, keyed by ordered (from, to) pair,
+/// with their original send instants.
+type ParkedLinks<M> = BTreeMap<(ProcessId, ProcessId), VecDeque<(Instant, M)>>;
+
+/// Reports the wire size of a message for the `bytes_sent` counter.
+type MsgSizer<M> = Box<dyn Fn(&M) -> usize>;
+
 /// The deterministic discrete-event simulator.
 ///
 /// See the [crate documentation](crate) for an overview and an example.
@@ -142,10 +149,10 @@ pub struct Sim<N: SimNode> {
     config: NetConfig,
     partition: PartitionSpec,
     partition_mode: PartitionMode,
-    parked: BTreeMap<(ProcessId, ProcessId), VecDeque<(Instant, N::Msg)>>,
+    parked: ParkedLinks<N::Msg>,
     last_arrival: HashMap<(ProcessId, ProcessId), Instant>,
     stats: NetStats,
-    sizer: Option<Box<dyn Fn(&N::Msg) -> usize>>,
+    sizer: Option<MsgSizer<N::Msg>>,
 }
 
 impl<N: SimNode> Sim<N> {

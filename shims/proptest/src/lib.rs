@@ -1,0 +1,396 @@
+//! Minimal offline shim of [`proptest`](https://crates.io/crates/proptest):
+//! the strategy combinators and macros this workspace's property tests use.
+//!
+//! Differences from the real crate: generation is deterministic (a fixed
+//! seed per test function, so CI failures replay exactly), and there is no
+//! shrinking — a failing case panics with the assertion message as-is.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+
+/// The generator threaded through strategies.
+pub type TestRng = StdRng;
+
+/// Constructs the deterministic per-test generator (macro plumbing).
+#[doc(hidden)]
+#[must_use]
+pub fn new_rng(seed: u64) -> TestRng {
+    <StdRng as rand::SeedableRng>::seed_from_u64(seed)
+}
+
+/// Strategy trait and combinator types.
+pub mod strategy {
+    use super::TestRng;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The [`Strategy::prop_map`] combinator.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Weighted choice between type-erased strategies, built by
+    /// [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    impl<T> Union<T> {
+        /// A union of `(weight, strategy)` arms.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `arms` is empty or all weights are zero.
+        #[must_use]
+        pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+            let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            let mut pick = rng.gen_range(0..total);
+            for (w, s) in &self.arms {
+                let w = u64::from(*w);
+                if pick < w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights changed mid-iteration")
+        }
+    }
+
+    /// Produced by [`any`]; draws uniformly over the whole type.
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Types [`any`] knows how to generate.
+    pub trait ArbitraryValue {
+        /// Draws a uniform value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Uniform strategy over every value of `T`.
+    #[must_use]
+    pub fn any<T: ArbitraryValue>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: ArbitraryValue> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl ArbitraryValue for $t {
+                #[allow(clippy::cast_possible_truncation)]
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rand::RngCore::next_u64(rng) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize);
+
+    impl ArbitraryValue for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rand::RngCore::next_u64(rng) & 1 == 1
+        }
+    }
+
+    macro_rules! impl_strategy_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_strategy_range!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_strategy_tuple {
+        ($($s:ident/$idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_strategy_tuple!(A/0);
+    impl_strategy_tuple!(A/0, B/1);
+    impl_strategy_tuple!(A/0, B/1, C/2);
+    impl_strategy_tuple!(A/0, B/1, C/2, D/3);
+    impl_strategy_tuple!(A/0, B/1, C/2, D/3, E/4);
+    impl_strategy_tuple!(A/0, B/1, C/2, D/3, E/4, F/5);
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        pub(crate) elem: S,
+        pub(crate) size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`; duplicates shrink the set below
+    /// the drawn size, which real proptest also permits.
+    pub struct BTreeSetStrategy<S> {
+        pub(crate) elem: S,
+        pub(crate) size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `Option<S::Value>` (3:1 biased towards `Some`, like the
+    /// real crate's default).
+    pub struct OptionStrategy<S> {
+        pub(crate) inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_range(0u32..4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection::*`).
+pub mod collection {
+    use super::strategy::{BTreeSetStrategy, Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// `Vec` of `elem` values with length in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    /// `BTreeSet` of `elem` values with at most `size.end - 1` entries.
+    pub fn btree_set<S: Strategy>(elem: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { elem, size }
+    }
+}
+
+/// Option strategies (`proptest::option::*`).
+pub mod option {
+    use super::strategy::{OptionStrategy, Strategy};
+
+    /// `Option` of `inner` values, biased towards `Some`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// Per-function test configuration.
+pub mod test_runner {
+    /// Knobs accepted inside `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases each test function runs.
+        pub cases: u32,
+        /// Accepted for compatibility; this shim never shrinks.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig {
+                cases: 64,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+}
+
+/// The glob-import surface the tests use.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Fails the current test case with a formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Fails the current test case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+/// Fails the current test case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+);
+    };
+}
+
+/// Weighted (`w => strategy`) or uniform choice between strategies yielding
+/// the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $({
+                let boxed: $crate::strategy::BoxedStrategy<_> = Box::new($strat);
+                ($weight as u32, boxed)
+            }),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+/// Declares property-test functions: each `name(arg in strategy, ..)` body
+/// runs `cases` times over freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                // Deterministic per-function seed: failures replay exactly.
+                let mut __seed: u64 = 0x6e65_7774_6f70_0001;
+                for __b in stringify!($name).bytes() {
+                    __seed = __seed.wrapping_mul(1099511628211).wrapping_add(u64::from(__b));
+                }
+                let mut __rng = $crate::new_rng(__seed);
+                for __case in 0..__config.cases {
+                    let _ = __case;
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}

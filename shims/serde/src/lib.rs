@@ -1,0 +1,10 @@
+//! Minimal offline shim of [`serde`](https://crates.io/crates/serde).
+//!
+//! This workspace derives `Serialize`/`Deserialize` on its vocabulary types
+//! but never actually serializes anything (the wire format is the hand-rolled
+//! codec in `newtop-types::wire`), so the derives are no-ops and no traits
+//! are required.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op derive macros backing the offline `serde` shim.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as metadata —
+//! nothing ever serializes a value — so the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepted wherever `serde::Serialize` is derived.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepted wherever `serde::Deserialize` is derived.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

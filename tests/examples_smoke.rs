@@ -1,0 +1,63 @@
+//! Smoke coverage for the README-facing entry points: every example under
+//! `examples/` must keep compiling, and `quickstart` must run to
+//! completion. Without this, the examples — the first code a reader runs —
+//! could silently rot, since `cargo test` alone never executes them.
+
+use std::path::Path;
+use std::process::Command;
+
+fn cargo() -> Command {
+    // Use the exact cargo that is running this test, per the cargo book.
+    Command::new(std::env::var_os("CARGO").unwrap_or_else(|| "cargo".into()))
+}
+
+/// All six examples compile (cargo builds them as a batch; any compile
+/// error in any example fails this test).
+#[test]
+fn all_examples_compile() {
+    let expected = [
+        "causal_chain",
+        "chat_rooms",
+        "mixed_mode",
+        "partition_demo",
+        "quickstart",
+        "server_migration",
+    ];
+    for name in expected {
+        assert!(
+            Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join(format!("examples/{name}.rs"))
+                .exists(),
+            "example {name}.rs disappeared; update this list and the README"
+        );
+    }
+    let out = cargo()
+        .args(["build", "--examples"])
+        .output()
+        .expect("spawn cargo build --examples");
+    assert!(
+        out.status.success(),
+        "examples failed to compile:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// `quickstart` — the five-minute tour — runs to successful completion.
+#[test]
+fn quickstart_runs_to_completion() {
+    let out = cargo()
+        .args(["run", "--example", "quickstart"])
+        .output()
+        .expect("spawn cargo run --example quickstart");
+    assert!(
+        out.status.success(),
+        "quickstart exited nonzero:\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("replicas agree"),
+        "quickstart no longer demonstrates replica agreement; stdout:\n{stdout}"
+    );
+}
