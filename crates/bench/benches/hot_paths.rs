@@ -3,12 +3,15 @@
 //! symmetric receive path, and end-to-end engine throughput on the
 //! zero-latency test network.
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use newtop_bench::sample_app_message;
 use newtop_core::testkit::TestNet;
-use newtop_core::{LogicalClock, MsnVector};
-use newtop_types::{wire, GroupConfig, GroupId, Msn, OrderMode, ProcessId};
+use newtop_core::{LogicalClock, MsnVector, Process};
+use newtop_types::{
+    wire, GroupConfig, GroupId, Instant, Msn, OrderMode, ProcessConfig, ProcessId,
+};
+use std::collections::BTreeSet;
 use std::hint::black_box;
 
 fn bench_codec(c: &mut Criterion) {
@@ -18,6 +21,20 @@ fn bench_codec(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("encode", payload), &env, |b, env| {
             b.iter(|| black_box(wire::encode(env)));
         });
+        // The allocation-free framing path: one scratch buffer reused for
+        // every frame, sized once from the exact encoded_len.
+        group.bench_with_input(
+            BenchmarkId::new("encode_into", payload),
+            &env,
+            |b, env| {
+                let mut buf = BytesMut::with_capacity(wire::encoded_len(env));
+                b.iter(|| {
+                    buf.clear();
+                    wire::encode_into(env, &mut buf);
+                    black_box(buf.len())
+                });
+            },
+        );
         let encoded = wire::encode(&env);
         group.bench_with_input(BenchmarkId::new("decode", payload), &encoded, |b, enc| {
             b.iter(|| {
@@ -25,7 +42,79 @@ fn bench_codec(c: &mut Criterion) {
                 black_box(wire::decode(&mut buf).expect("valid frame"))
             });
         });
+        group.bench_with_input(
+            BenchmarkId::new("encoded_len", payload),
+            &env,
+            |b, env| {
+                b.iter(|| black_box(wire::encoded_len(env)));
+            },
+        );
     }
+    group.finish();
+}
+
+/// Send-side fan-out: one application multicast producing `n - 1` envelopes
+/// sharing a single `Arc<Message>`. The engine is rebuilt every 10k sends so
+/// retention/flow bookkeeping stays bounded without the rebuild cost showing
+/// up in the per-iteration figure.
+fn bench_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multicast_fanout");
+    for n in [4u32, 32, 256] {
+        group.bench_with_input(BenchmarkId::new("app_send", n), &n, |b, &n| {
+            let members: BTreeSet<ProcessId> = (1..=n).map(ProcessId).collect();
+            let mk = || {
+                let mut p = Process::new(ProcessId(1), ProcessConfig::new());
+                p.bootstrap_group(
+                    Instant::ZERO,
+                    GroupId(1),
+                    &members,
+                    GroupConfig::new(OrderMode::Symmetric),
+                )
+                .expect("bootstrap");
+                p
+            };
+            let payload = Bytes::from_static(b"fanout-payload-64-bytes-.........................................");
+            let mut p = mk();
+            let mut sends = 0u32;
+            b.iter(|| {
+                if sends == 10_000 {
+                    p = mk();
+                    sends = 0;
+                }
+                sends += 1;
+                let actions = p
+                    .multicast(Instant::ZERO, GroupId(1), payload.clone())
+                    .expect("member send");
+                black_box(actions.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The cached-min invalidation workload: round-robin advances always move
+/// the current argmin (every ancestor cache on its path is torn down), a
+/// skewed advance leaves the cache untouched, and both minimum forms are
+/// read back each iteration.
+fn bench_mixed_advance_min(c: &mut Criterion) {
+    let mut group = c.benchmark_group("receive_vector");
+    let n = 256u32;
+    group.bench_with_input(
+        BenchmarkId::new("mixed_advance_min", n),
+        &n,
+        |b, &n| {
+            let mut rv = MsnVector::new((1..=n).map(ProcessId));
+            let mut c = 0u64;
+            b.iter(|| {
+                c += 1;
+                // Argmin-moving advance (cache invalidation path).
+                rv.advance(ProcessId((c % u64::from(n)) as u32 + 1), Msn(c));
+                // Far-ahead member advance (cache-preserving path).
+                rv.advance(ProcessId(1 + (c % 7) as u32), Msn(c + 1_000_000));
+                black_box((rv.min_live(), rv.min_live_excluding(ProcessId(1))))
+            });
+        },
+    );
     group.finish();
 }
 
@@ -136,6 +225,8 @@ criterion_group!(
     benches,
     bench_codec,
     bench_clock_and_vectors,
+    bench_mixed_advance_min,
+    bench_fanout,
     bench_engine_throughput,
     bench_membership_agreement,
     bench_payload_paths

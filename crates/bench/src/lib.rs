@@ -19,7 +19,7 @@ use newtop_types::{Envelope, GroupId, Message, MessageBody, Msn, ProcessId};
 /// A representative application multicast frame for codec benches.
 #[must_use]
 pub fn sample_app_message(c: u64, payload_len: usize) -> Envelope {
-    Envelope::Group(Message {
+    Envelope::from(Message {
         group: GroupId(3),
         sender: ProcessId(7),
         c: Msn(c),

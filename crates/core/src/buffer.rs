@@ -1,7 +1,13 @@
 //! Undelivered-message buffering and the unstable-message retention store.
+//!
+//! Both stores keep [`Arc<Message>`] handles rather than owned copies: the
+//! receive path hands the same reference-counted message to the delivery
+//! buffer and the retention store, so buffering a message never copies its
+//! payload (see DESIGN.md §7, "Performance model").
 
-use newtop_types::{Message, Msn, ProcessId};
+use newtop_types::{Message, MessageBody, Msn, ProcessId};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Received-but-undelivered messages of one group, ordered by the fixed
 /// delivery order of condition *safe2*: non-decreasing message number with
@@ -10,9 +16,15 @@ use std::collections::BTreeMap;
 /// Only deliverable-class bodies are buffered (application multicasts,
 /// sequencer relays and view cuts); nulls and membership messages act at
 /// receipt and never enter the buffer.
+///
+/// The first key in delivery order is cached, so the per-receive
+/// deliverability probes ([`DeliveryBuffer::first_key`],
+/// [`DeliveryBuffer::has_le`]) are O(1) instead of a tree descent; the
+/// cache is refreshed only when the head itself is removed.
 #[derive(Debug, Clone, Default)]
 pub struct DeliveryBuffer {
-    map: BTreeMap<(Msn, ProcessId), Message>,
+    map: BTreeMap<(Msn, ProcessId), Arc<Message>>,
+    first: Option<(Msn, ProcessId)>,
 }
 
 impl DeliveryBuffer {
@@ -23,25 +35,33 @@ impl DeliveryBuffer {
     }
 
     /// Inserts a message (idempotent on its `(c, sender)` key).
-    pub fn insert(&mut self, m: Message) {
-        self.map.entry((m.c, m.sender)).or_insert(m);
+    pub fn insert(&mut self, m: Arc<Message>) {
+        let key = (m.c, m.sender);
+        self.map.entry(key).or_insert(m);
+        if self.first.is_none_or(|f| key < f) {
+            self.first = Some(key);
+        }
     }
 
-    /// The key of the next message in delivery order.
+    /// The key of the next message in delivery order. O(1) (cached).
     #[must_use]
     pub fn first_key(&self) -> Option<(Msn, ProcessId)> {
-        self.map.keys().next().copied()
+        self.first
     }
 
     /// Removes and returns the message at `key`.
-    pub fn take(&mut self, key: (Msn, ProcessId)) -> Option<Message> {
-        self.map.remove(&key)
+    pub fn take(&mut self, key: (Msn, ProcessId)) -> Option<Arc<Message>> {
+        let removed = self.map.remove(&key);
+        if removed.is_some() && self.first == Some(key) {
+            self.first = self.map.keys().next().copied();
+        }
+        removed
     }
 
-    /// Whether any buffered message has number at most `n`.
+    /// Whether any buffered message has number at most `n`. O(1) (cached).
     #[must_use]
     pub fn has_le(&self, n: Msn) -> bool {
-        self.first_key().is_some_and(|(c, _)| c <= n)
+        self.first.is_some_and(|(c, _)| c <= n)
     }
 
     /// Discards messages from `sender` with number above `n`, returning how
@@ -52,6 +72,7 @@ impl DeliveryBuffer {
     pub fn discard_from_above(&mut self, sender: ProcessId, n: Msn) -> usize {
         let before = self.map.len();
         self.map.retain(|(c, s), _| !(*s == sender && *c > n));
+        self.first = self.map.keys().next().copied();
         before - self.map.len()
     }
 
@@ -69,7 +90,7 @@ impl DeliveryBuffer {
 
     /// Iterates in delivery order.
     pub fn iter(&self) -> impl Iterator<Item = &Message> {
-        self.map.values()
+        self.map.values().map(|m| &**m)
     }
 }
 
@@ -79,7 +100,7 @@ impl DeliveryBuffer {
 /// any missing m is unstable, so would not have been discarded").
 #[derive(Debug, Clone, Default)]
 pub struct RetentionStore {
-    map: BTreeMap<ProcessId, BTreeMap<Msn, Message>>,
+    map: BTreeMap<ProcessId, BTreeMap<Msn, Arc<Message>>>,
 }
 
 impl RetentionStore {
@@ -89,9 +110,19 @@ impl RetentionStore {
         RetentionStore::default()
     }
 
-    /// Retains a copy of `m` under its transport sender.
-    pub fn store(&mut self, m: Message) {
-        self.map.entry(m.sender).or_default().insert(m.c, m);
+    /// Retains `m` under its transport sender. The common case shares the
+    /// caller's reference; only a refute carrying a recovery piggyback is
+    /// copied, with the piggyback stripped (the inner messages are retained
+    /// individually by every receiver, so re-carrying them nested inside
+    /// retained refutes would only compound memory).
+    pub fn store(&mut self, m: &Arc<Message>) {
+        let keep = match &m.body {
+            MessageBody::Refute { recovered, .. } if !recovered.is_empty() => {
+                Arc::new(m.for_retention())
+            }
+            _ => Arc::clone(m),
+        };
+        self.map.entry(m.sender).or_default().insert(m.c, keep);
     }
 
     /// All retained messages of `sender` with number above `ln`, in number
@@ -105,7 +136,7 @@ impl RetentionStore {
                     std::ops::Bound::Excluded(ln),
                     std::ops::Bound::Unbounded,
                 ))
-                    .map(|(_, m)| m.clone())
+                    .map(|(_, m)| (**m).clone())
                     .collect()
             })
             .unwrap_or_default()
@@ -121,6 +152,9 @@ impl RetentionStore {
             return;
         }
         for msgs in self.map.values_mut() {
+            if msgs.keys().next().is_none_or(|c| *c > stable_min) {
+                continue; // nothing stable to drop for this sender
+            }
             *msgs = msgs.split_off(&stable_min.next());
         }
         self.map.retain(|_, msgs| !msgs.is_empty());
@@ -189,14 +223,14 @@ mod tests {
         ProcessId(i)
     }
 
-    fn msg(sender: u32, c: u64) -> Message {
-        Message {
+    fn msg(sender: u32, c: u64) -> Arc<Message> {
+        Arc::new(Message {
             group: GroupId(1),
             sender: p(sender),
             c: Msn(c),
             ldn: Msn(0),
             body: MessageBody::App(Bytes::from_static(b"x")),
-        }
+        })
     }
 
     #[test]
@@ -228,6 +262,24 @@ mod tests {
     }
 
     #[test]
+    fn buffer_first_key_cache_survives_churn() {
+        let mut b = DeliveryBuffer::new();
+        b.insert(msg(1, 9));
+        b.insert(msg(1, 3));
+        b.insert(msg(1, 6));
+        assert_eq!(b.first_key(), Some((Msn(3), p(1))));
+        // Removing a non-head key leaves the cache untouched.
+        b.take((Msn(6), p(1)));
+        assert_eq!(b.first_key(), Some((Msn(3), p(1))));
+        // Removing the head refreshes it.
+        b.take((Msn(3), p(1)));
+        assert_eq!(b.first_key(), Some((Msn(9), p(1))));
+        b.take((Msn(9), p(1)));
+        assert_eq!(b.first_key(), None);
+        assert!(!b.has_le(Msn::INFINITY));
+    }
+
+    #[test]
     fn buffer_discard_above_respects_sender_and_bound() {
         let mut b = DeliveryBuffer::new();
         b.insert(msg(1, 5));
@@ -240,10 +292,19 @@ mod tests {
     }
 
     #[test]
+    fn buffer_discard_above_refreshes_first_key() {
+        let mut b = DeliveryBuffer::new();
+        b.insert(msg(1, 2));
+        b.insert(msg(2, 5));
+        b.discard_from_above(p(1), Msn(1));
+        assert_eq!(b.first_key(), Some((Msn(5), p(2))));
+    }
+
+    #[test]
     fn retention_supplies_messages_above_ln() {
         let mut r = RetentionStore::new();
         for c in 1..=5 {
-            r.store(msg(1, c));
+            r.store(&msg(1, c));
         }
         let rec = r.above(p(1), Msn(2));
         let nums: Vec<u64> = rec.iter().map(|m| m.c.0).collect();
@@ -255,7 +316,7 @@ mod tests {
     fn retention_gc_drops_stable_prefix() {
         let mut r = RetentionStore::new();
         for c in 1..=5 {
-            r.store(msg(1, c));
+            r.store(&msg(1, c));
         }
         r.gc_stable(Msn(3));
         assert_eq!(r.len(), 2);
@@ -267,8 +328,8 @@ mod tests {
     #[test]
     fn retention_discard_above() {
         let mut r = RetentionStore::new();
-        r.store(msg(1, 4));
-        r.store(msg(1, 8));
+        r.store(&msg(1, 4));
+        r.store(&msg(1, 8));
         r.discard_from_above(p(1), Msn(5));
         assert_eq!(r.above(p(1), Msn(0)).len(), 1);
     }
@@ -277,7 +338,7 @@ mod tests {
     fn retention_count_above() {
         let mut r = RetentionStore::new();
         for c in 1..=4 {
-            r.store(msg(7, c));
+            r.store(&msg(7, c));
         }
         assert_eq!(r.count_above(p(7), Msn(1)), 3);
         assert_eq!(r.count_above(p(7), Msn::INFINITY), 0);
@@ -287,9 +348,49 @@ mod tests {
     #[test]
     fn retention_remove_sender() {
         let mut r = RetentionStore::new();
-        r.store(msg(1, 1));
-        r.store(msg(2, 1));
+        r.store(&msg(1, 1));
+        r.store(&msg(2, 1));
         r.remove_sender(p(1));
         assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn retention_shares_the_stored_reference() {
+        let mut r = RetentionStore::new();
+        let m = msg(1, 1);
+        r.store(&m);
+        let kept = r.above(p(1), Msn(0));
+        // Payload bytes are shared, not copied: same backing buffer.
+        match (&kept[0].body, &m.body) {
+            (MessageBody::App(a), MessageBody::App(b)) => {
+                assert_eq!(a.as_ptr(), b.as_ptr());
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn retention_strips_refute_piggyback() {
+        let mut r = RetentionStore::new();
+        let inner = (*msg(9, 1)).clone();
+        let refute = Arc::new(Message {
+            group: GroupId(1),
+            sender: p(2),
+            c: Msn(4),
+            ldn: Msn(0),
+            body: MessageBody::Refute {
+                suspicion: newtop_types::Suspicion {
+                    suspect: p(9),
+                    ln: Msn(0),
+                },
+                recovered: vec![inner],
+            },
+        });
+        r.store(&refute);
+        let kept = r.above(p(2), Msn(0));
+        match &kept[0].body {
+            MessageBody::Refute { recovered, .. } => assert!(recovered.is_empty()),
+            other => panic!("unexpected body {other:?}"),
+        }
     }
 }

@@ -32,7 +32,7 @@ pub(crate) struct Forming {
     pub deadline: Instant,
     /// Group messages that arrived before local activation (other members
     /// may activate first); replayed once the group state exists.
-    pub early: Vec<(ProcessId, Message)>,
+    pub early: Vec<(ProcessId, std::sync::Arc<Message>)>,
 }
 
 impl Process {

@@ -7,6 +7,7 @@ use newtop_types::{
     GroupConfig, GroupId, Instant, Message, Msn, OrderMode, ProcessId, SignedView, Suspicion, View,
 };
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
 
 /// Lifecycle of an activated group at one member.
 ///
@@ -72,7 +73,7 @@ pub(crate) struct GroupState {
     pub supporters: BTreeMap<(ProcessId, Msn), BTreeSet<ProcessId>>,
     /// Messages received from currently suspected senders, held pending the
     /// outcome of the agreement (§5.2).
-    pub pending_from: BTreeMap<ProcessId, Vec<Message>>,
+    pub pending_from: BTreeMap<ProcessId, Vec<Arc<Message>>>,
     /// Confirmed messages whose detection is not yet a subset of our
     /// suspicions (step (vi) re-evaluated as suspicions grow).
     pub pending_confirms: Vec<(ProcessId, Vec<Suspicion>)>,
@@ -90,6 +91,11 @@ pub(crate) struct GroupState {
     pub own_unstable: BTreeSet<Msn>,
     /// Set once the member has announced departure; no further sends.
     pub departing: bool,
+    /// The stability bound already applied by [`GroupState::on_stability_advance`];
+    /// receives whose piggybacked `ldn` does not move `min SV` skip the
+    /// garbage-collection pass entirely (the common case — most receives
+    /// leave the minimum where it was).
+    last_stable: Msn,
 }
 
 impl GroupState {
@@ -132,6 +138,7 @@ impl GroupState {
             outstanding: VecDeque::new(),
             own_unstable: BTreeSet::new(),
             departing: false,
+            last_stable: Msn::ZERO,
         }
     }
 
@@ -204,9 +211,16 @@ impl GroupState {
         }
     }
 
-    /// Prunes stability-dependent state after `SV` advanced.
+    /// Prunes stability-dependent state after `SV` advanced. O(1) when the
+    /// stability bound has not moved since the last call (message numbers
+    /// start at 1, so the initial bound of 0 never has anything to prune);
+    /// the garbage-collection pass runs only on an actual advance.
     pub(crate) fn on_stability_advance(&mut self) {
         let stable = self.sv.min_live();
+        if stable == self.last_stable {
+            return;
+        }
+        self.last_stable = stable;
         self.retention.gc_stable(stable);
         if stable.is_infinite() {
             self.own_unstable.clear();

@@ -638,6 +638,7 @@ impl Process {
         if have.is_infinite() || rm.c <= have {
             return; // duplicate of something already received
         }
+        let rm = std::sync::Arc::new(rm);
         self.lc.observe(rm.c);
         gs.rv.advance(pk, rm.c);
         gs.sv.advance(pk, rm.ldn);
@@ -646,16 +647,17 @@ impl Process {
             gs.d_asym = gs.d_asym.max(rm.c);
         }
         if rm.is_retained() {
-            gs.retention.store(rm.for_retention());
+            gs.retention.store(&rm);
         }
         self.stats_mut().recovered += 1;
-        match rm.body.clone() {
+        match &rm.body {
             MessageBody::App(_) | MessageBody::ViewCut { .. } => {
                 self.deliver_or_buffer(group, rm, out);
             }
             MessageBody::Relay {
                 origin, origin_c, ..
             } => {
+                let (origin, origin_c) = (*origin, *origin_c);
                 if origin == me {
                     self.clear_outstanding_recovered(group, origin_c, rm.c);
                 }

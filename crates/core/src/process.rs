@@ -21,6 +21,7 @@ use newtop_types::{
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Why a group could not be created or joined into formation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -128,6 +129,10 @@ pub struct Process {
     pub(crate) vote_policy: BTreeMap<GroupId, FormationDecision>,
     deferred: VecDeque<DeferredSend>,
     stats: ProcessStats,
+    /// Reusable scratch for the group-id snapshots `tick`/`pump` need while
+    /// holding `&mut self` — avoids a fresh `Vec` per timer tick and per
+    /// pump round (taken while in use; a re-entrant taker just allocates).
+    scratch_gids: Vec<GroupId>,
 }
 
 impl Process {
@@ -145,6 +150,7 @@ impl Process {
             vote_policy: BTreeMap::new(),
             deferred: VecDeque::new(),
             stats: ProcessStats::default(),
+            scratch_gids: Vec::new(),
         }
     }
 
@@ -299,10 +305,13 @@ impl Process {
         self.observe_time(now);
         let mut out = Vec::new();
         self.formation_tick(&mut out);
-        let gids: Vec<GroupId> = self.groups.keys().copied().collect();
-        for gid in gids {
-            self.group_tick(gid, &mut out);
+        let mut gids = std::mem::take(&mut self.scratch_gids);
+        gids.clear();
+        gids.extend(self.groups.keys().copied());
+        for gid in &gids {
+            self.group_tick(*gid, &mut out);
         }
+        self.scratch_gids = gids;
         self.pump(&mut out);
         self.drain_deferred(&mut out);
         self.pump(&mut out);
@@ -479,6 +488,11 @@ impl Process {
 
     /// CA1-number and emit a multicast in `group` to every other view
     /// member, applying all self-receipt effects. Returns the number used.
+    ///
+    /// The message is materialised **once**: every per-destination envelope
+    /// (and the sender's own retention/delivery-buffer handles) shares the
+    /// same [`Arc<Message>`], so fan-out cost is a refcount bump per
+    /// destination regardless of payload size.
     pub(crate) fn send_numbered(
         &mut self,
         group: GroupId,
@@ -495,18 +509,18 @@ impl Process {
         // m.ldn = D_{x,i}, capped at the clock (the paper's D <= LC): an
         // unconstrained D (sole survivor) reports the clock itself.
         let ldn = gs.d_x().min(c);
-        let m = Message {
+        let m = Arc::new(Message {
             group,
             sender: me,
             c,
             ldn,
             body,
-        };
+        });
         gs.rv.advance(me, c);
         gs.sv.advance(me, ldn);
         gs.last_send = now;
         if m.is_retained() {
-            gs.retention.store(m.for_retention());
+            gs.retention.store(&m);
         }
         if gs.cfg.mode == OrderMode::Asymmetric && gs.is_sequencer() {
             // The sequencer's own stream position advances with *every* of
@@ -515,12 +529,13 @@ impl Process {
             // its own D would lag its members' and its deliveries wedge.
             gs.d_asym = gs.d_asym.max(c);
         }
-        let dsts: Vec<ProcessId> = gs.view.iter().filter(|p| *p != me).collect();
-        for dst in dsts {
-            out.push(Action::Send {
-                to: dst,
-                envelope: Envelope::Group(m.clone()),
-            });
+        for dst in gs.view.iter() {
+            if dst != me {
+                out.push(Action::Send {
+                    to: dst,
+                    envelope: Envelope::Group(Arc::clone(&m)),
+                });
+            }
         }
         // Self-receipt of deliverable-class bodies: "Pi delivers its own
         // messages also by executing the protocol in operation" (§3).
@@ -534,23 +549,29 @@ impl Process {
     }
 
     /// Routes a deliverable-class message into the ordered buffer (total
-    /// order) or straight out (atomic mode).
-    pub(crate) fn deliver_or_buffer(&mut self, group: GroupId, m: Message, out: &mut Vec<Action>) {
+    /// order) or straight out (atomic mode). The buffer shares the caller's
+    /// reference; nothing here copies payload bytes.
+    pub(crate) fn deliver_or_buffer(
+        &mut self,
+        group: GroupId,
+        m: Arc<Message>,
+        out: &mut Vec<Action>,
+    ) {
         let Some(gs) = self.groups.get_mut(&group) else {
             return;
         };
         match gs.cfg.delivery {
             DeliveryMode::Total => gs.buffer.insert(m),
-            DeliveryMode::Atomic => match m.body {
+            DeliveryMode::Atomic => match &m.body {
                 MessageBody::App(_) | MessageBody::Relay { .. } => {
                     let d = Delivery {
                         group,
                         origin: m.origin(),
                         c: m.c,
                         view_seq: gs.view.seq(),
-                        payload: match m.body {
-                            MessageBody::App(p) => p,
-                            MessageBody::Relay { payload, .. } => payload,
+                        payload: match &m.body {
+                            MessageBody::App(p) => p.clone(),
+                            MessageBody::Relay { payload, .. } => payload.clone(),
                             _ => unreachable!(),
                         },
                     };
@@ -558,6 +579,7 @@ impl Process {
                     out.push(Action::Deliver(d));
                 }
                 MessageBody::ViewCut { detection } => {
+                    let detection = detection.clone();
                     self.install_from_viewcut(group, detection, out);
                 }
                 _ => {}
@@ -571,7 +593,7 @@ impl Process {
         &mut self,
         group: GroupId,
         from: ProcessId,
-        m: Message,
+        m: Arc<Message>,
         out: &mut Vec<Action>,
     ) {
         let now = self.now;
@@ -597,28 +619,40 @@ impl Process {
             }
         }
         if m.is_retained() {
-            gs.retention.store(m.for_retention());
+            gs.retention.store(&m);
         }
-        match m.body.clone() {
+        // Dispatch by reference: the hot arms (App, Null) move the shared
+        // handle on without touching the body; only the cold membership
+        // arms copy the small structured fields they consume.
+        match &m.body {
             MessageBody::App(_) => self.deliver_or_buffer(group, m, out),
             MessageBody::Null => {}
             MessageBody::SeqRequest { origin_c, payload } => {
+                let (origin_c, payload) = (*origin_c, payload.clone());
                 self.on_seq_request(group, from, origin_c, payload, out);
             }
             MessageBody::Relay {
                 origin, origin_c, ..
             } => {
+                let (origin, origin_c) = (*origin, *origin_c);
                 if origin == me {
                     self.clear_outstanding(group, origin_c, m.c);
                 }
                 self.deliver_or_buffer(group, m, out);
             }
-            MessageBody::Suspect(s) => self.on_suspect(group, from, s, out),
+            MessageBody::Suspect(s) => {
+                let s = *s;
+                self.on_suspect(group, from, s, out);
+            }
             MessageBody::Refute {
                 suspicion,
                 recovered,
-            } => self.on_refute(group, from, suspicion, recovered, out),
+            } => {
+                let (suspicion, recovered) = (*suspicion, recovered.clone());
+                self.on_refute(group, from, suspicion, recovered, out);
+            }
             MessageBody::Confirmed { detection } => {
+                let detection = detection.clone();
                 self.on_confirmed(group, from, detection, out);
             }
             MessageBody::StartGroup => self.on_start_group(group, from, m.c, out),
@@ -630,7 +664,12 @@ impl Process {
         self.refute_scan(group, from, out);
     }
 
-    pub(crate) fn receive_group_message(&mut self, from: ProcessId, m: Message, out: &mut Vec<Action>) {
+    pub(crate) fn receive_group_message(
+        &mut self,
+        from: ProcessId,
+        m: Arc<Message>,
+        out: &mut Vec<Action>,
+    ) {
         let group = m.group;
         let Some(gs) = self.groups.get_mut(&group) else {
             if let Some(f) = self.forming.get_mut(&group) {
@@ -701,9 +740,11 @@ impl Process {
     /// step-(viii) barrier: a pending install with bound `N` precedes any
     /// delivery with `c > N` in its group.
     pub(crate) fn pump(&mut self, out: &mut Vec<Action>) {
+        let mut gids = std::mem::take(&mut self.scratch_gids);
         loop {
             let mut progress = false;
-            let gids: Vec<GroupId> = self.groups.keys().copied().collect();
+            gids.clear();
+            gids.extend(self.groups.keys().copied());
             for gid in &gids {
                 while self.try_install_head(*gid, out) {
                     progress = true;
@@ -738,9 +779,10 @@ impl Process {
                 progress = true;
             }
             if !progress {
-                return;
+                break;
             }
         }
+        self.scratch_gids = gids;
     }
 
     fn deliver_one(&mut self, group: GroupId, key: (Msn, ProcessId), out: &mut Vec<Action>) {
@@ -751,7 +793,7 @@ impl Process {
             return;
         };
         let view_seq = gs.view.seq();
-        match m.body {
+        match &m.body {
             MessageBody::App(payload) => {
                 self.stats.deliveries += 1;
                 out.push(Action::Deliver(Delivery {
@@ -759,7 +801,7 @@ impl Process {
                     origin: m.sender,
                     c: m.c,
                     view_seq,
-                    payload,
+                    payload: payload.clone(),
                 }));
             }
             MessageBody::Relay {
@@ -768,16 +810,17 @@ impl Process {
                 self.stats.deliveries += 1;
                 out.push(Action::Deliver(Delivery {
                     group,
-                    origin,
+                    origin: *origin,
                     c: m.c,
                     view_seq,
-                    payload,
+                    payload: payload.clone(),
                 }));
             }
             MessageBody::ViewCut { detection } => {
                 // The sequencer's in-stream cut: install here, at this
                 // position of the delivery stream (identical at every
                 // member).
+                let detection = detection.clone();
                 self.install_from_viewcut(group, detection, out);
             }
             _ => {}
@@ -915,7 +958,7 @@ impl Process {
                     gs.outstanding.push_back((c, payload));
                     out.push(Action::Send {
                         to: sequencer,
-                        envelope: Envelope::Group(m),
+                        envelope: Envelope::Group(Arc::new(m)),
                     });
                 }
             }

@@ -11,9 +11,34 @@
 //!
 //! View-installation step (viii) sets entries of failed processes to ∞ so
 //! the minima are no longer held back by the departed.
+//!
+//! # Representation and cost model
+//!
+//! The minimum of these vectors is consulted on **every** receive (the
+//! deliverability bound `D` and the stability prefix), so the paper's §6
+//! "low and bounded per-message cost" claim lives or dies here. Entries are
+//! stored as a dense `Vec<Msn>` indexed through a sorted member-index table
+//! (members are fixed at view installation, so the table never reallocates
+//! between views), with a **cached running minimum** maintained
+//! hierarchically: a flat tournament tree caches the minimum of every
+//! entry-pair subtree, and an `advance` invalidates only the cached values
+//! along the path from the changed entry to the root — it stops as soon as
+//! a cached value is unaffected, so the cache is only ever torn down when
+//! the argmin entry itself advances or a member is set to ∞ (step viii).
+//!
+//! Resulting costs: [`MsnVector::min_live`] is O(1) (root read). Ops keyed
+//! by member ([`MsnVector::advance`], [`MsnVector::min_live_excluding`],
+//! [`MsnVector::get`]) pay an O(log n) binary search on the member-index
+//! table (≈8 well-predicted probes of a contiguous array at n = 256); on
+//! top of that lookup, `advance`'s cache maintenance is O(1) amortized
+//! (the propagation loop breaks at the first unchanged cache node,
+//! O(log n) worst-case) and `min_live_excluding` is O(1) unless the
+//! excluded member holds the minimum (rare — the engine excludes the
+//! local member, whose own entry tracks its logical clock), in which case
+//! it recombines O(log n) cached sibling minima. Nothing on these paths
+//! allocates.
 
 use newtop_types::{Msn, ProcessId};
-use std::collections::BTreeMap;
 
 /// A per-member vector of message numbers with an ∞-aware minimum.
 ///
@@ -31,65 +56,132 @@ use std::collections::BTreeMap;
 /// rv.set_infinite(ProcessId(1)); // step (viii): P1 agreed failed
 /// assert_eq!(rv.min_live(), Msn(9));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct MsnVector {
-    entries: BTreeMap<ProcessId, Msn>,
+    /// Member identifiers, sorted ascending — the member-index table.
+    ids: Vec<ProcessId>,
+    /// `entries[i]` is the number recorded for `ids[i]` (∞ = excluded).
+    entries: Vec<Msn>,
+    /// Tournament tree over the entries: `tree[1]` is the overall minimum,
+    /// `tree[leaf_base + i]` mirrors `entries[i]`, and every inner node
+    /// caches the minimum of its two children. Empty for empty vectors.
+    tree: Vec<Msn>,
+    /// Index of the first leaf in `tree` (a power of two).
+    leaf_base: usize,
 }
 
 impl MsnVector {
     /// Creates a vector with one zero entry per member.
     pub fn new<I: IntoIterator<Item = ProcessId>>(members: I) -> MsnVector {
-        MsnVector {
-            entries: members.into_iter().map(|p| (p, Msn::ZERO)).collect(),
+        let mut ids: Vec<ProcessId> = members.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let entries = vec![Msn::ZERO; ids.len()];
+        let mut v = MsnVector {
+            ids,
+            entries,
+            tree: Vec::new(),
+            leaf_base: 0,
+        };
+        v.rebuild_tree();
+        v
+    }
+
+    /// Rebuilds the cached-minimum tree from scratch (construction and
+    /// membership removal only; never on the per-message path).
+    fn rebuild_tree(&mut self) {
+        let n = self.entries.len();
+        if n == 0 {
+            self.tree.clear();
+            self.leaf_base = 0;
+            return;
         }
+        let base = n.next_power_of_two();
+        self.tree.clear();
+        self.tree.resize(2 * base, Msn::INFINITY);
+        self.tree[base..base + n].copy_from_slice(&self.entries);
+        for i in (1..base).rev() {
+            self.tree[i] = self.tree[2 * i].min(self.tree[2 * i + 1]);
+        }
+        self.leaf_base = base;
+    }
+
+    /// Raises the cached value at leaf `i` to `c` and re-validates ancestor
+    /// caches, stopping at the first one the change does not affect.
+    fn raise_leaf(&mut self, i: usize, c: Msn) {
+        let mut node = self.leaf_base + i;
+        self.tree[node] = c;
+        while node > 1 {
+            node /= 2;
+            let m = self.tree[2 * node].min(self.tree[2 * node + 1]);
+            if self.tree[node] == m {
+                break; // this cache (and all above it) is still valid
+            }
+            self.tree[node] = m;
+        }
+    }
+
+    /// Position of `p` in the member-index table.
+    #[inline]
+    fn index_of(&self, p: ProcessId) -> Option<usize> {
+        self.ids.binary_search(&p).ok()
     }
 
     /// The recorded number for `p` (zero if absent).
     #[must_use]
     pub fn get(&self, p: ProcessId) -> Msn {
-        self.entries.get(&p).copied().unwrap_or(Msn::ZERO)
+        self.index_of(p).map_or(Msn::ZERO, |i| self.entries[i])
     }
 
     /// Whether the vector tracks `p`.
     #[must_use]
     pub fn contains(&self, p: ProcessId) -> bool {
-        self.entries.contains_key(&p)
+        self.index_of(p).is_some()
     }
 
     /// Raises `p`'s entry to `c` if larger (receipts arrive in FIFO order,
     /// so entries are monotone). Entries already set to ∞ stay ∞.
     pub fn advance(&mut self, p: ProcessId, c: Msn) {
-        if let Some(e) = self.entries.get_mut(&p) {
-            if !e.is_infinite() && c > *e {
-                *e = c;
-            }
+        let Some(i) = self.index_of(p) else {
+            return;
+        };
+        let e = self.entries[i];
+        if e.is_infinite() || c <= e {
+            return;
         }
+        self.entries[i] = c;
+        self.raise_leaf(i, c);
     }
 
     /// Sets `p`'s entry to the ∞ sentinel (step (viii)).
     pub fn set_infinite(&mut self, p: ProcessId) {
-        if let Some(e) = self.entries.get_mut(&p) {
-            *e = Msn::INFINITY;
+        let Some(i) = self.index_of(p) else {
+            return;
+        };
+        if self.entries[i].is_infinite() {
+            return;
         }
+        self.entries[i] = Msn::INFINITY;
+        self.raise_leaf(i, Msn::INFINITY);
     }
 
     /// Removes `p` entirely (view installation removes failed members).
     pub fn remove(&mut self, p: ProcessId) {
-        self.entries.remove(&p);
+        let Some(i) = self.index_of(p) else {
+            return;
+        };
+        self.ids.remove(i);
+        self.entries.remove(i);
+        self.rebuild_tree();
     }
 
     /// The minimum over non-∞ entries, or [`Msn::INFINITY`] if none remain.
     ///
     /// For a receive vector this is `D_{x,i}`; for a stability vector it is
-    /// the stable prefix bound.
+    /// the stable prefix bound. O(1): the cached tree root.
     #[must_use]
     pub fn min_live(&self) -> Msn {
-        self.entries
-            .values()
-            .copied()
-            .filter(|m| !m.is_infinite())
-            .min()
-            .unwrap_or(Msn::INFINITY)
+        self.tree.get(1).copied().unwrap_or(Msn::INFINITY)
     }
 
     /// The minimum over non-∞ entries of members other than `me`, or
@@ -101,33 +193,63 @@ impl MsnVector {
     /// nothing with a smaller number can ever be "received from myself".
     /// (Without this, a sole-survivor group would freeze its own entry and
     /// wedge the global `D_i` of a multi-group process.)
+    ///
+    /// O(1) unless `me` currently holds the minimum, in which case the
+    /// excluded minimum is recombined from the O(log n) cached sibling
+    /// minima along `me`'s tree path.
     #[must_use]
     pub fn min_live_excluding(&self, me: ProcessId) -> Msn {
-        self.entries
-            .iter()
-            .filter(|(p, m)| **p != me && !m.is_infinite())
-            .map(|(_, m)| *m)
-            .min()
-            .unwrap_or(Msn::INFINITY)
+        let all = self.min_live();
+        let Some(i) = self.index_of(me) else {
+            return all;
+        };
+        if self.entries[i] > all {
+            // `me` does not hold the minimum: excluding it changes nothing.
+            // (Covers the ∞ case too, unless everything is ∞ — then `all`
+            // is ∞ and so is the answer.)
+            return all;
+        }
+        // `me` is an argmin (or tied): combine the cached minima of the
+        // siblings along its leaf-to-root path, which is exactly the
+        // minimum over every other entry.
+        let mut node = self.leaf_base + i;
+        let mut min = Msn::INFINITY;
+        while node > 1 {
+            min = min.min(self.tree[node ^ 1]);
+            node /= 2;
+        }
+        min
     }
 
     /// Number of tracked members.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.ids.len()
     }
 
     /// Whether the vector is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.ids.is_empty()
     }
 
-    /// Iterates over `(member, number)` pairs.
+    /// Iterates over `(member, number)` pairs in ascending member order.
     pub fn iter(&self) -> impl Iterator<Item = (ProcessId, Msn)> + '_ {
-        self.entries.iter().map(|(p, m)| (*p, *m))
+        self.ids
+            .iter()
+            .copied()
+            .zip(self.entries.iter().copied())
     }
 }
+
+impl PartialEq for MsnVector {
+    fn eq(&self, other: &MsnVector) -> bool {
+        // The cache tree is derived state; observable equality is the map.
+        self.ids == other.ids && self.entries == other.entries
+    }
+}
+
+impl Eq for MsnVector {}
 
 #[cfg(test)]
 mod tests {
@@ -207,5 +329,56 @@ mod tests {
         rv.advance(p(2), Msn(50));
         rv.advance(p(3), Msn(75));
         assert_eq!(rv.min_live(), Msn(50));
+    }
+
+    #[test]
+    fn min_excluding_when_me_is_argmin_and_tied() {
+        let mut rv = MsnVector::new([p(1), p(2), p(3)]);
+        rv.advance(p(1), Msn(5));
+        rv.advance(p(2), Msn(5));
+        rv.advance(p(3), Msn(9));
+        // Tied minimum: excluding one of the two holders leaves the other.
+        assert_eq!(rv.min_live_excluding(p(1)), Msn(5));
+        rv.advance(p(2), Msn(7));
+        // Unique argmin excluded: falls back to the runner-up.
+        assert_eq!(rv.min_live_excluding(p(1)), Msn(7));
+        assert_eq!(rv.min_live_excluding(p(2)), Msn(5));
+    }
+
+    #[test]
+    fn duplicate_members_collapse_and_order_is_canonical() {
+        let rv = MsnVector::new([p(3), p(1), p(3), p(2)]);
+        assert_eq!(rv.len(), 3);
+        let ids: Vec<u32> = rv.iter().map(|(q, _)| q.0).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cached_min_tracks_round_robin_advances() {
+        // The adversarial pattern for a cached minimum: every advance moves
+        // the current argmin, so every ancestor cache is invalidated.
+        let n = 64u32;
+        let mut rv = MsnVector::new((1..=n).map(ProcessId));
+        for c in 1..=10_000u64 {
+            rv.advance(ProcessId((c % u64::from(n)) as u32 + 1), Msn(c));
+            let naive = (1..=n)
+                .map(|i| rv.get(ProcessId(i)))
+                .filter(|m| !m.is_infinite())
+                .min()
+                .unwrap_or(Msn::INFINITY);
+            assert_eq!(rv.min_live(), naive);
+        }
+    }
+
+    #[test]
+    fn equality_ignores_cache_shape() {
+        let mut a = MsnVector::new([p(1), p(2), p(3)]);
+        let mut b = MsnVector::new([p(1), p(2), p(3)]);
+        a.advance(p(1), Msn(2));
+        a.advance(p(1), Msn(4));
+        b.advance(p(1), Msn(4));
+        assert_eq!(a, b);
+        b.advance(p(2), Msn(1));
+        assert_ne!(a, b);
     }
 }

@@ -1,0 +1,84 @@
+//! Multicast fan-out must not copy per destination: every `Action::Send`
+//! of one multicast carries the same reference-counted message, and the
+//! payload bytes in every envelope are the same backing buffer (pointer
+//! equality, not just value equality).
+
+use bytes::Bytes;
+use newtop_core::{Action, Process};
+use newtop_types::{
+    Envelope, GroupConfig, GroupId, Instant, Message, MessageBody, OrderMode, ProcessConfig,
+    ProcessId,
+};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+fn bootstrapped(n: u32) -> Process {
+    let members: BTreeSet<ProcessId> = (1..=n).map(ProcessId).collect();
+    let mut p = Process::new(ProcessId(1), ProcessConfig::new());
+    p.bootstrap_group(
+        Instant::ZERO,
+        GroupId(1),
+        &members,
+        GroupConfig::new(OrderMode::Symmetric),
+    )
+    .expect("bootstrap");
+    p
+}
+
+fn sent_messages(actions: &[Action]) -> Vec<&Arc<Message>> {
+    actions
+        .iter()
+        .filter_map(|a| match a {
+            Action::Send {
+                envelope: Envelope::Group(m),
+                ..
+            } => Some(m),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn fanout_shares_one_message_and_one_payload_buffer() {
+    let mut p = bootstrapped(8);
+    let payload = Bytes::from(vec![0x5A; 512]);
+    let payload_ptr = payload.as_ptr();
+    let actions = p
+        .multicast(Instant::ZERO, GroupId(1), payload)
+        .expect("send accepted");
+    let sent = sent_messages(&actions);
+    assert_eq!(sent.len(), 7, "one envelope per other member");
+    // One shared message: every envelope is a refcount bump on the first.
+    for m in &sent[1..] {
+        assert!(
+            Arc::ptr_eq(sent[0], m),
+            "fan-out must share a single Arc<Message>"
+        );
+    }
+    // And the payload inside is the caller's buffer — zero copies from the
+    // application hand-off through every destination envelope.
+    for m in &sent {
+        match &m.body {
+            MessageBody::App(b) => assert_eq!(
+                b.as_ptr(),
+                payload_ptr,
+                "payload bytes must be shared by reference"
+            ),
+            other => panic!("unexpected body {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn null_fanout_shares_one_message_too() {
+    let mut p = bootstrapped(4);
+    // Advance past the time-silence interval ω so the tick emits a null.
+    let omega = GroupConfig::new(OrderMode::Symmetric).omega;
+    let actions = p.tick(Instant::ZERO + omega + omega);
+    let sent = sent_messages(&actions);
+    assert_eq!(sent.len(), 3);
+    assert!(matches!(sent[0].body, MessageBody::Null));
+    for m in &sent[1..] {
+        assert!(Arc::ptr_eq(sent[0], m));
+    }
+}

@@ -1,0 +1,126 @@
+//! Model-based property test: the dense cached-min [`MsnVector`] must be
+//! observationally identical to the obvious `BTreeMap` reference
+//! implementation (the seed's representation) under arbitrary
+//! interleavings of `advance`, `set_infinite`, `min_live`,
+//! `min_live_excluding` and membership removal.
+//!
+//! The cached minimum is pure derived state; any divergence between the
+//! two implementations on any op sequence is a bug in the cache
+//! invalidation, which is exactly what this test hunts.
+
+use newtop_core::MsnVector;
+use newtop_types::{Msn, ProcessId};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// The seed's representation, kept as the executable specification.
+#[derive(Debug, Default)]
+struct NaiveVector {
+    entries: BTreeMap<ProcessId, Msn>,
+}
+
+impl NaiveVector {
+    fn new(members: impl IntoIterator<Item = ProcessId>) -> NaiveVector {
+        NaiveVector {
+            entries: members.into_iter().map(|p| (p, Msn::ZERO)).collect(),
+        }
+    }
+
+    fn advance(&mut self, p: ProcessId, c: Msn) {
+        if let Some(e) = self.entries.get_mut(&p) {
+            if !e.is_infinite() && c > *e {
+                *e = c;
+            }
+        }
+    }
+
+    fn set_infinite(&mut self, p: ProcessId) {
+        if let Some(e) = self.entries.get_mut(&p) {
+            *e = Msn::INFINITY;
+        }
+    }
+
+    fn remove(&mut self, p: ProcessId) {
+        self.entries.remove(&p);
+    }
+
+    fn get(&self, p: ProcessId) -> Msn {
+        self.entries.get(&p).copied().unwrap_or(Msn::ZERO)
+    }
+
+    fn min_live(&self) -> Msn {
+        self.entries
+            .values()
+            .copied()
+            .filter(|m| !m.is_infinite())
+            .min()
+            .unwrap_or(Msn::INFINITY)
+    }
+
+    fn min_live_excluding(&self, me: ProcessId) -> Msn {
+        self.entries
+            .iter()
+            .filter(|(p, m)| **p != me && !m.is_infinite())
+            .map(|(_, m)| *m)
+            .min()
+            .unwrap_or(Msn::INFINITY)
+    }
+}
+
+/// One scripted operation: `(selector, member, value)`. Members are drawn
+/// from a slightly wider range than the initial membership so unknown-member
+/// no-ops are exercised too.
+type Op = (u8, u32, u64);
+
+fn arb_ops() -> impl Strategy<Value = (Vec<u32>, Vec<Op>)> {
+    (
+        proptest::collection::vec(1u32..24, 1..16),
+        proptest::collection::vec((0u8..6, 1u32..28, 1u64..500), 0..300),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn dense_vector_matches_btreemap_model((members, ops) in arb_ops()) {
+        let members: Vec<ProcessId> = members.into_iter().map(ProcessId).collect();
+        let mut dense = MsnVector::new(members.iter().copied());
+        let mut naive = NaiveVector::new(members.iter().copied());
+        for (sel, p, v) in ops {
+            let p = ProcessId(p);
+            match sel {
+                0 => {
+                    dense.advance(p, Msn(v));
+                    naive.advance(p, Msn(v));
+                }
+                1 => {
+                    dense.set_infinite(p);
+                    naive.set_infinite(p);
+                }
+                2 => {
+                    // Membership change: view installation removes a member.
+                    dense.remove(p);
+                    naive.remove(p);
+                }
+                3 => prop_assert_eq!(dense.min_live(), naive.min_live()),
+                4 => prop_assert_eq!(
+                    dense.min_live_excluding(p),
+                    naive.min_live_excluding(p)
+                ),
+                _ => prop_assert_eq!(dense.get(p), naive.get(p)),
+            }
+            // Whole-map agreement after every mutation keeps failures local.
+            prop_assert_eq!(dense.len(), naive.entries.len());
+            prop_assert_eq!(dense.min_live(), naive.min_live());
+        }
+        // Final sweep: every tracked member agrees on entry and exclusion.
+        for (p, m) in &naive.entries {
+            prop_assert!(dense.contains(*p));
+            prop_assert_eq!(dense.get(*p), *m);
+            prop_assert_eq!(dense.min_live_excluding(*p), naive.min_live_excluding(*p));
+        }
+        let collected: BTreeMap<ProcessId, Msn> = dense.iter().collect();
+        prop_assert_eq!(collected, naive.entries);
+    }
+}

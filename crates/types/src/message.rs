@@ -7,6 +7,7 @@ use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// A suspicion pair `{P_k, ln}`: process `P_k` is suspected to have crashed,
 /// and `ln` is the number of the last message the suspector received from it
@@ -271,10 +272,17 @@ impl ControlMessage {
 
 /// Everything that can travel on the transport: a numbered group message or
 /// an un-numbered control message.
+///
+/// Group messages are carried behind an [`Arc`], so a multicast fan-out
+/// materialises the message **once** and every per-destination envelope is
+/// a reference-count bump — payload bytes and body allocations are shared
+/// across all destinations (and with the sender's own retention/delivery
+/// buffers). This deviates from the seed's by-value envelopes; see
+/// DESIGN.md §5 and §7.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Envelope {
-    /// A numbered group message.
-    Group(Message),
+    /// A numbered group message (shared across fan-out destinations).
+    Group(Arc<Message>),
     /// A formation control message.
     Control(ControlMessage),
 }
@@ -292,6 +300,12 @@ impl Envelope {
 
 impl From<Message> for Envelope {
     fn from(m: Message) -> Envelope {
+        Envelope::Group(Arc::new(m))
+    }
+}
+
+impl From<Arc<Message>> for Envelope {
+    fn from(m: Arc<Message>) -> Envelope {
         Envelope::Group(m)
     }
 }

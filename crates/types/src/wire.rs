@@ -36,6 +36,14 @@ use crate::{
 };
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Encoded size of `v` as a LEB128 varint, in bytes (1–10).
+#[must_use]
+pub fn varint_len(v: u64) -> usize {
+    // ceil(bits/7), with 0 taking one byte.
+    ((64 - v.leading_zeros() as usize).div_ceil(7)).max(1)
+}
 
 /// Appends `v` as a LEB128 varint.
 pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
@@ -311,14 +319,28 @@ fn get_config(buf: &mut Bytes) -> Result<GroupConfig, DecodeError> {
     })
 }
 
-/// Encodes an envelope into a fresh buffer.
+/// Encodes an envelope into a fresh, exactly sized buffer.
+///
+/// Thin wrapper over [`encode_into`]: the buffer is pre-allocated to
+/// [`encoded_len`] bytes, so encoding never regrows it.
 #[must_use]
 pub fn encode(env: &Envelope) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64);
+    let mut buf = BytesMut::with_capacity(encoded_len(env));
+    encode_into(env, &mut buf);
+    buf.freeze()
+}
+
+/// Appends the encoding of `env` to `buf` (which is *not* cleared first —
+/// hosts framing many envelopes into one buffer rely on that).
+///
+/// Callers that reuse a scratch buffer across frames should
+/// `buf.clear()` between envelopes and [`BytesMut::reserve`] up front with
+/// [`encoded_len`], after which encoding performs no allocation at all.
+pub fn encode_into(env: &Envelope, buf: &mut BytesMut) {
     match env {
         Envelope::Group(m) => {
             buf.put_u8(ENV_GROUP);
-            put_message(&mut buf, m);
+            put_message(buf, m);
         }
         Envelope::Control(c) => {
             buf.put_u8(ENV_CONTROL);
@@ -330,13 +352,13 @@ pub fn encode(env: &Envelope) -> Bytes {
                     config,
                 } => {
                     buf.put_u8(CTRL_FORM_GROUP);
-                    put_varint(&mut buf, u64::from(group.0));
-                    put_varint(&mut buf, u64::from(initiator.0));
-                    put_varint(&mut buf, members.len() as u64);
+                    put_varint(buf, u64::from(group.0));
+                    put_varint(buf, u64::from(initiator.0));
+                    put_varint(buf, members.len() as u64);
                     for m in members {
-                        put_varint(&mut buf, u64::from(m.0));
+                        put_varint(buf, u64::from(m.0));
                     }
-                    put_config(&mut buf, config);
+                    put_config(buf, config);
                 }
                 ControlMessage::FormVote {
                     group,
@@ -344,8 +366,8 @@ pub fn encode(env: &Envelope) -> Bytes {
                     decision,
                 } => {
                     buf.put_u8(CTRL_FORM_VOTE);
-                    put_varint(&mut buf, u64::from(group.0));
-                    put_varint(&mut buf, u64::from(voter.0));
+                    put_varint(buf, u64::from(group.0));
+                    put_varint(buf, u64::from(voter.0));
                     buf.put_u8(match decision {
                         FormationDecision::Yes => 1,
                         FormationDecision::No => 0,
@@ -354,7 +376,6 @@ pub fn encode(env: &Envelope) -> Bytes {
             }
         }
     }
-    buf.freeze()
 }
 
 /// Decodes an envelope, consuming from `buf`.
@@ -368,7 +389,7 @@ pub fn decode(buf: &mut Bytes) -> Result<Envelope, DecodeError> {
         return Err(DecodeError::Truncated);
     }
     match buf.get_u8() {
-        ENV_GROUP => Ok(Envelope::Group(get_message(buf)?)),
+        ENV_GROUP => Ok(Envelope::Group(Arc::new(get_message(buf)?))),
         ENV_CONTROL => {
             if !buf.has_remaining() {
                 return Err(DecodeError::Truncated);
@@ -425,10 +446,88 @@ pub fn decode(buf: &mut Bytes) -> Result<Envelope, DecodeError> {
     }
 }
 
+fn bytes_len(b: &Bytes) -> usize {
+    varint_len(b.len() as u64) + b.len()
+}
+
+fn suspicion_len(s: &Suspicion) -> usize {
+    varint_len(u64::from(s.suspect.0)) + varint_len(s.ln.0)
+}
+
+fn detection_len(d: &[Suspicion]) -> usize {
+    varint_len(d.len() as u64) + d.iter().map(suspicion_len).sum::<usize>()
+}
+
+fn message_len(m: &Message) -> usize {
+    let header = varint_len(u64::from(m.group.0))
+        + varint_len(u64::from(m.sender.0))
+        + varint_len(m.c.0)
+        + varint_len(m.ldn.0)
+        + 1; // body tag
+    header
+        + match &m.body {
+            MessageBody::App(p) => bytes_len(p),
+            MessageBody::Null | MessageBody::StartGroup | MessageBody::Depart => 0,
+            MessageBody::SeqRequest { origin_c, payload } => {
+                varint_len(origin_c.0) + bytes_len(payload)
+            }
+            MessageBody::Relay {
+                origin,
+                origin_c,
+                payload,
+            } => varint_len(u64::from(origin.0)) + varint_len(origin_c.0) + bytes_len(payload),
+            MessageBody::Suspect(s) => suspicion_len(s),
+            MessageBody::Refute {
+                suspicion,
+                recovered,
+            } => {
+                suspicion_len(suspicion)
+                    + varint_len(recovered.len() as u64)
+                    + recovered.iter().map(message_len).sum::<usize>()
+            }
+            MessageBody::Confirmed { detection } | MessageBody::ViewCut { detection } => {
+                detection_len(detection)
+            }
+        }
+}
+
+fn config_len(cfg: &GroupConfig) -> usize {
+    2 + varint_len(cfg.omega.as_micros())
+        + varint_len(cfg.big_omega.as_micros())
+        + match cfg.flow_window {
+            None => 1,
+            Some(w) => 1 + varint_len(u64::from(w)),
+        }
+}
+
 /// Total encoded size of an envelope, in bytes.
+///
+/// Computed arithmetically — no buffer is materialised — so hosts can size
+/// frames exactly before calling [`encode_into`], and the simulator's
+/// `bytes_sent` accounting costs no allocation per message.
 #[must_use]
 pub fn encoded_len(env: &Envelope) -> usize {
-    encode(env).len()
+    1 + match env {
+        Envelope::Group(m) => message_len(m),
+        Envelope::Control(ControlMessage::FormGroup {
+            group,
+            initiator,
+            members,
+            config,
+        }) => {
+            1 + varint_len(u64::from(group.0))
+                + varint_len(u64::from(initiator.0))
+                + varint_len(members.len() as u64)
+                + members
+                    .iter()
+                    .map(|m| varint_len(u64::from(m.0)))
+                    .sum::<usize>()
+                + config_len(config)
+        }
+        Envelope::Control(ControlMessage::FormVote { group, voter, .. }) => {
+            1 + varint_len(u64::from(group.0)) + varint_len(u64::from(voter.0)) + 1
+        }
+    }
 }
 
 /// Protocol-header overhead of a message in bytes: everything the codec
@@ -445,7 +544,7 @@ pub fn header_overhead(m: &Message) -> usize {
         | MessageBody::Relay { payload: p, .. } => p.len(),
         _ => 0,
     };
-    encoded_len(&Envelope::Group(m.clone())) - payload_len
+    1 + message_len(m) - payload_len
 }
 
 #[cfg(test)]
@@ -521,7 +620,7 @@ mod tests {
             MessageBody::ViewCut { detection: vec![s] },
         ];
         for body in bodies {
-            roundtrip(Envelope::Group(Message {
+            roundtrip(Envelope::from(Message {
                 group: GroupId(1),
                 sender: ProcessId(300),
                 c: Msn(1 << 20),

@@ -93,7 +93,7 @@ fn arb_config() -> impl Strategy<Value = GroupConfig> {
 
 fn arb_envelope() -> impl Strategy<Value = Envelope> {
     prop_oneof![
-        6 => arb_message(arb_body()).prop_map(Envelope::Group),
+        6 => arb_message(arb_body()).prop_map(Envelope::from),
         1 => (any::<u32>(), any::<u32>(), proptest::collection::btree_set(any::<u32>(), 0..8), arb_config())
             .prop_map(|(g, i, members, config)| Envelope::Control(ControlMessage::FormGroup {
                 group: GroupId(g),

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Runs the three criterion benches (hot_paths, experiments,
+# baseline_protocols) and writes a {bench name -> ns/iter} JSON snapshot at
+# the repo root. Committed snapshots (BENCH_PR2.json onwards) form the perf
+# trajectory every later optimisation PR is judged against.
+#
+# Usage: scripts/bench_snapshot.sh [output.json]   (default: BENCH_PR2.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR2.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+for bench in hot_paths experiments baseline_protocols; do
+    echo "== cargo bench --bench $bench" >&2
+    cargo bench --bench "$bench" 2>/dev/null | tee /dev/stderr >>"$raw"
+done
+
+# The criterion shim prints one `<name> <ns> ns/iter` line per benchmark.
+awk '
+    / ns\/iter$/ {
+        if (!first_done) { printf("{"); first_done = 1 } else { printf(",") }
+        printf("\n  \"%s\": %s", $1, $(NF - 1))
+    }
+    END { if (first_done) print "\n}"; else print "{}" }
+' "$raw" >"$out"
+
+echo "wrote $(grep -c ':' "$out") benchmark entries to $out" >&2

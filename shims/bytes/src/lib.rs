@@ -249,6 +249,22 @@ impl BytesMut {
         self.buf.is_empty()
     }
 
+    /// Number of bytes the buffer can hold without reallocating.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Ensures room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Empties the buffer, keeping its allocation for reuse.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
     /// Converts the accumulated bytes into an immutable [`Bytes`].
     #[must_use]
     pub fn freeze(self) -> Bytes {
