@@ -82,7 +82,13 @@ impl AbcastNode {
         }
     }
 
-    fn sequence(&mut self, now: Instant, origin: ProcessId, payload: Bytes, out: &mut Outbox<AbcastMsg>) {
+    fn sequence(
+        &mut self,
+        now: Instant,
+        origin: ProcessId,
+        payload: Bytes,
+        out: &mut Outbox<AbcastMsg>,
+    ) {
         let seq = self.next_seq;
         self.next_seq += 1;
         for dst in &self.members {
@@ -125,7 +131,13 @@ impl AbcastNode {
 impl SimNode for AbcastNode {
     type Msg = AbcastMsg;
 
-    fn on_message(&mut self, now: Instant, _from: ProcessId, msg: AbcastMsg, out: &mut Outbox<AbcastMsg>) {
+    fn on_message(
+        &mut self,
+        now: Instant,
+        _from: ProcessId,
+        msg: AbcastMsg,
+        out: &mut Outbox<AbcastMsg>,
+    ) {
         match msg {
             AbcastMsg::Request { origin, payload } => {
                 if self.id == self.sequencer {

@@ -144,12 +144,23 @@ impl LamportNode {
 impl SimNode for LamportNode {
     type Msg = LamportMsg;
 
-    fn on_message(&mut self, now: Instant, _from: ProcessId, msg: LamportMsg, out: &mut Outbox<LamportMsg>) {
+    fn on_message(
+        &mut self,
+        now: Instant,
+        _from: ProcessId,
+        msg: LamportMsg,
+        out: &mut Outbox<LamportMsg>,
+    ) {
         self.clock = self.clock.max(msg.ts());
         let sender = msg.sender();
         let e = self.seen.entry(sender).or_insert(0);
         *e = (*e).max(msg.ts());
-        if let LamportMsg::App { ts, sender, payload } = msg {
+        if let LamportMsg::App {
+            ts,
+            sender,
+            payload,
+        } = msg
+        {
             self.queue.insert((ts, sender), payload);
             // Acknowledge to everyone so the total order can proceed.
             self.clock += 1;
@@ -253,14 +264,20 @@ mod tests {
         n1.on_message(
             Instant::ZERO,
             p(2),
-            LamportMsg::Ack { ts: 2, sender: p(2) },
+            LamportMsg::Ack {
+                ts: 2,
+                sender: p(2),
+            },
             &mut out,
         );
         assert!(n1.delivered().is_empty(), "P3 has not spoken");
         n1.on_message(
             Instant::ZERO,
             p(3),
-            LamportMsg::Ack { ts: 2, sender: p(3) },
+            LamportMsg::Ack {
+                ts: 2,
+                sender: p(3),
+            },
             &mut out,
         );
         assert_eq!(n1.delivered().len(), 1);

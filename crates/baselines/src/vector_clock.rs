@@ -69,9 +69,8 @@ impl VcCausalNode {
         if m.vc.get(&m.sender).copied().unwrap_or(0) != next_from_sender {
             return false;
         }
-        m.vc.iter().all(|(k, v)| {
-            *k == m.sender || *v <= self.vc.get(k).copied().unwrap_or(0)
-        })
+        m.vc.iter()
+            .all(|(k, v)| *k == m.sender || *v <= self.vc.get(k).copied().unwrap_or(0))
     }
 
     fn drain(&mut self, now: Instant) {
@@ -108,7 +107,13 @@ impl VcCausalNode {
 impl SimNode for VcCausalNode {
     type Msg = VcMessage;
 
-    fn on_message(&mut self, now: Instant, _from: ProcessId, msg: VcMessage, _out: &mut Outbox<VcMessage>) {
+    fn on_message(
+        &mut self,
+        now: Instant,
+        _from: ProcessId,
+        msg: VcMessage,
+        _out: &mut Outbox<VcMessage>,
+    ) {
         self.pending.push(msg);
         self.drain(now);
     }

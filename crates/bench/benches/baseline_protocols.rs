@@ -70,5 +70,10 @@ fn bench_lamport_receive(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_headers, bench_vc_causal_receive, bench_lamport_receive);
+criterion_group!(
+    benches,
+    bench_headers,
+    bench_vc_causal_receive,
+    bench_lamport_receive
+);
 criterion_main!(benches);

@@ -8,9 +8,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use newtop_bench::sample_app_message;
 use newtop_core::testkit::TestNet;
 use newtop_core::{LogicalClock, MsnVector, Process};
-use newtop_types::{
-    wire, GroupConfig, GroupId, Instant, Msn, OrderMode, ProcessConfig, ProcessId,
-};
+use newtop_types::{wire, GroupConfig, GroupId, Instant, Msn, OrderMode, ProcessConfig, ProcessId};
 use std::collections::BTreeSet;
 use std::hint::black_box;
 
@@ -23,18 +21,14 @@ fn bench_codec(c: &mut Criterion) {
         });
         // The allocation-free framing path: one scratch buffer reused for
         // every frame, sized once from the exact encoded_len.
-        group.bench_with_input(
-            BenchmarkId::new("encode_into", payload),
-            &env,
-            |b, env| {
-                let mut buf = BytesMut::with_capacity(wire::encoded_len(env));
-                b.iter(|| {
-                    buf.clear();
-                    wire::encode_into(env, &mut buf);
-                    black_box(buf.len())
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("encode_into", payload), &env, |b, env| {
+            let mut buf = BytesMut::with_capacity(wire::encoded_len(env));
+            b.iter(|| {
+                buf.clear();
+                wire::encode_into(env, &mut buf);
+                black_box(buf.len())
+            });
+        });
         let encoded = wire::encode(&env);
         group.bench_with_input(BenchmarkId::new("decode", payload), &encoded, |b, enc| {
             b.iter(|| {
@@ -42,13 +36,9 @@ fn bench_codec(c: &mut Criterion) {
                 black_box(wire::decode(&mut buf).expect("valid frame"))
             });
         });
-        group.bench_with_input(
-            BenchmarkId::new("encoded_len", payload),
-            &env,
-            |b, env| {
-                b.iter(|| black_box(wire::encoded_len(env)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("encoded_len", payload), &env, |b, env| {
+            b.iter(|| black_box(wire::encoded_len(env)));
+        });
     }
     group.finish();
 }
@@ -73,7 +63,9 @@ fn bench_fanout(c: &mut Criterion) {
                 .expect("bootstrap");
                 p
             };
-            let payload = Bytes::from_static(b"fanout-payload-64-bytes-.........................................");
+            let payload = Bytes::from_static(
+                b"fanout-payload-64-bytes-.........................................",
+            );
             let mut p = mk();
             let mut sends = 0u32;
             b.iter(|| {
@@ -99,22 +91,18 @@ fn bench_fanout(c: &mut Criterion) {
 fn bench_mixed_advance_min(c: &mut Criterion) {
     let mut group = c.benchmark_group("receive_vector");
     let n = 256u32;
-    group.bench_with_input(
-        BenchmarkId::new("mixed_advance_min", n),
-        &n,
-        |b, &n| {
-            let mut rv = MsnVector::new((1..=n).map(ProcessId));
-            let mut c = 0u64;
-            b.iter(|| {
-                c += 1;
-                // Argmin-moving advance (cache invalidation path).
-                rv.advance(ProcessId((c % u64::from(n)) as u32 + 1), Msn(c));
-                // Far-ahead member advance (cache-preserving path).
-                rv.advance(ProcessId(1 + (c % 7) as u32), Msn(c + 1_000_000));
-                black_box((rv.min_live(), rv.min_live_excluding(ProcessId(1))))
-            });
-        },
-    );
+    group.bench_with_input(BenchmarkId::new("mixed_advance_min", n), &n, |b, &n| {
+        let mut rv = MsnVector::new((1..=n).map(ProcessId));
+        let mut c = 0u64;
+        b.iter(|| {
+            c += 1;
+            // Argmin-moving advance (cache invalidation path).
+            rv.advance(ProcessId((c % u64::from(n)) as u32 + 1), Msn(c));
+            // Far-ahead member advance (cache-preserving path).
+            rv.advance(ProcessId(1 + (c % 7) as u32), Msn(c + 1_000_000));
+            black_box((rv.min_live(), rv.min_live_excluding(ProcessId(1))))
+        });
+    });
     group.finish();
 }
 

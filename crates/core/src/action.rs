@@ -6,9 +6,7 @@
 //! notifications and trace events.
 
 use bytes::Bytes;
-use newtop_types::{
-    Envelope, GroupId, Msn, ProcessId, SignedView, Suspicion, View, ViewSeq,
-};
+use newtop_types::{Envelope, GroupId, Msn, ProcessId, SignedView, Suspicion, View, ViewSeq};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -93,6 +91,15 @@ pub enum ProtocolEvent {
         above: Msn,
         /// Number of undelivered messages dropped.
         count: usize,
+    },
+    /// A deferred voluntary departure ([`crate::Process::depart`]) actually
+    /// executed: the `Depart` message is on the wire and the group state is
+    /// gone. Deliveries in the group are legitimate between the departure
+    /// *request* and this event (§3: the leaver first completes the current
+    /// view's obligations), never after it.
+    DepartureCompleted {
+        /// The group left.
+        group: GroupId,
     },
     /// The sequencer of an asymmetric group changed after a view install.
     SequencerChanged {

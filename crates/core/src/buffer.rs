@@ -132,10 +132,7 @@ impl RetentionStore {
         self.map
             .get(&sender)
             .map(|msgs| {
-                msgs.range((
-                    std::ops::Bound::Excluded(ln),
-                    std::ops::Bound::Unbounded,
-                ))
+                msgs.range((std::ops::Bound::Excluded(ln), std::ops::Bound::Unbounded))
                     .map(|(_, m)| (**m).clone())
                     .collect()
             })

@@ -86,6 +86,13 @@ pub(crate) struct GroupState {
     /// in submission order (drives the send-blocking rule and sequencer
     /// fail-over resubmission).
     pub outstanding: VecDeque<(Msn, Bytes)>,
+    /// Asymmetric groups: sequencer requests received while this process
+    /// was not (yet) the sequencer — the sender's view install can race
+    /// ours, so its fail-over resubmission may arrive before our own view
+    /// change makes us the sequencer. Relayed on installation, pruned of
+    /// excluded origins. Keyed by `(origin, origin_c)` implicitly: a
+    /// re-park of the same request replaces the old copy.
+    pub parked_requests: VecDeque<(ProcessId, Msn, Bytes)>,
     /// Numbers of own application messages not yet stable (flow-control
     /// accounting).
     pub own_unstable: BTreeSet<Msn>,
@@ -136,6 +143,7 @@ impl GroupState {
             install_queue: VecDeque::new(),
             asym_awaiting: VecDeque::new(),
             outstanding: VecDeque::new(),
+            parked_requests: VecDeque::new(),
             own_unstable: BTreeSet::new(),
             departing: false,
             last_stable: Msn::ZERO,

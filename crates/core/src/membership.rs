@@ -6,9 +6,7 @@
 use crate::action::{Action, ProtocolEvent};
 use crate::group::{GroupPhase, PendingInstall};
 use crate::process::Process;
-use newtop_types::{
-    GroupId, Message, MessageBody, Msn, OrderMode, ProcessId, Suspicion,
-};
+use newtop_types::{GroupId, Message, MessageBody, Msn, OrderMode, ProcessId, Suspicion};
 use std::collections::BTreeSet;
 
 impl Process {
@@ -62,7 +60,10 @@ impl Process {
         if !gs.view.contains(pair.suspect) || gs.failed_union().contains(&pair.suspect) {
             return;
         }
-        gs.supporters.entry((pair.suspect, pair.ln)).or_default().insert(from);
+        gs.supporters
+            .entry((pair.suspect, pair.ln))
+            .or_default()
+            .insert(from);
         if gs.suspicions.get(&pair.suspect) == Some(&pair.ln) {
             // Another process shares our exact suspicion: support for (v).
             self.check_consensus(group, out);
@@ -77,12 +78,22 @@ impl Process {
     }
 
     /// Emits `(i, refute, {P_k, ln})` with every retained message of `P_k`
-    /// above `ln` piggybacked (steps (iii)/(iv)).
+    /// piggybacked (steps (iii)/(iv)).
+    ///
+    /// The piggyback is *all* of `P_k`'s retained (= unstable) messages,
+    /// not just those above `ln`: the refute is a multicast, and a third
+    /// party whose own receive watermark is below `ln` (a partition or
+    /// crash severed the tail of `P_k`'s stream toward it) must not have
+    /// its RV advanced over messages it never saw — that would corrupt the
+    /// `ln` it later contributes to a detection, and the step-(viii)
+    /// delivery bound with it. Everything stable is at every member by
+    /// definition (§5.1), so "all retained" is exactly the set some member
+    /// might still be missing; receivers drop the duplicates by watermark.
     pub(crate) fn send_refute(&mut self, group: GroupId, pair: Suspicion, out: &mut Vec<Action>) {
         let Some(gs) = self.groups.get(&group) else {
             return;
         };
-        let recovered = gs.retention.above(pair.suspect, pair.ln);
+        let recovered = gs.retention.above(pair.suspect, Msn::ZERO);
         self.send_numbered(
             group,
             |_| MessageBody::Refute {
@@ -164,7 +175,9 @@ impl Process {
         let pending = gs.pending_from.remove(&pair.suspect).unwrap_or_default();
         for m in pending {
             // "The pending messages will be assumed to have been just
-            // received, and will be handled appropriately."
+            // received, and will be handled appropriately." (Copies that a
+            // refutation piggyback already integrated are deduplicated by
+            // the receive path's RV watermark check.)
             self.integrate_live_message(group, pair.suspect, m, out);
         }
         self.send_refute(group, pair, out);
@@ -249,9 +262,7 @@ impl Process {
             .collect();
         let unanimous = gs.suspicions.iter().all(|(pk, ln)| {
             let sup = gs.supporters.get(&(*pk, *ln));
-            required
-                .iter()
-                .all(|r| sup.is_some_and(|s| s.contains(r)))
+            required.iter().all(|r| sup.is_some_and(|s| s.contains(r)))
         });
         if unanimous {
             let detection: Vec<Suspicion> = gs
@@ -500,9 +511,19 @@ impl Process {
     pub(crate) fn install_from_viewcut(
         &mut self,
         group: GroupId,
+        from: ProcessId,
         detection: Vec<Suspicion>,
         out: &mut Vec<Action>,
     ) {
+        if detection.iter().any(|p| p.suspect == self.id()) {
+            // Step (vii), asymmetric flavour: the sequencer's cut names
+            // this process. Installing it would shrink our own view past
+            // ourselves (and can empty it entirely, wedging every later
+            // send); as with a `confirmed` naming us, reciprocate by
+            // suspecting the cut's author instead.
+            self.reciprocate(group, from, out);
+            return;
+        }
         let Some(gs) = self.groups.get_mut(&group) else {
             return;
         };
@@ -526,9 +547,11 @@ impl Process {
             gs.sv.set_infinite(*pk);
             gs.pending_from.remove(pk);
         }
-        if let Some(pos) = gs.asym_awaiting.iter().position(|d| {
-            d.iter().map(|s| s.suspect).collect::<BTreeSet<_>>() == failed
-        }) {
+        if let Some(pos) = gs
+            .asym_awaiting
+            .iter()
+            .position(|d| d.iter().map(|s| s.suspect).collect::<BTreeSet<_>>() == failed)
+        {
             gs.asym_awaiting.remove(pos);
         }
         self.execute_install(group, failed, out);
@@ -558,6 +581,7 @@ impl Process {
         }
         let members: BTreeSet<ProcessId> = gs.view.members().clone();
         gs.supporters.retain(|(pk, _), _| members.contains(pk));
+        gs.parked_requests.retain(|(pk, _, _)| members.contains(pk));
         if let GroupPhase::AwaitStart { starters, .. } = &mut gs.phase {
             starters.retain(|p| members.contains(p));
         }
@@ -573,10 +597,30 @@ impl Process {
         });
         let sequencer_changed =
             gs.cfg.mode == OrderMode::Asymmetric && gs.sequencer() != old_sequencer;
+        if sequencer_changed {
+            // Fail-over catch-up for `D_{x,i}`: everything already received
+            // from the new sequencer was sent before it took over, but it
+            // is that same stream the deliverability (and install-barrier)
+            // bound now follows — without this, a new sequencer that goes
+            // quiet (or is cut off) right after the handover freezes the
+            // bound below positions we have long held, wedging the next
+            // install forever.
+            if let Some(gs) = self.groups.get_mut(&group) {
+                if let Some(new_seq) = gs.sequencer() {
+                    let seen = gs.rv.get(new_seq);
+                    if !seen.is_infinite() {
+                        gs.d_asym = gs.d_asym.max(seen);
+                    }
+                }
+            }
+        }
         self.check_start_complete(group, out);
         if sequencer_changed {
             self.resubmit_outstanding(group, out);
         }
+        // If this install made us the sequencer, serve the requests that
+        // arrived (from faster-installing senders) before it did.
+        self.relay_parked_requests(group, out);
         // The shrunk view may make pending suspicions unanimous.
         self.check_consensus(group, out);
         self.recheck_pending_confirms(group, out);

@@ -14,9 +14,8 @@ use crate::formation::Forming;
 use crate::group::{GroupPhase, GroupState};
 use bytes::Bytes;
 use newtop_types::{
-    ConfigError, DeliveryMode, Envelope, FormationDecision, GroupConfig, GroupId, Instant,
-    Message, MessageBody, Msn, OrderMode, ProcessConfig, ProcessId, SendError, SignedView,
-    Suspicion, View,
+    ConfigError, DeliveryMode, Envelope, FormationDecision, GroupConfig, GroupId, Instant, Message,
+    MessageBody, Msn, OrderMode, ProcessConfig, ProcessId, SendError, SignedView, Suspicion, View,
 };
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::error::Error;
@@ -211,7 +210,14 @@ impl Process {
         }
         self.groups.insert(
             group,
-            GroupState::new(group, self.id, config, members.clone(), now, GroupPhase::Active),
+            GroupState::new(
+                group,
+                self.id,
+                config,
+                members.clone(),
+                now,
+                GroupPhase::Active,
+            ),
         );
         Ok(())
     }
@@ -243,7 +249,8 @@ impl Process {
             return Err(SendError::NotMember { group });
         }
         self.stats.app_sends += 1;
-        self.deferred.push_back(DeferredSend::App { group, payload });
+        self.deferred
+            .push_back(DeferredSend::App { group, payload });
         let mut out = Vec::new();
         self.drain_deferred(&mut out);
         self.pump(&mut out);
@@ -333,7 +340,7 @@ impl Process {
             fold(f.deadline);
         }
         for gs in self.groups.values() {
-            if gs.view.len() > 1 && !gs.departing {
+            if gs.view.len() > 1 {
                 fold(gs.last_send + gs.cfg.omega);
             }
             let failed = gs.failed_union();
@@ -421,9 +428,7 @@ impl Process {
     /// linger in [`Process::retained`]).
     #[must_use]
     pub fn retained_app(&self, group: GroupId) -> usize {
-        self.groups
-            .get(&group)
-            .map_or(0, |g| g.retention.app_len())
+        self.groups.get(&group).map_or(0, |g| g.retention.app_len())
     }
 
     /// Outstanding (unsequenced) unicast requests in an asymmetric `group`.
@@ -579,8 +584,8 @@ impl Process {
                     out.push(Action::Deliver(d));
                 }
                 MessageBody::ViewCut { detection } => {
-                    let detection = detection.clone();
-                    self.install_from_viewcut(group, detection, out);
+                    let (from, detection) = (m.sender, detection.clone());
+                    self.install_from_viewcut(group, from, detection, out);
                 }
                 _ => {}
             },
@@ -607,6 +612,17 @@ impl Process {
             gs.last_heard.insert(from, now);
         }
         let is_request = matches!(m.body, MessageBody::SeqRequest { .. });
+        // Per sender and group, message numbers arrive strictly increasing
+        // over the FIFO link — except when a refutation piggyback has
+        // already integrated a copy that overtook the original on a slow
+        // (or partition-healed) link. Such an overtaken copy must not be
+        // buffered for delivery a second time; its membership semantics
+        // (which the recovery path deliberately skips for third parties)
+        // are still processed below.
+        let already_integrated = !is_request && {
+            let have = gs.rv.get(from);
+            !have.is_infinite() && m.c <= have
+        };
         if !is_request {
             // Sequencer unicast requests are point-to-point: they advance the
             // logical clock but not the receive vector, so suspicion `ln`
@@ -625,7 +641,11 @@ impl Process {
         // handle on without touching the body; only the cold membership
         // arms copy the small structured fields they consume.
         match &m.body {
-            MessageBody::App(_) => self.deliver_or_buffer(group, m, out),
+            MessageBody::App(_) => {
+                if !already_integrated {
+                    self.deliver_or_buffer(group, m, out);
+                }
+            }
             MessageBody::Null => {}
             MessageBody::SeqRequest { origin_c, payload } => {
                 let (origin_c, payload) = (*origin_c, payload.clone());
@@ -638,7 +658,9 @@ impl Process {
                 if origin == me {
                     self.clear_outstanding(group, origin_c, m.c);
                 }
-                self.deliver_or_buffer(group, m, out);
+                if !already_integrated {
+                    self.deliver_or_buffer(group, m, out);
+                }
             }
             MessageBody::Suspect(s) => {
                 let s = *s;
@@ -657,7 +679,11 @@ impl Process {
             }
             MessageBody::StartGroup => self.on_start_group(group, from, m.c, out),
             MessageBody::Depart => self.on_depart_msg(group, from, m.c, out),
-            MessageBody::ViewCut { .. } => self.deliver_or_buffer(group, m, out),
+            MessageBody::ViewCut { .. } => {
+                if !already_integrated {
+                    self.deliver_or_buffer(group, m, out);
+                }
+            }
         }
         // This receipt may refute recorded suspicions about `from`
         // (condition (iii): we now hold a message numbered above their ln).
@@ -711,12 +737,21 @@ impl Process {
         payload: Bytes,
         out: &mut Vec<Action>,
     ) {
-        let Some(gs) = self.groups.get(&group) else {
+        let Some(gs) = self.groups.get_mut(&group) else {
             return;
         };
         if !gs.is_sequencer() {
-            // The sender held a stale view; it will resubmit to the new
-            // sequencer after its own view installation.
+            // Either the sender held a stale view, or — after a sequencer
+            // crash — its view install (and fail-over resubmission) raced
+            // ahead of ours. The sequencer rank is monotone (min of a
+            // shrinking member set), so if the sender's view names us we
+            // will become the sequencer at our own install: park the
+            // request and relay it then. Dropping it instead would lose
+            // the message forever, as nothing triggers a second
+            // resubmission at the sender.
+            gs.parked_requests
+                .retain(|(o, oc, _)| !(*o == from && *oc == origin_c));
+            gs.parked_requests.push_back((from, origin_c, payload));
             return;
         }
         self.send_numbered(
@@ -728,6 +763,33 @@ impl Process {
             },
             out,
         );
+    }
+
+    /// Relays requests that were parked while this process was not yet the
+    /// sequencer (see [`Process::on_seq_request`]); called after every view
+    /// installation.
+    pub(crate) fn relay_parked_requests(&mut self, group: GroupId, out: &mut Vec<Action>) {
+        let Some(gs) = self.groups.get_mut(&group) else {
+            return;
+        };
+        if gs.cfg.mode != OrderMode::Asymmetric
+            || !gs.is_sequencer()
+            || gs.parked_requests.is_empty()
+        {
+            return;
+        }
+        let parked: Vec<(ProcessId, Msn, Bytes)> = gs.parked_requests.drain(..).collect();
+        for (origin, origin_c, payload) in parked {
+            self.send_numbered(
+                group,
+                |_| MessageBody::Relay {
+                    origin,
+                    origin_c,
+                    payload,
+                },
+                out,
+            );
+        }
     }
 
     // ------------------------------------------------------------------
@@ -820,8 +882,8 @@ impl Process {
                 // The sequencer's in-stream cut: install here, at this
                 // position of the delivery stream (identical at every
                 // member).
-                let detection = detection.clone();
-                self.install_from_viewcut(group, detection, out);
+                let (from, detection) = (m.sender, detection.clone());
+                self.install_from_viewcut(group, from, detection, out);
             }
             _ => {}
         }
@@ -872,8 +934,7 @@ impl Process {
                     if !eligible {
                         return;
                     }
-                    let Some(DeferredSend::App { payload, .. }) = self.deferred.pop_front()
-                    else {
+                    let Some(DeferredSend::App { payload, .. }) = self.deferred.pop_front() else {
                         unreachable!("head re-checked under exclusive access");
                     };
                     self.execute_app_send(g, payload, out);
@@ -907,6 +968,9 @@ impl Process {
                     self.deferred.pop_front();
                     self.send_numbered(g, |_| MessageBody::Depart, out);
                     self.groups.remove(&g);
+                    out.push(Action::Event(ProtocolEvent::DepartureCompleted {
+                        group: g,
+                    }));
                 }
             }
         }
@@ -1004,9 +1068,12 @@ impl Process {
         };
         // Time-silence (§4.1): stay lively with a null message if nothing
         // was sent in the last ω. Required of every member in every group
-        // when fault tolerance is on (§5).
-        let needs_null =
-            gs.view.len() > 1 && !gs.departing && now.saturating_since(gs.last_send) >= gs.cfg.omega;
+        // when fault tolerance is on (§5) — including one whose announced
+        // departure is still deferred behind outstanding messages: it is a
+        // member until the `Depart` message goes out, and going silent
+        // earlier gets it falsely suspected and excluded (`departing` only
+        // blocks further *application* sends).
+        let needs_null = gs.view.len() > 1 && now.saturating_since(gs.last_send) >= gs.cfg.omega;
         if needs_null {
             self.send_numbered(group, |_| MessageBody::Null, out);
             self.stats.nulls_sent += 1;

@@ -16,8 +16,8 @@ use crate::action::{Action, Delivery, FormationFailure, ProtocolEvent};
 use crate::process::Process;
 use bytes::Bytes;
 use newtop_types::{
-    Envelope, GroupConfig, GroupId, Instant, ProcessConfig, ProcessId, SendError, SignedView,
-    Span, View,
+    Envelope, GroupConfig, GroupId, Instant, ProcessConfig, ProcessId, SendError, SignedView, Span,
+    View,
 };
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -342,7 +342,11 @@ impl TestNet {
                 continue;
             }
             let now = self.now;
-            let actions = self.procs.get_mut(&dst).expect("known dst").handle(now, src, env);
+            let actions = self
+                .procs
+                .get_mut(&dst)
+                .expect("known dst")
+                .handle(now, src, env);
             self.execute(dst, actions);
         }
         panic!("run_to_quiescence did not converge: protocol livelock");
@@ -358,7 +362,10 @@ impl TestNet {
                     if !self.connected(from, to) || self.crashed.contains(&to) {
                         continue; // loss-mode partition / dead destination
                     }
-                    self.queues.entry((from, to)).or_default().push_back(envelope);
+                    self.queues
+                        .entry((from, to))
+                        .or_default()
+                        .push_back(envelope);
                 }
                 Action::Deliver(d) => {
                     self.timeline
@@ -376,7 +383,10 @@ impl TestNet {
                         .entry(from)
                         .or_default()
                         .push(TimelineEntry::View(group, view.clone()));
-                    self.views.entry(from).or_default().push((group, view, signed));
+                    self.views
+                        .entry(from)
+                        .or_default()
+                        .push((group, view, signed));
                 }
                 Action::Event(e) => self.events.entry(from).or_default().push(e),
                 Action::GroupActive { group, .. } => {
@@ -494,7 +504,11 @@ mod tests {
     #[test]
     fn bootstrap_and_single_multicast_delivers_everywhere() {
         let mut net = TestNet::new([1, 2, 3]);
-        net.bootstrap_group(GroupId(1), &[1, 2, 3], GroupConfig::new(OrderMode::Symmetric));
+        net.bootstrap_group(
+            GroupId(1),
+            &[1, 2, 3],
+            GroupConfig::new(OrderMode::Symmetric),
+        );
         net.multicast(1, GroupId(1), b"x");
         net.run_to_quiescence();
         net.advance_past_omega(GroupId(1));

@@ -235,10 +235,7 @@ impl MsnVector {
 
     /// Iterates over `(member, number)` pairs in ascending member order.
     pub fn iter(&self) -> impl Iterator<Item = (ProcessId, Msn)> + '_ {
-        self.ids
-            .iter()
-            .copied()
-            .zip(self.entries.iter().copied())
+        self.ids.iter().copied().zip(self.entries.iter().copied())
     }
 }
 

@@ -202,7 +202,10 @@ fn generic_version_mixes_modes_consistently() {
     net.advance_past_omega(GS);
     net.advance_past_omega(GA);
     let order = |p: u32| -> Vec<(u64, u32)> {
-        net.deliveries(p).iter().map(|d| (d.c.0, d.group.0)).collect()
+        net.deliveries(p)
+            .iter()
+            .map(|d| (d.c.0, d.group.0))
+            .collect()
     };
     assert_eq!(order(1).len(), 3);
     assert_eq!(order(1), order(2));

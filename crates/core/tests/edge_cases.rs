@@ -73,7 +73,10 @@ fn flow_window_applies_to_asymmetric_requests() {
     for i in 0..5 {
         net.multicast(2, G1, format!("m{i}").as_bytes());
     }
-    assert!(net.proc(2).deferred_len() >= 3, "window must defer the burst");
+    assert!(
+        net.proc(2).deferred_len() >= 3,
+        "window must defer the burst"
+    );
     net.run_to_quiescence();
     for _ in 0..6 {
         net.advance_past_omega(G1);
@@ -87,11 +90,7 @@ fn flow_window_applies_to_asymmetric_requests() {
 #[test]
 fn atomic_mode_in_asymmetric_group() {
     let mut net = TestNet::new([1, 2, 3]);
-    net.bootstrap_group(
-        G1,
-        &[1, 2, 3],
-        asym().with_delivery(DeliveryMode::Atomic),
-    );
+    net.bootstrap_group(G1, &[1, 2, 3], asym().with_delivery(DeliveryMode::Atomic));
     net.multicast(3, G1, b"x");
     net.run_to_quiescence();
     for p in [1, 2, 3] {
@@ -123,7 +122,9 @@ fn bootstrap_validation_errors() {
         Err(GroupError::EmptyMembership)
     ));
     // Duplicate group id.
-    assert!(p.bootstrap_group(Instant::ZERO, G1, &members, sym()).is_ok());
+    assert!(p
+        .bootstrap_group(Instant::ZERO, G1, &members, sym())
+        .is_ok());
     assert!(matches!(
         p.bootstrap_group(Instant::ZERO, G1, &members, sym()),
         Err(GroupError::AlreadyExists { .. })
@@ -162,7 +163,10 @@ fn two_groups_same_members_different_modes() {
     net.advance_past_omega(G1);
     net.advance_past_omega(G2);
     let order = |p: u32| -> Vec<(u64, u32)> {
-        net.deliveries(p).iter().map(|d| (d.c.0, d.group.0)).collect()
+        net.deliveries(p)
+            .iter()
+            .map(|d| (d.c.0, d.group.0))
+            .collect()
     };
     assert_eq!(order(1).len(), 8);
     assert_eq!(order(1), order(2));

@@ -155,8 +155,9 @@ fn member_lost_after_vote_is_excluded_and_formation_completes() {
     // P1 initiates; deliver invitations to P2 and P3.
     let a1 = p1.initiate_group(now0, GN, &members, gcfg).expect("ok");
     let mut inbox: BTreeMap<ProcessId, Vec<(ProcessId, Envelope)>> = BTreeMap::new();
-    let route = |from: ProcessId, actions: Vec<Action>,
-                     inbox: &mut BTreeMap<ProcessId, Vec<(ProcessId, Envelope)>>| {
+    let route = |from: ProcessId,
+                 actions: Vec<Action>,
+                 inbox: &mut BTreeMap<ProcessId, Vec<(ProcessId, Envelope)>>| {
         for a in actions {
             if let Action::Send { to, envelope } = a {
                 inbox.entry(to).or_default().push((from, envelope));

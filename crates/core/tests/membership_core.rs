@@ -41,7 +41,7 @@ fn suspicion_of_slow_process_is_refuted_not_fatal() {
     let mut net = TestNet::new([1, 2, 3]);
     net.bootstrap_group(G1, &[1, 2, 3], sym());
     net.advance_past_omega(G1); // everyone heard from everyone once
-    // P1 stops hearing P3 directly, but P2 still does.
+                                // P1 stops hearing P3 directly, but P2 still does.
     net.block_link(3, 1);
     net.advance_past_big_omega(G1);
     net.unblock_link(3, 1);
@@ -122,7 +122,10 @@ fn example1_discard_rule_preserves_causal_atomicity() {
     assert_eq!(v1, v2, "identical view sequences");
     assert_eq!(v1.len(), 1, "both failures in a single detection");
     assert_eq!(v1[0].members().len(), 2);
-    assert!(net.delivered_payloads(1, G1).is_empty(), "m' must be discarded");
+    assert!(
+        net.delivered_payloads(1, G1).is_empty(),
+        "m' must be discarded"
+    );
     assert!(net.delivered_payloads(2, G1).is_empty());
     let discarded = net
         .events(1)
@@ -185,13 +188,13 @@ fn example2_view_excludes_lost_sender_before_dependent_delivery() {
     let tl = net.timeline(2);
     let view_pos = tl
         .iter()
-        .position(|e| matches!(e, TimelineEntry::View(g, v) if *g == g1 && !v.contains(ProcessId(1))))
+        .position(
+            |e| matches!(e, TimelineEntry::View(g, v) if *g == g1 && !v.contains(ProcessId(1))),
+        )
         .expect("g1 view change recorded");
     let m3_pos = tl
         .iter()
-        .position(
-            |e| matches!(e, TimelineEntry::Delivered(d) if d.payload.as_ref() == b"m3"),
-        )
+        .position(|e| matches!(e, TimelineEntry::Delivered(d) if d.payload.as_ref() == b"m3"))
         .expect("m3 delivery recorded");
     assert!(
         view_pos < m3_pos,
@@ -212,11 +215,11 @@ fn example3_subgroup_views_stabilise_non_intersecting() {
     net.bootstrap_group(G1, &[1, 2, 3, 4, 5], sym());
     net.advance_past_omega(G1);
     net.crash(5); // Pm
-    // Keep the live members chatty (nulls every ω) while P5's silence
-    // approaches Ω, so that only P5 will be suspected at the probe instant.
+                  // Keep the live members chatty (nulls every ω) while P5's silence
+                  // approaches Ω, so that only P5 will be suspected at the probe instant.
     net.advance_steps(Span::from_millis(80), Span::from_millis(10));
     net.set_elapsed(Span::from_millis(25)); // P5 silent > Ω, live ones not
-    // Let the suspicion of P5 form at P1 and P2 first and reach P3, P4.
+                                            // Let the suspicion of P5 form at P1 and P2 first and reach P3, P4.
     net.tick_one(1);
     net.tick_one(2);
     net.run_to_quiescence();
@@ -252,7 +255,10 @@ fn example3_subgroup_views_stabilise_non_intersecting() {
     assert_eq!(signed3[0].excluded_count(), 1);
     let last1 = signed1.last().expect("P1 installed a view");
     assert_eq!(last1.excluded_count(), 3);
-    assert!(!signed3[0].intersects(last1), "signed views never intersect");
+    assert!(
+        !signed3[0].intersects(last1),
+        "signed views never intersect"
+    );
     let last3 = net.signed_view_history(3, G1);
     let last3 = last3.last().expect("P3 stabilised");
     assert_eq!(last3.excluded_count(), 3);
@@ -350,7 +356,12 @@ fn delivery_sets_identical_between_views() {
         net.deliveries(p)
             .iter()
             .filter(|d| d.group == G1)
-            .map(|d| (d.view_seq.0, String::from_utf8_lossy(&d.payload).into_owned()))
+            .map(|d| {
+                (
+                    d.view_seq.0,
+                    String::from_utf8_lossy(&d.payload).into_owned(),
+                )
+            })
             .collect()
     };
     for p in [2, 3] {

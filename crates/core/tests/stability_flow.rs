@@ -18,7 +18,10 @@ fn stable_messages_are_garbage_collected() {
         net.multicast(1, G1, format!("m{i}").as_bytes());
     }
     net.run_to_quiescence();
-    assert!(net.proc(2).retained_app(G1) >= 5, "unstable messages retained");
+    assert!(
+        net.proc(2).retained_app(G1) >= 5,
+        "unstable messages retained"
+    );
     // Several time-silence rounds propagate ldn piggybacks until min(SV)
     // passes the messages.
     for _ in 0..4 {
@@ -121,7 +124,11 @@ fn atomic_group_does_not_gate_total_order_groups() {
     let mut net = TestNet::new([1, 2, 3]);
     net.bootstrap_group(G1, &[1, 2], sym());
     // P2 also belongs to an atomic group with a mute member P3.
-    net.bootstrap_group(GroupId(2), &[2, 3], sym().with_delivery(DeliveryMode::Atomic));
+    net.bootstrap_group(
+        GroupId(2),
+        &[2, 3],
+        sym().with_delivery(DeliveryMode::Atomic),
+    );
     net.multicast(1, G1, b"ordered");
     net.run_to_quiescence();
     net.advance_past_omega(G1);

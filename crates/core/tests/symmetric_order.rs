@@ -58,10 +58,7 @@ fn concurrent_sends_with_equal_numbers_tie_break_by_sender() {
         let s = seq(&net, p, G1);
         assert_eq!(
             s,
-            vec![
-                (1, 1, "from1".to_string()),
-                (1, 2, "from2".to_string())
-            ],
+            vec![(1, 1, "from1".to_string()), (1, 2, "from2".to_string())],
             "safe2 fixed tie-break violated at P{p}"
         );
     }
@@ -95,7 +92,11 @@ fn sender_delivers_its_own_messages() {
     net.multicast(1, G1, b"x");
     net.run_to_quiescence();
     net.advance_past_omega(G1);
-    assert_eq!(seq(&net, 1, G1).len(), 1, "§3: Pi delivers its own messages");
+    assert_eq!(
+        seq(&net, 1, G1).len(),
+        1,
+        "§3: Pi delivers its own messages"
+    );
 }
 
 #[test]

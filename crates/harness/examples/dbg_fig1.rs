@@ -2,11 +2,17 @@ use newtop_harness::{MessageId, SimCluster};
 use newtop_sim::{LatencyModel, NetConfig};
 use newtop_types::{GroupConfig, GroupId, Instant, OrderMode, ProcessId, Span};
 fn cfg() -> GroupConfig {
-    GroupConfig::new(OrderMode::Symmetric).with_omega(Span::from_millis(5)).with_big_omega(Span::from_millis(60))
+    GroupConfig::new(OrderMode::Symmetric)
+        .with_omega(Span::from_millis(5))
+        .with_big_omega(Span::from_millis(60))
 }
 fn main() {
-    let g1 = GroupId(1); let g2 = GroupId(2);
-    let net = NetConfig::new(11).with_latency(LatencyModel::Uniform { lo: Span::from_micros(300), hi: Span::from_millis(2) });
+    let g1 = GroupId(1);
+    let g2 = GroupId(2);
+    let net = NetConfig::new(11).with_latency(LatencyModel::Uniform {
+        lo: Span::from_micros(300),
+        hi: Span::from_millis(2),
+    });
     let mut cluster = SimCluster::new(3, net);
     cluster.bootstrap_group(g1, &[1, 2], cfg());
     cluster.schedule_send(Instant::from_micros(5_000), 1, g1, MessageId(1));
@@ -23,11 +29,19 @@ fn main() {
         println!("P{p}: groups={:?}", cluster.proc(p).group_ids());
         for g in [g1, g2] {
             if cluster.proc(p).is_member(g) {
-                println!("  {g:?}: view={} d={:?} buffered={} suspicions={:?}",
-                  cluster.proc(p).view(g).unwrap(), cluster.proc(p).d_of(g),
-                  cluster.proc(p).buffered(g), cluster.proc(p).suspicions_of(g));
+                println!(
+                    "  {g:?}: view={} d={:?} buffered={} suspicions={:?}",
+                    cluster.proc(p).view(g).unwrap(),
+                    cluster.proc(p).d_of(g),
+                    cluster.proc(p).buffered(g),
+                    cluster.proc(p).suspicions_of(g)
+                );
             }
         }
-        println!("  di={:?} delivered={:?}", cluster.proc(p).di(), h.delivered_mids_all(ProcessId(p)));
+        println!(
+            "  di={:?} delivered={:?}",
+            cluster.proc(p).di(),
+            h.delivered_mids_all(ProcessId(p))
+        );
     }
 }

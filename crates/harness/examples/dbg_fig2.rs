@@ -2,11 +2,18 @@ use newtop_harness::{HistoryEvent, MessageId, SimCluster};
 use newtop_sim::{LatencyModel, NetConfig};
 use newtop_types::{GroupConfig, GroupId, Instant, OrderMode, ProcessId, Span};
 fn cfg() -> GroupConfig {
-    GroupConfig::new(OrderMode::Symmetric).with_omega(Span::from_millis(5)).with_big_omega(Span::from_millis(60))
+    GroupConfig::new(OrderMode::Symmetric)
+        .with_omega(Span::from_millis(5))
+        .with_big_omega(Span::from_millis(60))
 }
 fn main() {
-    let g1 = GroupId(1); let g2 = GroupId(2); let g3 = GroupId(3);
-    let mut cluster = SimCluster::new(4, NetConfig::new(13).with_latency(LatencyModel::Fixed(Span::from_millis(1))));
+    let g1 = GroupId(1);
+    let g2 = GroupId(2);
+    let g3 = GroupId(3);
+    let mut cluster = SimCluster::new(
+        4,
+        NetConfig::new(13).with_latency(LatencyModel::Fixed(Span::from_millis(1))),
+    );
     cluster.bootstrap_group(g1, &[1, 2, 4], cfg());
     cluster.bootstrap_group(g2, &[4, 3], cfg());
     cluster.bootstrap_group(g3, &[3, 2], cfg());
@@ -22,8 +29,13 @@ fn main() {
         for e in h.events.get(&ProcessId(p)).unwrap() {
             match e {
                 HistoryEvent::Protocol { at, event } => println!("  {at} {event:?}"),
-                HistoryEvent::ViewChange { at, view, group, .. } => println!("  {at} VIEW {group} {view}"),
-                HistoryEvent::Delivered { at, mid, delivery } => println!("  {at} DELIVER {mid:?} in {} viewseq {}", delivery.group, delivery.view_seq),
+                HistoryEvent::ViewChange {
+                    at, view, group, ..
+                } => println!("  {at} VIEW {group} {view}"),
+                HistoryEvent::Delivered { at, mid, delivery } => println!(
+                    "  {at} DELIVER {mid:?} in {} viewseq {}",
+                    delivery.group, delivery.view_seq
+                ),
                 _ => {}
             }
         }

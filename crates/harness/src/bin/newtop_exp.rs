@@ -1,18 +1,31 @@
 //! `newtop-exp` — runs the reproduction's experiment suite and prints the
-//! tables recorded in EXPERIMENTS.md.
+//! tables recorded in EXPERIMENTS.md, and drives the chaos fleet.
 //!
 //! ```text
 //! newtop-exp all            # run every experiment (full sweeps)
 //! newtop-exp e3 e6          # run selected experiments
 //! newtop-exp --quick all    # reduced sweeps (what the tests run)
 //! newtop-exp --list         # list experiments
+//!
+//! newtop-exp chaos --seeds 0..500          # sweep a seed range
+//! newtop-exp chaos --seeds 0..100000 --budget-secs 3000   # nightly sweep
+//! newtop-exp chaos --replay file.chaos     # replay a committed script
+//! newtop-exp chaos --pin 42 --out f.chaos  # pin a seed as a replay script
 //! ```
+//!
+//! A failing chaos seed is delta-debugged to a minimal fault schedule and
+//! written as a replay script under `--emit-dir` (default `target/chaos`);
+//! the process exits nonzero.
 
-use newtop_harness::experiments;
+use newtop_harness::chaos::{delivery_count, shrink, ChaosPlan, ChaosScenario};
+use newtop_harness::{experiments, history_hash};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("chaos") {
+        return chaos_main(&args[1..]);
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let list = args.iter().any(|a| a == "--list");
     let selected: Vec<String> = args
@@ -22,11 +35,17 @@ fn main() -> ExitCode {
         .collect();
     let registry = experiments::all();
     if list || (selected.is_empty()) {
-        eprintln!("usage: newtop-exp [--quick] (all | <id>...)\n\nexperiments:");
+        eprintln!(
+            "usage: newtop-exp [--quick] (all | <id>...)\n       newtop-exp chaos --help\n\nexperiments:"
+        );
         for (id, desc, _) in &registry {
             eprintln!("  {id:<4} {desc}");
         }
-        return if list { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        return if list {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
     let run_all = selected.iter().any(|s| s == "all");
     let mut ran = 0;
@@ -41,6 +60,317 @@ fn main() -> ExitCode {
     if ran == 0 {
         eprintln!("no experiment matched {selected:?}; try --list");
         return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+const CHAOS_USAGE: &str = "usage:
+  newtop-exp chaos --seeds A..B [options]   sweep seeds A (incl.) to B (excl.)
+  newtop-exp chaos --replay FILE            replay a script, verify hash+checker
+  newtop-exp chaos --pin SEED --out FILE    write SEED's plan as a replay script
+
+options:
+  --budget-secs S    stop sweeping after S wall-clock seconds (still exits 0
+                     if everything that did run was green)
+  --emit-dir DIR     where failing-seed replay scripts go (default target/chaos)
+  --no-shrink        skip delta-debugging failing schedules
+  --dump             with --replay: print the per-process event logs
+  --max-n N          generation limit: processes (default 7)
+  --max-faults K     generation limit: fault-schedule entries (default 4)";
+
+struct ChaosArgs {
+    seeds: Option<(u64, u64)>,
+    replay: Option<String>,
+    pin: Option<u64>,
+    out: Option<String>,
+    budget_secs: Option<u64>,
+    emit_dir: String,
+    no_shrink: bool,
+    dump: bool,
+    max_n: u32,
+    max_faults: u32,
+}
+
+fn parse_chaos_args(args: &[String]) -> Result<ChaosArgs, String> {
+    let mut out = ChaosArgs {
+        seeds: None,
+        replay: None,
+        pin: None,
+        out: None,
+        budget_secs: None,
+        emit_dir: "target/chaos".to_string(),
+        no_shrink: false,
+        dump: false,
+        max_n: 7,
+        max_faults: 4,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--seeds" => {
+                let v = val("--seeds")?;
+                let (lo, hi) = match v.split_once("..") {
+                    Some((lo, hi)) => (
+                        lo.parse::<u64>().map_err(|_| "bad --seeds".to_string())?,
+                        hi.parse::<u64>().map_err(|_| "bad --seeds".to_string())?,
+                    ),
+                    None => (0, v.parse::<u64>().map_err(|_| "bad --seeds".to_string())?),
+                };
+                if lo >= hi {
+                    return Err("--seeds range is empty".to_string());
+                }
+                out.seeds = Some((lo, hi));
+            }
+            "--replay" => out.replay = Some(val("--replay")?),
+            "--pin" => {
+                out.pin = Some(
+                    val("--pin")?
+                        .parse::<u64>()
+                        .map_err(|_| "bad --pin seed".to_string())?,
+                );
+            }
+            "--out" => out.out = Some(val("--out")?),
+            "--budget-secs" => {
+                out.budget_secs = Some(
+                    val("--budget-secs")?
+                        .parse::<u64>()
+                        .map_err(|_| "bad --budget-secs".to_string())?,
+                );
+            }
+            "--emit-dir" => out.emit_dir = val("--emit-dir")?,
+            "--no-shrink" => out.no_shrink = true,
+            "--dump" => out.dump = true,
+            "--max-n" => {
+                out.max_n = val("--max-n")?
+                    .parse::<u32>()
+                    .map_err(|_| "bad --max-n".to_string())?;
+            }
+            "--max-faults" => {
+                out.max_faults = val("--max-faults")?
+                    .parse::<u32>()
+                    .map_err(|_| "bad --max-faults".to_string())?;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown chaos option {other}")),
+        }
+    }
+    Ok(out)
+}
+
+fn chaos_main(args: &[String]) -> ExitCode {
+    let parsed = match parse_chaos_args(args) {
+        Ok(p) => p,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{CHAOS_USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(file) = &parsed.replay {
+        return chaos_replay(file, parsed.dump);
+    }
+    if let Some(seed) = parsed.pin {
+        return chaos_pin(&parsed, seed);
+    }
+    let Some((lo, hi)) = parsed.seeds else {
+        eprintln!("{CHAOS_USAGE}");
+        return ExitCode::from(2);
+    };
+    chaos_sweep(&parsed, lo, hi)
+}
+
+fn scenario_for(parsed: &ChaosArgs, seed: u64) -> ChaosScenario {
+    let mut s = ChaosScenario::new(seed);
+    s.max_n = parsed.max_n;
+    s.max_faults = parsed.max_faults;
+    s
+}
+
+fn chaos_sweep(parsed: &ChaosArgs, lo: u64, hi: u64) -> ExitCode {
+    // Engine panics are caught and reported as seed failures; silence the
+    // default hook so shrinking panicking candidates doesn't spam stderr.
+    std::panic::set_hook(Box::new(|_| {}));
+    let started = std::time::Instant::now();
+    let mut failures: Vec<u64> = Vec::new();
+    let mut ran = 0u64;
+    let mut deliveries = 0usize;
+    let mut stopped_early = false;
+    for seed in lo..hi {
+        if let Some(budget) = parsed.budget_secs {
+            if started.elapsed().as_secs() >= budget {
+                stopped_early = true;
+                break;
+            }
+        }
+        let plan = scenario_for(parsed, seed).plan();
+        let opts = plan.check_options();
+        ran += 1;
+        match plan.try_run_history() {
+            Ok(history) => {
+                deliveries += delivery_count(&history);
+                let violations = newtop_harness::check_all(&history, &opts);
+                if violations.is_empty() {
+                    if seed.wrapping_sub(lo) % 50 == 49 {
+                        eprintln!(
+                            "chaos: {} seeds green ({} tagged deliveries, {:.1}s)",
+                            ran,
+                            deliveries,
+                            started.elapsed().as_secs_f64()
+                        );
+                    }
+                    continue;
+                }
+                eprintln!(
+                    "chaos: seed {seed} FAILED ({} violations):",
+                    violations.len()
+                );
+                for v in violations.iter().take(5) {
+                    eprintln!("  - {v}");
+                }
+            }
+            Err(panic_msg) => {
+                eprintln!("chaos: seed {seed} FAILED (ENGINE PANIC): {panic_msg}");
+            }
+        }
+        failures.push(seed);
+        let final_plan = if parsed.no_shrink {
+            plan
+        } else {
+            eprintln!("chaos: shrinking seed {seed} ...");
+            let r = shrink(&plan, &opts, 400);
+            eprintln!(
+                "chaos: shrunk to {} faults / {} sends in {} runs",
+                r.plan.faults.len(),
+                r.plan.sends.len(),
+                r.runs
+            );
+            r.plan
+        };
+        // Panicking plans have no replayable hash; the script still replays
+        // the panic itself.
+        let hash = final_plan.try_run_history().ok().map(|h| history_hash(&h));
+        let script = final_plan.to_script(hash);
+        if let Err(e) = std::fs::create_dir_all(&parsed.emit_dir) {
+            eprintln!("chaos: cannot create {}: {e}", parsed.emit_dir);
+        } else {
+            let path = format!("{}/seed-{seed}.chaos", parsed.emit_dir);
+            match std::fs::write(&path, &script) {
+                Ok(()) => eprintln!("chaos: replay script written to {path}"),
+                Err(e) => eprintln!("chaos: cannot write {path}: {e}"),
+            }
+        }
+    }
+    let verdict = if failures.is_empty() { "green" } else { "RED" };
+    println!(
+        "chaos sweep {lo}..{hi}: {ran} seeds run{}, {} tagged deliveries, {} failing seed(s) — {verdict}",
+        if stopped_early { " (budget hit)" } else { "" },
+        deliveries,
+        failures.len(),
+    );
+    if !failures.is_empty() {
+        println!("failing seeds: {failures:?}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn chaos_replay(file: &str, dump: bool) -> ExitCode {
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("chaos: cannot read {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (plan, expect_hash) = match ChaosPlan::parse_script(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("chaos: {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let history = match plan.try_run_history() {
+        Ok(h) => h,
+        Err(panic_msg) => {
+            println!("chaos replay {file}: ENGINE PANIC: {panic_msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if dump {
+        for (p, events) in &history.events {
+            println!("== {p} ({} events)", events.len());
+            for e in events {
+                println!("  {e:?}");
+            }
+        }
+    }
+    let hash = history_hash(&history);
+    if let Some(expect) = expect_hash {
+        if hash != expect {
+            println!(
+                "chaos replay {file}: HASH MISMATCH (expected {expect:016x}, got {hash:016x})"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    let violations = newtop_harness::check_all(&history, &plan.check_options());
+    if violations.is_empty() {
+        println!(
+            "chaos replay {file}: green (hash {hash:016x}, {} tagged deliveries)",
+            delivery_count(&history)
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("chaos replay {file}: {} violation(s):", violations.len());
+        for v in &violations {
+            println!("  - {v}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn chaos_pin(parsed: &ChaosArgs, seed: u64) -> ExitCode {
+    let plan = scenario_for(parsed, seed).plan();
+    let history = match plan.try_run_history() {
+        Ok(h) => h,
+        Err(panic_msg) => {
+            eprintln!("chaos: seed {seed} ENGINE PANIC: {panic_msg} (script emitted without hash)");
+            let script = plan.to_script(None);
+            match &parsed.out {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(path, &script) {
+                        eprintln!("chaos: cannot write {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+                None => print!("{script}"),
+            }
+            return ExitCode::SUCCESS;
+        }
+    };
+    let hash = history_hash(&history);
+    let violations = newtop_harness::check_all(&history, &plan.check_options());
+    let script = plan.to_script(Some(hash));
+    match &parsed.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &script) {
+                eprintln!("chaos: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            eprintln!(
+                "chaos: pinned seed {seed} to {path} (hash {hash:016x}, {} deliveries, {} violations)",
+                delivery_count(&history),
+                violations.len()
+            );
+        }
+        None => print!("{script}"),
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,858 @@
+//! The chaos fleet: seeded fault-schedule exploration.
+//!
+//! A [`ChaosScenario`] is a seed plus generation limits; [`ChaosScenario::plan`]
+//! expands it deterministically into a fully materialised [`ChaosPlan`] — an
+//! overlapping-group topology, a traffic script (with optional time-silence
+//! windows past ω), and a timed fault schedule mixing crashes, loss- and
+//! delay-mode partitions, heals, voluntary departures (sender churn) and
+//! latency spikes. Running a plan replays bit-identically: equal plans
+//! produce equal [`history_hash`]es.
+//!
+//! When a seed fails the checker, [`shrink`] delta-debugs the schedule
+//! (faults first, then traffic) down to a minimal failing plan, which
+//! serialises to a line-based replay script ([`ChaosPlan::to_script`] /
+//! [`ChaosPlan::parse_script`]) suitable for committing under
+//! `tests/corpus/`.
+
+use crate::checker::{check_all, CheckOptions, Violation};
+use crate::cluster::SimCluster;
+use crate::history::{History, HistoryEvent, MessageId};
+use newtop_sim::{LatencyModel, NetConfig, PartitionMode};
+use newtop_types::{GroupConfig, GroupId, Instant, OrderMode, Span};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Baseline link latency every plan starts from (and returns to after a
+/// spike). Part of the v1 replay format contract.
+const BASE_LATENCY: LatencyModel = LatencyModel::Uniform {
+    lo: Span::from_micros(100),
+    hi: Span::from_micros(3_000),
+};
+
+/// Traffic window: all application sends fall in `[1ms, 120ms)`.
+const TRAFFIC_END_US: u64 = 120_000;
+
+/// A seeded chaos specification: the seed fully determines the generated
+/// [`ChaosPlan`] within these limits.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosScenario {
+    /// Master seed (drives topology, traffic and the fault schedule).
+    pub seed: u64,
+    /// Maximum number of processes (minimum 3 are always generated).
+    pub max_n: u32,
+    /// Maximum number of overlapping groups.
+    pub max_groups: u32,
+    /// Maximum number of tagged application sends.
+    pub max_sends: u32,
+    /// Maximum number of fault-schedule entries (a partition episode or a
+    /// latency spike counts as one entry even though it expands to two
+    /// scripted events).
+    pub max_faults: u32,
+}
+
+impl ChaosScenario {
+    /// The default exploration envelope for `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> ChaosScenario {
+        ChaosScenario {
+            seed,
+            max_n: 7,
+            max_groups: 3,
+            max_sends: 28,
+            max_faults: 4,
+        }
+    }
+
+    /// Deterministically expands the scenario into a concrete plan.
+    #[must_use]
+    #[allow(clippy::too_many_lines)]
+    pub fn plan(&self) -> ChaosPlan {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = rng.gen_range(3..=self.max_n.max(3));
+        let groups = rng.gen_range(1..=self.max_groups.max(1));
+        let sends = rng.gen_range(self.max_sends.max(8) / 2..=self.max_sends.max(8));
+
+        // Overlapping topology: P1 is in every group (exercises the merged
+        // cross-group order), everyone else joins with probability 0.6.
+        let mut topology = Vec::new();
+        for gi in 0..groups {
+            let mut members: Vec<u32> = vec![1];
+            for p in 2..=n {
+                if rng.gen_bool(0.6) {
+                    members.push(p);
+                }
+            }
+            if members.len() < 2 {
+                members.push(2.min(n));
+            }
+            members.dedup();
+            let mode = if rng.gen_bool(0.4) {
+                OrderMode::Asymmetric
+            } else {
+                OrderMode::Symmetric
+            };
+            topology.push(GroupSpec {
+                group: GroupId(gi + 1),
+                mode,
+                omega_us: 5_000,
+                big_omega_us: 60_000,
+                members,
+            });
+        }
+
+        // Time-silence stress: with probability 1/2 a quiet window several ω
+        // long is carved out of the traffic script, so only null messages
+        // keep the logical clocks (and Ω suspicion timers) fed.
+        let quiet: Option<(u64, u64)> = if rng.gen_bool(0.5) {
+            let start = rng.gen_range(10_000..60_000);
+            Some((start, start + rng.gen_range(25_000u64..40_000)))
+        } else {
+            None
+        };
+
+        let mut plan_sends = Vec::new();
+        for k in 0..sends {
+            let gs = &topology[rng.gen_range(0..topology.len())];
+            let from = gs.members[rng.gen_range(0..gs.members.len())];
+            let mut at_us: u64 = rng.gen_range(1_000..TRAFFIC_END_US);
+            if let Some((lo, hi)) = quiet {
+                if at_us >= lo && at_us < hi {
+                    at_us = hi + (at_us - lo); // shift past the window
+                }
+            }
+            plan_sends.push(SendSpec {
+                at_us,
+                from,
+                group: gs.group,
+                mid: u64::from(k),
+            });
+        }
+        plan_sends.sort_by_key(|s| (s.at_us, s.from, s.mid));
+
+        // Fault schedule. Partition episodes never overlap (`cursor` tracks
+        // the earliest instant the network is whole again); loss partitions
+        // either persist to the end of the run or heal only after both
+        // sides had ample time (≥ 2Ω) to exclude each other, so the
+        // reliable-FIFO transport assumption is only broken the way the
+        // paper means it (partition ⇒ mutual exclusion). Delay partitions
+        // stay shorter than Ω: the transport retransmits, nobody need be
+        // excluded.
+        let mut faults: Vec<FaultSpec> = Vec::new();
+        let mut cursor: u64 = 5_000;
+        let mut crashes = 0u32;
+        let max_crashes = n.saturating_sub(2).min(2);
+        let mut crashed: Vec<u32> = Vec::new();
+        for _ in 0..rng.gen_range(0..=self.max_faults) {
+            match rng.gen_range(0..4u32) {
+                0 => {
+                    if crashes >= max_crashes {
+                        continue;
+                    }
+                    let victim = loop {
+                        let v = rng.gen_range(1..=n);
+                        if !crashed.contains(&v) {
+                            break v;
+                        }
+                    };
+                    crashed.push(victim);
+                    crashes += 1;
+                    faults.push(FaultSpec {
+                        at_us: rng.gen_range(5_000..110_000),
+                        op: FaultOp::Crash { victim },
+                    });
+                }
+                1 => {
+                    if cursor >= 100_000 {
+                        continue;
+                    }
+                    let start = rng.gen_range(cursor..=100_000);
+                    let mut a: Vec<u32> = Vec::new();
+                    let mut b: Vec<u32> = Vec::new();
+                    for p in 1..=n {
+                        if rng.gen_bool(0.5) {
+                            a.push(p)
+                        } else {
+                            b.push(p)
+                        }
+                    }
+                    if a.is_empty() {
+                        a.push(b.remove(0));
+                    }
+                    if b.is_empty() {
+                        b.push(a.remove(0));
+                    }
+                    if rng.gen_bool(0.5) {
+                        // Delay mode: transient, heals within ω..Ω/2.
+                        let heal = start + rng.gen_range(2_000u64..25_000);
+                        faults.push(FaultSpec {
+                            at_us: start,
+                            op: FaultOp::Partition {
+                                blocks: vec![a, b],
+                                mode: PartitionMode::Delay,
+                            },
+                        });
+                        faults.push(FaultSpec {
+                            at_us: heal,
+                            op: FaultOp::Heal,
+                        });
+                        cursor = heal + 5_000;
+                    } else {
+                        // Loss mode: permanent, or heals long after 2Ω.
+                        faults.push(FaultSpec {
+                            at_us: start,
+                            op: FaultOp::Partition {
+                                blocks: vec![a, b],
+                                mode: PartitionMode::Loss,
+                            },
+                        });
+                        if rng.gen_bool(0.5) {
+                            let heal = start + rng.gen_range(150_000u64..300_000);
+                            faults.push(FaultSpec {
+                                at_us: heal,
+                                op: FaultOp::Heal,
+                            });
+                            cursor = heal + 5_000;
+                        } else {
+                            cursor = u64::MAX; // network never whole again
+                        }
+                    }
+                }
+                2 => {
+                    // Latency spike (congestion). Light spikes stay inside ω
+                    // jitter; heavy ones push one-way latency toward Ω and
+                    // can trigger false suspicion → refutation traffic.
+                    let start = rng.gen_range(5_000..100_000);
+                    let dur = rng.gen_range(10_000u64..40_000);
+                    let model = if rng.gen_bool(0.3) {
+                        LatencyModel::Uniform {
+                            lo: Span::from_micros(15_000),
+                            hi: Span::from_micros(45_000),
+                        }
+                    } else {
+                        LatencyModel::Uniform {
+                            lo: Span::from_micros(2_000),
+                            hi: Span::from_micros(8_000),
+                        }
+                    };
+                    faults.push(FaultSpec {
+                        at_us: start,
+                        op: FaultOp::Latency { model },
+                    });
+                    faults.push(FaultSpec {
+                        at_us: start + dur,
+                        op: FaultOp::Latency {
+                            model: BASE_LATENCY,
+                        },
+                    });
+                }
+                _ => {
+                    // Sender churn: a voluntary departure mid-traffic.
+                    let gs = &topology[rng.gen_range(0..topology.len())];
+                    let p = gs.members[rng.gen_range(0..gs.members.len())];
+                    faults.push(FaultSpec {
+                        at_us: rng.gen_range(5_000..110_000),
+                        op: FaultOp::Depart { p, group: gs.group },
+                    });
+                }
+            }
+        }
+        faults.sort_by_key(FaultSpec::sort_key);
+
+        let last_event_us = plan_sends
+            .iter()
+            .map(|s| s.at_us)
+            .chain(faults.iter().map(|f| f.at_us))
+            .max()
+            .unwrap_or(0);
+        ChaosPlan {
+            seed: self.seed,
+            n,
+            topology,
+            sends: plan_sends,
+            faults,
+            // Generous settle time: Ω-driven membership plus the delivery
+            // barrier need several rounds after the last scripted event.
+            horizon_us: last_event_us + 1_200_000,
+        }
+    }
+}
+
+/// One group of the generated topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupSpec {
+    /// Group id.
+    pub group: GroupId,
+    /// Ordering variant.
+    pub mode: OrderMode,
+    /// Null-message deadline ω, in µs.
+    pub omega_us: u64,
+    /// Suspicion timeout Ω, in µs.
+    pub big_omega_us: u64,
+    /// Member process ids.
+    pub members: Vec<u32>,
+}
+
+/// One tagged application send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendSpec {
+    /// Virtual-time instant, µs.
+    pub at_us: u64,
+    /// Sending process.
+    pub from: u32,
+    /// Destination group.
+    pub group: GroupId,
+    /// Workload tag.
+    pub mid: u64,
+}
+
+/// A scripted fault operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultOp {
+    /// Crash `victim` (messages still in its send pipeline are lost).
+    Crash {
+        /// The process to kill.
+        victim: u32,
+    },
+    /// Install a partition.
+    Partition {
+        /// Connectivity blocks.
+        blocks: Vec<Vec<u32>>,
+        /// Loss (drop crossing messages) or delay (park until heal).
+        mode: PartitionMode,
+    },
+    /// Reconnect everyone (releases delay-parked messages).
+    Heal,
+    /// `p` voluntarily departs `group`.
+    Depart {
+        /// The departing process.
+        p: u32,
+        /// The group it leaves.
+        group: GroupId,
+    },
+    /// Change the link latency model.
+    Latency {
+        /// The model in force from this instant.
+        model: LatencyModel,
+    },
+}
+
+/// A fault operation bound to a virtual-time instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Virtual-time instant, µs.
+    pub at_us: u64,
+    /// The operation.
+    pub op: FaultOp,
+}
+
+impl FaultSpec {
+    fn sort_key(&self) -> (u64, u8) {
+        // Heals sort after same-instant partitions so a degenerate schedule
+        // stays meaningful.
+        let rank = match self.op {
+            FaultOp::Crash { .. } => 0,
+            FaultOp::Partition { .. } => 1,
+            FaultOp::Latency { .. } => 2,
+            FaultOp::Depart { .. } => 3,
+            FaultOp::Heal => 4,
+        };
+        (self.at_us, rank)
+    }
+}
+
+/// A fully materialised chaos run: topology + traffic + fault schedule.
+/// Equal plans replay equal histories ([`history_hash`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosPlan {
+    /// Network RNG seed.
+    pub seed: u64,
+    /// Number of processes (`P1..=Pn`).
+    pub n: u32,
+    /// The groups.
+    pub topology: Vec<GroupSpec>,
+    /// The traffic script.
+    pub sends: Vec<SendSpec>,
+    /// The fault schedule.
+    pub faults: Vec<FaultSpec>,
+    /// Total virtual run time, µs.
+    pub horizon_us: u64,
+}
+
+impl ChaosPlan {
+    /// Builds the cluster, scripts everything and runs to the horizon.
+    #[must_use]
+    pub fn run(&self) -> SimCluster {
+        let net = NetConfig::new(self.seed ^ 0x9E37_79B9).with_latency(BASE_LATENCY);
+        let mut cluster = SimCluster::new(self.n, net);
+        for gs in &self.topology {
+            let cfg = GroupConfig::new(gs.mode)
+                .with_omega(Span::from_micros(gs.omega_us))
+                .with_big_omega(Span::from_micros(gs.big_omega_us));
+            cluster.bootstrap_group(gs.group, &gs.members, cfg);
+        }
+        for s in &self.sends {
+            cluster.schedule_send(
+                Instant::from_micros(s.at_us),
+                s.from,
+                s.group,
+                MessageId(s.mid),
+            );
+        }
+        for f in &self.faults {
+            let at = Instant::from_micros(f.at_us);
+            match &f.op {
+                FaultOp::Crash { victim } => cluster.schedule_crash(at, *victim),
+                FaultOp::Partition { blocks, mode } => {
+                    let views: Vec<&[u32]> = blocks.iter().map(Vec::as_slice).collect();
+                    cluster.schedule_partition_mode(at, &views, *mode);
+                }
+                FaultOp::Heal => cluster.schedule_heal(at),
+                FaultOp::Depart { p, group } => cluster.schedule_depart(at, *p, *group),
+                FaultOp::Latency { model } => cluster.schedule_set_latency(at, *model),
+            }
+        }
+        cluster.run_for(Span::from_micros(self.horizon_us));
+        cluster
+    }
+
+    /// The checker configuration appropriate for this plan. Safety (order,
+    /// causality, views, the delivery barrier, no-delivery-after-exclusion)
+    /// is always asserted. Quiescent liveness is asserted too — the
+    /// generator only emits schedules inside the protocol's assumption
+    /// envelope (see [`ChaosScenario::plan`]) — except when a loss-mode
+    /// partition heals mid-run, where re-connected-but-excluded senders may
+    /// legitimately leave one side short of the global send set.
+    #[must_use]
+    pub fn check_options(&self) -> CheckOptions {
+        let healed_loss = self.faults.iter().any(|f| {
+            matches!(
+                f.op,
+                FaultOp::Partition {
+                    mode: PartitionMode::Loss,
+                    ..
+                }
+            )
+        }) && self.faults.iter().any(|f| matches!(f.op, FaultOp::Heal));
+        CheckOptions {
+            liveness: !healed_loss,
+            ..CheckOptions::default()
+        }
+    }
+
+    /// Runs the plan and checks it, returning violations (empty = pass).
+    #[must_use]
+    pub fn run_and_check(&self, opts: &CheckOptions) -> Vec<Violation> {
+        check_all(&self.run().history(), opts)
+    }
+
+    /// Runs the plan, catching an engine panic and reporting it as
+    /// `Err(message)` — the fleet treats a crash of the engine itself as
+    /// the most severe failure, and the shrinker minimises toward it like
+    /// any other.
+    ///
+    /// # Errors
+    ///
+    /// The payload of the engine panic, as a string.
+    pub fn try_run_history(&self) -> Result<History, String> {
+        let plan = self.clone();
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || plan.run().history()))
+            .map_err(|e| {
+                e.downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| e.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "engine panicked".to_string())
+            })
+    }
+
+    /// Like [`ChaosPlan::run_and_check`], but panic-catching (see
+    /// [`ChaosPlan::try_run_history`]).
+    ///
+    /// # Errors
+    ///
+    /// The payload of the engine panic, as a string.
+    pub fn try_run_and_check(&self, opts: &CheckOptions) -> Result<Vec<Violation>, String> {
+        self.try_run_history().map(|h| check_all(&h, opts))
+    }
+
+    /// Serialises to the v1 replay-script format, optionally recording the
+    /// expected history hash for exact-replay verification.
+    #[must_use]
+    pub fn to_script(&self, expect_hash: Option<u64>) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "newtop-chaos v1");
+        let _ = writeln!(s, "seed {}", self.seed);
+        let _ = writeln!(s, "n {}", self.n);
+        let _ = writeln!(s, "horizon-us {}", self.horizon_us);
+        for g in &self.topology {
+            let mode = match g.mode {
+                OrderMode::Symmetric => "symmetric",
+                OrderMode::Asymmetric => "asymmetric",
+            };
+            let members: Vec<String> = g.members.iter().map(u32::to_string).collect();
+            let _ = writeln!(
+                s,
+                "group {} {mode} omega-us {} big-omega-us {} members {}",
+                g.group.0,
+                g.omega_us,
+                g.big_omega_us,
+                members.join(",")
+            );
+        }
+        for snd in &self.sends {
+            let _ = writeln!(
+                s,
+                "send {} {} {} {}",
+                snd.at_us, snd.from, snd.group.0, snd.mid
+            );
+        }
+        for f in &self.faults {
+            let _ = write!(s, "fault {} ", f.at_us);
+            match &f.op {
+                FaultOp::Crash { victim } => {
+                    let _ = writeln!(s, "crash {victim}");
+                }
+                FaultOp::Partition { blocks, mode } => {
+                    let mode = match mode {
+                        PartitionMode::Loss => "loss",
+                        PartitionMode::Delay => "delay",
+                    };
+                    let blocks: Vec<String> = blocks
+                        .iter()
+                        .map(|b| b.iter().map(u32::to_string).collect::<Vec<_>>().join(","))
+                        .collect();
+                    let _ = writeln!(s, "partition {mode} {}", blocks.join("|"));
+                }
+                FaultOp::Heal => {
+                    let _ = writeln!(s, "heal");
+                }
+                FaultOp::Depart { p, group } => {
+                    let _ = writeln!(s, "depart {p} {}", group.0);
+                }
+                FaultOp::Latency { model } => match model {
+                    LatencyModel::Fixed(d) => {
+                        let _ = writeln!(s, "latency fixed {}", d.as_micros());
+                    }
+                    LatencyModel::Uniform { lo, hi } => {
+                        let _ =
+                            writeln!(s, "latency uniform {} {}", lo.as_micros(), hi.as_micros());
+                    }
+                },
+            }
+        }
+        if let Some(h) = expect_hash {
+            let _ = writeln!(s, "expect-hash {h:016x}");
+        }
+        s
+    }
+
+    /// Parses the v1 replay-script format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a line-tagged description of the first malformed entry.
+    #[allow(clippy::too_many_lines)]
+    pub fn parse_script(text: &str) -> Result<(ChaosPlan, Option<u64>), String> {
+        let mut lines = text.lines().enumerate().filter(|(_, l)| {
+            let t = l.trim();
+            !t.is_empty() && !t.starts_with('#')
+        });
+        let err = |ln: usize, m: &str| format!("line {}: {m}", ln + 1);
+        let (ln0, magic) = lines.next().ok_or("empty script")?;
+        if magic.trim() != "newtop-chaos v1" {
+            return Err(err(ln0, "expected header `newtop-chaos v1`"));
+        }
+        let mut plan = ChaosPlan {
+            seed: 0,
+            n: 0,
+            topology: Vec::new(),
+            sends: Vec::new(),
+            faults: Vec::new(),
+            horizon_us: 0,
+        };
+        let mut expect_hash = None;
+        for (ln, raw) in lines {
+            let toks: Vec<&str> = raw.split_whitespace().collect();
+            let parse_u64 = |t: &str| t.parse::<u64>().map_err(|_| err(ln, "bad integer"));
+            let parse_u32 = |t: &str| t.parse::<u32>().map_err(|_| err(ln, "bad integer"));
+            match toks.as_slice() {
+                ["seed", v] => plan.seed = parse_u64(v)?,
+                ["n", v] => plan.n = parse_u32(v)?,
+                ["horizon-us", v] => plan.horizon_us = parse_u64(v)?,
+                ["group", g, mode, "omega-us", o, "big-omega-us", bo, "members", m] => {
+                    let mode = match *mode {
+                        "symmetric" => OrderMode::Symmetric,
+                        "asymmetric" => OrderMode::Asymmetric,
+                        _ => return Err(err(ln, "mode must be symmetric|asymmetric")),
+                    };
+                    let members = m
+                        .split(',')
+                        .map(|t| t.parse::<u32>().map_err(|_| err(ln, "bad member id")))
+                        .collect::<Result<Vec<u32>, String>>()?;
+                    plan.topology.push(GroupSpec {
+                        group: GroupId(parse_u32(g)?),
+                        mode,
+                        omega_us: parse_u64(o)?,
+                        big_omega_us: parse_u64(bo)?,
+                        members,
+                    });
+                }
+                ["send", at, from, g, mid] => plan.sends.push(SendSpec {
+                    at_us: parse_u64(at)?,
+                    from: parse_u32(from)?,
+                    group: GroupId(parse_u32(g)?),
+                    mid: parse_u64(mid)?,
+                }),
+                ["fault", at, rest @ ..] => {
+                    let at_us = parse_u64(at)?;
+                    let op = match rest {
+                        ["crash", v] => FaultOp::Crash {
+                            victim: parse_u32(v)?,
+                        },
+                        ["partition", mode, blocks] => {
+                            let mode = match *mode {
+                                "loss" => PartitionMode::Loss,
+                                "delay" => PartitionMode::Delay,
+                                _ => return Err(err(ln, "partition mode must be loss|delay")),
+                            };
+                            let blocks = blocks
+                                .split('|')
+                                .map(|b| {
+                                    b.split(',')
+                                        .map(|t| {
+                                            t.parse::<u32>().map_err(|_| err(ln, "bad block id"))
+                                        })
+                                        .collect::<Result<Vec<u32>, String>>()
+                                })
+                                .collect::<Result<Vec<Vec<u32>>, String>>()?;
+                            FaultOp::Partition { blocks, mode }
+                        }
+                        ["heal"] => FaultOp::Heal,
+                        ["depart", p, g] => FaultOp::Depart {
+                            p: parse_u32(p)?,
+                            group: GroupId(parse_u32(g)?),
+                        },
+                        ["latency", "fixed", d] => FaultOp::Latency {
+                            model: LatencyModel::Fixed(Span::from_micros(parse_u64(d)?)),
+                        },
+                        ["latency", "uniform", lo, hi] => FaultOp::Latency {
+                            model: LatencyModel::Uniform {
+                                lo: Span::from_micros(parse_u64(lo)?),
+                                hi: Span::from_micros(parse_u64(hi)?),
+                            },
+                        },
+                        _ => return Err(err(ln, "unknown fault")),
+                    };
+                    plan.faults.push(FaultSpec { at_us, op });
+                }
+                ["expect-hash", h] => {
+                    expect_hash =
+                        Some(u64::from_str_radix(h, 16).map_err(|_| err(ln, "bad hash"))?);
+                }
+                _ => return Err(err(ln, "unknown directive")),
+            }
+        }
+        if plan.n == 0 || plan.topology.is_empty() || plan.horizon_us == 0 {
+            return Err("script missing n / group / horizon-us".to_string());
+        }
+        Ok((plan, expect_hash))
+    }
+}
+
+/// A stable digest of everything observable in a history (per-process event
+/// streams plus the crash set). Replaying the same plan must reproduce the
+/// same hash bit-for-bit; the corpus test enforces this.
+#[must_use]
+pub fn history_hash(h: &History) -> u64 {
+    // FNV-1a over a canonical rendering. The Debug formatting of history
+    // events is deterministic (integers, BTree-ordered sets) and covers
+    // every field, including payload bytes and timestamps.
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut acc = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for b in bytes {
+            acc ^= u64::from(*b);
+            acc = acc.wrapping_mul(PRIME);
+        }
+    };
+    for (p, events) in &h.events {
+        eat(&p.0.to_be_bytes());
+        for e in events {
+            eat(format!("{e:?}").as_bytes());
+        }
+    }
+    let mut crashed = h.crashed.clone();
+    crashed.sort_unstable();
+    for p in crashed {
+        eat(&p.0.to_be_bytes());
+    }
+    acc
+}
+
+/// Outcome of shrinking a failing plan.
+#[derive(Debug)]
+pub struct ShrinkResult {
+    /// The minimised still-failing plan.
+    pub plan: ChaosPlan,
+    /// The violations the minimised plan produces.
+    pub violations: Vec<Violation>,
+    /// Number of candidate runs executed while shrinking.
+    pub runs: usize,
+}
+
+/// Delta-debugs a failing plan down to a locally minimal fault schedule and
+/// traffic script: first the fault events, then the sends, by ddmin-style
+/// chunk bisection (any violation counts as "still failing"). The checker
+/// options are fixed for the whole shrink so the failure being chased does
+/// not shift meaning as faults disappear.
+#[must_use]
+pub fn shrink(plan: &ChaosPlan, opts: &CheckOptions, max_runs: usize) -> ShrinkResult {
+    let mut runs = 0usize;
+    let mut current = plan.clone();
+    let fails = |probe: &ChaosPlan| !matches!(probe.try_run_and_check(opts), Ok(v) if v.is_empty());
+    assert!(fails(&current), "shrink requires a failing plan");
+
+    // Phase 1: minimise the fault schedule.
+    let faults = ddmin(&current.faults, &mut runs, max_runs, |cand| {
+        let mut probe = current.clone();
+        probe.faults = cand.to_vec();
+        fails(&probe)
+    });
+    current.faults = faults;
+    // Phase 2: minimise the traffic.
+    let sends = ddmin(&current.sends, &mut runs, max_runs, |cand| {
+        let mut probe = current.clone();
+        probe.sends = cand.to_vec();
+        fails(&probe)
+    });
+    current.sends = sends;
+    let violations = current.try_run_and_check(opts).unwrap_or_default();
+    ShrinkResult {
+        plan: current,
+        violations,
+        runs,
+    }
+}
+
+/// ddmin-style greedy chunk removal: repeatedly bisects the list into
+/// chunks, dropping any chunk whose removal keeps the predicate true, until
+/// single-element granularity makes no further progress (or the run budget
+/// is exhausted).
+fn ddmin<T: Clone>(
+    items: &[T],
+    runs: &mut usize,
+    max_runs: usize,
+    mut still_fails: impl FnMut(&[T]) -> bool,
+) -> Vec<T> {
+    let mut cur: Vec<T> = items.to_vec();
+    let mut chunk = cur.len().div_ceil(2).max(1);
+    loop {
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < cur.len() {
+            if *runs >= max_runs {
+                return cur;
+            }
+            let hi = (i + chunk).min(cur.len());
+            let mut cand = cur.clone();
+            cand.drain(i..hi);
+            *runs += 1;
+            if still_fails(&cand) {
+                cur = cand;
+                removed_any = true;
+            } else {
+                i = hi;
+            }
+        }
+        if chunk == 1 {
+            if !removed_any {
+                return cur;
+            }
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+        if cur.is_empty() {
+            return cur;
+        }
+    }
+}
+
+/// Counts the tagged deliveries in a history (sweep progress metric).
+#[must_use]
+pub fn delivery_count(h: &History) -> usize {
+    h.events
+        .values()
+        .flatten()
+        .filter(|e| matches!(e, HistoryEvent::Delivered { mid: Some(_), .. }))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_generation_is_deterministic() {
+        let a = ChaosScenario::new(17).plan();
+        let b = ChaosScenario::new(17).plan();
+        assert_eq!(a, b);
+        assert_ne!(a, ChaosScenario::new(18).plan());
+    }
+
+    #[test]
+    fn plan_replays_to_identical_history_hash() {
+        let plan = ChaosScenario::new(3).plan();
+        let h1 = history_hash(&plan.run().history());
+        let h2 = history_hash(&plan.run().history());
+        assert_eq!(h1, h2, "same plan must replay bit-identically");
+    }
+
+    #[test]
+    fn script_roundtrip_preserves_plan() {
+        for seed in [0u64, 5, 11, 23, 42] {
+            let plan = ChaosScenario::new(seed).plan();
+            let script = plan.to_script(Some(0xDEAD_BEEF));
+            let (parsed, hash) = ChaosPlan::parse_script(&script).expect("parses");
+            assert_eq!(parsed, plan, "seed {seed}");
+            assert_eq!(hash, Some(0xDEAD_BEEF));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_scripts() {
+        assert!(ChaosPlan::parse_script("").is_err());
+        assert!(ChaosPlan::parse_script("newtop-chaos v2\n").is_err());
+        let bad = "newtop-chaos v1\nseed 1\nn 3\nhorizon-us 10\nfrobnicate\n";
+        assert!(ChaosPlan::parse_script(bad).unwrap_err().contains("line 5"));
+        let no_groups = "newtop-chaos v1\nseed 1\nn 3\nhorizon-us 10\n";
+        assert!(ChaosPlan::parse_script(no_groups).is_err());
+    }
+
+    #[test]
+    fn small_seed_band_passes_checker() {
+        for seed in 0..8u64 {
+            let plan = ChaosScenario::new(seed).plan();
+            let v = plan.run_and_check(&plan.check_options());
+            assert!(v.is_empty(), "seed {seed}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn shrink_reduces_a_fabricated_failure() {
+        // A plan whose "failure" is simply delivering anything at all —
+        // shrink must strip it to a minimal core while runs stay bounded.
+        let plan = ChaosScenario::new(2).plan();
+        let opts = CheckOptions::default();
+        let h = plan.run().history();
+        assert!(delivery_count(&h) > 0);
+        let mut runs = 0usize;
+        let shrunk = ddmin(&plan.sends, &mut runs, 500, |cand| {
+            let mut probe = plan.clone();
+            probe.sends = cand.to_vec();
+            delivery_count(&probe.run().history()) > 0
+        });
+        assert_eq!(shrunk.len(), 1, "one send suffices to deliver something");
+        let _ = opts;
+    }
+}

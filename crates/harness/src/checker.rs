@@ -5,10 +5,11 @@
 //! |---|---|---|
 //! | MD1 | a message is delivered in view `Vr` only if its sender is in `Vr` | every delivery's origin is in the delivering view |
 //! | MD4/MD4' | total order within and across groups | every pair of processes orders its common deliveries identically |
-//! | MD5 | same-group causal prefix | if `m → m'` (same group) and `m'` delivered, `m` was delivered earlier |
+//! | MD5 | same-group causal prefix | if `m → m'` (same group) and `m'` delivered, `m` was delivered earlier — conditioned on `m`'s sender still being in the local view (an excluded sender's tail may be agreed-discarded, step (viii); uniformity is covered by VC3) |
 //! | MD5' | cross-group causal prefix | as MD5 across groups, conditioned on `m.s` still being in the local view of `m.g` at the delivery of `m'` |
 //! | VC1 | processes that never crash nor suspect each other install identical view sequences | prefix-compatible per-group view sequences |
 //! | VC3/MD3 | identical consecutive views bracket identical delivery sets | delivery sets per closed view interval are equal |
+//! | exclusion barrier | nothing from an excluded member is delivered after the view change | log-order: every delivery's origin is in the locally current view; no deliveries after a voluntary departure |
 //! | liveness/atomicity | quiescent runs: co-members of the final view delivered the same set, including everything its members sent | optional (fault schedules that partition meaningfully set their own expectations) |
 //!
 //! The happened-before relation is reconstructed from the per-process logs:
@@ -98,6 +99,28 @@ pub enum Violation {
         /// The view interval with differing sets.
         seq: ViewSeq,
     },
+    /// A process delivered the same tagged message more than once.
+    DuplicateDelivery {
+        /// The process that delivered twice.
+        p: ProcessId,
+        /// The group.
+        group: GroupId,
+        /// The message delivered more than once.
+        mid: MessageId,
+    },
+    /// Exclusion barrier: a delivery was observed after the delivering
+    /// process had already installed a view excluding the origin (or after
+    /// it had itself departed the group).
+    DeliveryAfterExclusion {
+        /// The delivering process.
+        p: ProcessId,
+        /// The group.
+        group: GroupId,
+        /// The excluded (or self-departed) origin of the late delivery.
+        origin: ProcessId,
+        /// The message, when tagged.
+        mid: Option<MessageId>,
+    },
     /// Liveness/atomicity at quiescence.
     Liveness {
         /// The process that is missing a delivery.
@@ -138,6 +161,19 @@ impl fmt::Display for Violation {
                 f,
                 "VC3 violation: {a} and {b} delivered different sets in {group} view {seq}"
             ),
+            Violation::DuplicateDelivery { p, group, mid } => write!(
+                f,
+                "duplicate delivery at {p}: {mid:?} delivered more than once in {group}"
+            ),
+            Violation::DeliveryAfterExclusion {
+                p,
+                group,
+                origin,
+                mid,
+            } => write!(
+                f,
+                "exclusion-barrier violation at {p}: delivered {mid:?} from {origin} in {group} after excluding it"
+            ),
             Violation::Liveness { p, group, mid } => write!(
                 f,
                 "liveness violation: {p} never delivered {mid:?} in {group}"
@@ -152,24 +188,40 @@ struct Digest {
     deliveries: Vec<(usize, MessageId, GroupId, ViewSeq)>,
     /// mid → log index of its delivery.
     delivered_at: BTreeMap<MessageId, usize>,
+    /// mid → the number it was delivered under (first occurrence). Used to
+    /// spot fail-over re-sequencing: a message whose delivered numbers
+    /// disagree across processes was re-homed into a new view.
+    delivered_c: BTreeMap<MessageId, newtop_types::Msn>,
     /// (log index, group, mid) of sends.
     sends: Vec<(usize, GroupId, MessageId)>,
     /// group → (log index, view) in log order, including V0.
     views: BTreeMap<GroupId, Vec<(usize, newtop_types::View)>>,
     /// groups suspected pairs: (group, suspect).
     suspected: BTreeSet<(GroupId, ProcessId)>,
-    /// groups this process voluntarily departed.
-    departed: BTreeSet<GroupId>,
+    /// (group, failed) → log index of the first adopted detection naming
+    /// them: step (viii) discards their undelivered tail from this point,
+    /// so causal obligations on their messages end here, not only at the
+    /// (possibly much later, barrier-delayed) view install.
+    adopted_at: BTreeMap<(GroupId, ProcessId), usize>,
+    /// groups this process voluntarily departed → log index of the
+    /// departure *request* (liveness obligations end here).
+    departed: BTreeMap<GroupId, usize>,
+    /// groups whose departure actually executed → log index of completion
+    /// (deliveries are legitimate between request and completion, §3).
+    departure_done: BTreeMap<GroupId, usize>,
 }
 
 fn digest(h: &History, p: ProcessId) -> Digest {
     let mut d = Digest {
         deliveries: Vec::new(),
         delivered_at: BTreeMap::new(),
+        delivered_c: BTreeMap::new(),
         sends: Vec::new(),
         views: BTreeMap::new(),
         suspected: BTreeSet::new(),
-        departed: BTreeSet::new(),
+        adopted_at: BTreeMap::new(),
+        departed: BTreeMap::new(),
+        departure_done: BTreeMap::new(),
     };
     let Some(evs) = h.events.get(&p) else {
         return d;
@@ -181,6 +233,7 @@ fn digest(h: &History, p: ProcessId) -> Digest {
                     d.deliveries
                         .push((i, *mid, delivery.group, delivery.view_seq));
                     d.delivered_at.insert(*mid, i);
+                    d.delivered_c.entry(*mid).or_insert(delivery.c);
                 }
             }
             HistoryEvent::Sent { group, mid, .. } => d.sends.push((i, *group, *mid)),
@@ -190,14 +243,23 @@ fn digest(h: &History, p: ProcessId) -> Digest {
             HistoryEvent::ViewChange { group, view, .. } => {
                 d.views.entry(*group).or_default().push((i, view.clone()));
             }
-            HistoryEvent::Protocol { event, .. } => {
-                if let newtop_core::ProtocolEvent::Suspected { group, pair } = event {
+            HistoryEvent::Protocol { event, .. } => match event {
+                newtop_core::ProtocolEvent::Suspected { group, pair } => {
                     d.suspected.insert((*group, pair.suspect));
                 }
-            }
+                newtop_core::ProtocolEvent::DetectionAdopted { group, detection } => {
+                    for pair in detection {
+                        d.adopted_at.entry((*group, pair.suspect)).or_insert(i);
+                    }
+                }
+                newtop_core::ProtocolEvent::DepartureCompleted { group } => {
+                    d.departure_done.entry(*group).or_insert(i);
+                }
+                _ => {}
+            },
             HistoryEvent::GroupActive { .. } => {}
             HistoryEvent::Departed { group, .. } => {
-                d.departed.insert(*group);
+                d.departed.entry(*group).or_insert(i);
             }
         }
     }
@@ -205,7 +267,9 @@ fn digest(h: &History, p: ProcessId) -> Digest {
 }
 
 /// The happened-before DAG over tagged messages, as predecessor sets.
-fn causal_predecessors(digests: &BTreeMap<ProcessId, Digest>) -> BTreeMap<MessageId, BTreeSet<MessageId>> {
+fn causal_predecessors(
+    digests: &BTreeMap<ProcessId, Digest>,
+) -> BTreeMap<MessageId, BTreeSet<MessageId>> {
     // Direct edges.
     let mut preds: BTreeMap<MessageId, BTreeSet<MessageId>> = BTreeMap::new();
     for d in digests.values() {
@@ -227,8 +291,10 @@ fn causal_predecessors(digests: &BTreeMap<ProcessId, Digest>) -> BTreeMap<Messag
     let mut closed: BTreeMap<MessageId, BTreeSet<MessageId>> = BTreeMap::new();
     for mid in keys {
         let mut seen: BTreeSet<MessageId> = BTreeSet::new();
-        let mut queue: VecDeque<MessageId> =
-            preds.get(&mid).map(|s| s.iter().copied().collect()).unwrap_or_default();
+        let mut queue: VecDeque<MessageId> = preds
+            .get(&mid)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
         while let Some(q) = queue.pop_front() {
             if seen.insert(q) {
                 if let Some(more) = preds.get(&q) {
@@ -247,8 +313,7 @@ fn causal_predecessors(digests: &BTreeMap<ProcessId, Digest>) -> BTreeMap<Messag
 pub fn check_all(h: &History, opts: &CheckOptions) -> Vec<Violation> {
     let mut violations = Vec::new();
     let procs: Vec<ProcessId> = h.processes().collect();
-    let digests: BTreeMap<ProcessId, Digest> =
-        procs.iter().map(|p| (*p, digest(h, *p))).collect();
+    let digests: BTreeMap<ProcessId, Digest> = procs.iter().map(|p| (*p, digest(h, *p))).collect();
 
     // mid → (group, origin) from the senders' logs.
     let mut mid_group: BTreeMap<MessageId, (GroupId, ProcessId)> = BTreeMap::new();
@@ -258,6 +323,7 @@ pub fn check_all(h: &History, opts: &CheckOptions) -> Vec<Violation> {
         }
     }
 
+    check_duplicates(&procs, &digests, &mut violations);
     if opts.total_order {
         check_total_order(&procs, &digests, &mut violations);
     }
@@ -265,6 +331,7 @@ pub fn check_all(h: &History, opts: &CheckOptions) -> Vec<Violation> {
         check_causality(&procs, &digests, &mid_group, &mut violations);
     }
     check_md1(&procs, &digests, &mid_group, &mut violations);
+    check_exclusion_barrier(h, &procs, &mut violations);
     if opts.views {
         check_vc1(h, &procs, &digests, &mut violations);
         check_vc3(&procs, &digests, &mut violations);
@@ -275,31 +342,95 @@ pub fn check_all(h: &History, opts: &CheckOptions) -> Vec<Violation> {
     violations
 }
 
+/// Every tagged message is delivered at most once per process (checked
+/// up front so the order comparison below can assume sets, and so a
+/// re-delivery bug reports as itself rather than as an order divergence).
+fn check_duplicates(
+    procs: &[ProcessId],
+    digests: &BTreeMap<ProcessId, Digest>,
+    violations: &mut Vec<Violation>,
+) {
+    for p in procs {
+        let mut seen: BTreeSet<MessageId> = BTreeSet::new();
+        for (_, mid, group, _) in &digests[p].deliveries {
+            if !seen.insert(*mid) {
+                violations.push(Violation::DuplicateDelivery {
+                    p: *p,
+                    group: *group,
+                    mid: *mid,
+                });
+            }
+        }
+    }
+}
+
+/// `(group, view_seq)` → the installed `View` object, for matching the
+/// views two processes attributed a delivery to.
+fn view_index(d: &Digest) -> BTreeMap<(GroupId, ViewSeq), &newtop_types::View> {
+    let mut idx = BTreeMap::new();
+    for (g, views) in &d.views {
+        for (_, v) in views {
+            idx.entry((*g, v.seq())).or_insert(v);
+        }
+    }
+    idx
+}
+
+/// First-occurrence `(mid, group, view_seq)` per delivery (duplicates are
+/// reported separately by `check_duplicates`).
+fn delivery_attribution(d: &Digest) -> BTreeMap<MessageId, (GroupId, ViewSeq)> {
+    let mut attr = BTreeMap::new();
+    for (_, mid, g, seq) in &d.deliveries {
+        attr.entry(*mid).or_insert((*g, *seq));
+    }
+    attr
+}
+
 fn check_total_order(
     procs: &[ProcessId],
     digests: &BTreeMap<ProcessId, Digest>,
     violations: &mut Vec<Violation>,
 ) {
+    // MD3/MD4 under partitionable membership (§5.2): order is promised
+    // between processes *holding the same view* — a member that a cut (or
+    // a crash mid-exclusion) left on a dead branch delivered under a view
+    // the survivors replaced, and re-sequencing after sequencer fail-over
+    // may legitimately reorder there. So the pairwise comparison covers
+    // exactly the common messages both sides delivered under the
+    // *identical* installed view (same seq and same membership). The
+    // per-process indices are hoisted out of the O(P²) pair loop.
+    let views: BTreeMap<ProcessId, _> = digests.iter().map(|(p, d)| (*p, view_index(d))).collect();
+    let attrs: BTreeMap<ProcessId, _> = digests
+        .iter()
+        .map(|(p, d)| (*p, delivery_attribution(d)))
+        .collect();
     for (ai, a) in procs.iter().enumerate() {
         for b in procs.iter().skip(ai + 1) {
             let da = &digests[a];
             let db = &digests[b];
-            let set_a: BTreeSet<MessageId> = da.deliveries.iter().map(|d| d.1).collect();
-            let set_b: BTreeSet<MessageId> = db.deliveries.iter().map(|d| d.1).collect();
-            let common: BTreeSet<MessageId> = set_a.intersection(&set_b).copied().collect();
-            let seq_a: Vec<MessageId> = da
-                .deliveries
-                .iter()
-                .map(|d| d.1)
-                .filter(|m| common.contains(m))
-                .collect();
-            let seq_b: Vec<MessageId> = db
-                .deliveries
-                .iter()
-                .map(|d| d.1)
-                .filter(|m| common.contains(m))
-                .collect();
-            if let Some(k) = (0..seq_a.len()).find(|k| seq_a[*k] != seq_b[*k]) {
+            let (views_a, views_b) = (&views[a], &views[b]);
+            let (attr_a, attr_b) = (&attrs[a], &attrs[b]);
+            let comparable = |m: &MessageId| -> bool {
+                let (Some((ga, sa)), Some((gb, sb))) = (attr_a.get(m), attr_b.get(m)) else {
+                    return false;
+                };
+                ga == gb
+                    && match (views_a.get(&(*ga, *sa)), views_b.get(&(*gb, *sb))) {
+                        (Some(va), Some(vb)) => va == vb,
+                        _ => false,
+                    }
+            };
+            let project = |d: &Digest| -> Vec<MessageId> {
+                let mut seen = BTreeSet::new();
+                d.deliveries
+                    .iter()
+                    .map(|d| d.1)
+                    .filter(|m| comparable(m) && seen.insert(*m))
+                    .collect()
+            };
+            let seq_a = project(da);
+            let seq_b = project(db);
+            if let Some(k) = (0..seq_a.len().min(seq_b.len())).find(|k| seq_a[*k] != seq_b[*k]) {
                 violations.push(Violation::TotalOrder {
                     a: *a,
                     b: *b,
@@ -317,48 +448,80 @@ fn check_causality(
     violations: &mut Vec<Violation>,
 ) {
     let preds = causal_predecessors(digests);
+    // Messages whose delivered numbers disagree across processes were
+    // re-sequenced by a fail-over (the old relay was agreed-discarded and
+    // the message re-homed under a new number in a new view). Their
+    // delivery position no longer tracks the single-clock causal order
+    // (CA2), so the prefix obligation is waived for them as causes; the
+    // view-scoped order checks still constrain them.
+    let mut resequenced: BTreeSet<MessageId> = BTreeSet::new();
+    let mut first_c: BTreeMap<MessageId, newtop_types::Msn> = BTreeMap::new();
+    for d in digests.values() {
+        for (mid, c) in &d.delivered_c {
+            match first_c.get(mid) {
+                None => {
+                    first_c.insert(*mid, *c);
+                }
+                Some(prev) if prev != c => {
+                    resequenced.insert(*mid);
+                }
+                Some(_) => {}
+            }
+        }
+    }
     for p in procs {
         let d = &digests[p];
-        for (eff_idx, eff_mid, eff_group, _) in &d.deliveries {
+        for (eff_idx, eff_mid, _, _) in &d.deliveries {
             let Some(causes) = preds.get(eff_mid) else {
                 continue;
             };
             for cause in causes {
+                if resequenced.contains(cause) {
+                    continue;
+                }
                 let Some((cause_group, cause_origin)) = mid_group.get(cause) else {
                     continue;
                 };
-                if cause_group == eff_group {
-                    // MD5: unconditional within the group.
-                    match d.delivered_at.get(cause) {
-                        Some(ci) if ci < eff_idx => {}
-                        _ => violations.push(Violation::CausalPrefix {
-                            p: *p,
-                            cause: *cause,
-                            effect: *eff_mid,
-                        }),
-                    }
-                } else {
-                    // MD5': conditioned on the cause's sender being in p's
-                    // current view of the cause's group at this delivery.
-                    let Some(views) = d.views.get(cause_group) else {
-                        continue; // never a member of that group
-                    };
-                    let current = views
-                        .iter()
-                        .rfind(|(vi, _)| vi <= eff_idx)
-                        .map(|(_, v)| v);
-                    let Some(view) = current else { continue };
-                    if !view.contains(*cause_origin) {
-                        continue; // sender excluded: no obligation
-                    }
-                    match d.delivered_at.get(cause) {
-                        Some(ci) if ci < eff_idx => {}
-                        _ => violations.push(Violation::CausalPrefix {
-                            p: *p,
-                            cause: *cause,
-                            effect: *eff_mid,
-                        }),
-                    }
+                // MD5/MD5': the causal-prefix obligation is conditioned (in
+                // both the same-group and the cross-group case) on the
+                // cause's sender still being in p's current view of the
+                // cause's group when the effect is delivered. Once the
+                // sender has been excluded, the step-(viii) agreement may
+                // have discarded the cause ("even though it has been agreed
+                // that m was sent before Pk failed") — uniformly at every
+                // survivor, which VC3 and the pairwise order checks verify.
+                let Some(views) = d.views.get(cause_group) else {
+                    continue; // never a member of that group
+                };
+                if d.departure_done
+                    .get(cause_group)
+                    .is_some_and(|di| di <= eff_idx)
+                {
+                    continue; // already left the cause's group: no view,
+                              // no obligation (§3)
+                }
+                let current = views.iter().rfind(|(vi, _)| vi <= eff_idx).map(|(_, v)| v);
+                let Some(view) = current else { continue };
+                if !view.contains(*cause_origin) {
+                    continue; // sender excluded: no obligation
+                }
+                if d.adopted_at
+                    .get(&(*cause_group, *cause_origin))
+                    .is_some_and(|ai| ai <= eff_idx)
+                {
+                    // Exclusion agreed though not yet installed (the view
+                    // change waits behind its delivery barrier): the
+                    // sender's undelivered tail is already agreed-discarded
+                    // (step (viii)), so the prefix obligation has ended.
+                    continue;
+                }
+                match d.delivered_at.get(cause) {
+                    Some(ci) if ci < eff_idx => {}
+                    _ => violations.push(Violation::CausalPrefix {
+                        p: *p,
+                        cause: *cause,
+                        effect: *eff_mid,
+                    }),
                 }
             }
         }
@@ -380,11 +543,7 @@ fn check_md1(
             let Some(views) = d.views.get(group) else {
                 continue;
             };
-            let Some(view) = views
-                .iter()
-                .map(|(_, v)| v)
-                .find(|v| v.seq() == *view_seq)
-            else {
+            let Some(view) = views.iter().map(|(_, v)| v).find(|v| v.seq() == *view_seq) else {
                 continue;
             };
             if !view.contains(*origin) {
@@ -394,6 +553,51 @@ fn check_md1(
                     group: *group,
                     view_seq: *view_seq,
                 });
+            }
+        }
+    }
+}
+
+/// The exclusion barrier, checked directly in log order (unlike MD1, which
+/// trusts the `view_seq` a delivery was attributed to): once a process has
+/// installed a view of `g` that excludes `q`, no later event in its log may
+/// deliver a message of `g` originated by `q`; and once its own voluntary
+/// departure from `g` *completes* (deliveries are still legitimate while
+/// the deferred departure drains obligations, §3), a process delivers
+/// nothing further in `g` at all.
+fn check_exclusion_barrier(h: &History, procs: &[ProcessId], violations: &mut Vec<Violation>) {
+    use std::collections::BTreeMap as Map;
+    for p in procs {
+        let Some(evs) = h.events.get(p) else { continue };
+        let mut current: Map<GroupId, &newtop_types::View> = Map::new();
+        let mut departed: BTreeSet<GroupId> = BTreeSet::new();
+        for e in evs {
+            match e {
+                HistoryEvent::InitialView { group, view }
+                | HistoryEvent::ViewChange { group, view, .. } => {
+                    current.insert(*group, view);
+                }
+                HistoryEvent::Protocol {
+                    event: newtop_core::ProtocolEvent::DepartureCompleted { group },
+                    ..
+                } => {
+                    departed.insert(*group);
+                }
+                HistoryEvent::Delivered { delivery, mid, .. } => {
+                    let g = delivery.group;
+                    let excluded = current
+                        .get(&g)
+                        .is_some_and(|v| !v.contains(delivery.origin));
+                    if departed.contains(&g) || excluded {
+                        violations.push(Violation::DeliveryAfterExclusion {
+                            p: *p,
+                            group: g,
+                            origin: delivery.origin,
+                            mid: *mid,
+                        });
+                    }
+                }
+                _ => {}
             }
         }
     }
@@ -412,12 +616,8 @@ fn check_vc1(
             }
             let da = &digests[a];
             let db = &digests[b];
-            let groups: BTreeSet<GroupId> = da
-                .views
-                .keys()
-                .chain(db.views.keys())
-                .copied()
-                .collect();
+            let groups: BTreeSet<GroupId> =
+                da.views.keys().chain(db.views.keys()).copied().collect();
             for g in groups {
                 let (Some(va), Some(vb)) = (da.views.get(&g), db.views.get(&g)) else {
                     continue;
@@ -510,7 +710,7 @@ fn check_liveness(
             .collect();
         for p in &survivors {
             let d = &digests[p];
-            if d.departed.contains(&g) {
+            if d.departed.contains_key(&g) {
                 continue; // §3: no view, no obligations after leaving
             }
             let Some(final_view) = d.views.get(&g).and_then(|v| v.last()).map(|(_, v)| v) else {
@@ -613,9 +813,80 @@ mod tests {
     }
 
     #[test]
+    fn checker_catches_fabricated_delivery_after_exclusion() {
+        use newtop_core::Delivery;
+        use newtop_types::{Msn, ProcessId, View, ViewSeq};
+        let mut h = run_simple(OrderMode::Symmetric);
+        // Fabricate at P1: a view change that excludes P2, followed by a
+        // delivery originated by P2.
+        let evs = h.events.get_mut(&ProcessId(1)).unwrap();
+        let shrunk = View::initial([ProcessId(1), ProcessId(3)]);
+        evs.push(HistoryEvent::ViewChange {
+            at: Instant::from_micros(999_000),
+            group: GroupId(1),
+            view: shrunk.clone(),
+            signed: newtop_types::SignedView::new(shrunk.iter(), 1),
+        });
+        evs.push(HistoryEvent::Delivered {
+            at: Instant::from_micros(999_500),
+            delivery: Delivery {
+                group: GroupId(1),
+                origin: ProcessId(2),
+                c: Msn(99),
+                view_seq: ViewSeq(1),
+                payload: MessageId(99).to_payload(),
+            },
+            mid: Some(MessageId(99)),
+        });
+        let v = check_all(&h, &CheckOptions::default());
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::DeliveryAfterExclusion { .. })),
+            "late delivery from an excluded origin must be caught, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn checker_catches_fabricated_delivery_after_departure() {
+        use newtop_core::Delivery;
+        use newtop_types::{Msn, ProcessId, ViewSeq};
+        let mut h = run_simple(OrderMode::Symmetric);
+        let evs = h.events.get_mut(&ProcessId(2)).unwrap();
+        evs.push(HistoryEvent::Departed {
+            at: Instant::from_micros(999_000),
+            group: GroupId(1),
+        });
+        evs.push(HistoryEvent::Protocol {
+            at: Instant::from_micros(999_100),
+            event: newtop_core::ProtocolEvent::DepartureCompleted { group: GroupId(1) },
+        });
+        evs.push(HistoryEvent::Delivered {
+            at: Instant::from_micros(999_500),
+            delivery: Delivery {
+                group: GroupId(1),
+                origin: ProcessId(1),
+                c: Msn(98),
+                view_seq: ViewSeq(0),
+                payload: MessageId(98).to_payload(),
+            },
+            mid: Some(MessageId(98)),
+        });
+        let v = check_all(&h, &CheckOptions::default());
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::DeliveryAfterExclusion { .. })),
+            "delivery after departure must be caught, got {v:?}"
+        );
+    }
+
+    #[test]
     fn crash_run_passes_with_liveness_scoped_to_survivors() {
         let mut c = SimCluster::new(4, NetConfig::new(9));
-        c.bootstrap_group(GroupId(1), &[1, 2, 3, 4], GroupConfig::new(OrderMode::Symmetric));
+        c.bootstrap_group(
+            GroupId(1),
+            &[1, 2, 3, 4],
+            GroupConfig::new(OrderMode::Symmetric),
+        );
         for k in 0..4u64 {
             c.schedule_send(
                 Instant::from_micros(1000 + k * 300),

@@ -6,9 +6,7 @@ use crate::history::{History, HistoryEvent, MessageId};
 use bytes::Bytes;
 use newtop_core::{Action, Process};
 use newtop_sim::{NetConfig, Outbox, PartitionMode, PartitionSpec, Sim, SimNode};
-use newtop_types::{
-    wire, Envelope, GroupConfig, GroupId, Instant, ProcessConfig, ProcessId, Span,
-};
+use newtop_types::{wire, Envelope, GroupConfig, GroupId, Instant, ProcessConfig, ProcessId, Span};
 use std::collections::BTreeSet;
 
 /// One simulated protocol participant: the engine plus its observable log.
@@ -132,7 +130,13 @@ impl NewtopNode {
 impl SimNode for NewtopNode {
     type Msg = Envelope;
 
-    fn on_message(&mut self, now: Instant, from: ProcessId, msg: Envelope, out: &mut Outbox<Envelope>) {
+    fn on_message(
+        &mut self,
+        now: Instant,
+        from: ProcessId,
+        msg: Envelope,
+        out: &mut Outbox<Envelope>,
+    ) {
         let actions = self.process.handle(now, from, msg);
         self.absorb(now, actions, out);
     }
@@ -259,13 +263,23 @@ impl SimCluster {
 
     /// Schedules a loss-mode partition.
     pub fn schedule_partition(&mut self, at: Instant, blocks: &[&[u32]]) {
+        self.schedule_partition_mode(at, blocks, PartitionMode::Loss);
+    }
+
+    /// Schedules a partition in an explicit mode (loss or delay).
+    pub fn schedule_partition_mode(&mut self, at: Instant, blocks: &[&[u32]], mode: PartitionMode) {
         let spec = PartitionSpec::blocks(
             blocks
                 .iter()
                 .map(|b| b.iter().map(|i| ProcessId(*i)).collect())
                 .collect(),
         );
-        self.sim.schedule_partition(at, spec, PartitionMode::Loss);
+        self.sim.schedule_partition(at, spec, mode);
+    }
+
+    /// Schedules a link-latency change (congestion phases in fault scripts).
+    pub fn schedule_set_latency(&mut self, at: Instant, latency: newtop_sim::LatencyModel) {
+        self.sim.schedule_set_latency(at, latency);
     }
 
     /// Schedules the network to heal.
@@ -302,7 +316,10 @@ impl SimCluster {
     /// Panics if `p` does not exist.
     #[must_use]
     pub fn proc(&self, p: u32) -> &Process {
-        self.sim.node(ProcessId(p)).expect("known process").process()
+        self.sim
+            .node(ProcessId(p))
+            .expect("known process")
+            .process()
     }
 
     /// Collects the full run history (clones the per-node logs).

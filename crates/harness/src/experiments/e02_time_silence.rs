@@ -34,7 +34,9 @@ fn one_run(omega_ms: u64, quick: bool) -> (f64, f64) {
         Instant::from_micros(20_000),
         Span::from_millis(omega_ms * 3 + 7),
     );
-    cluster.run_for(Span::from_millis(u64::from(count) * (omega_ms * 3 + 7) + 500));
+    cluster.run_for(Span::from_millis(
+        u64::from(count) * (omega_ms * 3 + 7) + 500,
+    ));
     let h = cluster.history();
     assert_correct(&h, &CheckOptions::default());
     latency_ms(&h, Some(G))
@@ -43,18 +45,18 @@ fn one_run(omega_ms: u64, quick: bool) -> (f64, f64) {
 /// Runs E2.
 #[must_use]
 pub fn run(quick: bool) -> Table {
-    let omegas: &[u64] = if quick { &[2, 10] } else { &[1, 2, 5, 10, 20, 50] };
+    let omegas: &[u64] = if quick {
+        &[2, 10]
+    } else {
+        &[1, 2, 5, 10, 20, 50]
+    };
     let mut t = Table::new(
         "E2 symmetric delivery latency vs time-silence ω (8 members, 1 ms links, quiet group)",
         &["omega (ms)", "mean latency (ms)", "max latency (ms)"],
     );
     for &omega in omegas {
         let (mean, max) = one_run(omega, quick);
-        t.push(&[
-            omega.to_string(),
-            format!("{mean:.2}"),
-            format!("{max:.2}"),
-        ]);
+        t.push(&[omega.to_string(), format!("{mean:.2}"), format!("{max:.2}")]);
     }
     t
 }
@@ -68,9 +70,6 @@ mod tests {
         let t = run(true);
         let small: f64 = t.rows[0][1].parse().unwrap();
         let large: f64 = t.rows[1][1].parse().unwrap();
-        assert!(
-            large > small,
-            "latency must track ω: {small} vs {large}"
-        );
+        assert!(large > small, "latency must track ω: {small} vs {large}");
     }
 }

@@ -98,12 +98,18 @@ fn lamport_run(n: u32, slots: u32) -> (f64, f64) {
         for (i, (_, _, payload)) in node.delivered().iter().enumerate() {
             let k = u32::from_be_bytes(payload.as_ref().try_into().expect("4B payload"));
             let sent = send_at[k as usize].0;
-            let lat = node.delivered_at()[i].saturating_since(sent).as_millis_f64();
+            let lat = node.delivered_at()[i]
+                .saturating_since(sent)
+                .as_millis_f64();
             total += lat;
             cnt += 1;
         }
     }
-    let mean = if cnt == 0 { f64::NAN } else { total / cnt as f64 };
+    let mean = if cnt == 0 {
+        f64::NAN
+    } else {
+        total / cnt as f64
+    };
     let msgs = sim.stats().sent as f64 / f64::from(count);
     (mean, msgs)
 }

@@ -8,8 +8,8 @@
 use crate::checker::CheckOptions;
 use crate::cluster::SimCluster;
 use crate::experiments::assert_correct;
-use crate::table::Table;
 use crate::history::MessageId;
+use crate::table::Table;
 use newtop_sim::{LatencyModel, NetConfig};
 use newtop_types::{GroupConfig, GroupId, Instant, OrderMode, ProcessId, Span};
 
@@ -87,8 +87,11 @@ mod tests {
         let t = run(true);
         let first: f64 = t.rows[0][2].parse().unwrap(); // n = 4
         let last: f64 = t.rows[1][2].parse().unwrap(); // n = 8
-        // Fan-out is n-1, so doubling n should roughly double messages —
-        // far from the ~n² of ack-based schemes.
-        assert!(last < first * 4.0, "super-linear message growth: {first} → {last}");
+                                                       // Fan-out is n-1, so doubling n should roughly double messages —
+                                                       // far from the ~n² of ack-based schemes.
+        assert!(
+            last < first * 4.0,
+            "super-linear message growth: {first} → {last}"
+        );
     }
 }

@@ -22,7 +22,13 @@ pub fn run(quick: bool) -> Table {
     let count = if quick { 10 } else { 30 };
     let mut t = Table::new(
         "E5 latency in group g1 while P1 belongs to k groups (others quiet, ω = 5 ms)",
-        &["k groups", "total procs", "mean lat (ms)", "max lat (ms)", "nulls sent"],
+        &[
+            "k groups",
+            "total procs",
+            "mean lat (ms)",
+            "max lat (ms)",
+            "nulls sent",
+        ],
     );
     for &k in ks {
         // P1 plus 3 dedicated members per group.

@@ -35,11 +35,9 @@ fn one_run(n: u32, big_omega_ms: u64) -> (f64, f64) {
         let at = evs
             .iter()
             .find_map(|e| match e {
-                HistoryEvent::ViewChange { at, group, view, .. }
-                    if *group == G && !view.contains(ProcessId(n)) =>
-                {
-                    Some(*at)
-                }
+                HistoryEvent::ViewChange {
+                    at, group, view, ..
+                } if *group == G && !view.contains(ProcessId(n)) => Some(*at),
                 _ => None,
             })
             .expect("survivor installed the shrunk view");

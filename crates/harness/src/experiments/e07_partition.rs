@@ -34,7 +34,10 @@ fn one_run(n: u32) -> (f64, bool, bool) {
         ..CheckOptions::default()
     };
     let v = check_all(&h, &opts);
-    assert!(v.is_empty(), "partition run violated view properties: {v:?}");
+    assert!(
+        v.is_empty(),
+        "partition run violated view properties: {v:?}"
+    );
     // Stabilisation: last view change anywhere.
     let mut last_ms: f64 = 0.0;
     let mut finals: Vec<(u32, View)> = Vec::new();
@@ -42,7 +45,10 @@ fn one_run(n: u32) -> (f64, bool, bool) {
         let evs = h.events.get(&ProcessId(p)).expect("log");
         let mut last_view: Option<(Instant, View)> = None;
         for e in evs {
-            if let HistoryEvent::ViewChange { at, group, view, .. } = e {
+            if let HistoryEvent::ViewChange {
+                at, group, view, ..
+            } = e
+            {
                 if *group == G {
                     last_view = Some((*at, view.clone()));
                 }

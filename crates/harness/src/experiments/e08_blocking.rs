@@ -78,7 +78,11 @@ fn one_run(k_asym: u32, quick: bool) -> (f64, u64, f64) {
         total += at.saturating_since(sends[&mid]).as_millis_f64();
         count += 1;
     }
-    let mean_sym = if count == 0 { f64::NAN } else { total / f64::from(count) };
+    let mean_sym = if count == 0 {
+        f64::NAN
+    } else {
+        total / f64::from(count)
+    };
     let deferred = cluster.proc(OBS).stats().deferred_total;
     let (mean_all, _) = latency_ms(&h, Some(SYM_G));
     (mean_sym, deferred, mean_all)
@@ -113,7 +117,10 @@ mod tests {
         let k0_deferred: u64 = t.rows[0][2].parse().unwrap();
         let k2_deferred: u64 = t.rows[1][2].parse().unwrap();
         assert_eq!(k0_deferred, 0, "§7: pure symmetric is non-blocking");
-        assert!(k2_deferred > 0, "mixed mode must defer behind the sequencer");
+        assert!(
+            k2_deferred > 0,
+            "mixed mode must defer behind the sequencer"
+        );
         let k0_lat: f64 = t.rows[0][1].parse().unwrap();
         let k2_lat: f64 = t.rows[1][1].parse().unwrap();
         assert!(

@@ -68,7 +68,8 @@ fn one_run(window: Option<u32>, quick: bool) -> (usize, f64) {
         .expect("deliveries exist");
     (
         peak.get(),
-        done.saturating_since(Instant::from_micros(10_000)).as_millis_f64(),
+        done.saturating_since(Instant::from_micros(10_000))
+            .as_millis_f64(),
     )
 }
 

@@ -14,6 +14,9 @@
 //!   liveness/atomicity) over a recorded history; used by the property
 //!   tests and by every experiment as a built-in sanity gate;
 //! * [`workload`] — randomized and scripted traffic generators;
+//! * [`chaos`] — the seeded fault-schedule explorer: seed → deterministic
+//!   topology + traffic + timed fault schedule, replay scripts, ddmin
+//!   shrinking (`newtop-exp chaos`);
 //! * [`experiments`] — E1–E10, one per claim (see DESIGN.md §4), each
 //!   printing the table EXPERIMENTS.md records;
 //! * [`table`] — plain-text aligned table rendering.
@@ -23,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod checker;
 pub mod cluster;
 pub mod experiments;
@@ -30,6 +34,7 @@ pub mod history;
 pub mod table;
 pub mod workload;
 
+pub use chaos::{history_hash, ChaosPlan, ChaosScenario};
 pub use checker::{check_all, CheckOptions, Violation};
 pub use cluster::SimCluster;
 pub use history::{History, HistoryEvent, MessageId};

@@ -163,7 +163,8 @@ mod tests {
         c.run_for(Span::from_millis(300));
         let h = c.history();
         assert_eq!(
-            h.delivered_mids(newtop_types::ProcessId(2), GroupId(1)).len(),
+            h.delivered_mids(newtop_types::ProcessId(2), GroupId(1))
+                .len(),
             9
         );
     }

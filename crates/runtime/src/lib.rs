@@ -48,8 +48,7 @@ use bytes::Bytes;
 use crossbeam::channel::{after, bounded, never, unbounded, Receiver, Sender};
 use newtop_core::{Action, Delivery, FormationFailure, GroupError, Process, ProtocolEvent};
 use newtop_types::{
-    Envelope, GroupConfig, GroupId, Instant, ProcessConfig, ProcessId, SendError, SignedView,
-    View,
+    Envelope, GroupConfig, GroupId, Instant, ProcessConfig, ProcessId, SendError, SignedView, View,
 };
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, BTreeSet};
@@ -191,7 +190,9 @@ impl Cluster {
             let thread = std::thread::Builder::new()
                 .name(format!("newtop-{id}"))
                 .spawn(move || {
-                    node_main(id, process, epoch, inbox_rx, cmd_rx, out_tx, mesh, partition);
+                    node_main(
+                        id, process, epoch, inbox_rx, cmd_rx, out_tx, mesh, partition,
+                    );
                 })
                 .expect("spawn node thread");
             nodes.insert(
@@ -365,11 +366,7 @@ impl NodeHandle {
     /// The engine's [`SendError`].
     pub fn depart(&self, group: GroupId) -> Result<(), SendError> {
         let (reply, rx) = bounded(1);
-        if self
-            .cmd_tx
-            .send(Command::Depart { group, reply })
-            .is_err()
-        {
+        if self.cmd_tx.send(Command::Depart { group, reply }).is_err() {
             return Err(SendError::NotMember { group });
         }
         rx.recv().unwrap_or(Err(SendError::NotMember { group }))
@@ -431,9 +428,7 @@ impl NodeHandle {
         loop {
             let left = deadline.checked_duration_since(std::time::Instant::now())?;
             match self.outputs.recv_timeout(left) {
-                Ok(Output::ViewChange { group: g, view, .. }) if g == group => {
-                    return Some(view)
-                }
+                Ok(Output::ViewChange { group: g, view, .. }) if g == group => return Some(view),
                 Ok(_) => continue,
                 Err(_) => return None,
             }

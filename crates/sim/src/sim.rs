@@ -1,6 +1,6 @@
 //! The discrete-event engine.
 
-use crate::model::{NetConfig, NetStats, PartitionMode, PartitionSpec};
+use crate::model::{LatencyModel, NetConfig, NetStats, PartitionMode, PartitionSpec};
 use newtop_types::{Instant, ProcessId, Span};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -18,7 +18,13 @@ pub trait SimNode {
     type Msg;
 
     /// A message has arrived on the (reliable, FIFO) link from `from`.
-    fn on_message(&mut self, now: Instant, from: ProcessId, msg: Self::Msg, out: &mut Outbox<Self::Msg>);
+    fn on_message(
+        &mut self,
+        now: Instant,
+        from: ProcessId,
+        msg: Self::Msg,
+        out: &mut Outbox<Self::Msg>,
+    );
 
     /// The engine woke the node at (or after) its requested deadline.
     fn on_tick(&mut self, now: Instant, out: &mut Outbox<Self::Msg>) {
@@ -95,6 +101,7 @@ enum EventKind<N: SimNode> {
     },
     Crash(ProcessId),
     SetPartition(PartitionSpec, PartitionMode),
+    SetLatency(LatencyModel),
     Heal,
     Call(ProcessId, CallFn<N>),
 }
@@ -274,6 +281,14 @@ impl<N: SimNode> Sim<N> {
         self.push(at, EventKind::Heal);
     }
 
+    /// Schedules the link latency model to change at `at` — fault scripts
+    /// use this for congestion phases (a latency spike past ω stresses the
+    /// time-silence machinery without severing any link). Messages already
+    /// in flight keep their sampled arrival times.
+    pub fn schedule_set_latency(&mut self, at: Instant, latency: LatencyModel) {
+        self.push(at, EventKind::SetLatency(latency));
+    }
+
     /// Schedules an arbitrary call into node `p` at `at` — the hook through
     /// which experiment scripts trigger application sends.
     pub fn schedule_call(
@@ -359,9 +374,7 @@ impl<N: SimNode> Sim<N> {
                     .queue
                     .drain()
                     .filter(|ev| match &ev.kind {
-                        EventKind::Deliver { src, departed, .. } => {
-                            !(*src == p && *departed > now)
-                        }
+                        EventKind::Deliver { src, departed, .. } => !(*src == p && *departed > now),
                         _ => true,
                     })
                     .collect();
@@ -406,6 +419,9 @@ impl<N: SimNode> Sim<N> {
                         }
                     }
                 }
+            }
+            EventKind::SetLatency(latency) => {
+                self.config.latency = latency;
             }
             EventKind::Heal => {
                 self.partition = PartitionSpec::connected_all();
@@ -684,6 +700,31 @@ mod tests {
         assert_eq!(seen, vec![1, 2, 3]);
         assert!(sim.node(p(2)).unwrap().seen[0].0 >= Instant::from_micros(5_000));
         assert_eq!(sim.stats().parked, 3);
+    }
+
+    #[test]
+    fn scheduled_latency_change_applies_to_later_sends() {
+        let mut sim = two_node_sim(11, LatencyModel::Fixed(Span::from_micros(100)));
+        sim.schedule_call(Instant::ZERO, p(1), |_, out| out.send(p(2), 1));
+        sim.schedule_set_latency(
+            Instant::from_micros(1_000),
+            LatencyModel::Fixed(Span::from_millis(50)),
+        );
+        sim.schedule_call(Instant::from_micros(2_000), p(1), |_, out| {
+            out.send(p(2), 2)
+        });
+        sim.run_until(Instant::from_micros(200_000));
+        let seen = &sim.node(p(2)).unwrap().seen;
+        assert_eq!(seen.len(), 2);
+        assert!(
+            seen[0].0 < Instant::from_micros(1_000),
+            "pre-change latency"
+        );
+        assert!(
+            seen[1].0 >= Instant::from_micros(52_000),
+            "post-change send must take the new 50ms latency, arrived at {:?}",
+            seen[1].0
+        );
     }
 
     #[test]

@@ -57,7 +57,10 @@ impl fmt::Display for SendError {
                 write!(f, "process is not a member of {group}")
             }
             SendError::Departed { group } => {
-                write!(f, "process has departed {group} and may no longer send in it")
+                write!(
+                    f,
+                    "process has departed {group} and may no longer send in it"
+                )
             }
         }
     }

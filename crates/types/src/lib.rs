@@ -42,8 +42,6 @@ pub mod wire;
 pub use config::{DeliveryMode, GroupConfig, OrderMode, ProcessConfig};
 pub use error::{ConfigError, DecodeError, SendError};
 pub use ids::{GroupId, Msn, ProcessId, ViewSeq};
-pub use message::{
-    ControlMessage, Envelope, FormationDecision, Message, MessageBody, Suspicion,
-};
+pub use message::{ControlMessage, Envelope, FormationDecision, Message, MessageBody, Suspicion};
 pub use time::{Instant, Span};
 pub use view::{SignedView, View};

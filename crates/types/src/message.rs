@@ -20,9 +20,7 @@ use std::sync::Arc;
 /// let s = Suspicion { suspect: ProcessId(3), ln: Msn(17) };
 /// assert_eq!(s.to_string(), "{P3,17}");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Suspicion {
     /// The process suspected to have crashed, departed or disconnected.
     pub suspect: ProcessId,

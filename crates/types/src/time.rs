@@ -33,13 +33,13 @@ impl Instant {
 
     /// Creates an instant `micros` microseconds after the epoch.
     #[must_use]
-    pub fn from_micros(micros: u64) -> Instant {
+    pub const fn from_micros(micros: u64) -> Instant {
         Instant(micros)
     }
 
     /// Microseconds since the epoch.
     #[must_use]
-    pub fn as_micros(self) -> u64 {
+    pub const fn as_micros(self) -> u64 {
         self.0
     }
 
@@ -97,25 +97,25 @@ impl Span {
 
     /// Creates a span of `micros` microseconds.
     #[must_use]
-    pub fn from_micros(micros: u64) -> Span {
+    pub const fn from_micros(micros: u64) -> Span {
         Span(micros)
     }
 
     /// Creates a span of `millis` milliseconds.
     #[must_use]
-    pub fn from_millis(millis: u64) -> Span {
+    pub const fn from_millis(millis: u64) -> Span {
         Span(millis.saturating_mul(1_000))
     }
 
     /// Creates a span of `secs` seconds.
     #[must_use]
-    pub fn from_secs(secs: u64) -> Span {
+    pub const fn from_secs(secs: u64) -> Span {
         Span(secs.saturating_mul(1_000_000))
     }
 
     /// The span in microseconds.
     #[must_use]
-    pub fn as_micros(self) -> u64 {
+    pub const fn as_micros(self) -> u64 {
         self.0
     }
 

@@ -587,7 +587,8 @@ mod tests {
 
     #[test]
     fn varint_rejects_overflow() {
-        let mut b = Bytes::from_static(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f]);
+        let mut b =
+            Bytes::from_static(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f]);
         assert_eq!(get_varint(&mut b), Err(DecodeError::VarintOverflow));
     }
 

@@ -47,15 +47,20 @@ fn arb_leaf_body() -> impl Strategy<Value = MessageBody> {
 }
 
 fn arb_message(body: impl Strategy<Value = MessageBody>) -> impl Strategy<Value = Message> {
-    (any::<u32>(), any::<u32>(), 0..u64::MAX / 2, 0..u64::MAX / 2, body).prop_map(
-        |(g, s, c, ldn, body)| Message {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        0..u64::MAX / 2,
+        0..u64::MAX / 2,
+        body,
+    )
+        .prop_map(|(g, s, c, ldn, body)| Message {
             group: GroupId(g),
             sender: ProcessId(s),
             c: Msn(c),
             ldn: Msn(ldn),
             body,
-        },
-    )
+        })
 }
 
 fn arb_body() -> impl Strategy<Value = MessageBody> {

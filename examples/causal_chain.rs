@@ -72,7 +72,9 @@ fn main() {
                     m3_pos = Some(i);
                 }
             }
-            HistoryEvent::ViewChange { at, group, view, .. } => {
+            HistoryEvent::ViewChange {
+                at, group, view, ..
+            } => {
                 println!("  {at} installed {view} in {group}");
                 if *group == G1 && !view.contains(ProcessId(PK)) && view_pos.is_none() {
                     view_pos = Some(i);

@@ -98,6 +98,9 @@ fn main() {
         .expect("node")
         .await_delivery(Duration::from_secs(10))
         .expect("post-crash chat");
-    println!("bob still receives: {}", String::from_utf8_lossy(&d.payload));
+    println!(
+        "bob still receives: {}",
+        String::from_utf8_lossy(&d.payload)
+    );
     cluster.shutdown();
 }

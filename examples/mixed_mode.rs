@@ -67,7 +67,10 @@ fn main() {
         for round in 0..5u64 {
             let a = seq.iter().position(|x| x.1 == round * 2 + 1).expect("asym");
             let s = seq.iter().position(|x| x.1 == round * 2 + 2).expect("sym");
-            assert!(a < s, "round {round}: sequencer round-trip must order first");
+            assert!(
+                a < s,
+                "round {round}: sequencer round-trip must order first"
+            );
         }
     }
     let stats = cluster.proc(3).stats();

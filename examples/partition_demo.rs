@@ -55,7 +55,10 @@ fn main() {
     let left = final_view(1);
     let right = final_view(3);
     assert!(
-        left.members().intersection(right.members()).next().is_none(),
+        left.members()
+            .intersection(right.members())
+            .next()
+            .is_none(),
         "subgroup views must stabilise into non-intersecting sets"
     );
     assert!(

@@ -36,11 +36,17 @@ fn main() {
         cluster.add_process(p);
     }
     // Fig. 1(a): the server group g1 = {P1, P2}.
-    cluster.bootstrap_group(G1, [p1, p2], cfg()).expect("bootstrap g1");
+    cluster
+        .bootstrap_group(G1, [p1, p2], cfg())
+        .expect("bootstrap g1");
     let cluster = cluster.start();
 
     // Clients keep updating the replicated state through g1.
-    cluster.node(p1).unwrap().multicast(G1, "update-1".into()).unwrap();
+    cluster
+        .node(p1)
+        .unwrap()
+        .multicast(G1, "update-1".into())
+        .unwrap();
 
     // Fig. 1(b): P3 initiates the formation of g2 = {P1, P2, P3}.
     cluster
@@ -58,14 +64,31 @@ fn main() {
     }
 
     // State transfer inside g2 while g1 stays responsive.
-    cluster.node(p1).unwrap().multicast(G2, "state-chunk-A".into()).unwrap();
-    cluster.node(p1).unwrap().multicast(G2, "state-chunk-B".into()).unwrap();
-    cluster.node(p2).unwrap().multicast(G1, "update-2".into()).unwrap();
+    cluster
+        .node(p1)
+        .unwrap()
+        .multicast(G2, "state-chunk-A".into())
+        .unwrap();
+    cluster
+        .node(p1)
+        .unwrap()
+        .multicast(G2, "state-chunk-B".into())
+        .unwrap();
+    cluster
+        .node(p2)
+        .unwrap()
+        .multicast(G1, "update-2".into())
+        .unwrap();
 
     // P3 receives the full state through g2's ordered channel.
     let mut state = Vec::new();
     while state.len() < 2 {
-        match cluster.node(p3).unwrap().outputs().recv_timeout(Duration::from_secs(10)) {
+        match cluster
+            .node(p3)
+            .unwrap()
+            .outputs()
+            .recv_timeout(Duration::from_secs(10))
+        {
             Ok(Output::Delivery(d)) if d.group == G2 => {
                 state.push(String::from_utf8_lossy(&d.payload).into_owned());
             }
@@ -98,13 +121,20 @@ fn main() {
     }
 
     // Service continues in the migrated group.
-    cluster.node(p1).unwrap().multicast(G2, "update-3".into()).unwrap();
+    cluster
+        .node(p1)
+        .unwrap()
+        .multicast(G2, "update-3".into())
+        .unwrap();
     let d = cluster
         .node(p3)
         .unwrap()
         .await_delivery(Duration::from_secs(10))
         .expect("post-migration update");
-    println!("P3: serving again, received {:?}", String::from_utf8_lossy(&d.payload));
+    println!(
+        "P3: serving again, received {:?}",
+        String::from_utf8_lossy(&d.payload)
+    );
     println!("migration complete: P2 replaced by P3 with zero service gap");
     cluster.shutdown();
 }

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Compares a fresh `hot_paths` bench run against the newest committed
+# BENCH_*.json snapshot (the perf trajectory started in PR 2 by
+# scripts/bench_snapshot.sh) and prints a regression table — into
+# $GITHUB_STEP_SUMMARY when set (CI step summary), else to stdout.
+#
+# Non-gating by design: shared-runner timing noise must not fail a PR, so
+# this script always exits 0 (except when the bench itself fails to run).
+# Humans read the Δ column; anything beyond ±25% deserves a look.
+#
+# Usage: scripts/bench_check.sh [baseline.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="${1:-}"
+if [[ -z "$baseline" ]]; then
+    # Newest snapshot by version sort: BENCH_PR2.json < BENCH_PR10.json.
+    baseline="$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)"
+fi
+if [[ -z "$baseline" || ! -f "$baseline" ]]; then
+    echo "bench_check: no BENCH_*.json baseline found, nothing to compare" >&2
+    exit 0
+fi
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+echo "== cargo bench --bench hot_paths (baseline: $baseline)" >&2
+cargo bench --bench hot_paths 2>/dev/null | tee /dev/stderr >"$raw"
+
+out="${GITHUB_STEP_SUMMARY:-/dev/stdout}"
+{
+    echo "### Bench check vs \`$baseline\` (non-gating)"
+    echo ""
+    echo "| benchmark | baseline ns/iter | current ns/iter | Δ |"
+    echo "|---|---:|---:|---:|"
+    awk -v base="$baseline" '
+        # Load {name: ns} pairs from the committed snapshot (portable awk:
+        # snapshot lines look like `  "bench/name": 123.4,`).
+        BEGIN {
+            while ((getline line < base) > 0) {
+                if (index(line, "\"") > 0 && index(line, ":") > 0) {
+                    n = split(line, a, "\"")
+                    if (n >= 3) {
+                        v = a[3]
+                        gsub(/[:,{} \t]/, "", v)
+                        if (a[2] != "" && v + 0 > 0) {
+                            ref[a[2]] = v + 0
+                        }
+                    }
+                }
+            }
+        }
+        # The criterion shim prints one `<name> <ns> ns/iter` line each.
+        / ns\/iter$/ {
+            name = $1
+            cur = $(NF - 1)
+            if (name in ref && ref[name] > 0) {
+                delta = (cur - ref[name]) * 100.0 / ref[name]
+                mark = (delta > 25) ? " :warning:" : ""
+                printf("| %s | %s | %s | %+.1f%%%s |\n", name, ref[name], cur, delta, mark)
+            } else {
+                printf("| %s | — | %s | new |\n", name, cur)
+            }
+        }
+    ' "$raw"
+    echo ""
+} >>"$out"
+echo "bench_check: table written to ${GITHUB_STEP_SUMMARY:+step summary}${GITHUB_STEP_SUMMARY:-stdout}" >&2
+exit 0

@@ -37,7 +37,11 @@ impl Bytes {
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
         let data: Arc<[u8]> = Arc::from(data);
         let end = data.len();
-        Bytes { data, start: 0, end }
+        Bytes {
+            data,
+            start: 0,
+            end,
+        }
     }
 
     /// Length of the view in bytes.
@@ -116,7 +120,11 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
         let data: Arc<[u8]> = Arc::from(v);
         let end = data.len();
-        Bytes { data, start: 0, end }
+        Bytes {
+            data,
+            start: 0,
+            end,
+        }
     }
 }
 

@@ -193,12 +193,12 @@ pub mod strategy {
         };
     }
 
-    impl_strategy_tuple!(A/0);
-    impl_strategy_tuple!(A/0, B/1);
-    impl_strategy_tuple!(A/0, B/1, C/2);
-    impl_strategy_tuple!(A/0, B/1, C/2, D/3);
-    impl_strategy_tuple!(A/0, B/1, C/2, D/3, E/4);
-    impl_strategy_tuple!(A/0, B/1, C/2, D/3, E/4, F/5);
+    impl_strategy_tuple!(A / 0);
+    impl_strategy_tuple!(A / 0, B / 1);
+    impl_strategy_tuple!(A / 0, B / 1, C / 2);
+    impl_strategy_tuple!(A / 0, B / 1, C / 2, D / 3);
+    impl_strategy_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4);
+    impl_strategy_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
 
     /// Strategy for `Vec<S::Value>` with a length drawn from a range.
     pub struct VecStrategy<S> {

@@ -78,7 +78,10 @@ fn fig2_causal_chain_exclusion_precedes_dependent_delivery() {
     let g1 = GroupId(1);
     let g2 = GroupId(2);
     let g3 = GroupId(3);
-    let mut cluster = SimCluster::new(4, NetConfig::new(13).with_latency(LatencyModel::Fixed(Span::from_millis(1))));
+    let mut cluster = SimCluster::new(
+        4,
+        NetConfig::new(13).with_latency(LatencyModel::Fixed(Span::from_millis(1))),
+    );
     cluster.bootstrap_group(g1, &[1, 2, 4], cfg());
     cluster.bootstrap_group(g2, &[2, 3], cfg());
     cluster.bootstrap_group(g3, &[3, 4], cfg());
@@ -106,12 +109,16 @@ fn fig2_causal_chain_exclusion_precedes_dependent_delivery() {
     let evs = h.events.get(&pi).expect("log");
     let view_pos = evs
         .iter()
-        .position(|e| matches!(e, HistoryEvent::ViewChange { group, view, .. }
-            if *group == g1 && !view.contains(ProcessId(1))))
+        .position(|e| {
+            matches!(e, HistoryEvent::ViewChange { group, view, .. }
+            if *group == g1 && !view.contains(ProcessId(1)))
+        })
         .expect("Pi excludes Pk from g1");
     let m3_pos = evs
         .iter()
-        .position(|e| matches!(e, HistoryEvent::Delivered { mid, .. } if *mid == Some(MessageId(3))))
+        .position(
+            |e| matches!(e, HistoryEvent::Delivered { mid, .. } if *mid == Some(MessageId(3))),
+        )
         .expect("m3 delivered, not orphaned");
     assert!(view_pos < m3_pos, "MD5' ordering");
     assert!(h.delivered_mids(pi, g1).is_empty(), "m1 lost for Pi");
@@ -122,7 +129,10 @@ fn fig2_causal_chain_exclusion_precedes_dependent_delivery() {
 #[test]
 fn example1_discard_rule_under_latency() {
     let g = GroupId(1);
-    let mut cluster = SimCluster::new(4, NetConfig::new(17).with_latency(LatencyModel::Fixed(Span::from_millis(1))));
+    let mut cluster = SimCluster::new(
+        4,
+        NetConfig::new(17).with_latency(LatencyModel::Fixed(Span::from_millis(1))),
+    );
     cluster.bootstrap_group(g, &[1, 2, 3, 4], cfg());
     // P4 multicasts m and crashes 6 µs later: with the 5 µs send overhead,
     // only the first destination's copy departs. Destinations of a
@@ -154,7 +164,10 @@ fn example1_discard_rule_under_latency() {
 #[test]
 fn example3_partition_signed_views() {
     let g = GroupId(1);
-    let mut cluster = SimCluster::new(5, NetConfig::new(19).with_latency(LatencyModel::Fixed(Span::from_millis(1))));
+    let mut cluster = SimCluster::new(
+        5,
+        NetConfig::new(19).with_latency(LatencyModel::Fixed(Span::from_millis(1))),
+    );
     cluster.bootstrap_group(g, &[1, 2, 3, 4, 5], cfg());
     cluster.schedule_crash(Instant::from_micros(50_000), 5);
     cluster.schedule_partition(Instant::from_micros(130_000), &[&[1, 2], &[3, 4]]);
