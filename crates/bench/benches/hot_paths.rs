@@ -8,7 +8,13 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use newtop_bench::sample_app_message;
 use newtop_core::testkit::TestNet;
 use newtop_core::{LogicalClock, MsnVector, Process};
-use newtop_types::{wire, GroupConfig, GroupId, Instant, Msn, OrderMode, ProcessConfig, ProcessId};
+use newtop_harness::chaos::ChaosScenario;
+use newtop_harness::sweep::run_chaos_seed;
+use newtop_harness::{check_all, History};
+use newtop_sim::{LatencyModel, NetConfig, Outbox, Sim, SimNode};
+use newtop_types::{
+    wire, GroupConfig, GroupId, Instant, Msn, OrderMode, ProcessConfig, ProcessId, Span,
+};
 use std::collections::BTreeSet;
 use std::hint::black_box;
 
@@ -209,6 +215,107 @@ fn bench_payload_paths(c: &mut Criterion) {
     });
 }
 
+/// A minimal protocol-free node for timing the raw discrete-event engine:
+/// every ω it multicasts a counter to all peers; received messages only
+/// bump a tally. Isolates the engine's per-event overhead (dense node
+/// table, pooled outboxes, FIFO clamp matrix, wake scheduling) from
+/// `newtop_core`'s processing.
+struct ChatterNode {
+    me: u32,
+    n: u32,
+    period: Span,
+    next_tick: Instant,
+    sent: u64,
+    seen: u64,
+}
+
+impl SimNode for ChatterNode {
+    type Msg = u64;
+
+    fn on_message(&mut self, _now: Instant, _from: ProcessId, msg: u64, _out: &mut Outbox<u64>) {
+        self.seen = self.seen.wrapping_add(msg);
+    }
+
+    fn on_tick(&mut self, now: Instant, out: &mut Outbox<u64>) {
+        self.sent += 1;
+        for p in 1..=self.n {
+            if p != self.me {
+                out.send(ProcessId(p), self.sent);
+            }
+        }
+        self.next_tick = now + self.period;
+    }
+
+    fn next_deadline(&self) -> Option<Instant> {
+        Some(self.next_tick)
+    }
+}
+
+/// Raw simulator event-loop throughput: all-to-all chatter under random
+/// latency (Deliver + Wake + outbox flush + FIFO clamp per event), no
+/// protocol logic. `ns/iter` here is ns per 100ms of simulated chatter.
+fn bench_sim_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    for n in [4u32, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("all_to_all_chatter", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim: Sim<ChatterNode> =
+                    Sim::new(NetConfig::new(7).with_latency(LatencyModel::Uniform {
+                        lo: Span::from_micros(100),
+                        hi: Span::from_micros(3_000),
+                    }));
+                for me in 1..=n {
+                    sim.add_node(
+                        ProcessId(me),
+                        ChatterNode {
+                            me,
+                            n,
+                            period: Span::from_micros(1_000),
+                            next_tick: Instant::from_micros(u64::from(me)),
+                            sent: 0,
+                            seen: 0,
+                        },
+                    );
+                }
+                sim.run_until(Instant::from_micros(100_000));
+                black_box(sim.stats().delivered)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Chaos-fleet seed throughput: one full seed (plan → simulate → check)
+/// per iteration over a fixed rotating band, so `1e9 / ns_per_iter` is the
+/// fleet's single-thread seeds/sec. The checker-only figure isolates the
+/// single-pass property checks from engine time.
+fn bench_chaos_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chaos_throughput");
+    group.sample_size(10);
+    group.bench_function("seed_run_and_check", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = (seed + 1) % 8;
+            black_box(run_chaos_seed(&ChaosScenario::new(seed), false).deliveries)
+        });
+    });
+    group.bench_function("check_only", |b| {
+        let histories: Vec<(History, _)> = (0..4u64)
+            .map(|s| {
+                let plan = ChaosScenario::new(s).plan();
+                (plan.run().history(), plan.check_options())
+            })
+            .collect();
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 1) % histories.len();
+            let (h, opts) = &histories[k];
+            black_box(check_all(h, opts).len())
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_codec,
@@ -217,6 +324,8 @@ criterion_group!(
     bench_fanout,
     bench_engine_throughput,
     bench_membership_agreement,
-    bench_payload_paths
+    bench_payload_paths,
+    bench_sim_engine,
+    bench_chaos_throughput
 );
 criterion_main!(benches);

@@ -105,7 +105,7 @@ impl Process {
         }
         self.merge_orphan_votes(group, &mut out);
         self.formation_progress(group, &mut out);
-        self.drain_deferred(&mut out);
+        let _ = self.drain_deferred(&mut out);
         self.pump(&mut out);
         Ok(out)
     }
@@ -318,7 +318,7 @@ impl Process {
         for (from, m) in f.early {
             self.receive_group_message(from, m, out);
         }
-        self.drain_deferred(out);
+        let _ = self.drain_deferred(out);
     }
 
     /// Step 5 receipt: record the sender's start-number proposal.

@@ -6,8 +6,87 @@ use bytes::Bytes;
 use newtop_types::{
     GroupConfig, GroupId, Instant, Message, Msn, OrderMode, ProcessId, SignedView, Suspicion, View,
 };
+use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
+
+/// Sorted-vector map from [`GroupId`] to [`GroupState`].
+///
+/// A process belongs to a handful of groups, and the delivery pump consults
+/// this map many times per received message; a flat sorted `Vec` beats a
+/// `BTreeMap` on both lookup and iteration at this size while keeping the
+/// deterministic id-ordered iteration the protocol relies on.
+#[derive(Debug, Default)]
+pub(crate) struct GroupMap {
+    entries: Vec<(GroupId, GroupState)>,
+}
+
+impl GroupMap {
+    pub(crate) fn new() -> GroupMap {
+        GroupMap {
+            entries: Vec::new(),
+        }
+    }
+
+    fn pos(&self, g: GroupId) -> Result<usize, usize> {
+        self.entries.binary_search_by_key(&g, |(id, _)| *id)
+    }
+
+    pub(crate) fn get(&self, g: &GroupId) -> Option<&GroupState> {
+        self.pos(*g).ok().map(|i| &self.entries[i].1)
+    }
+
+    pub(crate) fn get_mut(&mut self, g: &GroupId) -> Option<&mut GroupState> {
+        match self.pos(*g) {
+            Ok(i) => Some(&mut self.entries[i].1),
+            Err(_) => None,
+        }
+    }
+
+    pub(crate) fn contains_key(&self, g: &GroupId) -> bool {
+        self.pos(*g).is_ok()
+    }
+
+    pub(crate) fn insert(&mut self, g: GroupId, s: GroupState) -> Option<GroupState> {
+        match self.pos(g) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, s)),
+            Err(i) => {
+                self.entries.insert(i, (g, s));
+                None
+            }
+        }
+    }
+
+    pub(crate) fn remove(&mut self, g: &GroupId) -> Option<GroupState> {
+        match self.pos(*g) {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    pub(crate) fn keys(&self) -> impl Iterator<Item = &GroupId> {
+        self.entries.iter().map(|(id, _)| id)
+    }
+
+    pub(crate) fn values(&self) -> impl Iterator<Item = &GroupState> {
+        self.entries.iter().map(|(_, s)| s)
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (&GroupId, &GroupState)> {
+        self.entries.iter().map(|(id, s)| (id, s))
+    }
+}
+
+impl<'a> IntoIterator for &'a GroupMap {
+    type Item = (&'a GroupId, &'a GroupState);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (GroupId, GroupState)>,
+        fn(&'a (GroupId, GroupState)) -> (&'a GroupId, &'a GroupState),
+    >;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter().map(|(id, s)| (id, s))
+    }
+}
 
 /// Lifecycle of an activated group at one member.
 ///
@@ -103,6 +182,11 @@ pub(crate) struct GroupState {
     /// garbage-collection pass entirely (the common case — most receives
     /// leave the minimum where it was).
     last_stable: Msn,
+    /// Lazily cached result of [`GroupState::timer_deadline`] (`None` =
+    /// dirty). The engine re-reads the deadline after *every* event, so the
+    /// ω/Ω scan must not rerun when nothing it reads changed; mutations go
+    /// through [`GroupState::touch_timers`] / [`GroupState::note_heard`].
+    timer_cache: Cell<Option<Option<Instant>>>,
 }
 
 impl GroupState {
@@ -147,7 +231,61 @@ impl GroupState {
             own_unstable: BTreeSet::new(),
             departing: false,
             last_stable: Msn::ZERO,
+            timer_cache: Cell::new(None),
         }
+    }
+
+    /// Invalidates the cached timer deadline. Call after mutating anything
+    /// [`GroupState::timer_deadline`] reads: `last_send`, `view`,
+    /// `suspicions`, `install_queue`, `asym_awaiting`, or `last_heard`
+    /// (receives should prefer [`GroupState::note_heard`], which keeps the
+    /// cache when the bump provably cannot move the minimum).
+    pub(crate) fn touch_timers(&self) {
+        self.timer_cache.set(None);
+    }
+
+    /// Records hearing from `from` at `now`, invalidating the timer cache
+    /// only when necessary: raising a `last_heard` entry whose Ω deadline
+    /// was strictly later than the cached minimum cannot change that
+    /// minimum (entries only move forward), which is the overwhelmingly
+    /// common case — most receives leave the earliest deadline (usually
+    /// the ω null-send deadline) where it was.
+    pub(crate) fn note_heard(&mut self, from: ProcessId, now: Instant) {
+        let prev = self.last_heard.insert(from, now);
+        match (self.timer_cache.get(), prev) {
+            (Some(Some(cached)), Some(prev)) if prev + self.cfg.big_omega > cached => {}
+            (None, _) => {}
+            _ => self.timer_cache.set(None),
+        }
+    }
+
+    /// The earliest instant this group's `tick` machinery has work to do:
+    /// the ω null-send deadline (only when co-members exist) and the Ω
+    /// silence deadline per unsuspected co-member. Cached between events;
+    /// see [`GroupState::touch_timers`].
+    pub(crate) fn timer_deadline(&self) -> Option<Instant> {
+        if let Some(cached) = self.timer_cache.get() {
+            return cached;
+        }
+        let mut next: Option<Instant> = None;
+        let mut fold = |t: Instant| {
+            next = Some(match next {
+                None => t,
+                Some(n) => n.min(t),
+            });
+        };
+        if self.view.len() > 1 {
+            fold(self.last_send + self.cfg.omega);
+        }
+        let failed = self.failed_union();
+        for (j, heard) in &self.last_heard {
+            if self.suspicions.contains_key(j) || failed.contains(j) {
+                continue;
+            }
+            fold(*heard + self.cfg.big_omega);
+        }
+        self.timer_cache.set(Some(next));
+        next
     }
 
     /// The group-local deliverability bound `D_{x,i}` (conditions *safe1*

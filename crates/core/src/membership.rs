@@ -32,6 +32,7 @@ impl Process {
         let ln = gs.rv.get(suspect);
         let ln = if ln.is_infinite() { Msn::ZERO } else { ln };
         gs.suspicions.insert(suspect, ln);
+        gs.touch_timers();
         let pair = Suspicion { suspect, ln };
         self.send_numbered(group, |_| MessageBody::Suspect(pair), out);
         self.stats_mut().suspects_sent += 1;
@@ -172,6 +173,7 @@ impl Process {
         };
         gs.suspicions.remove(&pair.suspect);
         gs.last_heard.insert(pair.suspect, now);
+        gs.touch_timers();
         let pending = gs.pending_from.remove(&pair.suspect).unwrap_or_default();
         for m in pending {
             // "The pending messages will be assumed to have been just
@@ -379,6 +381,7 @@ impl Process {
         for p in &detection {
             gs.suspicions.remove(&p.suspect);
         }
+        gs.touch_timers();
         gs.supporters.retain(|(pk, _), _| !failed.contains(pk));
         for pk in &failed {
             gs.rv.set_infinite(*pk);
@@ -411,6 +414,7 @@ impl Process {
                     failed: failed.clone(),
                     bound,
                 });
+                gs.touch_timers();
                 self.apply_discards(group, &failed, bound, out);
             }
             OrderMode::Asymmetric => {
@@ -432,9 +436,11 @@ impl Process {
                         failed: all_failed.clone(),
                         bound,
                     });
+                    gs.touch_timers();
                     self.apply_discards(group, &all_failed, bound, out);
                 } else {
                     gs.asym_awaiting.push_back(detection.clone());
+                    gs.touch_timers();
                     if gs.is_sequencer() {
                         let det = detection.clone();
                         self.send_numbered(
@@ -500,6 +506,7 @@ impl Process {
             return false;
         };
         let head = gs.install_queue.pop_front().expect("checked nonempty");
+        gs.touch_timers();
         self.execute_install(group, head.failed, out);
         true
     }
@@ -541,6 +548,7 @@ impl Process {
         for p in &filtered {
             gs.suspicions.remove(&p.suspect);
         }
+        gs.touch_timers();
         gs.supporters.retain(|(pk, _), _| !failed.contains(pk));
         for pk in &failed {
             gs.rv.set_infinite(*pk);
@@ -553,6 +561,7 @@ impl Process {
             .position(|d| d.iter().map(|s| s.suspect).collect::<BTreeSet<_>>() == failed)
         {
             gs.asym_awaiting.remove(pos);
+            gs.touch_timers();
         }
         self.execute_install(group, failed, out);
     }
@@ -570,6 +579,7 @@ impl Process {
         };
         let old_sequencer = gs.sequencer();
         gs.view = gs.view.excluding(failed.clone());
+        gs.touch_timers();
         gs.excluded_count += failed.len() as u32;
         for pk in &failed {
             gs.rv.remove(*pk);
@@ -648,6 +658,7 @@ impl Process {
         let ln = gs.rv.get(from);
         let ln = if ln.is_infinite() { c } else { ln };
         gs.suspicions.insert(from, ln);
+        gs.touch_timers();
         let pair = Suspicion { suspect: from, ln };
         self.send_numbered(group, |_| MessageBody::Suspect(pair), out);
         self.stats_mut().suspects_sent += 1;

@@ -11,7 +11,7 @@ use crate::action::{Action, Delivery, ProcessStats, ProtocolEvent};
 
 use crate::clock::LogicalClock;
 use crate::formation::Forming;
-use crate::group::{GroupPhase, GroupState};
+use crate::group::{GroupMap, GroupPhase, GroupState};
 use bytes::Bytes;
 use newtop_types::{
     ConfigError, DeliveryMode, Envelope, FormationDecision, GroupConfig, GroupId, Instant, Message,
@@ -122,7 +122,7 @@ pub struct Process {
     cfg: ProcessConfig,
     pub(crate) lc: LogicalClock,
     now: Instant,
-    pub(crate) groups: BTreeMap<GroupId, GroupState>,
+    pub(crate) groups: GroupMap,
     pub(crate) forming: BTreeMap<GroupId, Forming>,
     pub(crate) orphan_votes: BTreeMap<GroupId, Vec<(ProcessId, FormationDecision)>>,
     pub(crate) vote_policy: BTreeMap<GroupId, FormationDecision>,
@@ -143,7 +143,7 @@ impl Process {
             cfg,
             lc: LogicalClock::new(),
             now: Instant::ZERO,
-            groups: BTreeMap::new(),
+            groups: GroupMap::new(),
             forming: BTreeMap::new(),
             orphan_votes: BTreeMap::new(),
             vote_policy: BTreeMap::new(),
@@ -252,7 +252,7 @@ impl Process {
         self.deferred
             .push_back(DeferredSend::App { group, payload });
         let mut out = Vec::new();
-        self.drain_deferred(&mut out);
+        let _ = self.drain_deferred(&mut out);
         self.pump(&mut out);
         if !self.deferred.is_empty() {
             // The freshly submitted send (and anything before it) is parked.
@@ -286,7 +286,7 @@ impl Process {
         }
         gs.departing = true;
         self.deferred.push_back(DeferredSend::Depart { group });
-        self.drain_deferred(&mut out);
+        let _ = self.drain_deferred(&mut out);
         self.pump(&mut out);
         Ok(out)
     }
@@ -300,9 +300,11 @@ impl Process {
             Envelope::Group(m) => self.receive_group_message(from, m, &mut out),
         }
         self.pump(&mut out);
-        self.drain_deferred(&mut out);
-        // Deferred sends may have unblocked deliveries of our own messages.
-        self.pump(&mut out);
+        if self.drain_deferred(&mut out) {
+            // Deferred sends may have unblocked deliveries of our own
+            // messages; otherwise the fixpoint above still stands.
+            self.pump(&mut out);
+        }
         out
     }
 
@@ -320,8 +322,9 @@ impl Process {
         }
         self.scratch_gids = gids;
         self.pump(&mut out);
-        self.drain_deferred(&mut out);
-        self.pump(&mut out);
+        if self.drain_deferred(&mut out) {
+            self.pump(&mut out);
+        }
         out
     }
 
@@ -340,15 +343,8 @@ impl Process {
             fold(f.deadline);
         }
         for gs in self.groups.values() {
-            if gs.view.len() > 1 {
-                fold(gs.last_send + gs.cfg.omega);
-            }
-            let failed = gs.failed_union();
-            for (j, heard) in &gs.last_heard {
-                if gs.suspicions.contains_key(j) || failed.contains(j) {
-                    continue;
-                }
-                fold(*heard + gs.cfg.big_omega);
+            if let Some(d) = gs.timer_deadline() {
+                fold(d);
             }
         }
         next
@@ -524,6 +520,7 @@ impl Process {
         gs.rv.advance(me, c);
         gs.sv.advance(me, ldn);
         gs.last_send = now;
+        gs.touch_timers();
         if m.is_retained() {
             gs.retention.store(&m);
         }
@@ -609,7 +606,7 @@ impl Process {
         self.stats.received += 1;
         self.lc.observe(m.c);
         if from != me {
-            gs.last_heard.insert(from, now);
+            gs.note_heard(from, now);
         }
         let is_request = matches!(m.body, MessageBody::SeqRequest { .. });
         // Per sender and group, message numbers arrive strictly increasing
@@ -905,16 +902,20 @@ impl Process {
         self.groups.values().any(|gs| !gs.outstanding.is_empty())
     }
 
-    pub(crate) fn drain_deferred(&mut self, out: &mut Vec<Action>) {
+    /// Returns whether at least one deferred entry was consumed — callers
+    /// that just pumped to a fixpoint can skip the follow-up pump when
+    /// nothing flowed (the fixpoint still stands).
+    pub(crate) fn drain_deferred(&mut self, out: &mut Vec<Action>) -> bool {
         #[derive(Clone, Copy, PartialEq)]
         enum Kind {
             App,
             Start,
             Depart,
         }
+        let mut progressed = false;
         loop {
             let (kind, g) = match self.deferred.front() {
-                None => return,
+                None => return progressed,
                 Some(DeferredSend::App { group, .. }) => (Kind::App, *group),
                 Some(DeferredSend::StartGroup { group }) => (Kind::Start, *group),
                 Some(DeferredSend::Depart { group }) => (Kind::Depart, *group),
@@ -923,31 +924,35 @@ impl Process {
                 Kind::App => {
                     let Some(gs) = self.groups.get(&g) else {
                         if self.forming.contains_key(&g) {
-                            return; // still forming: wait
+                            return progressed; // still forming: wait
                         }
                         self.deferred.pop_front(); // group gone: drop send
+                        progressed = true;
                         continue;
                     };
                     let eligible = matches!(gs.phase, GroupPhase::Active)
                         && gs.flow_has_room()
                         && !self.blocked_by_other_unicasts(g);
                     if !eligible {
-                        return;
+                        return progressed;
                     }
                     let Some(DeferredSend::App { payload, .. }) = self.deferred.pop_front() else {
                         unreachable!("head re-checked under exclusive access");
                     };
+                    progressed = true;
                     self.execute_app_send(g, payload, out);
                 }
                 Kind::Start => {
                     if !self.groups.contains_key(&g) {
                         self.deferred.pop_front();
+                        progressed = true;
                         continue;
                     }
                     if self.blocked_by_other_unicasts(g) {
-                        return;
+                        return progressed;
                     }
                     self.deferred.pop_front();
+                    progressed = true;
                     self.send_numbered(g, |_| MessageBody::StartGroup, out);
                     let me = self.id;
                     if let Some(gs) = self.groups.get_mut(&g) {
@@ -960,12 +965,14 @@ impl Process {
                 Kind::Depart => {
                     if !self.groups.contains_key(&g) {
                         self.deferred.pop_front();
+                        progressed = true;
                         continue;
                     }
                     if self.any_outstanding() {
-                        return;
+                        return progressed;
                     }
                     self.deferred.pop_front();
+                    progressed = true;
                     self.send_numbered(g, |_| MessageBody::Depart, out);
                     self.groups.remove(&g);
                     out.push(Action::Event(ProtocolEvent::DepartureCompleted {

@@ -18,8 +18,10 @@
 //! the process exits nonzero.
 
 use newtop_harness::chaos::{delivery_count, shrink, ChaosPlan, ChaosScenario};
+use newtop_harness::sweep::{run_chaos_seed, sweep_seeds, SweepConfig};
 use newtop_harness::{experiments, history_hash};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -70,6 +72,9 @@ const CHAOS_USAGE: &str = "usage:
   newtop-exp chaos --pin SEED --out FILE    write SEED's plan as a replay script
 
 options:
+  --jobs N           sweep (and shrink-probe) worker threads; default: the
+                     machine's available parallelism. Results are
+                     bit-identical for every N — only wall-clock changes
   --budget-secs S    stop sweeping after S wall-clock seconds (still exits 0
                      if everything that did run was green)
   --emit-dir DIR     where failing-seed replay scripts go (default target/chaos)
@@ -83,6 +88,7 @@ struct ChaosArgs {
     replay: Option<String>,
     pin: Option<u64>,
     out: Option<String>,
+    jobs: usize,
     budget_secs: Option<u64>,
     emit_dir: String,
     no_shrink: bool,
@@ -91,12 +97,17 @@ struct ChaosArgs {
     max_faults: u32,
 }
 
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 fn parse_chaos_args(args: &[String]) -> Result<ChaosArgs, String> {
     let mut out = ChaosArgs {
         seeds: None,
         replay: None,
         pin: None,
         out: None,
+        jobs: default_jobs(),
         budget_secs: None,
         emit_dir: "target/chaos".to_string(),
         no_shrink: false,
@@ -135,6 +146,12 @@ fn parse_chaos_args(args: &[String]) -> Result<ChaosArgs, String> {
                 );
             }
             "--out" => out.out = Some(val("--out")?),
+            "--jobs" => {
+                out.jobs = val("--jobs")?
+                    .parse::<usize>()
+                    .map_err(|_| "bad --jobs".to_string())?
+                    .max(1);
+            }
             "--budget-secs" => {
                 out.budget_secs = Some(
                     val("--budget-secs")?
@@ -198,53 +215,54 @@ fn chaos_sweep(parsed: &ChaosArgs, lo: u64, hi: u64) -> ExitCode {
     // default hook so shrinking panicking candidates doesn't spam stderr.
     std::panic::set_hook(Box::new(|_| {}));
     let started = std::time::Instant::now();
-    let mut failures: Vec<u64> = Vec::new();
-    let mut ran = 0u64;
-    let mut deliveries = 0usize;
-    let mut stopped_early = false;
-    for seed in lo..hi {
-        if let Some(budget) = parsed.budget_secs {
-            if started.elapsed().as_secs() >= budget {
-                stopped_early = true;
-                break;
+    let cfg = SweepConfig {
+        jobs: parsed.jobs,
+        budget: parsed.budget_secs.map(Duration::from_secs),
+        hash_histories: false,
+    };
+    // Phase 1 — the parallel sweep. Progress goes to stderr as seeds
+    // complete (completion order varies with scheduling); everything on
+    // stdout below comes from the deterministic aggregate, so it is
+    // byte-identical for every --jobs value.
+    let report = sweep_seeds(
+        lo,
+        hi,
+        &cfg,
+        |seed| run_chaos_seed(&scenario_for(parsed, seed), false),
+        |_, done| {
+            if done % 50 == 0 {
+                eprintln!(
+                    "chaos: {done} seeds swept ({:.1}s, {} jobs)",
+                    started.elapsed().as_secs_f64(),
+                    parsed.jobs
+                );
             }
-        }
+        },
+    );
+    // Phase 2 — deterministic aggregation: failing seeds in seed order,
+    // each reported once, shrunk (probe pool shared with the sweep's
+    // --jobs) and pinned as a replay script.
+    for outcome in &report.failures {
+        let seed = outcome.seed;
         let plan = scenario_for(parsed, seed).plan();
         let opts = plan.check_options();
-        ran += 1;
-        match plan.try_run_history() {
-            Ok(history) => {
-                deliveries += delivery_count(&history);
-                let violations = newtop_harness::check_all(&history, &opts);
-                if violations.is_empty() {
-                    if seed.wrapping_sub(lo) % 50 == 49 {
-                        eprintln!(
-                            "chaos: {} seeds green ({} tagged deliveries, {:.1}s)",
-                            ran,
-                            deliveries,
-                            started.elapsed().as_secs_f64()
-                        );
-                    }
-                    continue;
-                }
+        match &outcome.panic {
+            Some(msg) => eprintln!("chaos: seed {seed} FAILED (ENGINE PANIC): {msg}"),
+            None => {
                 eprintln!(
                     "chaos: seed {seed} FAILED ({} violations):",
-                    violations.len()
+                    outcome.violations.len()
                 );
-                for v in violations.iter().take(5) {
+                for v in outcome.violations.iter().take(5) {
                     eprintln!("  - {v}");
                 }
             }
-            Err(panic_msg) => {
-                eprintln!("chaos: seed {seed} FAILED (ENGINE PANIC): {panic_msg}");
-            }
         }
-        failures.push(seed);
         let final_plan = if parsed.no_shrink {
             plan
         } else {
             eprintln!("chaos: shrinking seed {seed} ...");
-            let r = shrink(&plan, &opts, 400);
+            let r = shrink(&plan, &opts, 400, parsed.jobs);
             eprintln!(
                 "chaos: shrunk to {} faults / {} sends in {} runs",
                 r.plan.faults.len(),
@@ -267,15 +285,23 @@ fn chaos_sweep(parsed: &ChaosArgs, lo: u64, hi: u64) -> ExitCode {
             }
         }
     }
-    let verdict = if failures.is_empty() { "green" } else { "RED" };
+    let failing = report.failing_seeds();
+    let verdict = if failing.is_empty() { "green" } else { "RED" };
     println!(
-        "chaos sweep {lo}..{hi}: {ran} seeds run{}, {} tagged deliveries, {} failing seed(s) — {verdict}",
-        if stopped_early { " (budget hit)" } else { "" },
-        deliveries,
-        failures.len(),
+        "chaos sweep {lo}..{hi}: {} seeds run{}, {} tagged deliveries, {} failing seed(s) — {verdict}",
+        report.ran,
+        if report.stopped_early { " (budget hit)" } else { "" },
+        report.deliveries,
+        failing.len(),
     );
-    if !failures.is_empty() {
-        println!("failing seeds: {failures:?}");
+    eprintln!(
+        "chaos: {:.0} seeds/sec over {} jobs ({:.1}s wall)",
+        report.ran as f64 / started.elapsed().as_secs_f64().max(1e-9),
+        parsed.jobs,
+        started.elapsed().as_secs_f64()
+    );
+    if !failing.is_empty() {
+        println!("failing seeds: {failing:?}");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

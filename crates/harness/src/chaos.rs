@@ -706,22 +706,26 @@ pub struct ShrinkResult {
 /// chunk bisection (any violation counts as "still failing"). The checker
 /// options are fixed for the whole shrink so the failure being chased does
 /// not shift meaning as faults disappear.
+///
+/// Independent removal probes run on up to `jobs` threads; the result —
+/// plan, violations and run count — is byte-identical to `jobs = 1`
+/// (see [`ddmin`]).
 #[must_use]
-pub fn shrink(plan: &ChaosPlan, opts: &CheckOptions, max_runs: usize) -> ShrinkResult {
+pub fn shrink(plan: &ChaosPlan, opts: &CheckOptions, max_runs: usize, jobs: usize) -> ShrinkResult {
     let mut runs = 0usize;
     let mut current = plan.clone();
     let fails = |probe: &ChaosPlan| !matches!(probe.try_run_and_check(opts), Ok(v) if v.is_empty());
     assert!(fails(&current), "shrink requires a failing plan");
 
     // Phase 1: minimise the fault schedule.
-    let faults = ddmin(&current.faults, &mut runs, max_runs, |cand| {
+    let faults = ddmin(&current.faults, &mut runs, max_runs, jobs, |cand| {
         let mut probe = current.clone();
         probe.faults = cand.to_vec();
         fails(&probe)
     });
     current.faults = faults;
     // Phase 2: minimise the traffic.
-    let sends = ddmin(&current.sends, &mut runs, max_runs, |cand| {
+    let sends = ddmin(&current.sends, &mut runs, max_runs, jobs, |cand| {
         let mut probe = current.clone();
         probe.sends = cand.to_vec();
         fails(&probe)
@@ -739,12 +743,27 @@ pub fn shrink(plan: &ChaosPlan, opts: &CheckOptions, max_runs: usize) -> ShrinkR
 /// chunks, dropping any chunk whose removal keeps the predicate true, until
 /// single-element granularity makes no further progress (or the run budget
 /// is exhausted).
-fn ddmin<T: Clone>(
+///
+/// With `jobs > 1` the candidate removals at positions `i, i+chunk, …` are
+/// probed *speculatively* in parallel, but acceptance replays the
+/// single-thread algorithm exactly: the first (lowest-position) failing
+/// candidate is taken, probes after it are discarded **without counting
+/// toward `max_runs`** (the sequential algorithm would never have run them
+/// — it restarts from the accepted state), and probes before it count one
+/// each. Result and final `runs` are therefore identical for every `jobs`.
+fn ddmin<T: Clone + Send + Sync>(
     items: &[T],
     runs: &mut usize,
     max_runs: usize,
-    mut still_fails: impl FnMut(&[T]) -> bool,
+    jobs: usize,
+    still_fails: impl Fn(&[T]) -> bool + Sync,
 ) -> Vec<T> {
+    let probe = |cur: &[T], start: usize, chunk: usize| -> bool {
+        let hi = (start + chunk).min(cur.len());
+        let mut cand = cur.to_vec();
+        cand.drain(start..hi);
+        still_fails(&cand)
+    };
     let mut cur: Vec<T> = items.to_vec();
     let mut chunk = cur.len().div_ceil(2).max(1);
     loop {
@@ -754,15 +773,53 @@ fn ddmin<T: Clone>(
             if *runs >= max_runs {
                 return cur;
             }
-            let hi = (i + chunk).min(cur.len());
-            let mut cand = cur.clone();
-            cand.drain(i..hi);
-            *runs += 1;
-            if still_fails(&cand) {
-                cur = cand;
-                removed_any = true;
+            // Speculative batch: the next up-to-`jobs` removal positions
+            // the sequential scan would try (budget-capped).
+            let width = jobs.max(1).min(max_runs - *runs);
+            let mut starts = Vec::with_capacity(width);
+            let mut j = i;
+            while j < cur.len() && starts.len() < width {
+                starts.push(j);
+                j += chunk;
+            }
+            let results: Vec<bool> = if starts.len() == 1 {
+                vec![probe(&cur, starts[0], chunk)]
             } else {
-                i = hi;
+                std::thread::scope(|s| {
+                    let cur = &cur;
+                    let probe = &probe;
+                    let handles: Vec<_> = starts
+                        .iter()
+                        .map(|&st| s.spawn(move || probe(cur, st, chunk)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("ddmin probe panicked"))
+                        .collect()
+                })
+            };
+            let mut accepted = None;
+            for (k, failed) in results.iter().enumerate() {
+                *runs += 1;
+                if *failed {
+                    accepted = Some(k);
+                    break;
+                }
+                if *runs >= max_runs {
+                    break;
+                }
+            }
+            match accepted {
+                Some(k) => {
+                    let st = starts[k];
+                    let hi = (st + chunk).min(cur.len());
+                    cur.drain(st..hi);
+                    removed_any = true;
+                    i = st;
+                }
+                None => {
+                    i = starts.last().expect("nonempty batch") + chunk;
+                }
             }
         }
         if chunk == 1 {
@@ -847,12 +904,36 @@ mod tests {
         let h = plan.run().history();
         assert!(delivery_count(&h) > 0);
         let mut runs = 0usize;
-        let shrunk = ddmin(&plan.sends, &mut runs, 500, |cand| {
+        let shrunk = ddmin(&plan.sends, &mut runs, 500, 1, |cand| {
             let mut probe = plan.clone();
             probe.sends = cand.to_vec();
             delivery_count(&probe.run().history()) > 0
         });
         assert_eq!(shrunk.len(), 1, "one send suffices to deliver something");
         let _ = opts;
+    }
+
+    #[test]
+    fn parallel_ddmin_matches_sequential_exactly() {
+        // A deterministic predicate with several local minima: the
+        // candidate "still fails" while it keeps both sentinel values.
+        let items: Vec<u32> = (0..37).collect();
+        let pred = |cand: &[u32]| cand.contains(&5) && cand.contains(&29);
+        let run = |jobs: usize, max_runs: usize| {
+            let mut runs = 0usize;
+            let out = ddmin(&items, &mut runs, max_runs, jobs, pred);
+            (out, runs)
+        };
+        for max_runs in [7, 50, 10_000] {
+            let base = run(1, max_runs);
+            for jobs in [2, 3, 8] {
+                assert_eq!(
+                    run(jobs, max_runs),
+                    base,
+                    "jobs={jobs} max_runs={max_runs} must replay the sequential ddmin"
+                );
+            }
+        }
+        assert_eq!(run(1, 10_000).0, vec![5, 29]);
     }
 }

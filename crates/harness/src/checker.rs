@@ -15,10 +15,27 @@
 //! The happened-before relation is reconstructed from the per-process logs:
 //! `a → b` iff a process sent `a` before sending `b`, or delivered `a`
 //! before sending `b`, or transitively so.
+//!
+//! # Single-pass architecture
+//!
+//! The checker is the inner loop of the chaos fleet (it runs once per swept
+//! seed), so it indexes each history exactly once and runs every check off
+//! those indices instead of re-scanning per check:
+//!
+//! * message identities are interned to dense `u32`s, so per-message state
+//!   lives in flat vectors and message *sets* are bitsets ([`BitSet`]);
+//! * installed views are interned globally ([`ViewTable`]), so the
+//!   view-matched order comparison (MD4 under partitionable membership) is
+//!   an integer compare;
+//! * each per-process log is walked once ([`digest`]), producing delivery /
+//!   send / view timelines — the log-order exclusion-barrier check runs
+//!   inline during that same walk;
+//! * the happened-before closure is a bitset fixpoint over interned ids
+//!   rather than per-message BFS over `BTreeSet`s.
 
 use crate::history::{History, HistoryEvent, MessageId};
 use newtop_types::{GroupId, ProcessId, ViewSeq};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// What to check (all on by default).
@@ -182,66 +199,251 @@ impl fmt::Display for Violation {
     }
 }
 
-/// Per-process digested log used by several checks.
+/// Sentinel for "no log index" in dense per-message vectors.
+const NONE_IDX: u32 = u32::MAX;
+
+/// A fixed-capacity bitset over interned message ids.
+#[derive(Clone, PartialEq, Eq)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn new(capacity: usize) -> BitSet {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+        }
+    }
+
+    /// Inserts `i`, returning whether it was newly set.
+    fn insert(&mut self, i: u32) -> bool {
+        let (w, b) = (i as usize / 64, i % 64);
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+
+    fn contains(&self, i: u32) -> bool {
+        self.words[i as usize / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// `self |= other`, returning whether any bit changed.
+    fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            let next = *w | o;
+            changed |= next != *w;
+            *w = next;
+        }
+        changed
+    }
+
+    /// Iterates set bits in ascending order.
+    fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, w)| {
+            let mut w = *w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let b = w.trailing_zeros();
+                w &= w - 1;
+                Some(wi as u32 * 64 + b)
+            })
+        })
+    }
+}
+
+/// Interned message ids: dense `u32` ↔ [`MessageId`].
+#[derive(Default)]
+struct MidTable {
+    ids: BTreeMap<MessageId, u32>,
+    mids: Vec<MessageId>,
+}
+
+impl MidTable {
+    fn intern(&mut self, mid: MessageId) -> u32 {
+        *self.ids.entry(mid).or_insert_with(|| {
+            self.mids.push(mid);
+            (self.mids.len() - 1) as u32
+        })
+    }
+
+    fn len(&self) -> usize {
+        self.mids.len()
+    }
+}
+
+/// Globally interned installed views: `(group, membership)` → dense id, so
+/// "same installed view at both processes" is an integer compare.
+#[derive(Default)]
+struct ViewTable {
+    views: Vec<(GroupId, newtop_types::View)>,
+}
+
+impl ViewTable {
+    fn intern(&mut self, group: GroupId, view: &newtop_types::View) -> u32 {
+        match self
+            .views
+            .iter()
+            .position(|(g, v)| *g == group && v == view)
+        {
+            Some(i) => i as u32,
+            None => {
+                self.views.push((group, view.clone()));
+                (self.views.len() - 1) as u32
+            }
+        }
+    }
+
+    fn view(&self, vid: u32) -> &newtop_types::View {
+        &self.views[vid as usize].1
+    }
+}
+
+/// One tagged delivery in log order.
+struct DeliveryRec {
+    idx: u32,
+    cid: u32,
+    group: GroupId,
+    view_seq: ViewSeq,
+}
+
+/// One installed view in log order.
+struct ViewRec {
+    idx: u32,
+    seq: ViewSeq,
+    vid: u32,
+}
+
+/// Per-process digested log: every index the checks below need, built in
+/// one pass over the raw event log (plus the log-order exclusion-barrier
+/// check, which runs inline during that same pass).
 struct Digest {
-    /// (log index, mid) of deliveries, all groups, in order.
-    deliveries: Vec<(usize, MessageId, GroupId, ViewSeq)>,
-    /// mid → log index of its delivery.
-    delivered_at: BTreeMap<MessageId, usize>,
-    /// mid → the number it was delivered under (first occurrence). Used to
-    /// spot fail-over re-sequencing: a message whose delivered numbers
-    /// disagree across processes was re-homed into a new view.
-    delivered_c: BTreeMap<MessageId, newtop_types::Msn>,
-    /// (log index, group, mid) of sends.
-    sends: Vec<(usize, GroupId, MessageId)>,
-    /// group → (log index, view) in log order, including V0.
-    views: BTreeMap<GroupId, Vec<(usize, newtop_types::View)>>,
-    /// groups suspected pairs: (group, suspect).
+    /// Tagged deliveries, all groups, in log order.
+    deliveries: Vec<DeliveryRec>,
+    /// cid → log index of its (last) delivery, `NONE_IDX` if never.
+    delivered_at: Vec<u32>,
+    /// cid → the number it was first delivered under here. Used to spot
+    /// fail-over re-sequencing: a message whose delivered numbers disagree
+    /// across processes was re-homed into a new view.
+    delivered_c: Vec<Option<newtop_types::Msn>>,
+    /// (log index, group, cid) of sends, in log order.
+    sends: Vec<(u32, GroupId, u32)>,
+    /// group → installed views in log order, including V0.
+    views: BTreeMap<GroupId, Vec<ViewRec>>,
+    /// `(group, view_seq)` → interned id of the first view installed under
+    /// that sequence (delivery-attribution resolution for MD1/MD4).
+    view_by_seq: BTreeMap<(GroupId, ViewSeq), u32>,
+    /// group → tagged deliveries `(log index, cid)` of that group.
+    by_group: BTreeMap<GroupId, Vec<(u32, u32)>>,
+    /// cid → first `(group, view_seq, resolved vid)` this process
+    /// attributed the delivery to (`NONE_IDX` vid if no matching view).
+    attr: Vec<Option<(GroupId, ViewSeq, u32)>>,
+    /// Suspected pairs: (group, suspect).
     suspected: BTreeSet<(GroupId, ProcessId)>,
     /// (group, failed) → log index of the first adopted detection naming
     /// them: step (viii) discards their undelivered tail from this point,
     /// so causal obligations on their messages end here, not only at the
     /// (possibly much later, barrier-delayed) view install.
-    adopted_at: BTreeMap<(GroupId, ProcessId), usize>,
+    adopted_at: BTreeMap<(GroupId, ProcessId), u32>,
     /// groups this process voluntarily departed → log index of the
     /// departure *request* (liveness obligations end here).
-    departed: BTreeMap<GroupId, usize>,
+    departed: BTreeMap<GroupId, u32>,
     /// groups whose departure actually executed → log index of completion
     /// (deliveries are legitimate between request and completion, §3).
-    departure_done: BTreeMap<GroupId, usize>,
+    departure_done: BTreeMap<GroupId, u32>,
+    /// Exclusion-barrier violations found during the log walk.
+    exclusion: Vec<Violation>,
 }
 
-fn digest(h: &History, p: ProcessId) -> Digest {
+fn digest(h: &History, p: ProcessId, mids: &mut MidTable, vtab: &mut ViewTable) -> Digest {
     let mut d = Digest {
         deliveries: Vec::new(),
-        delivered_at: BTreeMap::new(),
-        delivered_c: BTreeMap::new(),
+        delivered_at: Vec::new(),
+        delivered_c: Vec::new(),
         sends: Vec::new(),
         views: BTreeMap::new(),
+        view_by_seq: BTreeMap::new(),
+        by_group: BTreeMap::new(),
+        attr: Vec::new(),
         suspected: BTreeSet::new(),
         adopted_at: BTreeMap::new(),
         departed: BTreeMap::new(),
         departure_done: BTreeMap::new(),
+        exclusion: Vec::new(),
     };
     let Some(evs) = h.events.get(&p) else {
         return d;
     };
+    // Log-order state for the inline exclusion-barrier check: once a view
+    // of `g` excludes `q`, no later delivery of `g` may originate at `q`;
+    // once the own departure *completes*, nothing of `g` delivers at all.
+    let mut current_vid: BTreeMap<GroupId, u32> = BTreeMap::new();
+    let mut left: BTreeSet<GroupId> = BTreeSet::new();
     for (i, e) in evs.iter().enumerate() {
+        let i = i as u32;
         match e {
             HistoryEvent::Delivered { delivery, mid, .. } => {
+                let g = delivery.group;
+                let excluded = current_vid
+                    .get(&g)
+                    .is_some_and(|vid| !vtab.view(*vid).contains(delivery.origin));
+                if left.contains(&g) || excluded {
+                    d.exclusion.push(Violation::DeliveryAfterExclusion {
+                        p,
+                        group: g,
+                        origin: delivery.origin,
+                        mid: *mid,
+                    });
+                }
                 if let Some(mid) = mid {
-                    d.deliveries
-                        .push((i, *mid, delivery.group, delivery.view_seq));
-                    d.delivered_at.insert(*mid, i);
-                    d.delivered_c.entry(*mid).or_insert(delivery.c);
+                    let cid = mids.intern(*mid);
+                    grow(&mut d.delivered_at, mids.len(), NONE_IDX);
+                    grow(&mut d.delivered_c, mids.len(), None);
+                    grow(&mut d.attr, mids.len(), None);
+                    d.deliveries.push(DeliveryRec {
+                        idx: i,
+                        cid,
+                        group: g,
+                        view_seq: delivery.view_seq,
+                    });
+                    d.by_group.entry(g).or_default().push((i, cid));
+                    d.delivered_at[cid as usize] = i;
+                    let slot = &mut d.delivered_c[cid as usize];
+                    if slot.is_none() {
+                        *slot = Some(delivery.c);
+                    }
+                    let attr = &mut d.attr[cid as usize];
+                    if attr.is_none() {
+                        // Resolved against the view table after the walk.
+                        *attr = Some((g, delivery.view_seq, NONE_IDX));
+                    }
                 }
             }
-            HistoryEvent::Sent { group, mid, .. } => d.sends.push((i, *group, *mid)),
+            HistoryEvent::Sent { group, mid, .. } => {
+                let cid = mids.intern(*mid);
+                d.sends.push((i, *group, cid));
+            }
             HistoryEvent::InitialView { group, view } => {
-                d.views.entry(*group).or_default().push((0, view.clone()));
+                let vid = vtab.intern(*group, view);
+                current_vid.insert(*group, vid);
+                d.views.entry(*group).or_default().push(ViewRec {
+                    idx: 0,
+                    seq: view.seq(),
+                    vid,
+                });
+                d.view_by_seq.entry((*group, view.seq())).or_insert(vid);
             }
             HistoryEvent::ViewChange { group, view, .. } => {
-                d.views.entry(*group).or_default().push((i, view.clone()));
+                let vid = vtab.intern(*group, view);
+                current_vid.insert(*group, vid);
+                d.views.entry(*group).or_default().push(ViewRec {
+                    idx: i,
+                    seq: view.seq(),
+                    vid,
+                });
+                d.view_by_seq.entry((*group, view.seq())).or_insert(vid);
             }
             HistoryEvent::Protocol { event, .. } => match event {
                 newtop_core::ProtocolEvent::Suspected { group, pair } => {
@@ -254,6 +456,7 @@ fn digest(h: &History, p: ProcessId) -> Digest {
                 }
                 newtop_core::ProtocolEvent::DepartureCompleted { group } => {
                     d.departure_done.entry(*group).or_insert(i);
+                    left.insert(*group);
                 }
                 _ => {}
             },
@@ -266,78 +469,87 @@ fn digest(h: &History, p: ProcessId) -> Digest {
     d
 }
 
-/// The happened-before DAG over tagged messages, as predecessor sets.
-fn causal_predecessors(
-    digests: &BTreeMap<ProcessId, Digest>,
-) -> BTreeMap<MessageId, BTreeSet<MessageId>> {
-    // Direct edges.
-    let mut preds: BTreeMap<MessageId, BTreeSet<MessageId>> = BTreeMap::new();
-    for d in digests.values() {
-        // All deliveries and prior sends at this process precede each send.
-        for (k, (send_idx, _, mid)) in d.sends.iter().enumerate() {
-            let entry = preds.entry(*mid).or_default();
-            for (_, _, prior_mid) in d.sends.iter().take(k) {
-                entry.insert(*prior_mid);
-            }
-            for (del_idx, del_mid, _, _) in &d.deliveries {
-                if del_idx < send_idx {
-                    entry.insert(*del_mid);
+/// Extends a dense per-message vector to cover newly interned ids.
+fn grow<T: Clone>(v: &mut Vec<T>, len: usize, fill: T) {
+    if v.len() < len {
+        v.resize(len, fill);
+    }
+}
+
+/// Everything `check_all` indexes once up front.
+struct Index {
+    procs: Vec<ProcessId>,
+    digests: Vec<Digest>,
+    mids: MidTable,
+    vtab: ViewTable,
+    /// cid → `(group, origin)` from the senders' logs.
+    mid_info: Vec<Option<(GroupId, ProcessId)>>,
+}
+
+impl Index {
+    fn build(h: &History) -> Index {
+        let procs: Vec<ProcessId> = h.processes().collect();
+        let mut mids = MidTable::default();
+        let mut vtab = ViewTable::default();
+        let mut digests: Vec<Digest> = procs
+            .iter()
+            .map(|p| digest(h, *p, &mut mids, &mut vtab))
+            .collect();
+        let m = mids.len();
+        for d in &mut digests {
+            grow(&mut d.delivered_at, m, NONE_IDX);
+            grow(&mut d.delivered_c, m, None);
+            grow(&mut d.attr, m, None);
+            // Resolve delivery attributions against the installed views.
+            for a in d.attr.iter_mut().flatten() {
+                if let Some(vid) = d.view_by_seq.get(&(a.0, a.1)) {
+                    a.2 = *vid;
                 }
             }
         }
-    }
-    // Transitive closure (BFS per message; workloads are small enough).
-    let keys: Vec<MessageId> = preds.keys().copied().collect();
-    let mut closed: BTreeMap<MessageId, BTreeSet<MessageId>> = BTreeMap::new();
-    for mid in keys {
-        let mut seen: BTreeSet<MessageId> = BTreeSet::new();
-        let mut queue: VecDeque<MessageId> = preds
-            .get(&mid)
-            .map(|s| s.iter().copied().collect())
-            .unwrap_or_default();
-        while let Some(q) = queue.pop_front() {
-            if seen.insert(q) {
-                if let Some(more) = preds.get(&q) {
-                    queue.extend(more.iter().copied());
-                }
+        let mut mid_info: Vec<Option<(GroupId, ProcessId)>> = vec![None; m];
+        for (p, d) in procs.iter().zip(&digests) {
+            for (_, g, cid) in &d.sends {
+                mid_info[*cid as usize] = Some((*g, *p));
             }
         }
-        closed.insert(mid, seen);
+        Index {
+            procs,
+            digests,
+            mids,
+            vtab,
+            mid_info,
+        }
     }
-    closed
+
+    fn mid(&self, cid: u32) -> MessageId {
+        self.mids.mids[cid as usize]
+    }
 }
 
 /// Runs every enabled check and returns the violations found (empty = all
 /// properties hold on this history).
 #[must_use]
 pub fn check_all(h: &History, opts: &CheckOptions) -> Vec<Violation> {
+    let ix = Index::build(h);
     let mut violations = Vec::new();
-    let procs: Vec<ProcessId> = h.processes().collect();
-    let digests: BTreeMap<ProcessId, Digest> = procs.iter().map(|p| (*p, digest(h, *p))).collect();
-
-    // mid → (group, origin) from the senders' logs.
-    let mut mid_group: BTreeMap<MessageId, (GroupId, ProcessId)> = BTreeMap::new();
-    for (p, d) in &digests {
-        for (_, g, mid) in &d.sends {
-            mid_group.insert(*mid, (*g, *p));
-        }
-    }
-
-    check_duplicates(&procs, &digests, &mut violations);
+    check_duplicates(&ix, &mut violations);
     if opts.total_order {
-        check_total_order(&procs, &digests, &mut violations);
+        check_total_order(&ix, &mut violations);
     }
     if opts.causality {
-        check_causality(&procs, &digests, &mid_group, &mut violations);
+        check_causality(&ix, &mut violations);
     }
-    check_md1(&procs, &digests, &mid_group, &mut violations);
-    check_exclusion_barrier(h, &procs, &mut violations);
+    check_md1(&ix, &mut violations);
+    for d in &ix.digests {
+        violations.extend(d.exclusion.iter().cloned());
+    }
     if opts.views {
-        check_vc1(h, &procs, &digests, &mut violations);
-        check_vc3(&procs, &digests, &mut violations);
+        check_vc1(h, &ix, &mut violations);
+        check_vc3(&ix, &mut violations);
     }
     if opts.liveness {
-        check_liveness(h, &procs, &digests, &mut violations);
+        check_liveness(h, &ix, &mut violations);
     }
     violations
 }
@@ -345,87 +557,48 @@ pub fn check_all(h: &History, opts: &CheckOptions) -> Vec<Violation> {
 /// Every tagged message is delivered at most once per process (checked
 /// up front so the order comparison below can assume sets, and so a
 /// re-delivery bug reports as itself rather than as an order divergence).
-fn check_duplicates(
-    procs: &[ProcessId],
-    digests: &BTreeMap<ProcessId, Digest>,
-    violations: &mut Vec<Violation>,
-) {
-    for p in procs {
-        let mut seen: BTreeSet<MessageId> = BTreeSet::new();
-        for (_, mid, group, _) in &digests[p].deliveries {
-            if !seen.insert(*mid) {
+fn check_duplicates(ix: &Index, violations: &mut Vec<Violation>) {
+    for (p, d) in ix.procs.iter().zip(&ix.digests) {
+        let mut seen = BitSet::new(ix.mids.len());
+        for rec in &d.deliveries {
+            if !seen.insert(rec.cid) {
                 violations.push(Violation::DuplicateDelivery {
                     p: *p,
-                    group: *group,
-                    mid: *mid,
+                    group: rec.group,
+                    mid: ix.mid(rec.cid),
                 });
             }
         }
     }
 }
 
-/// `(group, view_seq)` → the installed `View` object, for matching the
-/// views two processes attributed a delivery to.
-fn view_index(d: &Digest) -> BTreeMap<(GroupId, ViewSeq), &newtop_types::View> {
-    let mut idx = BTreeMap::new();
-    for (g, views) in &d.views {
-        for (_, v) in views {
-            idx.entry((*g, v.seq())).or_insert(v);
-        }
-    }
-    idx
-}
-
-/// First-occurrence `(mid, group, view_seq)` per delivery (duplicates are
-/// reported separately by `check_duplicates`).
-fn delivery_attribution(d: &Digest) -> BTreeMap<MessageId, (GroupId, ViewSeq)> {
-    let mut attr = BTreeMap::new();
-    for (_, mid, g, seq) in &d.deliveries {
-        attr.entry(*mid).or_insert((*g, *seq));
-    }
-    attr
-}
-
-fn check_total_order(
-    procs: &[ProcessId],
-    digests: &BTreeMap<ProcessId, Digest>,
-    violations: &mut Vec<Violation>,
-) {
+fn check_total_order(ix: &Index, violations: &mut Vec<Violation>) {
     // MD3/MD4 under partitionable membership (§5.2): order is promised
     // between processes *holding the same view* — a member that a cut (or
     // a crash mid-exclusion) left on a dead branch delivered under a view
     // the survivors replaced, and re-sequencing after sequencer fail-over
     // may legitimately reorder there. So the pairwise comparison covers
     // exactly the common messages both sides delivered under the
-    // *identical* installed view (same seq and same membership). The
-    // per-process indices are hoisted out of the O(P²) pair loop.
-    let views: BTreeMap<ProcessId, _> = digests.iter().map(|(p, d)| (*p, view_index(d))).collect();
-    let attrs: BTreeMap<ProcessId, _> = digests
-        .iter()
-        .map(|(p, d)| (*p, delivery_attribution(d)))
-        .collect();
-    for (ai, a) in procs.iter().enumerate() {
-        for b in procs.iter().skip(ai + 1) {
-            let da = &digests[a];
-            let db = &digests[b];
-            let (views_a, views_b) = (&views[a], &views[b]);
-            let (attr_a, attr_b) = (&attrs[a], &attrs[b]);
-            let comparable = |m: &MessageId| -> bool {
-                let (Some((ga, sa)), Some((gb, sb))) = (attr_a.get(m), attr_b.get(m)) else {
-                    return false;
-                };
-                ga == gb
-                    && match (views_a.get(&(*ga, *sa)), views_b.get(&(*gb, *sb))) {
-                        (Some(va), Some(vb)) => va == vb,
-                        _ => false,
+    // *identical* installed view (same seq and same membership) — with the
+    // views interned, one integer compare per message.
+    for (ai, a) in ix.procs.iter().enumerate() {
+        for (bj, b) in ix.procs.iter().enumerate().skip(ai + 1) {
+            let da = &ix.digests[ai];
+            let db = &ix.digests[bj];
+            let comparable = |cid: u32| -> bool {
+                match (da.attr[cid as usize], db.attr[cid as usize]) {
+                    (Some((ga, _, va)), Some((gb, _, vb))) => {
+                        ga == gb && va != NONE_IDX && vb != NONE_IDX && va == vb
                     }
+                    _ => false,
+                }
             };
-            let project = |d: &Digest| -> Vec<MessageId> {
-                let mut seen = BTreeSet::new();
+            let project = |d: &Digest| -> Vec<u32> {
+                let mut seen = BitSet::new(ix.mids.len());
                 d.deliveries
                     .iter()
-                    .map(|d| d.1)
-                    .filter(|m| comparable(m) && seen.insert(*m))
+                    .map(|r| r.cid)
+                    .filter(|cid| comparable(*cid) && seen.insert(*cid))
                     .collect()
             };
             let seq_a = project(da);
@@ -434,52 +607,108 @@ fn check_total_order(
                 violations.push(Violation::TotalOrder {
                     a: *a,
                     b: *b,
-                    at: (seq_a[k], seq_b[k]),
+                    at: (ix.mid(seq_a[k]), ix.mid(seq_b[k])),
                 });
             }
         }
     }
 }
 
-fn check_causality(
-    procs: &[ProcessId],
-    digests: &BTreeMap<ProcessId, Digest>,
-    mid_group: &BTreeMap<MessageId, (GroupId, ProcessId)>,
-    violations: &mut Vec<Violation>,
-) {
-    let preds = causal_predecessors(digests);
+/// The happened-before DAG over tagged messages as bitset predecessor sets
+/// (transitively closed), indexed by interned id. Only ids that appear in a
+/// `Sent` event get a set; `None` elsewhere.
+fn causal_predecessors(ix: &Index) -> Vec<Option<BitSet>> {
+    let m = ix.mids.len();
+    let mut preds: Vec<Option<BitSet>> = (0..m).map(|_| None).collect();
+    let mut running = BitSet::new(m);
+    for d in &ix.digests {
+        // All deliveries and prior sends at this process precede each send:
+        // one merged walk of the send/delivery timelines per process.
+        for w in &mut running.words {
+            *w = 0;
+        }
+        let mut di = 0usize;
+        for (send_idx, _, cid) in &d.sends {
+            while di < d.deliveries.len() && d.deliveries[di].idx < *send_idx {
+                running.insert(d.deliveries[di].cid);
+                di += 1;
+            }
+            preds[*cid as usize]
+                .get_or_insert_with(|| BitSet::new(m))
+                .union_with(&running);
+            running.insert(*cid);
+        }
+    }
+    // Transitive closure: bitset fixpoint (message counts per run are small,
+    // so this converges in a handful of rounds).
+    let sent: Vec<u32> = (0..m as u32)
+        .filter(|c| preds[*c as usize].is_some())
+        .collect();
+    let mut scratch: Vec<u32> = Vec::new();
+    loop {
+        let mut changed = false;
+        for c in &sent {
+            // Take `c`'s set out so predecessors can be read by reference
+            // (no per-edge clones); the snapshot of its bits taken before
+            // the unions matches the per-round semantics of the fixpoint.
+            let mut acc = preds[*c as usize].take().expect("sent id");
+            scratch.clear();
+            scratch.extend(acc.iter());
+            for p in &scratch {
+                if *p == *c {
+                    continue;
+                }
+                if let Some(more) = preds[*p as usize].as_ref() {
+                    changed |= acc.union_with(more);
+                }
+            }
+            preds[*c as usize] = Some(acc);
+        }
+        if !changed {
+            break;
+        }
+    }
+    preds
+}
+
+fn check_causality(ix: &Index, violations: &mut Vec<Violation>) {
+    let preds = causal_predecessors(ix);
     // Messages whose delivered numbers disagree across processes were
     // re-sequenced by a fail-over (the old relay was agreed-discarded and
     // the message re-homed under a new number in a new view). Their
     // delivery position no longer tracks the single-clock causal order
     // (CA2), so the prefix obligation is waived for them as causes; the
     // view-scoped order checks still constrain them.
-    let mut resequenced: BTreeSet<MessageId> = BTreeSet::new();
-    let mut first_c: BTreeMap<MessageId, newtop_types::Msn> = BTreeMap::new();
-    for d in digests.values() {
-        for (mid, c) in &d.delivered_c {
-            match first_c.get(mid) {
-                None => {
-                    first_c.insert(*mid, *c);
-                }
-                Some(prev) if prev != c => {
-                    resequenced.insert(*mid);
+    let m = ix.mids.len();
+    let mut resequenced = BitSet::new(m);
+    let mut first_c: Vec<Option<newtop_types::Msn>> = vec![None; m];
+    for d in &ix.digests {
+        for (cid, c) in d.delivered_c.iter().enumerate() {
+            let Some(c) = c else { continue };
+            match first_c[cid] {
+                None => first_c[cid] = Some(*c),
+                Some(prev) if prev != *c => {
+                    resequenced.insert(cid as u32);
                 }
                 Some(_) => {}
             }
         }
     }
-    for p in procs {
-        let d = &digests[p];
-        for (eff_idx, eff_mid, _, _) in &d.deliveries {
-            let Some(causes) = preds.get(eff_mid) else {
+    for (p, d) in ix.procs.iter().zip(&ix.digests) {
+        // Per-group cursor into the view timeline: deliveries are walked in
+        // log order, so "current view at this delivery" advances
+        // monotonically per group.
+        let mut cursor: BTreeMap<GroupId, usize> = BTreeMap::new();
+        for rec in &d.deliveries {
+            let eff_idx = rec.idx;
+            let Some(causes) = preds[rec.cid as usize].as_ref() else {
                 continue;
             };
-            for cause in causes {
+            for cause in causes.iter() {
                 if resequenced.contains(cause) {
                     continue;
                 }
-                let Some((cause_group, cause_origin)) = mid_group.get(cause) else {
+                let Some((cause_group, cause_origin)) = ix.mid_info[cause as usize] else {
                     continue;
                 };
                 // MD5/MD5': the causal-prefix obligation is conditioned (in
@@ -490,24 +719,30 @@ fn check_causality(
                 // have discarded the cause ("even though it has been agreed
                 // that m was sent before Pk failed") — uniformly at every
                 // survivor, which VC3 and the pairwise order checks verify.
-                let Some(views) = d.views.get(cause_group) else {
+                let Some(views) = d.views.get(&cause_group) else {
                     continue; // never a member of that group
                 };
                 if d.departure_done
-                    .get(cause_group)
-                    .is_some_and(|di| di <= eff_idx)
+                    .get(&cause_group)
+                    .is_some_and(|di| *di <= eff_idx)
                 {
                     continue; // already left the cause's group: no view,
                               // no obligation (§3)
                 }
-                let current = views.iter().rfind(|(vi, _)| vi <= eff_idx).map(|(_, v)| v);
-                let Some(view) = current else { continue };
-                if !view.contains(*cause_origin) {
+                let cur = cursor.entry(cause_group).or_insert(0);
+                while *cur + 1 < views.len() && views[*cur + 1].idx <= eff_idx {
+                    *cur += 1;
+                }
+                if views[*cur].idx > eff_idx {
+                    continue; // first view installs after this delivery
+                }
+                let view = ix.vtab.view(views[*cur].vid);
+                if !view.contains(cause_origin) {
                     continue; // sender excluded: no obligation
                 }
                 if d.adopted_at
-                    .get(&(*cause_group, *cause_origin))
-                    .is_some_and(|ai| ai <= eff_idx)
+                    .get(&(cause_group, cause_origin))
+                    .is_some_and(|ai| *ai <= eff_idx)
                 {
                     // Exclusion agreed though not yet installed (the view
                     // change waits behind its delivery barrier): the
@@ -515,107 +750,47 @@ fn check_causality(
                     // (step (viii)), so the prefix obligation has ended.
                     continue;
                 }
-                match d.delivered_at.get(cause) {
-                    Some(ci) if ci < eff_idx => {}
-                    _ => violations.push(Violation::CausalPrefix {
+                if d.delivered_at[cause as usize] >= eff_idx {
+                    violations.push(Violation::CausalPrefix {
                         p: *p,
-                        cause: *cause,
-                        effect: *eff_mid,
-                    }),
+                        cause: ix.mid(cause),
+                        effect: ix.mid(rec.cid),
+                    });
                 }
             }
         }
     }
 }
 
-fn check_md1(
-    procs: &[ProcessId],
-    digests: &BTreeMap<ProcessId, Digest>,
-    mid_group: &BTreeMap<MessageId, (GroupId, ProcessId)>,
-    violations: &mut Vec<Violation>,
-) {
-    for p in procs {
-        let d = &digests[p];
-        for (_, mid, group, view_seq) in &d.deliveries {
-            let Some((_, origin)) = mid_group.get(mid) else {
+fn check_md1(ix: &Index, violations: &mut Vec<Violation>) {
+    for (p, d) in ix.procs.iter().zip(&ix.digests) {
+        for rec in &d.deliveries {
+            let Some((_, origin)) = ix.mid_info[rec.cid as usize] else {
                 continue;
             };
-            let Some(views) = d.views.get(group) else {
+            let Some(vid) = d.view_by_seq.get(&(rec.group, rec.view_seq)) else {
                 continue;
             };
-            let Some(view) = views.iter().map(|(_, v)| v).find(|v| v.seq() == *view_seq) else {
-                continue;
-            };
-            if !view.contains(*origin) {
+            if !ix.vtab.view(*vid).contains(origin) {
                 violations.push(Violation::SenderNotInView {
                     p: *p,
-                    mid: Some(*mid),
-                    group: *group,
-                    view_seq: *view_seq,
+                    mid: Some(ix.mid(rec.cid)),
+                    group: rec.group,
+                    view_seq: rec.view_seq,
                 });
             }
         }
     }
 }
 
-/// The exclusion barrier, checked directly in log order (unlike MD1, which
-/// trusts the `view_seq` a delivery was attributed to): once a process has
-/// installed a view of `g` that excludes `q`, no later event in its log may
-/// deliver a message of `g` originated by `q`; and once its own voluntary
-/// departure from `g` *completes* (deliveries are still legitimate while
-/// the deferred departure drains obligations, §3), a process delivers
-/// nothing further in `g` at all.
-fn check_exclusion_barrier(h: &History, procs: &[ProcessId], violations: &mut Vec<Violation>) {
-    use std::collections::BTreeMap as Map;
-    for p in procs {
-        let Some(evs) = h.events.get(p) else { continue };
-        let mut current: Map<GroupId, &newtop_types::View> = Map::new();
-        let mut departed: BTreeSet<GroupId> = BTreeSet::new();
-        for e in evs {
-            match e {
-                HistoryEvent::InitialView { group, view }
-                | HistoryEvent::ViewChange { group, view, .. } => {
-                    current.insert(*group, view);
-                }
-                HistoryEvent::Protocol {
-                    event: newtop_core::ProtocolEvent::DepartureCompleted { group },
-                    ..
-                } => {
-                    departed.insert(*group);
-                }
-                HistoryEvent::Delivered { delivery, mid, .. } => {
-                    let g = delivery.group;
-                    let excluded = current
-                        .get(&g)
-                        .is_some_and(|v| !v.contains(delivery.origin));
-                    if departed.contains(&g) || excluded {
-                        violations.push(Violation::DeliveryAfterExclusion {
-                            p: *p,
-                            group: g,
-                            origin: delivery.origin,
-                            mid: *mid,
-                        });
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-}
-
-fn check_vc1(
-    h: &History,
-    procs: &[ProcessId],
-    digests: &BTreeMap<ProcessId, Digest>,
-    violations: &mut Vec<Violation>,
-) {
-    for (ai, a) in procs.iter().enumerate() {
-        for b in procs.iter().skip(ai + 1) {
+fn check_vc1(h: &History, ix: &Index, violations: &mut Vec<Violation>) {
+    for (ai, a) in ix.procs.iter().enumerate() {
+        for (bj, b) in ix.procs.iter().enumerate().skip(ai + 1) {
             if h.is_crashed(*a) || h.is_crashed(*b) {
                 continue;
             }
-            let da = &digests[a];
-            let db = &digests[b];
+            let da = &ix.digests[ai];
+            let db = &ix.digests[bj];
             let groups: BTreeSet<GroupId> =
                 da.views.keys().chain(db.views.keys()).copied().collect();
             for g in groups {
@@ -627,14 +802,12 @@ fn check_vc1(
                 }
                 let shorter = va.len().min(vb.len());
                 for k in 0..shorter {
-                    let (_, view_a) = &va[k];
-                    let (_, view_b) = &vb[k];
-                    if view_a != view_b {
+                    if va[k].vid != vb[k].vid {
                         violations.push(Violation::ViewSequence {
                             a: *a,
                             b: *b,
                             group: g,
-                            seq: view_a.seq(),
+                            seq: va[k].seq,
                         });
                         break;
                     }
@@ -644,44 +817,46 @@ fn check_vc1(
     }
 }
 
-fn check_vc3(
-    procs: &[ProcessId],
-    digests: &BTreeMap<ProcessId, Digest>,
-    violations: &mut Vec<Violation>,
-) {
-    for (ai, a) in procs.iter().enumerate() {
-        for b in procs.iter().skip(ai + 1) {
-            let da = &digests[a];
-            let db = &digests[b];
-            let groups: BTreeSet<GroupId> = da.views.keys().copied().collect();
-            for g in groups {
-                let (Some(va), Some(vb)) = (da.views.get(&g), db.views.get(&g)) else {
+fn check_vc3(ix: &Index, violations: &mut Vec<Violation>) {
+    let empty: Vec<(u32, u32)> = Vec::new();
+    for (ai, a) in ix.procs.iter().enumerate() {
+        for (bj, b) in ix.procs.iter().enumerate().skip(ai + 1) {
+            let da = &ix.digests[ai];
+            let db = &ix.digests[bj];
+            for (g, va) in &da.views {
+                let Some(vb) = db.views.get(g) else {
                     continue;
                 };
+                let ga = da.by_group.get(g).unwrap_or(&empty);
+                let gb = db.by_group.get(g).unwrap_or(&empty);
                 // Closed intervals: view r and r+1 present and identical at both.
                 for w in 0..va.len().saturating_sub(1) {
-                    let (r, r_next) = (&va[w].1, &va[w + 1].1);
-                    let Some(wb) = vb.iter().position(|(_, v)| v == r) else {
+                    let (r, r_next) = (&va[w], &va[w + 1]);
+                    let Some(wb) = vb.iter().position(|v| v.vid == r.vid) else {
                         continue;
                     };
-                    if wb + 1 >= vb.len() || &vb[wb + 1].1 != r_next {
+                    if wb + 1 >= vb.len() || vb[wb + 1].vid != r_next.vid {
                         continue;
                     }
-                    let set = |d: &Digest, lo: usize, hi: usize| -> BTreeSet<MessageId> {
-                        d.deliveries
-                            .iter()
-                            .filter(|(i, _, grp, _)| *grp == g && *i > lo && *i < hi)
-                            .map(|(_, mid, _, _)| *mid)
-                            .collect()
+                    let set = |dels: &[(u32, u32)], lo: u32, hi: u32| -> BitSet {
+                        let mut s = BitSet::new(ix.mids.len());
+                        let from = dels.partition_point(|(i, _)| *i <= lo);
+                        for (i, cid) in &dels[from..] {
+                            if *i >= hi {
+                                break;
+                            }
+                            s.insert(*cid);
+                        }
+                        s
                     };
-                    let sa = set(da, va[w].0, va[w + 1].0);
-                    let sb = set(db, vb[wb].0, vb[wb + 1].0);
+                    let sa = set(ga, r.idx, r_next.idx);
+                    let sb = set(gb, vb[wb].idx, vb[wb + 1].idx);
                     if sa != sb {
                         violations.push(Violation::DeliverySet {
                             a: *a,
                             b: *b,
-                            group: g,
-                            seq: r.seq(),
+                            group: *g,
+                            seq: r.seq,
                         });
                     }
                 }
@@ -690,50 +865,47 @@ fn check_vc3(
     }
 }
 
-fn check_liveness(
-    h: &History,
-    procs: &[ProcessId],
-    digests: &BTreeMap<ProcessId, Digest>,
-    violations: &mut Vec<Violation>,
-) {
+fn check_liveness(h: &History, ix: &Index, violations: &mut Vec<Violation>) {
     // For each group: survivors with identical final views must hold equal
     // delivery sets that include everything sent by final-view members.
-    let groups: BTreeSet<GroupId> = digests
-        .values()
+    let groups: BTreeSet<GroupId> = ix
+        .digests
+        .iter()
         .flat_map(|d| d.views.keys().copied())
         .collect();
+    let proc_pos: BTreeMap<ProcessId, usize> =
+        ix.procs.iter().enumerate().map(|(i, p)| (*p, i)).collect();
     for g in groups {
-        let survivors: Vec<ProcessId> = procs
-            .iter()
-            .copied()
-            .filter(|p| !h.is_crashed(*p) && digests[p].views.contains_key(&g))
-            .collect();
-        for p in &survivors {
-            let d = &digests[p];
+        for (pi, p) in ix.procs.iter().enumerate() {
+            let d = &ix.digests[pi];
+            if h.is_crashed(*p) || !d.views.contains_key(&g) {
+                continue;
+            }
             if d.departed.contains_key(&g) {
                 continue; // §3: no view, no obligations after leaving
             }
-            let Some(final_view) = d.views.get(&g).and_then(|v| v.last()).map(|(_, v)| v) else {
+            let Some(final_view) = d.views.get(&g).and_then(|v| v.last()) else {
                 continue;
             };
+            let final_view = ix.vtab.view(final_view.vid);
             if !final_view.contains(*p) {
                 continue;
             }
-            let delivered: BTreeSet<MessageId> = d
-                .deliveries
-                .iter()
-                .filter(|(_, _, grp, _)| *grp == g)
-                .map(|(_, mid, _, _)| *mid)
-                .collect();
+            let mut delivered = BitSet::new(ix.mids.len());
+            if let Some(dels) = d.by_group.get(&g) {
+                for (_, cid) in dels {
+                    delivered.insert(*cid);
+                }
+            }
             // Everything sent by a member of p's final view must be there.
             for q in final_view.members() {
-                let Some(dq) = digests.get(q) else { continue };
-                for (_, sg, mid) in &dq.sends {
-                    if *sg == g && !delivered.contains(mid) {
+                let Some(qi) = proc_pos.get(q) else { continue };
+                for (_, sg, cid) in &ix.digests[*qi].sends {
+                    if *sg == g && !delivered.contains(*cid) {
                         violations.push(Violation::Liveness {
                             p: *p,
                             group: g,
-                            mid: *mid,
+                            mid: ix.mid(*cid),
                         });
                     }
                 }
@@ -901,6 +1073,22 @@ mod tests {
         let v = check_all(&h, &CheckOptions::default());
         assert!(v.is_empty(), "violations: {v:?}");
         assert!(h.is_crashed(ProcessId(4)));
+    }
+
+    #[test]
+    fn bitset_insert_iter_union() {
+        let mut a = BitSet::new(130);
+        assert!(a.insert(0));
+        assert!(a.insert(64));
+        assert!(a.insert(129));
+        assert!(!a.insert(64));
+        assert!(a.contains(129) && !a.contains(1));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![0, 64, 129]);
+        let mut b = BitSet::new(130);
+        b.insert(7);
+        assert!(b.union_with(&a));
+        assert!(!b.union_with(&a));
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![0, 7, 64, 129]);
     }
 
     trait InstantExt {

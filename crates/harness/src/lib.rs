@@ -17,6 +17,8 @@
 //! * [`chaos`] — the seeded fault-schedule explorer: seed → deterministic
 //!   topology + traffic + timed fault schedule, replay scripts, ddmin
 //!   shrinking (`newtop-exp chaos`);
+//! * [`sweep`] — work-stealing parallel seed sweeps with deterministic
+//!   (worker-count-independent) aggregation;
 //! * [`experiments`] — E1–E10, one per claim (see DESIGN.md §4), each
 //!   printing the table EXPERIMENTS.md records;
 //! * [`table`] — plain-text aligned table rendering.
@@ -31,6 +33,7 @@ pub mod checker;
 pub mod cluster;
 pub mod experiments;
 pub mod history;
+pub mod sweep;
 pub mod table;
 pub mod workload;
 
@@ -38,4 +41,5 @@ pub use chaos::{history_hash, ChaosPlan, ChaosScenario};
 pub use checker::{check_all, CheckOptions, Violation};
 pub use cluster::SimCluster;
 pub use history::{History, HistoryEvent, MessageId};
+pub use sweep::{run_chaos_seed, sweep_seeds, SeedOutcome, SweepConfig, SweepReport};
 pub use table::Table;

@@ -1,0 +1,85 @@
+//! Parallel-sweep determinism: the chaos fleet's aggregate must be
+//! bit-identical for every `--jobs` value — same failing-seed set, same
+//! per-seed history hashes, same summary counters. Work stealing may hand
+//! any seed to any worker in any order; none of that may leak into the
+//! result.
+
+use newtop_harness::chaos::ChaosScenario;
+use newtop_harness::sweep::{run_chaos_seed, sweep_seeds, SeedOutcome, SweepConfig};
+use std::sync::Mutex;
+
+/// Sweeps `lo..hi` of the real chaos fleet with per-seed hashing on,
+/// collecting every outcome through the progress hook.
+fn chaos_sweep_with_hashes(lo: u64, hi: u64, jobs: usize) -> (u64, u64, Vec<u64>, Vec<(u64, u64)>) {
+    let cfg = SweepConfig {
+        jobs,
+        budget: None,
+        hash_histories: true,
+    };
+    let outcomes: Mutex<Vec<(u64, Option<u64>)>> = Mutex::new(Vec::new());
+    let report = sweep_seeds(
+        lo,
+        hi,
+        &cfg,
+        |seed| run_chaos_seed(&ChaosScenario::new(seed), true),
+        |o, _| outcomes.lock().unwrap().push((o.seed, o.hash)),
+    );
+    let mut hashes: Vec<(u64, u64)> = outcomes
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|(s, h)| (s, h.expect("green chaos seeds hash their histories")))
+        .collect();
+    hashes.sort_unstable();
+    (
+        report.ran,
+        report.deliveries,
+        report.failing_seeds(),
+        hashes,
+    )
+}
+
+#[test]
+fn chaos_sweep_is_bit_identical_across_job_counts() {
+    let (ran1, del1, fail1, hashes1) = chaos_sweep_with_hashes(0, 48, 1);
+    assert_eq!(ran1, 48);
+    assert!(del1 > 0, "sweep must observe deliveries");
+    assert_eq!(fail1, Vec::<u64>::new(), "seed band 0..48 is green");
+    for jobs in [2, 8] {
+        let (ran, del, fail, hashes) = chaos_sweep_with_hashes(0, 48, jobs);
+        assert_eq!(ran, ran1, "jobs={jobs}: seeds-run count diverged");
+        assert_eq!(del, del1, "jobs={jobs}: delivery count diverged");
+        assert_eq!(fail, fail1, "jobs={jobs}: failing-seed set diverged");
+        assert_eq!(
+            hashes, hashes1,
+            "jobs={jobs}: per-seed history hashes diverged"
+        );
+    }
+}
+
+#[test]
+fn injected_failures_aggregate_identically_across_job_counts() {
+    // A synthetic runner with a known failure pattern exercises the
+    // failing-seed aggregation path (the real band above is green) under
+    // heavy contention: 8 workers over 300 fast seeds.
+    let runner = |seed: u64| SeedOutcome {
+        seed,
+        hash: Some(seed ^ 0xABCD),
+        panic: (seed % 17 == 3).then(|| format!("injected {seed}")),
+        violations: Vec::new(),
+        deliveries: seed % 5,
+    };
+    let run = |jobs: usize| {
+        let cfg = SweepConfig {
+            jobs,
+            ..SweepConfig::default()
+        };
+        let r = sweep_seeds(0, 300, &cfg, runner, |_, _| {});
+        (r.ran, r.deliveries, r.failing_seeds())
+    };
+    let base = run(1);
+    assert_eq!(base.2, (0..300).filter(|s| s % 17 == 3).collect::<Vec<_>>());
+    for jobs in [2, 4, 8] {
+        assert_eq!(run(jobs), base, "jobs={jobs}");
+    }
+}

@@ -107,7 +107,11 @@ impl PartitionSpec {
         PartitionSpec { blocks }
     }
 
-    fn block_of(&self, p: ProcessId) -> Option<usize> {
+    /// The index of the block containing `p`, or `None` for the implicit
+    /// residual block. The engine caches this per node so the per-send
+    /// connectivity test is one integer compare.
+    #[must_use]
+    pub fn block_of(&self, p: ProcessId) -> Option<usize> {
         self.blocks.iter().position(|b| b.contains(&p))
     }
 

@@ -1,11 +1,19 @@
 //! The discrete-event engine.
+//!
+//! Internally the engine addresses nodes by a dense compact index (assigned
+//! at [`Sim::add_node`] time): hot-path events (`Deliver`, `Wake`) carry the
+//! index, node state lives in an index-parallel `Vec`, and per-link FIFO
+//! clamping state is a dense `n × n` matrix — no map lookups or allocation
+//! on the per-event path. Scratch [`Outbox`]es are pooled and reused across
+//! dispatches. The public API stays [`ProcessId`]-keyed.
 
 use crate::model::{LatencyModel, NetConfig, NetStats, PartitionMode, PartitionSpec};
 use newtop_types::{Instant, ProcessId, Span};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
+use std::collections::binary_heap::PeekMut;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 /// Behaviour of one simulated node.
 ///
@@ -88,15 +96,18 @@ impl<M> Outbox<M> {
 
 type CallFn<N> = Box<dyn FnOnce(&mut N, &mut Outbox<<N as SimNode>::Msg>)>;
 
+/// Compact per-`Sim` node index (position in the dense node table).
+type NodeIdx = u32;
+
 enum EventKind<N: SimNode> {
     Deliver {
-        src: ProcessId,
-        dst: ProcessId,
+        src: NodeIdx,
+        dst: NodeIdx,
         departed: Instant,
         msg: N::Msg,
     },
     Wake {
-        node: ProcessId,
+        node: NodeIdx,
         epoch: u64,
     },
     Crash(ProcessId),
@@ -131,14 +142,23 @@ impl<N: SimNode> Ord for Event<N> {
 }
 
 struct NodeEntry<N> {
+    id: ProcessId,
     node: N,
     crashed: bool,
     wake_epoch: u64,
     wake_at: Option<Instant>,
+    /// Connectivity block under the current partition (`BLOCK_RESIDUAL` for
+    /// nodes in the implicit residual block). Recomputed on every partition
+    /// change so the per-send connectivity test is one integer compare.
+    block: u32,
 }
 
+/// Block id of nodes not named by any partition block.
+const BLOCK_RESIDUAL: u32 = u32::MAX;
+
 /// Messages parked on a severed link, keyed by ordered (from, to) pair,
-/// with their original send instants.
+/// with their original send instants. Kept id-ordered (not index-ordered)
+/// so heal-time release order is independent of node insertion order.
 type ParkedLinks<M> = BTreeMap<(ProcessId, ProcessId), VecDeque<(Instant, M)>>;
 
 /// Reports the wire size of a message for the `bytes_sent` counter.
@@ -151,13 +171,23 @@ pub struct Sim<N: SimNode> {
     now: Instant,
     seq: u64,
     queue: BinaryHeap<Event<N>>,
-    nodes: BTreeMap<ProcessId, NodeEntry<N>>,
+    /// Dense node table, indexed by [`NodeIdx`] in insertion order.
+    nodes: Vec<NodeEntry<N>>,
+    /// `(id, idx)` sorted by id — the public-API translation table.
+    lookup: Vec<(ProcessId, NodeIdx)>,
     rng: StdRng,
     config: NetConfig,
     partition: PartitionSpec,
     partition_mode: PartitionMode,
     parked: ParkedLinks<N::Msg>,
-    last_arrival: HashMap<(ProcessId, ProcessId), Instant>,
+    /// Dense per-link FIFO clamp state: `last_arrival[src * n + dst]` is the
+    /// latest arrival scheduled on that link. Bounded at `n²` by
+    /// construction (the `HashMap` it replaces grew an entry per ever-used
+    /// link and was never pruned across heal/partition cycles).
+    last_arrival: Vec<Instant>,
+    /// Recycled scratch buffers: one dispatch borrows one, flush drains it
+    /// and returns it — the hot path allocates nothing after warm-up.
+    outbox_pool: Vec<Outbox<N::Msg>>,
     stats: NetStats,
     sizer: Option<MsgSizer<N::Msg>>,
 }
@@ -170,13 +200,15 @@ impl<N: SimNode> Sim<N> {
             now: Instant::ZERO,
             seq: 0,
             queue: BinaryHeap::new(),
-            nodes: BTreeMap::new(),
+            nodes: Vec::new(),
+            lookup: Vec::new(),
             rng: StdRng::seed_from_u64(config.seed),
             config,
             partition: PartitionSpec::connected_all(),
             partition_mode: PartitionMode::Loss,
             parked: BTreeMap::new(),
-            last_arrival: HashMap::new(),
+            last_arrival: Vec::new(),
+            outbox_pool: Vec::new(),
             stats: NetStats::default(),
             sizer: None,
         }
@@ -188,57 +220,88 @@ impl<N: SimNode> Sim<N> {
         self.sizer = Some(Box::new(sizer));
     }
 
+    fn idx_of(&self, id: ProcessId) -> Option<NodeIdx> {
+        self.lookup
+            .binary_search_by_key(&id, |(pid, _)| *pid)
+            .ok()
+            .map(|pos| self.lookup[pos].1)
+    }
+
     /// Adds a node. Panics if the id is already present.
     ///
     /// # Panics
     ///
     /// Panics on duplicate `id`.
     pub fn add_node(&mut self, id: ProcessId, node: N) {
+        let pos = match self.lookup.binary_search_by_key(&id, |(pid, _)| *pid) {
+            Ok(_) => panic!("duplicate node id {id}"),
+            Err(pos) => pos,
+        };
+        let idx = self.nodes.len() as NodeIdx;
         let deadline = node.next_deadline();
-        let prev = self.nodes.insert(
+        let block = partition_block(&self.partition, id);
+        self.nodes.push(NodeEntry {
             id,
-            NodeEntry {
-                node,
-                crashed: false,
-                wake_epoch: 0,
-                wake_at: None,
-            },
-        );
-        assert!(prev.is_none(), "duplicate node id {id}");
+            node,
+            crashed: false,
+            wake_epoch: 0,
+            wake_at: None,
+            block,
+        });
+        self.lookup.insert(pos, (id, idx));
+        self.grow_fifo_matrix();
         if deadline.is_some() {
-            self.refresh_wake(id);
+            self.refresh_wake(idx);
         }
+    }
+
+    /// Re-dimensions the FIFO clamp matrix after a node was added,
+    /// preserving existing per-link state.
+    fn grow_fifo_matrix(&mut self) {
+        let n = self.nodes.len();
+        let old_n = n - 1;
+        let mut next = vec![Instant::ZERO; n * n];
+        for src in 0..old_n {
+            next[src * n..src * n + old_n]
+                .copy_from_slice(&self.last_arrival[src * old_n..(src + 1) * old_n]);
+        }
+        self.last_arrival = next;
     }
 
     /// Immutable access to a node's behaviour.
     #[must_use]
     pub fn node(&self, id: ProcessId) -> Option<&N> {
-        self.nodes.get(&id).map(|e| &e.node)
+        self.idx_of(id).map(|i| &self.nodes[i as usize].node)
     }
 
     /// Mutable access to a node's behaviour (for inspection between runs;
     /// sends produced outside callbacks are not observed). After mutating a
     /// node this way, call [`Sim::poke`] so the engine re-reads its timer.
     pub fn node_mut(&mut self, id: ProcessId) -> Option<&mut N> {
-        self.nodes.get_mut(&id).map(|e| &mut e.node)
+        self.idx_of(id).map(|i| &mut self.nodes[i as usize].node)
     }
 
     /// Re-reads `id`'s [`SimNode::next_deadline`] and (re)schedules its
     /// wake-up. Required after mutating a node through [`Sim::node_mut`],
     /// because the engine otherwise only refreshes timers after events.
     pub fn poke(&mut self, id: ProcessId) {
-        self.refresh_wake(id);
+        if let Some(idx) = self.idx_of(id) {
+            self.refresh_wake(idx);
+        }
     }
 
-    /// Iterates over `(id, node)` pairs.
+    /// Iterates over `(id, node)` pairs in id order.
     pub fn nodes(&self) -> impl Iterator<Item = (ProcessId, &N)> {
-        self.nodes.iter().map(|(id, e)| (*id, &e.node))
+        self.lookup
+            .iter()
+            .map(|(id, idx)| (*id, &self.nodes[*idx as usize].node))
     }
 
     /// Whether `id` has crashed.
     #[must_use]
     pub fn crashed(&self, id: ProcessId) -> bool {
-        self.nodes.get(&id).is_some_and(|e| e.crashed)
+        self.idx_of(id)
+            .is_some_and(|i| self.nodes[i as usize].crashed)
     }
 
     /// Current virtual time.
@@ -257,6 +320,14 @@ impl<N: SimNode> Sim<N> {
     #[must_use]
     pub fn partition(&self) -> &PartitionSpec {
         &self.partition
+    }
+
+    /// Size of the per-link FIFO clamp state, in entries — a memory proxy
+    /// for tests: it must stay exactly `n²` no matter how many partition,
+    /// heal or latency episodes a long run goes through.
+    #[must_use]
+    pub fn fifo_state_entries(&self) -> usize {
+        self.last_arrival.len()
     }
 
     fn push(&mut self, at: Instant, kind: EventKind<N>) {
@@ -303,11 +374,14 @@ impl<N: SimNode> Sim<N> {
     /// Runs the simulation up to and including events at `until`, then
     /// advances the clock to `until`.
     pub fn run_until(&mut self, until: Instant) {
-        while let Some(ev) = self.queue.peek() {
-            if ev.at > until {
+        loop {
+            let Some(top) = self.queue.peek_mut() else {
+                break;
+            };
+            if top.at > until {
                 break;
             }
-            let ev = self.queue.pop().expect("peeked event");
+            let ev = PeekMut::pop(top);
             debug_assert!(ev.at >= self.now, "event time went backwards");
             self.now = ev.at;
             self.dispatch(ev);
@@ -333,39 +407,53 @@ impl<N: SimNode> Sim<N> {
         }
     }
 
+    fn take_outbox(&mut self) -> Outbox<N::Msg> {
+        self.outbox_pool.pop().unwrap_or_default()
+    }
+
+    fn recycle_outbox(&mut self, out: Outbox<N::Msg>) {
+        debug_assert!(out.sends.is_empty(), "recycled outbox must be drained");
+        self.outbox_pool.push(out);
+    }
+
     fn dispatch(&mut self, ev: Event<N>) {
         match ev.kind {
             EventKind::Deliver { src, dst, msg, .. } => {
-                let Some(entry) = self.nodes.get_mut(&dst) else {
-                    return;
-                };
-                if entry.crashed {
+                if self.nodes[dst as usize].crashed {
                     self.stats.dropped_crash_dst += 1;
                     return;
                 }
                 self.stats.delivered += 1;
-                let mut out = Outbox::new();
-                entry.node.on_message(self.now, src, msg, &mut out);
-                self.flush_outbox(dst, out);
+                let from = self.nodes[src as usize].id;
+                let now = self.now;
+                let mut out = self.take_outbox();
+                self.nodes[dst as usize]
+                    .node
+                    .on_message(now, from, msg, &mut out);
+                self.flush_outbox(dst, &mut out);
+                self.recycle_outbox(out);
                 self.refresh_wake(dst);
             }
             EventKind::Wake { node, epoch } => {
-                let Some(entry) = self.nodes.get_mut(&node) else {
-                    return;
-                };
-                if entry.crashed || entry.wake_epoch != epoch {
-                    return; // stale or dead
+                {
+                    let entry = &mut self.nodes[node as usize];
+                    if entry.crashed || entry.wake_epoch != epoch {
+                        return; // stale or dead
+                    }
+                    entry.wake_at = None;
                 }
-                entry.wake_at = None;
-                let mut out = Outbox::new();
-                entry.node.on_tick(self.now, &mut out);
-                self.flush_outbox(node, out);
+                let now = self.now;
+                let mut out = self.take_outbox();
+                self.nodes[node as usize].node.on_tick(now, &mut out);
+                self.flush_outbox(node, &mut out);
+                self.recycle_outbox(out);
                 self.refresh_wake(node);
             }
             EventKind::Crash(p) => {
-                if let Some(entry) = self.nodes.get_mut(&p) {
-                    entry.crashed = true;
-                }
+                let Some(idx) = self.idx_of(p) else {
+                    return;
+                };
+                self.nodes[idx as usize].crashed = true;
                 // Messages still in p's send pipeline (departure after the
                 // crash instant) never make it onto the wire.
                 let now = self.now;
@@ -374,7 +462,9 @@ impl<N: SimNode> Sim<N> {
                     .queue
                     .drain()
                     .filter(|ev| match &ev.kind {
-                        EventKind::Deliver { src, departed, .. } => !(*src == p && *departed > now),
+                        EventKind::Deliver { src, departed, .. } => {
+                            !(*src == idx && *departed > now)
+                        }
                         _ => true,
                     })
                     .collect();
@@ -384,13 +474,16 @@ impl<N: SimNode> Sim<N> {
             EventKind::SetPartition(spec, mode) => {
                 self.partition = spec;
                 self.partition_mode = mode;
+                for entry in &mut self.nodes {
+                    entry.block = partition_block(&self.partition, entry.id);
+                }
                 if self.partition.is_trivial() {
                     return;
                 }
                 // In-flight messages crossing the new cut are lost (Loss)
                 // or parked until heal (Delay).
                 let mut kept: Vec<Event<N>> = Vec::with_capacity(self.queue.len());
-                let mut crossing: Vec<(Instant, u64, ProcessId, ProcessId, Instant, N::Msg)> =
+                let mut crossing: Vec<(Instant, u64, NodeIdx, NodeIdx, Instant, N::Msg)> =
                     Vec::new();
                 for ev in self.queue.drain() {
                     match ev.kind {
@@ -399,7 +492,7 @@ impl<N: SimNode> Sim<N> {
                             dst,
                             departed,
                             msg,
-                        } if !self.partition.connected(src, dst) => {
+                        } if self.nodes[src as usize].block != self.nodes[dst as usize].block => {
                             crossing.push((ev.at, ev.seq, src, dst, departed, msg));
                         }
                         kind => kept.push(Event { kind, ..ev }),
@@ -412,8 +505,9 @@ impl<N: SimNode> Sim<N> {
                         PartitionMode::Loss => self.stats.dropped_partition += 1,
                         PartitionMode::Delay => {
                             self.stats.parked += 1;
+                            let key = (self.nodes[src as usize].id, self.nodes[dst as usize].id);
                             self.parked
-                                .entry((src, dst))
+                                .entry(key)
                                 .or_default()
                                 .push_back((departed, msg));
                         }
@@ -425,10 +519,18 @@ impl<N: SimNode> Sim<N> {
             }
             EventKind::Heal => {
                 self.partition = PartitionSpec::connected_all();
+                for entry in &mut self.nodes {
+                    entry.block = BLOCK_RESIDUAL;
+                }
                 let parked = std::mem::take(&mut self.parked);
-                for ((src, dst), queue) in parked {
+                for ((src_id, dst_id), queue) in parked {
+                    let link = match (self.idx_of(src_id), self.idx_of(dst_id)) {
+                        (Some(s), Some(d)) => Some((s, d)),
+                        _ => None, // destination never existed; keep RNG parity
+                    };
                     for (departed, msg) in queue {
                         let arrival = self.now + self.config.latency.sample(&mut self.rng);
+                        let Some((src, dst)) = link else { continue };
                         let arrival = self.clamp_fifo(src, dst, arrival);
                         self.push(
                             arrival,
@@ -443,39 +545,51 @@ impl<N: SimNode> Sim<N> {
                 }
             }
             EventKind::Call(p, f) => {
-                let Some(entry) = self.nodes.get_mut(&p) else {
+                let Some(idx) = self.idx_of(p) else {
                     return;
                 };
-                if entry.crashed {
+                if self.nodes[idx as usize].crashed {
                     return;
                 }
-                let mut out = Outbox::new();
-                f(&mut entry.node, &mut out);
-                self.flush_outbox(p, out);
-                self.refresh_wake(p);
+                let mut out = self.take_outbox();
+                f(&mut self.nodes[idx as usize].node, &mut out);
+                self.flush_outbox(idx, &mut out);
+                self.recycle_outbox(out);
+                self.refresh_wake(idx);
             }
         }
     }
 
-    fn clamp_fifo(&mut self, src: ProcessId, dst: ProcessId, arrival: Instant) -> Instant {
-        let last = self.last_arrival.entry((src, dst)).or_insert(Instant::ZERO);
-        let clamped = if arrival <= *last {
-            *last + Span::from_micros(1)
+    fn clamp_fifo(&mut self, src: NodeIdx, dst: NodeIdx, arrival: Instant) -> Instant {
+        let n = self.nodes.len();
+        let cell = &mut self.last_arrival[src as usize * n + dst as usize];
+        let clamped = if arrival <= *cell {
+            *cell + Span::from_micros(1)
         } else {
             arrival
         };
-        *last = clamped;
+        *cell = clamped;
         clamped
     }
 
-    fn flush_outbox(&mut self, src: ProcessId, out: Outbox<N::Msg>) {
-        for (i, (dst, msg)) in out.sends.into_iter().enumerate() {
+    fn flush_outbox(&mut self, src: NodeIdx, out: &mut Outbox<N::Msg>) {
+        let mut sends = std::mem::take(&mut out.sends);
+        let src_block = self.nodes[src as usize].block;
+        for (i, (dst_id, msg)) in sends.drain(..).enumerate() {
             let departed = self.now + self.config.send_overhead.saturating_mul(i as u64 + 1);
             self.stats.sent += 1;
             if let Some(sizer) = &self.sizer {
                 self.stats.bytes_sent += sizer(&msg) as u64;
             }
-            if !self.partition.connected(src, dst) {
+            // A destination that was never added still goes through the
+            // partition check and latency draw (and then vanishes), so the
+            // RNG stream matches the map-based engine byte for byte.
+            let dst = self.idx_of(dst_id);
+            let dst_block = match dst {
+                Some(d) => self.nodes[d as usize].block,
+                None => partition_block(&self.partition, dst_id),
+            };
+            if src_block != dst_block {
                 match self.partition_mode {
                     PartitionMode::Loss => {
                         self.stats.dropped_partition += 1;
@@ -483,8 +597,9 @@ impl<N: SimNode> Sim<N> {
                     }
                     PartitionMode::Delay => {
                         self.stats.parked += 1;
+                        let key = (self.nodes[src as usize].id, dst_id);
                         self.parked
-                            .entry((src, dst))
+                            .entry(key)
                             .or_default()
                             .push_back((departed, msg));
                         continue;
@@ -492,6 +607,7 @@ impl<N: SimNode> Sim<N> {
                 }
             }
             let arrival = departed + self.config.latency.sample(&mut self.rng);
+            let Some(dst) = dst else { continue };
             let arrival = self.clamp_fifo(src, dst, arrival);
             self.push(
                 arrival,
@@ -503,12 +619,11 @@ impl<N: SimNode> Sim<N> {
                 },
             );
         }
+        out.sends = sends;
     }
 
-    fn refresh_wake(&mut self, id: ProcessId) {
-        let Some(entry) = self.nodes.get_mut(&id) else {
-            return;
-        };
+    fn refresh_wake(&mut self, idx: NodeIdx) {
+        let entry = &mut self.nodes[idx as usize];
         if entry.crashed {
             return;
         }
@@ -532,9 +647,17 @@ impl<N: SimNode> Sim<N> {
                 entry.wake_epoch += 1;
                 entry.wake_at = Some(d);
                 let epoch = entry.wake_epoch;
-                self.push(d, EventKind::Wake { node: id, epoch });
+                self.push(d, EventKind::Wake { node: idx, epoch });
             }
         }
+    }
+}
+
+/// `p`'s connectivity block under `spec` (see [`NodeEntry::block`]).
+fn partition_block(spec: &PartitionSpec, p: ProcessId) -> u32 {
+    match spec.block_of(p) {
+        Some(b) => b as u32,
+        None => BLOCK_RESIDUAL,
     }
 }
 
@@ -799,5 +922,56 @@ mod tests {
         });
         sim.run_until(Instant::from_micros(10_000));
         assert_eq!(sim.stats().bytes_sent, 22);
+    }
+
+    #[test]
+    fn nodes_added_out_of_id_order_keep_id_ordered_iteration() {
+        let mut sim: Sim<Recorder> = Sim::new(NetConfig::new(12));
+        sim.add_node(p(3), Recorder::new());
+        sim.add_node(p(1), Recorder::new());
+        sim.add_node(p(2), Recorder::new());
+        let ids: Vec<u32> = sim.nodes().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        sim.schedule_call(Instant::ZERO, p(3), |_, out| {
+            out.send(p(1), 7);
+            out.send(p(2), 8);
+        });
+        sim.run_until(Instant::from_micros(10_000));
+        assert_eq!(sim.node(p(1)).unwrap().seen.len(), 1);
+        assert_eq!(sim.node(p(2)).unwrap().seen.len(), 1);
+        assert_eq!(sim.fifo_state_entries(), 9);
+    }
+
+    #[test]
+    fn fifo_state_stays_bounded_across_heal_partition_cycles() {
+        // Regression: `last_arrival` was an unbounded `HashMap` that grew an
+        // entry per ever-used link and was never pruned across heal/depart
+        // cycles. The dense matrix must hold exactly n² entries forever.
+        let mut sim = two_node_sim(13, LatencyModel::Fixed(Span::from_micros(200)));
+        let n2 = sim.fifo_state_entries();
+        assert_eq!(n2, 4);
+        let mut t = 1_000u64;
+        for cycle in 0..200u64 {
+            sim.schedule_partition(
+                Instant::from_micros(t),
+                PartitionSpec::split([p(1)]),
+                PartitionMode::Delay,
+            );
+            sim.schedule_call(Instant::from_micros(t + 100), p(1), move |_, out| {
+                out.send(p(2), cycle);
+            });
+            sim.schedule_call(Instant::from_micros(t + 100), p(2), move |_, out| {
+                out.send(p(1), cycle);
+            });
+            sim.schedule_heal(Instant::from_micros(t + 500));
+            t += 1_000;
+        }
+        sim.run_until(Instant::from_micros(t + 100_000));
+        assert_eq!(sim.node(p(2)).unwrap().seen.len(), 200);
+        assert_eq!(
+            sim.fifo_state_entries(),
+            n2,
+            "per-link FIFO state must not grow across partition/heal cycles"
+        );
     }
 }
