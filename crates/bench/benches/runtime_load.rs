@@ -1,0 +1,74 @@
+//! End-to-end throughput of the real-time runtime hosts.
+//!
+//! Each benchmark times one complete closed-loop load run that stops after
+//! a fixed number of member deliveries, so ns/iter is directly
+//! comparable across hosts and PRs: `delivered msgs/sec =
+//! DELIVERIES / (ns_per_iter * 1e-9)`. The `sharded/*` entries measure the
+//! PR 5 sharded event-loop host (framed wire transport included); the
+//! `thread_per_process/*` entry is the frozen seed baseline
+//! (`newtop_runtime::legacy`) on the identical workload — the committed
+//! snapshot pins the ≥2× separation at 32 nodes.
+//!
+//! The workload (32 nodes / 4 groups / window 8, and 8 nodes / 3 groups /
+//! window 8) matches `newtop-exp load --window 8`; see DESIGN.md §7
+//! "Runtime throughput".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use newtop_harness::loadgen::{run_load, HostKind, LoadConfig};
+
+/// Member deliveries per timed run at 32 nodes (~12.5k multicasts).
+const DELIVERIES_32: u64 = 100_000;
+/// Member deliveries per timed run at 8 nodes.
+const DELIVERIES_8: u64 = 50_000;
+
+fn cfg(host: HostKind, nodes: u32, groups: u32, target: u64) -> LoadConfig {
+    LoadConfig {
+        nodes,
+        groups,
+        window: 8,
+        host,
+        // Safety cap only: the delivery target stops the run long before.
+        secs: 120.0,
+        target_deliveries: Some(target),
+        ..LoadConfig::default()
+    }
+}
+
+fn run_to_target(config: &LoadConfig, target: u64) {
+    let report = run_load(config).expect("load run completes");
+    assert!(
+        report.delivered >= target,
+        "run stopped at {} of {target} deliveries",
+        report.delivered
+    );
+    assert_eq!(
+        report.view_changes, 0,
+        "host starved a node past Omega mid-bench"
+    );
+}
+
+fn bench_runtime_load(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime_load");
+    g.bench_function("sharded/32n4g", |b| {
+        b.iter(|| {
+            run_to_target(&cfg(HostKind::Sharded, 32, 4, DELIVERIES_32), DELIVERIES_32);
+        });
+    });
+    g.bench_function("thread_per_process/32n4g", |b| {
+        b.iter(|| {
+            run_to_target(
+                &cfg(HostKind::ThreadPerProcess, 32, 4, DELIVERIES_32),
+                DELIVERIES_32,
+            );
+        });
+    });
+    g.bench_function("sharded/8n3g", |b| {
+        b.iter(|| {
+            run_to_target(&cfg(HostKind::Sharded, 8, 3, DELIVERIES_8), DELIVERIES_8);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_runtime_load);
+criterion_main!(benches);

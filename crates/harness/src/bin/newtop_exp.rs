@@ -11,6 +11,9 @@
 //! newtop-exp chaos --seeds 0..100000 --budget-secs 3000   # nightly sweep
 //! newtop-exp chaos --replay file.chaos     # replay a committed script
 //! newtop-exp chaos --pin 42 --out f.chaos  # pin a seed as a replay script
+//!
+//! newtop-exp load --nodes 32 --groups 4 --secs 5          # runtime load test
+//! newtop-exp load --nodes 32 --host threads               # seed-host baseline
 //! ```
 //!
 //! A failing chaos seed is delta-debugged to a minimal fault schedule and
@@ -18,8 +21,10 @@
 //! the process exits nonzero.
 
 use newtop_harness::chaos::{delivery_count, shrink, ChaosPlan, ChaosScenario};
+use newtop_harness::loadgen::{run_load, HostKind, LoadConfig};
 use newtop_harness::sweep::{run_chaos_seed, sweep_seeds, SweepConfig};
 use newtop_harness::{experiments, history_hash};
+use newtop_types::{OrderMode, Span};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -27,6 +32,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("chaos") {
         return chaos_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("load") {
+        return load_main(&args[1..]);
     }
     let quick = args.iter().any(|a| a == "--quick");
     let list = args.iter().any(|a| a == "--list");
@@ -38,7 +46,7 @@ fn main() -> ExitCode {
     let registry = experiments::all();
     if list || (selected.is_empty()) {
         eprintln!(
-            "usage: newtop-exp [--quick] (all | <id>...)\n       newtop-exp chaos --help\n\nexperiments:"
+            "usage: newtop-exp [--quick] (all | <id>...)\n       newtop-exp chaos --help\n       newtop-exp load --help\n\nexperiments:"
         );
         for (id, desc, _) in &registry {
             eprintln!("  {id:<4} {desc}");
@@ -360,6 +368,166 @@ fn chaos_replay(file: &str, dump: bool) -> ExitCode {
         }
         ExitCode::FAILURE
     }
+}
+
+const LOAD_USAGE: &str = "usage:
+  newtop-exp load [options]        closed-loop runtime load test
+
+options:
+  --nodes N          protocol participants (default 8)
+  --groups G         groups; node i joins group (i-1) mod G (default 3)
+  --shards S         worker shards for the sharded host
+                     (default: available parallelism)
+  --secs T           sending duration in seconds, fractions ok (default 2)
+  --mode sym|asym    ordering variant for every group (default sym)
+  --payload B        application payload bytes, >= 8 (default 64)
+  --window W         closed-loop in-flight messages per group (default 16)
+  --host sharded|threads
+                     host under test: the sharded event-loop host or the
+                     frozen thread-per-process baseline (default sharded)
+  --omega-ms MS      time-silence interval omega (default 25)
+  --big-omega-ms MS  suspicion timeout Omega (default 10000)";
+
+fn parse_load_args(args: &[String]) -> Result<LoadConfig, String> {
+    let mut cfg = LoadConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--nodes" => {
+                cfg.nodes = val("--nodes")?
+                    .parse::<u32>()
+                    .map_err(|_| "bad --nodes".to_string())?;
+            }
+            "--groups" => {
+                cfg.groups = val("--groups")?
+                    .parse::<u32>()
+                    .map_err(|_| "bad --groups".to_string())?;
+            }
+            "--shards" => {
+                cfg.shards = val("--shards")?
+                    .parse::<usize>()
+                    .map_err(|_| "bad --shards".to_string())?;
+            }
+            "--secs" => {
+                cfg.secs = val("--secs")?
+                    .parse::<f64>()
+                    .map_err(|_| "bad --secs".to_string())?;
+            }
+            "--mode" => {
+                cfg.mode = match val("--mode")?.as_str() {
+                    "sym" => OrderMode::Symmetric,
+                    "asym" => OrderMode::Asymmetric,
+                    other => return Err(format!("bad --mode {other} (sym|asym)")),
+                };
+            }
+            "--payload" => {
+                cfg.payload = val("--payload")?
+                    .parse::<usize>()
+                    .map_err(|_| "bad --payload".to_string())?;
+            }
+            "--window" => {
+                cfg.window = val("--window")?
+                    .parse::<u32>()
+                    .map_err(|_| "bad --window".to_string())?;
+            }
+            "--host" => {
+                cfg.host = match val("--host")?.as_str() {
+                    "sharded" => HostKind::Sharded,
+                    "threads" => HostKind::ThreadPerProcess,
+                    other => return Err(format!("bad --host {other} (sharded|threads)")),
+                };
+            }
+            "--omega-ms" => {
+                cfg.omega = Span::from_millis(
+                    val("--omega-ms")?
+                        .parse::<u64>()
+                        .map_err(|_| "bad --omega-ms".to_string())?,
+                );
+            }
+            "--big-omega-ms" => {
+                cfg.big_omega = Span::from_millis(
+                    val("--big-omega-ms")?
+                        .parse::<u64>()
+                        .map_err(|_| "bad --big-omega-ms".to_string())?,
+                );
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown load option {other}")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn load_main(args: &[String]) -> ExitCode {
+    let cfg = match parse_load_args(args) {
+        Ok(c) => c,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{LOAD_USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let host_name = match cfg.host {
+        HostKind::Sharded => "sharded",
+        HostKind::ThreadPerProcess => "threads",
+    };
+    let mode_name = match cfg.mode {
+        OrderMode::Symmetric => "sym",
+        OrderMode::Asymmetric => "asym",
+    };
+    eprintln!(
+        "load: host={host_name} nodes={} groups={} mode={mode_name} payload={}B window={}/group secs={}",
+        cfg.nodes, cfg.groups, cfg.payload, cfg.window, cfg.secs
+    );
+    let report = match run_load(&cfg) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "load [{host_name}] {} nodes / {} groups / {} shard(s), {mode_name}: \
+         {} sent, {} delivered in {:.2}s => {:.0} msgs/sec delivered",
+        cfg.nodes,
+        cfg.groups,
+        report.shards_used,
+        report.sent,
+        report.delivered,
+        report.elapsed.as_secs_f64(),
+        report.delivered_per_sec(),
+    );
+    println!(
+        "load latency (multicast -> member delivery): p50 {:.2} ms, p99 {:.2} ms",
+        report.p50_us as f64 / 1000.0,
+        report.p99_us as f64 / 1000.0,
+    );
+    if let Some(wire) = report.wire {
+        println!(
+            "load wire: {} frames, {:.2} MB exact ({:.2} MB/s)",
+            wire.frames,
+            wire.bytes as f64 / 1e6,
+            wire.bytes as f64 / 1e6 / report.elapsed.as_secs_f64().max(1e-9),
+        );
+    }
+    if report.view_changes > 0 {
+        eprintln!(
+            "load: WARNING: {} view change(s) mid-run — the host starved a node past Omega",
+            report.view_changes
+        );
+    }
+    if report.delivered == 0 {
+        eprintln!("load: no deliveries — treat as failure");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 fn chaos_pin(parsed: &ChaosArgs, seed: u64) -> ExitCode {

@@ -19,6 +19,10 @@
 //!   shrinking (`newtop-exp chaos`);
 //! * [`sweep`] — work-stealing parallel seed sweeps with deterministic
 //!   (worker-count-independent) aggregation;
+//! * [`loadgen`] — closed-loop wall-clock load generation against the
+//!   real-time runtime host (`newtop-exp load`): delivered msgs/sec and
+//!   end-to-end latency percentiles, for both the sharded host and the
+//!   thread-per-process baseline;
 //! * [`experiments`] — E1–E10, one per claim (see DESIGN.md §4), each
 //!   printing the table EXPERIMENTS.md records;
 //! * [`table`] — plain-text aligned table rendering.
@@ -33,6 +37,7 @@ pub mod checker;
 pub mod cluster;
 pub mod experiments;
 pub mod history;
+pub mod loadgen;
 pub mod sweep;
 pub mod table;
 pub mod workload;
@@ -41,5 +46,6 @@ pub use chaos::{history_hash, ChaosPlan, ChaosScenario};
 pub use checker::{check_all, CheckOptions, Violation};
 pub use cluster::SimCluster;
 pub use history::{History, HistoryEvent, MessageId};
+pub use loadgen::{run_load, HostKind, LoadConfig, LoadReport};
 pub use sweep::{run_chaos_seed, sweep_seeds, SeedOutcome, SweepConfig, SweepReport};
 pub use table::Table;

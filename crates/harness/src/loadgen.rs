@@ -1,0 +1,498 @@
+//! Closed-loop load generation against the real-time runtime host.
+//!
+//! Where the chaos fleet measures *correctness coverage* (seeds/sec
+//! through the simulator), this module measures *host throughput*: a
+//! multi-group closed-loop workload against the wall-clock runtime, in
+//! delivered messages per second plus end-to-end (multicast call →
+//! member delivery) latency percentiles.
+//!
+//! The workload is closed-loop per group: `window` application messages
+//! are kept in flight, a new multicast is issued only when one of ours is
+//! delivered at the group's ack node, and senders rotate round-robin
+//! through the membership so every member keeps talking (which is what
+//! drives the symmetric protocol's deliverability bound forward without
+//! waiting for ω nulls). Each payload carries its send timestamp, so
+//! every member delivery yields one latency sample.
+//!
+//! Both hosts are drivable — the sharded event-loop host and the frozen
+//! thread-per-process baseline ([`newtop_runtime::legacy`]) — so a single
+//! binary A/Bs the two schedulers: `newtop-exp load --host sharded` vs
+//! `--host threads`.
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use newtop_runtime::{legacy, Cluster, Output, WireStats};
+use newtop_types::{GroupConfig, GroupId, OrderMode, ProcessId, SendError, Span};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Which runtime host to drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostKind {
+    /// The sharded event-loop host (`newtop_runtime::Cluster`).
+    Sharded,
+    /// The frozen thread-per-process baseline (`newtop_runtime::legacy`).
+    ThreadPerProcess,
+}
+
+/// Parameters of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Protocol participants (numbered 1..=nodes).
+    pub nodes: u32,
+    /// Groups; node `i` joins group `(i-1) % groups`.
+    pub groups: u32,
+    /// Worker shards for the sharded host (`0` = available parallelism).
+    pub shards: usize,
+    /// Wall-clock sending budget.
+    pub secs: f64,
+    /// Ordering variant every group runs.
+    pub mode: OrderMode,
+    /// Application payload size in bytes (≥ 8; carries the timestamp).
+    pub payload: usize,
+    /// Closed-loop window: messages kept in flight per group.
+    pub window: u32,
+    /// Host under test.
+    pub host: HostKind,
+    /// Time-silence interval ω for every group.
+    pub omega: Span,
+    /// Suspicion timeout Ω (generous: a suspicion mid-run means the
+    /// scheduler starved a node, which the report surfaces).
+    pub big_omega: Span,
+    /// Stop as soon as this many member deliveries were observed (bench
+    /// mode); `None` = run the full `secs`.
+    pub target_deliveries: Option<u64>,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            nodes: 8,
+            groups: 3,
+            shards: 0,
+            secs: 2.0,
+            mode: OrderMode::Symmetric,
+            payload: 64,
+            window: 16,
+            host: HostKind::Sharded,
+            omega: Span::from_millis(25),
+            big_omega: Span::from_secs(10),
+            target_deliveries: None,
+        }
+    }
+}
+
+/// Aggregated result of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Multicasts accepted by the engines.
+    pub sent: u64,
+    /// Member deliveries observed (each multicast delivers once per
+    /// member, sender included).
+    pub delivered: u64,
+    /// Wall-clock from start until delivery counting stopped.
+    pub elapsed: Duration,
+    /// Median multicast→delivery latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile multicast→delivery latency, microseconds.
+    pub p99_us: u64,
+    /// View changes observed (0 in a healthy run; >0 means the host
+    /// starved someone past Ω).
+    pub view_changes: u64,
+    /// Exact wire accounting (sharded host only — the baseline never
+    /// serializes, which is part of what it gets wrong).
+    pub wire: Option<WireStats>,
+    /// Shards actually used (1 for the baseline: irrelevant there).
+    pub shards_used: usize,
+}
+
+impl LoadReport {
+    /// Delivered messages per second.
+    #[must_use]
+    pub fn delivered_per_sec(&self) -> f64 {
+        self.delivered as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Minimal host surface the driver needs; implemented by both runtimes.
+trait Host: Sync {
+    fn multicast(&self, node: ProcessId, group: GroupId, payload: Bytes) -> Result<(), SendError>;
+    fn output_rx(&self, node: ProcessId) -> Receiver<Output>;
+    fn wire_stats(&self) -> Option<WireStats>;
+    fn shards_used(&self) -> usize;
+}
+
+impl Host for newtop_runtime::RunningCluster {
+    fn multicast(&self, node: ProcessId, group: GroupId, payload: Bytes) -> Result<(), SendError> {
+        self.node(node)
+            .ok_or(SendError::NotMember { group })?
+            .multicast(group, payload)
+    }
+    fn output_rx(&self, node: ProcessId) -> Receiver<Output> {
+        self.node(node).expect("known node").outputs().clone()
+    }
+    fn wire_stats(&self) -> Option<WireStats> {
+        Some(self.wire_stats())
+    }
+    fn shards_used(&self) -> usize {
+        self.shard_count()
+    }
+}
+
+impl Host for legacy::RunningCluster {
+    fn multicast(&self, node: ProcessId, group: GroupId, payload: Bytes) -> Result<(), SendError> {
+        self.node(node)
+            .ok_or(SendError::NotMember { group })?
+            .multicast(group, payload)
+    }
+    fn output_rx(&self, node: ProcessId) -> Receiver<Output> {
+        self.node(node).expect("known node").outputs().clone()
+    }
+    fn wire_stats(&self) -> Option<WireStats> {
+        None
+    }
+    fn shards_used(&self) -> usize {
+        1
+    }
+}
+
+fn group_members(cfg: &LoadConfig, g: u32) -> Vec<ProcessId> {
+    (1..=cfg.nodes)
+        .filter(|i| (i - 1) % cfg.groups == g)
+        .map(ProcessId)
+        .collect()
+}
+
+fn group_config(cfg: &LoadConfig) -> GroupConfig {
+    GroupConfig::new(cfg.mode)
+        .with_omega(cfg.omega)
+        .with_big_omega(cfg.big_omega)
+}
+
+/// Builds the payload: 8-byte little-endian send timestamp (µs since the
+/// run epoch), padded to the configured size.
+fn make_payload(epoch: Instant, size: usize) -> Bytes {
+    #[allow(clippy::cast_possible_truncation)]
+    let t = epoch.elapsed().as_micros() as u64;
+    let mut buf = vec![0u8; size.max(8)];
+    buf[..8].copy_from_slice(&t.to_le_bytes());
+    Bytes::from(buf)
+}
+
+fn read_timestamp(payload: &[u8]) -> Option<u64> {
+    payload.get(..8).map(|b| {
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        u64::from_le_bytes(a)
+    })
+}
+
+struct Shared {
+    epoch: Instant,
+    stop_sending: AtomicBool,
+    stop_all: AtomicBool,
+    sent: AtomicU64,
+    delivered: AtomicU64,
+    view_changes: AtomicU64,
+    latencies: Mutex<Vec<u64>>,
+}
+
+/// One node's output drain: counts deliveries, samples latency, and
+/// feeds the closed loop (a token per delivery observed at the group's
+/// ack node).
+fn collector(shared: &Shared, rx: &Receiver<Output>, ack_for: &[(GroupId, Sender<()>)]) {
+    let mut local: Vec<u64> = Vec::new();
+    loop {
+        match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(Output::Delivery(d)) => {
+                shared.delivered.fetch_add(1, Ordering::Relaxed);
+                if let Some(t_send) = read_timestamp(&d.payload) {
+                    #[allow(clippy::cast_possible_truncation)]
+                    let now = shared.epoch.elapsed().as_micros() as u64;
+                    local.push(now.saturating_sub(t_send));
+                }
+                if let Some((_, tx)) = ack_for.iter().find(|(g, _)| *g == d.group) {
+                    let _ = tx.send(());
+                }
+            }
+            Ok(Output::ViewChange { .. }) => {
+                shared.view_changes.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(_) => {}
+            Err(_) => {
+                // Timeout or disconnect: check for the end of the run.
+                if shared.stop_all.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+        }
+    }
+    shared
+        .latencies
+        .lock()
+        .expect("collector lock")
+        .extend(local);
+}
+
+/// One group's closed-loop driver: primes `window` messages, then sends
+/// one more per ack token until told to stop.
+fn driver<H: Host>(
+    shared: &Shared,
+    host: &H,
+    cfg: &LoadConfig,
+    group: GroupId,
+    members: &[ProcessId],
+    tokens: &Receiver<()>,
+) {
+    let mut next = 0usize;
+    let send_one = |next: &mut usize| -> bool {
+        let sender = members[*next % members.len()];
+        *next += 1;
+        match host.multicast(sender, group, make_payload(shared.epoch, cfg.payload)) {
+            Ok(()) => {
+                shared.sent.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(_) => false, // membership churn: stop driving this group
+        }
+    };
+    for _ in 0..cfg.window {
+        if !send_one(&mut next) {
+            return;
+        }
+    }
+    while !shared.stop_sending.load(Ordering::Relaxed) {
+        // A recv timeout just re-checks the stop flag.
+        if tokens.recv_timeout(Duration::from_millis(10)).is_ok()
+            && (shared.stop_sending.load(Ordering::Relaxed) || !send_one(&mut next))
+        {
+            return;
+        }
+    }
+}
+
+fn run_on<H: Host>(host: &H, cfg: &LoadConfig) -> LoadReport {
+    let shared = Shared {
+        epoch: Instant::now(),
+        stop_sending: AtomicBool::new(false),
+        stop_all: AtomicBool::new(false),
+        sent: AtomicU64::new(0),
+        delivered: AtomicU64::new(0),
+        view_changes: AtomicU64::new(0),
+        latencies: Mutex::new(Vec::new()),
+    };
+    let mut token_txs: Vec<(GroupId, Sender<()>)> = Vec::new();
+    let mut token_rxs: Vec<(GroupId, Receiver<()>)> = Vec::new();
+    for g in 0..cfg.groups {
+        let gid = GroupId(g + 1);
+        let (tx, rx) = unbounded();
+        token_txs.push((gid, tx));
+        token_rxs.push((gid, rx));
+    }
+    let deadline = shared.epoch + Duration::from_secs_f64(cfg.secs);
+    let mut elapsed = Duration::ZERO;
+    let mut sent_at_cut = 0u64;
+    let mut delivered_at_cut = 0u64;
+    let mut wire_at_cut = None;
+    std::thread::scope(|scope| {
+        // Collectors: one per node; the group ack token is routed through
+        // the group's first member only (one token per multicast).
+        for i in 1..=cfg.nodes {
+            let node = ProcessId(i);
+            let rx = host.output_rx(node);
+            let acks: Vec<(GroupId, Sender<()>)> = (0..cfg.groups)
+                .filter(|g| group_members(cfg, *g).first() == Some(&node))
+                .map(|g| token_txs[g as usize].clone())
+                .collect();
+            let shared = &shared;
+            scope.spawn(move || collector(shared, &rx, &acks));
+        }
+        // Drivers: one per group.
+        for (gid, rx) in &token_rxs {
+            let members = group_members(cfg, gid.0 - 1);
+            let shared = &shared;
+            scope.spawn(move || driver(shared, host, cfg, *gid, &members, rx));
+        }
+        // Conductor: watch for the deadline or the delivery target.
+        loop {
+            std::thread::sleep(Duration::from_millis(2));
+            let hit_target = cfg
+                .target_deliveries
+                .is_some_and(|t| shared.delivered.load(Ordering::Relaxed) >= t);
+            if hit_target || Instant::now() >= deadline {
+                break;
+            }
+        }
+        shared.stop_sending.store(true, Ordering::Relaxed);
+        // Grace period so in-flight messages drain into the counters.
+        if cfg.target_deliveries.is_none() {
+            std::thread::sleep(Duration::from_millis(300));
+        }
+        // Freeze the measurement window and its counters at the same
+        // instant: deliveries the collectors drain while noticing
+        // `stop_all` (up to one 20 ms recv timeout later) must not count
+        // against an elapsed time that excludes them.
+        elapsed = shared.epoch.elapsed();
+        sent_at_cut = shared.sent.load(Ordering::Relaxed);
+        delivered_at_cut = shared.delivered.load(Ordering::Relaxed);
+        wire_at_cut = host.wire_stats();
+        shared.stop_all.store(true, Ordering::Relaxed);
+    });
+    let mut lat = std::mem::take(&mut *shared.latencies.lock().expect("final lock"));
+    lat.sort_unstable();
+    let pct = |p: usize| -> u64 {
+        if lat.is_empty() {
+            0
+        } else {
+            lat[(lat.len() * p / 100).min(lat.len() - 1)]
+        }
+    };
+    LoadReport {
+        sent: sent_at_cut,
+        delivered: delivered_at_cut,
+        elapsed,
+        p50_us: pct(50),
+        p99_us: pct(99),
+        view_changes: shared.view_changes.load(Ordering::Relaxed),
+        wire: wire_at_cut,
+        shards_used: host.shards_used(),
+    }
+}
+
+/// Runs one closed-loop load experiment and returns the aggregate.
+///
+/// # Errors
+///
+/// A human-readable message if the configuration is unsatisfiable.
+pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, String> {
+    if cfg.nodes == 0 || cfg.groups == 0 {
+        return Err("need at least one node and one group".into());
+    }
+    if cfg.groups > cfg.nodes {
+        return Err(format!(
+            "{} groups need at least as many nodes (got {})",
+            cfg.groups, cfg.nodes
+        ));
+    }
+    if cfg.payload < 8 {
+        return Err("payload must be at least 8 bytes (timestamp)".into());
+    }
+    if cfg.window == 0 {
+        return Err("window must be at least 1".into());
+    }
+    match cfg.host {
+        HostKind::Sharded => {
+            let mut cluster = Cluster::new();
+            for i in 1..=cfg.nodes {
+                cluster.add_process(ProcessId(i));
+            }
+            if cfg.shards > 0 {
+                cluster.shards(cfg.shards);
+            }
+            for g in 0..cfg.groups {
+                cluster
+                    .bootstrap_group(GroupId(g + 1), group_members(cfg, g), group_config(cfg))
+                    .map_err(|e| format!("bootstrap group {}: {e}", g + 1))?;
+            }
+            let running = cluster.start();
+            let report = run_on(&running, cfg);
+            running.shutdown();
+            Ok(report)
+        }
+        HostKind::ThreadPerProcess => {
+            let mut cluster = legacy::Cluster::new();
+            for i in 1..=cfg.nodes {
+                cluster.add_process(ProcessId(i));
+            }
+            for g in 0..cfg.groups {
+                cluster
+                    .bootstrap_group(GroupId(g + 1), group_members(cfg, g), group_config(cfg))
+                    .map_err(|e| format!("bootstrap group {}: {e}", g + 1))?;
+            }
+            let running = cluster.start();
+            let report = run_on(&running, cfg);
+            running.shutdown();
+            Ok(report)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A short symmetric run delivers traffic and reports sane numbers.
+    #[test]
+    fn short_symmetric_run_reports_throughput() {
+        let cfg = LoadConfig {
+            nodes: 4,
+            groups: 2,
+            secs: 0.5,
+            window: 4,
+            ..LoadConfig::default()
+        };
+        let report = run_load(&cfg).expect("load runs");
+        assert!(report.sent > 0, "no sends went through");
+        assert!(
+            report.delivered >= report.sent,
+            "every multicast delivers at every member: {} sent, {} delivered",
+            report.sent,
+            report.delivered
+        );
+        assert!(report.p50_us <= report.p99_us);
+        let wire = report.wire.expect("sharded host accounts wire bytes");
+        assert!(wire.frames > 0 && wire.bytes > wire.frames);
+    }
+
+    /// The baseline host runs the same workload (slower, unaccounted).
+    #[test]
+    fn thread_per_process_baseline_runs() {
+        let cfg = LoadConfig {
+            nodes: 4,
+            groups: 2,
+            secs: 0.4,
+            window: 4,
+            host: HostKind::ThreadPerProcess,
+            ..LoadConfig::default()
+        };
+        let report = run_load(&cfg).expect("baseline runs");
+        assert!(report.delivered > 0);
+        assert!(report.wire.is_none(), "baseline never serializes");
+    }
+
+    /// Asymmetric (sequencer) groups also sustain the closed loop.
+    #[test]
+    fn asymmetric_mode_runs() {
+        let cfg = LoadConfig {
+            nodes: 4,
+            groups: 1,
+            secs: 0.4,
+            window: 4,
+            mode: OrderMode::Asymmetric,
+            ..LoadConfig::default()
+        };
+        let report = run_load(&cfg).expect("asym load runs");
+        assert!(report.delivered > 0);
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        assert!(run_load(&LoadConfig {
+            nodes: 2,
+            groups: 3,
+            ..LoadConfig::default()
+        })
+        .is_err());
+        assert!(run_load(&LoadConfig {
+            payload: 4,
+            ..LoadConfig::default()
+        })
+        .is_err());
+        assert!(run_load(&LoadConfig {
+            window: 0,
+            ..LoadConfig::default()
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,396 @@
+//! The seed thread-per-process host, frozen as a measurement baseline.
+//!
+//! This is the original PR 1–4 runtime, kept byte-for-byte in behaviour:
+//! one OS thread per protocol participant, an unbounded in-memory
+//! `Envelope` channel mesh (the wire codec never runs), a fresh
+//! [`crossbeam::channel::after`] timer allocation on every loop iteration,
+//! and an `RwLock`-guarded linear partition scan per frame. The sharded
+//! host in the crate root replaces it; this module exists so
+//! `newtop-exp load --host threads` and the `runtime_load` bench group can
+//! A/B the two schedulers inside one binary. Do not grow features here —
+//! it is a baseline, not a host.
+
+use crate::Output;
+use bytes::Bytes;
+use crossbeam::channel::{after, bounded, never, unbounded, Receiver, Sender};
+use newtop_core::{Action, Delivery, GroupError, Process};
+use newtop_types::{Envelope, GroupConfig, GroupId, Instant, ProcessConfig, ProcessId, SendError};
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+enum Command {
+    Multicast {
+        group: GroupId,
+        payload: Bytes,
+        reply: Sender<Result<(), SendError>>,
+    },
+    Die,
+}
+
+type PartitionCtl = Arc<RwLock<Vec<BTreeSet<ProcessId>>>>;
+
+/// A frame in flight between nodes: (sender, payload) — in-memory, never
+/// serialized (the seed's transport).
+type Frame = (ProcessId, Envelope);
+
+fn connected(partition: &PartitionCtl, a: ProcessId, b: ProcessId) -> bool {
+    let blocks = partition.read();
+    let block_of = |p: ProcessId| blocks.iter().position(|blk| blk.contains(&p));
+    block_of(a) == block_of(b)
+}
+
+/// Thread-per-process cluster builder (baseline).
+#[derive(Default)]
+pub struct Cluster {
+    procs: BTreeMap<ProcessId, Process>,
+}
+
+impl Cluster {
+    /// An empty cluster builder.
+    #[must_use]
+    pub fn new() -> Cluster {
+        Cluster::default()
+    }
+
+    /// Adds a protocol participant.
+    pub fn add_process(&mut self, id: ProcessId) -> &mut Cluster {
+        self.procs
+            .entry(id)
+            .or_insert_with(|| Process::new(id, ProcessConfig::new()));
+        self
+    }
+
+    /// Statically installs a group at every listed member.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's [`GroupError`]; unknown members are
+    /// reported as [`GroupError::NotInMemberList`]. (Validated up front —
+    /// the seed's partial-install bug is not preserved in the baseline.)
+    pub fn bootstrap_group<I: IntoIterator<Item = ProcessId>>(
+        &mut self,
+        group: GroupId,
+        members: I,
+        config: GroupConfig,
+    ) -> Result<(), GroupError> {
+        let set: BTreeSet<ProcessId> = members.into_iter().collect();
+        config.validate().map_err(GroupError::Config)?;
+        if set.is_empty() {
+            return Err(GroupError::EmptyMembership);
+        }
+        for m in &set {
+            match self.procs.get(m) {
+                None => return Err(GroupError::NotInMemberList { group }),
+                Some(p) if p.is_member(group) => {
+                    return Err(GroupError::AlreadyExists { group });
+                }
+                Some(_) => {}
+            }
+        }
+        for m in &set {
+            let p = self.procs.get_mut(m).expect("validated above");
+            p.bootstrap_group(Instant::ZERO, group, &set, config)?;
+        }
+        Ok(())
+    }
+
+    /// Spawns one thread per process and returns the running cluster.
+    #[must_use]
+    pub fn start(self) -> RunningCluster {
+        let epoch = std::time::Instant::now();
+        let partition: PartitionCtl = Arc::new(RwLock::new(Vec::new()));
+        let mut inboxes: BTreeMap<ProcessId, (Sender<Frame>, Receiver<Frame>)> = BTreeMap::new();
+        for id in self.procs.keys() {
+            inboxes.insert(*id, unbounded());
+        }
+        let mesh: Arc<BTreeMap<ProcessId, Sender<Frame>>> = Arc::new(
+            inboxes
+                .iter()
+                .map(|(id, (tx, _))| (*id, tx.clone()))
+                .collect(),
+        );
+        let mut nodes = BTreeMap::new();
+        let mut threads = Vec::new();
+        for (id, process) in self.procs {
+            let (cmd_tx, cmd_rx) = unbounded::<Command>();
+            let (out_tx, out_rx) = unbounded::<Output>();
+            let inbox_rx = inboxes.get(&id).expect("inbox created").1.clone();
+            let mesh = Arc::clone(&mesh);
+            let partition = Arc::clone(&partition);
+            let thread = std::thread::Builder::new()
+                .name(format!("newtop-legacy-{id}"))
+                .spawn(move || {
+                    node_main(
+                        id, process, epoch, &inbox_rx, &cmd_rx, &out_tx, &mesh, &partition,
+                    );
+                })
+                .expect("spawn node thread");
+            nodes.insert(
+                id,
+                NodeHandle {
+                    id,
+                    cmd_tx,
+                    outputs: out_rx,
+                },
+            );
+            threads.push(thread);
+        }
+        RunningCluster { nodes, threads }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn node_main(
+    id: ProcessId,
+    mut process: Process,
+    epoch: std::time::Instant,
+    inbox: &Receiver<Frame>,
+    commands: &Receiver<Command>,
+    outputs: &Sender<Output>,
+    mesh: &BTreeMap<ProcessId, Sender<Frame>>,
+    partition: &PartitionCtl,
+) {
+    #[allow(clippy::cast_possible_truncation)]
+    let now = || Instant::from_micros(epoch.elapsed().as_micros() as u64);
+    loop {
+        // The seed's per-iteration timer allocation, preserved: a fresh
+        // `after()` channel every time around the loop.
+        let timer = match process.next_deadline() {
+            None => never(),
+            Some(d) => {
+                let current = now();
+                let wait = if d <= current {
+                    Duration::ZERO
+                } else {
+                    (d - current).to_duration()
+                };
+                after(wait)
+            }
+        };
+        let actions = crossbeam::channel::select! {
+            recv(inbox) -> msg => match msg {
+                Ok((from, env)) => process.handle(now(), from, env),
+                Err(_) => return, // cluster dropped
+            },
+            recv(commands) -> cmd => match cmd {
+                Ok(Command::Multicast { group, payload, reply }) => {
+                    match process.multicast(now(), group, payload) {
+                        Ok(actions) => {
+                            let _ = reply.send(Ok(()));
+                            actions
+                        }
+                        Err(e) => {
+                            let _ = reply.send(Err(e));
+                            Vec::new()
+                        }
+                    }
+                }
+                Ok(Command::Die) | Err(_) => return,
+            },
+            recv(timer) -> _ => process.tick(now()),
+        };
+        for action in actions {
+            match action {
+                Action::Send { to, envelope } => {
+                    if !connected(partition, id, to) {
+                        continue; // loss across the cut
+                    }
+                    if let Some(tx) = mesh.get(&to) {
+                        let _ = tx.send((id, envelope));
+                    }
+                }
+                Action::Deliver(d) => {
+                    let _ = outputs.send(Output::Delivery(d));
+                }
+                Action::ViewChange {
+                    group,
+                    view,
+                    signed,
+                } => {
+                    let _ = outputs.send(Output::ViewChange {
+                        group,
+                        view,
+                        signed,
+                    });
+                }
+                Action::GroupActive { group, view } => {
+                    let _ = outputs.send(Output::GroupActive { group, view });
+                }
+                Action::FormationFailed { group, reason } => {
+                    let _ = outputs.send(Output::FormationFailed { group, reason });
+                }
+                Action::Event(e) => {
+                    let _ = outputs.send(Output::Event(e));
+                }
+            }
+        }
+    }
+}
+
+/// Application-side handle to one baseline node.
+#[derive(Debug, Clone)]
+pub struct NodeHandle {
+    id: ProcessId,
+    cmd_tx: Sender<Command>,
+    outputs: Receiver<Output>,
+}
+
+impl NodeHandle {
+    /// The participant's identifier.
+    #[must_use]
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Requests an application multicast and waits for the engine's verdict.
+    ///
+    /// # Errors
+    ///
+    /// The engine's [`SendError`], or [`SendError::NotMember`] if the node
+    /// has terminated.
+    pub fn multicast(&self, group: GroupId, payload: Bytes) -> Result<(), SendError> {
+        let (reply, rx) = bounded(1);
+        if self
+            .cmd_tx
+            .send(Command::Multicast {
+                group,
+                payload,
+                reply,
+            })
+            .is_err()
+        {
+            return Err(SendError::NotMember { group });
+        }
+        rx.recv().unwrap_or(Err(SendError::NotMember { group }))
+    }
+
+    /// The stream of outputs (deliveries, view changes, events).
+    #[must_use]
+    pub fn outputs(&self) -> &Receiver<Output> {
+        &self.outputs
+    }
+
+    /// Waits up to `timeout` for the next application delivery, skipping
+    /// other outputs.
+    #[must_use]
+    pub fn await_delivery(&self, timeout: Duration) -> Option<Delivery> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let left = deadline.checked_duration_since(std::time::Instant::now())?;
+            match self.outputs.recv_timeout(left) {
+                Ok(Output::Delivery(d)) => return Some(d),
+                Ok(_) => continue,
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+/// A running baseline cluster.
+pub struct RunningCluster {
+    nodes: BTreeMap<ProcessId, NodeHandle>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl RunningCluster {
+    /// The handle for `id`.
+    #[must_use]
+    pub fn node(&self, id: ProcessId) -> Option<&NodeHandle> {
+        self.nodes.get(&id)
+    }
+
+    /// Iterates over all node handles.
+    pub fn nodes(&self) -> impl Iterator<Item = &NodeHandle> {
+        self.nodes.values()
+    }
+
+    /// Stops every node and joins the threads.
+    pub fn shutdown(mut self) {
+        for n in self.nodes.values() {
+            let _ = n.cmd_tx.send(Command::Die);
+        }
+        for t in std::mem::take(&mut self.threads) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for RunningCluster {
+    fn drop(&mut self) {
+        for n in self.nodes.values() {
+            let _ = n.cmd_tx.send(Command::Die);
+        }
+    }
+}
+
+impl std::fmt::Debug for RunningCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("legacy::RunningCluster")
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newtop_types::{OrderMode, Span};
+
+    /// The baseline shares the all-or-nothing bootstrap: a mid-set
+    /// `AlreadyExists` must not leave earlier members installed.
+    #[test]
+    fn baseline_bootstrap_is_all_or_nothing() {
+        let mut cluster = Cluster::new();
+        for i in 1..=3 {
+            cluster.add_process(ProcessId(i));
+        }
+        let g = GroupId(1);
+        cluster
+            .bootstrap_group(g, [ProcessId(2), ProcessId(3)], GroupConfig::default())
+            .unwrap();
+        // p1 sorts before the already-member p2: without pre-validation it
+        // would install g before the error surfaced.
+        assert!(matches!(
+            cluster.bootstrap_group(g, [ProcessId(1), ProcessId(2)], GroupConfig::default()),
+            Err(GroupError::AlreadyExists { .. })
+        ));
+        // p1 must have been left untouched, so installing g at it works.
+        cluster
+            .bootstrap_group(g, [ProcessId(1)], GroupConfig::default())
+            .expect("p1 must not hold a partial install");
+    }
+
+    #[test]
+    fn baseline_still_multicasts() {
+        let mut cluster = Cluster::new();
+        for i in 1..=3 {
+            cluster.add_process(ProcessId(i));
+        }
+        let g = GroupId(1);
+        cluster
+            .bootstrap_group(
+                g,
+                [ProcessId(1), ProcessId(2), ProcessId(3)],
+                GroupConfig::new(OrderMode::Symmetric)
+                    .with_omega(Span::from_millis(5))
+                    .with_big_omega(Span::from_millis(150)),
+            )
+            .unwrap();
+        let cluster = cluster.start();
+        cluster
+            .node(ProcessId(1))
+            .unwrap()
+            .multicast(g, Bytes::from_static(b"legacy"))
+            .unwrap();
+        let d = cluster
+            .node(ProcessId(3))
+            .unwrap()
+            .await_delivery(Duration::from_secs(10))
+            .expect("delivery");
+        assert_eq!(&d.payload[..], b"legacy");
+        cluster.shutdown();
+    }
+}

@@ -1,12 +1,21 @@
-//! Threaded real-time host for the Newtop protocol engine.
+//! Sharded real-time host for the Newtop protocol engine.
 //!
 //! The sans-IO [`newtop_core::Process`] needs a transport that is reliable
-//! and FIFO per ordered pair of processes (§3 of the paper). In-process
-//! [`crossbeam`] channels are exactly that, so this runtime runs one thread
-//! per protocol participant, connects every pair with a channel, drives
-//! timers off the wall clock, and exposes a small application API:
-//! multicast, depart, dynamic group formation, and a stream of outputs
-//! (deliveries, view changes, protocol events).
+//! and FIFO per ordered pair of processes (§3 of the paper). This host
+//! provides it with a **sharded event loop**: N worker threads (default:
+//! available parallelism) each own many protocol participants and drain a
+//! single MPSC inbox in batches. Messages between nodes travel as
+//! length-prefix-framed wire bytes — encoded once per multicast via
+//! [`newtop_types::wire::encode_into`], decoded at the receiving shard —
+//! so the wire codec runs at full speed on the hot path and byte
+//! accounting ([`RunningCluster::wire_stats`]) is exact. Per-shard timers
+//! live in a binary-heap deadline wheel; partition control is a versioned
+//! snapshot that costs one atomic load per batch.
+//!
+//! The application API — multicast, depart, dynamic group formation, and
+//! a stream of outputs (deliveries, view changes, protocol events) — is
+//! unchanged from the original thread-per-process host, which survives as
+//! [`legacy`] for A/B measurement (`newtop-exp load --host threads`).
 //!
 //! A shared partition control lets demos sever connectivity at runtime —
 //! messages crossing a cut are dropped, which models the paper's
@@ -44,17 +53,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod legacy;
+mod partition;
+mod shard;
+mod timer;
+mod transport;
+
+pub use transport::WireStats;
+
 use bytes::Bytes;
-use crossbeam::channel::{after, bounded, never, unbounded, Receiver, Sender};
-use newtop_core::{Action, Delivery, FormationFailure, GroupError, Process, ProtocolEvent};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use newtop_core::{Delivery, FormationFailure, GroupError, Process, ProtocolEvent};
 use newtop_types::{
-    Envelope, GroupConfig, GroupId, Instant, ProcessConfig, ProcessId, SendError, SignedView, View,
+    GroupConfig, GroupId, Instant, ProcessConfig, ProcessId, SendError, SignedView, View,
 };
-use parking_lot::RwLock;
+use partition::PartitionCtl;
+use shard::NodeSeed;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+use transport::{Router, ShardMsg};
 
 /// Everything a node reports to its application.
 #[derive(Debug, Clone)]
@@ -88,7 +107,7 @@ pub enum Output {
     Event(ProtocolEvent),
 }
 
-enum Command {
+pub(crate) enum Command {
     Multicast {
         group: GroupId,
         payload: Bytes,
@@ -107,22 +126,16 @@ enum Command {
     Die,
 }
 
-type PartitionCtl = Arc<RwLock<Vec<BTreeSet<ProcessId>>>>;
-
-/// A frame in flight between nodes: (sender, payload).
-type Frame = (ProcessId, Envelope);
-
-fn connected(partition: &PartitionCtl, a: ProcessId, b: ProcessId) -> bool {
-    let blocks = partition.read();
-    let block_of = |p: ProcessId| blocks.iter().position(|blk| blk.contains(&p));
-    block_of(a) == block_of(b)
+fn default_shards() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// A cluster under construction: processes and statically bootstrapped
-/// groups are configured before the threads start.
+/// groups are configured before the shard threads start.
 #[derive(Default)]
 pub struct Cluster {
     procs: BTreeMap<ProcessId, Process>,
+    shards: Option<usize>,
 }
 
 impl Cluster {
@@ -140,8 +153,18 @@ impl Cluster {
         self
     }
 
+    /// Sets the number of worker shards [`Cluster::start`] spawns
+    /// (clamped to the node count; default: available parallelism).
+    pub fn shards(&mut self, shards: usize) -> &mut Cluster {
+        self.shards = Some(shards.max(1));
+        self
+    }
+
     /// Statically installs a group at every listed member (paper §4
     /// bootstrap). All members must have been added.
+    ///
+    /// The full member set is validated **before** any process is touched:
+    /// either every member installs the group, or none does.
     ///
     /// # Errors
     ///
@@ -154,170 +177,86 @@ impl Cluster {
         config: GroupConfig,
     ) -> Result<(), GroupError> {
         let set: BTreeSet<ProcessId> = members.into_iter().collect();
+        // Validate everything the per-process install will check, across
+        // the whole set, before mutating anyone: a mid-iteration error
+        // must not leave earlier members bootstrapped (the seed host's
+        // partial-install bug).
+        config.validate().map_err(GroupError::Config)?;
+        if set.is_empty() {
+            return Err(GroupError::EmptyMembership);
+        }
         for m in &set {
-            let p = self
-                .procs
-                .get_mut(m)
-                .ok_or(GroupError::NotInMemberList { group })?;
+            match self.procs.get(m) {
+                None => return Err(GroupError::NotInMemberList { group }),
+                Some(p) if p.is_member(group) => {
+                    return Err(GroupError::AlreadyExists { group });
+                }
+                Some(_) => {}
+            }
+        }
+        for m in &set {
+            let p = self.procs.get_mut(m).expect("validated above");
             p.bootstrap_group(Instant::ZERO, group, &set, config)?;
         }
         Ok(())
     }
 
-    /// Spawns one thread per process and returns the running cluster.
+    /// Spawns the worker shards and returns the running cluster.
     #[must_use]
     pub fn start(self) -> RunningCluster {
         let epoch = std::time::Instant::now();
-        let partition: PartitionCtl = Arc::new(RwLock::new(Vec::new()));
-        let mut inboxes: BTreeMap<ProcessId, (Sender<Frame>, Receiver<Frame>)> = BTreeMap::new();
-        for id in self.procs.keys() {
-            inboxes.insert(*id, unbounded());
+        let partition = Arc::new(PartitionCtl::new());
+        let shard_count = self
+            .shards
+            .unwrap_or_else(default_shards)
+            .clamp(1, self.procs.len().max(1));
+        let mut inbox_txs: Vec<Sender<ShardMsg>> = Vec::with_capacity(shard_count);
+        let mut inbox_rxs: Vec<Receiver<ShardMsg>> = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            let (tx, rx) = unbounded();
+            inbox_txs.push(tx);
+            inbox_rxs.push(rx);
         }
-        let mesh: Arc<BTreeMap<ProcessId, Sender<Frame>>> = Arc::new(
-            inboxes
-                .iter()
-                .map(|(id, (tx, _))| (*id, tx.clone()))
-                .collect(),
-        );
+        let mut addrs: Vec<(ProcessId, u32)> = Vec::with_capacity(self.procs.len());
+        let mut per_shard: Vec<Vec<NodeSeed>> = (0..shard_count).map(|_| Vec::new()).collect();
         let mut nodes = BTreeMap::new();
-        let mut threads = Vec::new();
-        for (id, process) in self.procs {
-            let (cmd_tx, cmd_rx) = unbounded::<Command>();
+        for (i, (id, process)) in self.procs.into_iter().enumerate() {
+            let s = i % shard_count;
             let (out_tx, out_rx) = unbounded::<Output>();
-            let inbox_rx = inboxes.get(&id).expect("inbox created").1.clone();
-            let mesh = Arc::clone(&mesh);
-            let partition = Arc::clone(&partition);
-            let thread = std::thread::Builder::new()
-                .name(format!("newtop-{id}"))
-                .spawn(move || {
-                    node_main(
-                        id, process, epoch, inbox_rx, cmd_rx, out_tx, mesh, partition,
-                    );
-                })
-                .expect("spawn node thread");
+            #[allow(clippy::cast_possible_truncation)]
+            addrs.push((id, s as u32));
+            per_shard[s].push(NodeSeed {
+                id,
+                process,
+                outputs: out_tx,
+            });
             nodes.insert(
                 id,
                 NodeHandle {
                     id,
-                    cmd_tx,
+                    shard_tx: inbox_txs[s].clone(),
                     outputs: out_rx,
                 },
             );
+        }
+        let router = Arc::new(Router::new(addrs, inbox_txs));
+        let mut threads = Vec::with_capacity(shard_count);
+        for (s, seeds) in per_shard.into_iter().enumerate() {
+            let rx = inbox_rxs.remove(0);
+            let router = Arc::clone(&router);
+            let partition = Arc::clone(&partition);
+            let thread = std::thread::Builder::new()
+                .name(format!("newtop-shard-{s}"))
+                .spawn(move || shard::shard_main(seeds, epoch, &rx, router, partition))
+                .expect("spawn shard thread");
             threads.push(thread);
         }
         RunningCluster {
             nodes,
             threads,
             partition,
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn node_main(
-    id: ProcessId,
-    mut process: Process,
-    epoch: std::time::Instant,
-    inbox: Receiver<Frame>,
-    commands: Receiver<Command>,
-    outputs: Sender<Output>,
-    mesh: Arc<BTreeMap<ProcessId, Sender<Frame>>>,
-    partition: PartitionCtl,
-) {
-    let now = || Instant::from_micros(epoch.elapsed().as_micros() as u64);
-    loop {
-        let timer = match process.next_deadline() {
-            None => never(),
-            Some(d) => {
-                let current = now();
-                let wait = if d <= current {
-                    Duration::ZERO
-                } else {
-                    (d - current).to_duration()
-                };
-                after(wait)
-            }
-        };
-        let actions = crossbeam::channel::select! {
-            recv(inbox) -> msg => match msg {
-                Ok((from, env)) => process.handle(now(), from, env),
-                Err(_) => return, // cluster dropped
-            },
-            recv(commands) -> cmd => match cmd {
-                Ok(Command::Multicast { group, payload, reply }) => {
-                    match process.multicast(now(), group, payload) {
-                        Ok(actions) => {
-                            let _ = reply.send(Ok(()));
-                            actions
-                        }
-                        Err(e) => {
-                            let _ = reply.send(Err(e));
-                            Vec::new()
-                        }
-                    }
-                }
-                Ok(Command::Depart { group, reply }) => {
-                    match process.depart(now(), group) {
-                        Ok(actions) => {
-                            let _ = reply.send(Ok(()));
-                            actions
-                        }
-                        Err(e) => {
-                            let _ = reply.send(Err(e));
-                            Vec::new()
-                        }
-                    }
-                }
-                Ok(Command::Initiate { group, members, config, reply }) => {
-                    match process.initiate_group(now(), group, &members, config) {
-                        Ok(actions) => {
-                            let _ = reply.send(Ok(()));
-                            actions
-                        }
-                        Err(e) => {
-                            let _ = reply.send(Err(e));
-                            Vec::new()
-                        }
-                    }
-                }
-                Ok(Command::Die) | Err(_) => return,
-            },
-            recv(timer) -> _ => process.tick(now()),
-        };
-        for action in actions {
-            match action {
-                Action::Send { to, envelope } => {
-                    if !connected(&partition, id, to) {
-                        continue; // loss across the cut
-                    }
-                    if let Some(tx) = mesh.get(&to) {
-                        let _ = tx.send((id, envelope));
-                    }
-                }
-                Action::Deliver(d) => {
-                    let _ = outputs.send(Output::Delivery(d));
-                }
-                Action::ViewChange {
-                    group,
-                    view,
-                    signed,
-                } => {
-                    let _ = outputs.send(Output::ViewChange {
-                        group,
-                        view,
-                        signed,
-                    });
-                }
-                Action::GroupActive { group, view } => {
-                    let _ = outputs.send(Output::GroupActive { group, view });
-                }
-                Action::FormationFailed { group, reason } => {
-                    let _ = outputs.send(Output::FormationFailed { group, reason });
-                }
-                Action::Event(e) => {
-                    let _ = outputs.send(Output::Event(e));
-                }
-            }
+            router,
+            shard_count,
         }
     }
 }
@@ -326,11 +265,17 @@ fn node_main(
 #[derive(Debug, Clone)]
 pub struct NodeHandle {
     id: ProcessId,
-    cmd_tx: Sender<Command>,
+    shard_tx: Sender<ShardMsg>,
     outputs: Receiver<Output>,
 }
 
 impl NodeHandle {
+    fn command(&self, cmd: Command) -> bool {
+        self.shard_tx
+            .send(ShardMsg::Command { to: self.id, cmd })
+            .is_ok()
+    }
+
     /// The participant's identifier.
     #[must_use]
     pub fn id(&self) -> ProcessId {
@@ -345,15 +290,11 @@ impl NodeHandle {
     /// has terminated.
     pub fn multicast(&self, group: GroupId, payload: Bytes) -> Result<(), SendError> {
         let (reply, rx) = bounded(1);
-        if self
-            .cmd_tx
-            .send(Command::Multicast {
-                group,
-                payload,
-                reply,
-            })
-            .is_err()
-        {
+        if !self.command(Command::Multicast {
+            group,
+            payload,
+            reply,
+        }) {
             return Err(SendError::NotMember { group });
         }
         rx.recv().unwrap_or(Err(SendError::NotMember { group }))
@@ -366,7 +307,7 @@ impl NodeHandle {
     /// The engine's [`SendError`].
     pub fn depart(&self, group: GroupId) -> Result<(), SendError> {
         let (reply, rx) = bounded(1);
-        if self.cmd_tx.send(Command::Depart { group, reply }).is_err() {
+        if !self.command(Command::Depart { group, reply }) {
             return Err(SendError::NotMember { group });
         }
         rx.recv().unwrap_or(Err(SendError::NotMember { group }))
@@ -384,16 +325,12 @@ impl NodeHandle {
         config: GroupConfig,
     ) -> Result<(), GroupError> {
         let (reply, rx) = bounded(1);
-        if self
-            .cmd_tx
-            .send(Command::Initiate {
-                group,
-                members: members.into_iter().collect(),
-                config,
-                reply,
-            })
-            .is_err()
-        {
+        if !self.command(Command::Initiate {
+            group,
+            members: members.into_iter().collect(),
+            config,
+            reply,
+        }) {
             return Err(GroupError::AlreadyExists { group });
         }
         rx.recv()
@@ -455,7 +392,9 @@ impl NodeHandle {
 pub struct RunningCluster {
     nodes: BTreeMap<ProcessId, NodeHandle>,
     threads: Vec<JoinHandle<()>>,
-    partition: PartitionCtl,
+    partition: Arc<PartitionCtl>,
+    router: Arc<Router>,
+    shard_count: usize,
 }
 
 impl RunningCluster {
@@ -470,30 +409,53 @@ impl RunningCluster {
         self.nodes.values()
     }
 
+    /// How many worker shards host the nodes.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Cumulative wire-transport counters (frames and exact bytes shipped).
+    #[must_use]
+    pub fn wire_stats(&self) -> WireStats {
+        self.router.stats()
+    }
+
     /// Splits the network into blocks; traffic across the cut is dropped.
     pub fn partition(&self, blocks: Vec<BTreeSet<ProcessId>>) {
-        *self.partition.write() = blocks;
+        self.partition.set(&blocks);
     }
 
     /// Removes any partition.
     pub fn heal(&self) {
-        self.partition.write().clear();
+        self.partition.set(&[]);
     }
 
-    /// Kills a node (crash failure): its thread exits without farewell.
+    /// Kills a node (crash failure): its engine is dropped without
+    /// farewell; frames already in flight to it are discarded.
     pub fn kill(&self, id: ProcessId) {
         if let Some(n) = self.nodes.get(&id) {
-            let _ = n.cmd_tx.send(Command::Die);
+            let _ = n.command(Command::Die);
         }
     }
 
-    /// Stops every node and joins the threads.
-    pub fn shutdown(self) {
+    /// Stops every node and joins the shard threads.
+    pub fn shutdown(mut self) {
         for n in self.nodes.values() {
-            let _ = n.cmd_tx.send(Command::Die);
+            let _ = n.command(Command::Die);
         }
-        for t in self.threads {
+        for t in std::mem::take(&mut self.threads) {
             let _ = t.join();
+        }
+    }
+}
+
+impl Drop for RunningCluster {
+    /// Dropping without [`RunningCluster::shutdown`] still terminates the
+    /// shard threads (detached): every node is told to die.
+    fn drop(&mut self) {
+        for n in self.nodes.values() {
+            let _ = n.command(Command::Die);
         }
     }
 }
@@ -502,6 +464,7 @@ impl std::fmt::Debug for RunningCluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RunningCluster")
             .field("nodes", &self.nodes.len())
+            .field("shards", &self.shard_count)
             .finish()
     }
 }
@@ -555,6 +518,8 @@ mod tests {
         let d3 = collect(3);
         assert_eq!(d2, vec!["m0", "m1", "m2", "m3", "m4"]);
         assert_eq!(d2, d3);
+        assert!(cluster.wire_stats().frames > 0);
+        assert!(cluster.wire_stats().bytes > 0);
         cluster.shutdown();
     }
 
@@ -587,12 +552,14 @@ mod tests {
     }
 
     #[test]
-    fn dynamic_formation_over_threads() {
+    fn dynamic_formation_over_shards() {
         let mut cluster = Cluster::new();
         for i in 1..=3 {
             cluster.add_process(p(i));
         }
+        cluster.shards(2); // force a multi-shard topology
         let cluster = cluster.start();
+        assert_eq!(cluster.shard_count(), 2);
         let g = GroupId(9);
         cluster
             .node(p(1))

@@ -1,0 +1,324 @@
+//! The sharded event loop.
+//!
+//! One OS thread per *shard*, each owning many protocol participants. A
+//! shard drains its single MPSC inbox in batches (first receive blocks
+//! until a frame arrives or the earliest timer deadline; the rest of the
+//! batch is taken non-blocking), decodes each wire frame, feeds the
+//! addressed engine, and routes the resulting actions — encoding outbound
+//! frames through the [`FrameCache`] so an n-member multicast is one
+//! encode plus n refcount bumps. Timers live in the shard's
+//! [`TimerWheel`]; partition state is re-read only when its version
+//! moves. Compare the seed: one thread per node, a polling `select!` over
+//! three channels, a fresh `after()` timer allocation per loop iteration
+//! and an `RwLock`-scan per frame.
+
+use crate::partition::{PartitionCtl, Snapshot};
+use crate::timer::TimerWheel;
+use crate::transport::{unframe, Frame, FrameCache, Router, ShardMsg};
+use crate::{Command, Output};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use newtop_core::{Action, Process};
+use newtop_types::{Instant, ProcessId};
+use std::sync::Arc;
+
+/// Upper bound on messages handled per inbox drain: keeps timer checks
+/// and partition refreshes regular under sustained load.
+const BATCH: usize = 256;
+
+/// A node as handed to its shard at start.
+pub(crate) struct NodeSeed {
+    pub(crate) id: ProcessId,
+    pub(crate) process: Process,
+    pub(crate) outputs: Sender<Output>,
+}
+
+struct Slot {
+    id: ProcessId,
+    process: Process,
+    outputs: Sender<Output>,
+    /// Cached partition block id, refreshed on version change.
+    block: u32,
+}
+
+pub(crate) struct Shard {
+    /// `None` = the node died (frames to it drop silently).
+    slots: Vec<Option<Slot>>,
+    /// Sorted `(process, slot)` pairs for O(log n) addressing.
+    index: Vec<(ProcessId, usize)>,
+    alive: usize,
+    timers: TimerWheel,
+    frames: FrameCache,
+    partition: Arc<PartitionCtl>,
+    partition_version: u64,
+    snapshot: Arc<Snapshot>,
+    router: Arc<Router>,
+    epoch: std::time::Instant,
+}
+
+impl Shard {
+    fn now(&self) -> Instant {
+        #[allow(clippy::cast_possible_truncation)]
+        Instant::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    fn slot_of(&self, id: ProcessId) -> Option<usize> {
+        self.index
+            .binary_search_by_key(&id, |&(p, _)| p)
+            .ok()
+            .map(|i| self.index[i].1)
+    }
+
+    /// Re-resolves partition state iff the shared version moved since this
+    /// shard last looked — the per-batch fast path is one atomic load.
+    fn refresh_partition(&mut self) {
+        let v = self.partition.version();
+        if v == self.partition_version {
+            return;
+        }
+        self.partition_version = v;
+        self.snapshot = self.partition.snapshot();
+        for slot in self.slots.iter_mut().flatten() {
+            slot.block = self.snapshot.block_of(slot.id);
+        }
+    }
+
+    /// Executes one engine's actions: frames out through the router,
+    /// outputs to the node's application channel.
+    fn route(&mut self, slot_idx: usize, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Send { to, envelope } => {
+                    let slot = self.slots[slot_idx].as_ref().expect("routing live slot");
+                    if !self.snapshot.connected(slot.block, to) {
+                        continue; // loss across the cut
+                    }
+                    let bytes = self.frames.frame_for(&envelope);
+                    self.router.send_frame(Frame {
+                        from: slot.id,
+                        to,
+                        bytes,
+                    });
+                }
+                other => {
+                    let slot = self.slots[slot_idx].as_ref().expect("routing live slot");
+                    let out = match other {
+                        Action::Deliver(d) => Output::Delivery(d),
+                        Action::ViewChange {
+                            group,
+                            view,
+                            signed,
+                        } => Output::ViewChange {
+                            group,
+                            view,
+                            signed,
+                        },
+                        Action::GroupActive { group, view } => Output::GroupActive { group, view },
+                        Action::FormationFailed { group, reason } => {
+                            Output::FormationFailed { group, reason }
+                        }
+                        Action::Event(e) => Output::Event(e),
+                        Action::Send { .. } => unreachable!("matched above"),
+                    };
+                    let _ = slot.outputs.send(out);
+                }
+            }
+        }
+    }
+
+    /// Re-arms the slot's wheel entry from the engine's own next deadline.
+    fn sync_timer(&mut self, slot_idx: usize) {
+        match &self.slots[slot_idx] {
+            Some(slot) => match slot.process.next_deadline() {
+                Some(d) => self.timers.schedule(slot_idx, d),
+                None => self.timers.cancel(slot_idx),
+            },
+            None => self.timers.cancel(slot_idx),
+        }
+    }
+
+    fn kill(&mut self, slot_idx: usize) {
+        if self.slots[slot_idx].take().is_some() {
+            // Dropping the slot drops its Output sender, so application
+            // waits on the handle observe disconnection, and frees the
+            // engine. In-flight frames addressed here now drop at lookup.
+            self.timers.cancel(slot_idx);
+            self.alive -= 1;
+        }
+    }
+
+    fn handle_msg(&mut self, msg: ShardMsg, now: Instant) {
+        match msg {
+            ShardMsg::Frame(frame) => {
+                let Some(slot_idx) = self.slot_of(frame.to) else {
+                    return;
+                };
+                let Some(slot) = self.slots[slot_idx].as_mut() else {
+                    return; // node died; drop like a closed socket
+                };
+                match unframe(frame.bytes) {
+                    Ok(env) => {
+                        let actions = slot.process.handle(now, frame.from, env);
+                        self.route(slot_idx, actions);
+                        self.sync_timer(slot_idx);
+                    }
+                    Err(e) => {
+                        // We framed these bytes ourselves; a decode error
+                        // means transport corruption. Surface it loudly in
+                        // debug builds, drop the frame in release.
+                        debug_assert!(false, "malformed wire frame from {}: {e}", frame.from);
+                    }
+                }
+            }
+            ShardMsg::Command { to, cmd } => {
+                let Some(slot_idx) = self.slot_of(to) else {
+                    return;
+                };
+                if matches!(cmd, Command::Die) {
+                    self.kill(slot_idx);
+                    return;
+                }
+                let Some(slot) = self.slots[slot_idx].as_mut() else {
+                    return; // dead node: dropping the reply sender reports it
+                };
+                let actions = match cmd {
+                    Command::Multicast {
+                        group,
+                        payload,
+                        reply,
+                    } => match slot.process.multicast(now, group, payload) {
+                        Ok(actions) => {
+                            let _ = reply.send(Ok(()));
+                            actions
+                        }
+                        Err(e) => {
+                            let _ = reply.send(Err(e));
+                            Vec::new()
+                        }
+                    },
+                    Command::Depart { group, reply } => match slot.process.depart(now, group) {
+                        Ok(actions) => {
+                            let _ = reply.send(Ok(()));
+                            actions
+                        }
+                        Err(e) => {
+                            let _ = reply.send(Err(e));
+                            Vec::new()
+                        }
+                    },
+                    Command::Initiate {
+                        group,
+                        members,
+                        config,
+                        reply,
+                    } => match slot.process.initiate_group(now, group, &members, config) {
+                        Ok(actions) => {
+                            let _ = reply.send(Ok(()));
+                            actions
+                        }
+                        Err(e) => {
+                            let _ = reply.send(Err(e));
+                            Vec::new()
+                        }
+                    },
+                    Command::Die => unreachable!("handled above"),
+                };
+                self.route(slot_idx, actions);
+                self.sync_timer(slot_idx);
+            }
+        }
+    }
+}
+
+/// One shard's thread body: runs until every owned node has died.
+pub(crate) fn shard_main(
+    nodes: Vec<NodeSeed>,
+    epoch: std::time::Instant,
+    inbox: &Receiver<ShardMsg>,
+    router: Arc<Router>,
+    partition: Arc<PartitionCtl>,
+) {
+    let mut index: Vec<(ProcessId, usize)> = nodes
+        .iter()
+        .enumerate()
+        .map(|(slot, n)| (n.id, slot))
+        .collect();
+    index.sort_unstable();
+    let alive = nodes.len();
+    let slots: Vec<Option<Slot>> = nodes
+        .into_iter()
+        .map(|n| {
+            Some(Slot {
+                id: n.id,
+                process: n.process,
+                outputs: n.outputs,
+                block: 0,
+            })
+        })
+        .collect();
+    let mut shard = Shard {
+        timers: TimerWheel::with_slots(slots.len()),
+        slots,
+        index,
+        alive,
+        frames: FrameCache::default(),
+        partition_version: u64::MAX, // force the initial resolve
+        snapshot: Arc::new(Snapshot::default()),
+        partition,
+        router,
+        epoch,
+    };
+    shard.refresh_partition();
+    for slot_idx in 0..shard.slots.len() {
+        shard.sync_timer(slot_idx);
+    }
+    let mut batch: Vec<ShardMsg> = Vec::with_capacity(BATCH);
+    while shard.alive > 0 {
+        shard.refresh_partition();
+        // 1. Fire every due timer (each tick re-arms its own slot).
+        let now = shard.now();
+        while let Some(slot_idx) = shard.timers.pop_due(now) {
+            if shard.slots[slot_idx].is_none() {
+                continue;
+            }
+            let actions = shard.slots[slot_idx]
+                .as_mut()
+                .map(|s| s.process.tick(now))
+                .unwrap_or_default();
+            shard.route(slot_idx, actions);
+            shard.sync_timer(slot_idx);
+        }
+        // 2. Wait for traffic, bounded by the earliest live deadline.
+        let first = match shard.timers.next_deadline() {
+            Some(d) => {
+                let now = shard.now();
+                if d <= now {
+                    continue; // already due: fire before blocking
+                }
+                match inbox.recv_timeout((d - now).to_duration()) {
+                    Ok(msg) => Some(msg),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            }
+            None => match inbox.recv() {
+                Ok(msg) => Some(msg),
+                Err(_) => return, // every handle and peer shard is gone
+            },
+        };
+        // 3. Drain up to a batch without blocking, then process it.
+        let Some(first) = first else {
+            continue; // woke for a timer; loop back to fire it
+        };
+        batch.push(first);
+        while batch.len() < BATCH {
+            match inbox.try_recv() {
+                Ok(msg) => batch.push(msg),
+                Err(_) => break,
+            }
+        }
+        let now = shard.now();
+        for msg in batch.drain(..) {
+            shard.handle_msg(msg, now);
+        }
+    }
+}

@@ -82,6 +82,19 @@ pub enum DecodeError {
         /// What was being decoded.
         context: &'static str,
     },
+    /// A length-prefixed frame announced more bytes than its envelope
+    /// encoding consumed — the stream is desynchronised or corrupt.
+    TrailingBytes {
+        /// How many announced bytes were left unconsumed.
+        extra: usize,
+    },
+    /// A length-prefixed frame announced an implausibly large body
+    /// (corrupt or adversarial length prefix); the decoder refuses to
+    /// buffer it.
+    FrameTooLarge {
+        /// The announced frame length in bytes.
+        len: u64,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -91,6 +104,12 @@ impl fmt::Display for DecodeError {
             DecodeError::VarintOverflow => write!(f, "variable-length integer exceeds 64 bits"),
             DecodeError::UnknownTag { tag, context } => {
                 write!(f, "unknown tag {tag:#04x} while decoding {context}")
+            }
+            DecodeError::TrailingBytes { extra } => {
+                write!(f, "frame carries {extra} bytes beyond its envelope")
+            }
+            DecodeError::FrameTooLarge { len } => {
+                write!(f, "frame length prefix {len} exceeds the decoder limit")
             }
         }
     }

@@ -547,6 +547,147 @@ pub fn header_overhead(m: &Message) -> usize {
     1 + message_len(m) - payload_len
 }
 
+/// Frames larger than this are rejected by [`FrameDecoder`] as corrupt
+/// rather than buffered: no legitimate envelope in this workspace comes
+/// within orders of magnitude of it, and honouring an adversarial length
+/// prefix would let one peer pin arbitrary memory.
+pub const MAX_FRAME_LEN: u64 = 64 * 1024 * 1024;
+
+/// Appends `env` to `buf` as one length-prefixed wire frame: a LEB128
+/// varint of the envelope's encoded length, then the [`encode_into`]
+/// bytes. This is the unit the runtime's transport path ships between
+/// shards (and what a byte-stream transport would write to a socket);
+/// [`FrameDecoder`] performs the inverse, including reassembly of frames
+/// that arrive split across reads.
+pub fn frame_into(env: &Envelope, buf: &mut BytesMut) {
+    let len = encoded_len(env);
+    buf.reserve(varint_len(len as u64) + len);
+    put_varint(buf, len as u64);
+    encode_into(env, buf);
+}
+
+/// Encodes `env` as one length-prefixed frame in a fresh, exactly sized
+/// buffer. Thin wrapper over [`frame_into`].
+#[must_use]
+pub fn frame(env: &Envelope) -> Bytes {
+    let mut buf = BytesMut::with_capacity(framed_len(env));
+    frame_into(env, &mut buf);
+    buf.freeze()
+}
+
+/// Total on-wire size of `env` as a length-prefixed frame: the length
+/// varint plus [`encoded_len`] bytes. Arithmetic only — no buffer is
+/// materialised — so transports can account bytes exactly before (or
+/// without) encoding.
+#[must_use]
+pub fn framed_len(env: &Envelope) -> usize {
+    let len = encoded_len(env);
+    varint_len(len as u64) + len
+}
+
+/// Incremental decoder for a stream of length-prefixed frames.
+///
+/// Feed raw chunks with [`push`](FrameDecoder::push) in arrival order —
+/// chunk boundaries need not align with frame boundaries — and drain
+/// complete envelopes with [`next_frame`](FrameDecoder::next_frame). A
+/// frame split across any number of reads reassembles exactly; a frame
+/// whose body decodes short ([`DecodeError::TrailingBytes`]), overlong
+/// ([`DecodeError::Truncated`]) or with a corrupt length prefix
+/// ([`DecodeError::FrameTooLarge`]) is reported without panicking.
+///
+/// # Examples
+///
+/// ```
+/// use newtop_types::wire::{frame, FrameDecoder};
+/// use newtop_types::{Envelope, GroupId, Message, MessageBody, Msn, ProcessId};
+///
+/// let env: Envelope = Message {
+///     group: GroupId(1),
+///     sender: ProcessId(2),
+///     c: Msn(3),
+///     ldn: Msn(2),
+///     body: MessageBody::App(bytes::Bytes::from_static(b"hi")),
+/// }
+/// .into();
+/// let wire = frame(&env);
+/// let mut dec = FrameDecoder::new();
+/// dec.push(&wire[..1]); // partial read
+/// assert_eq!(dec.next_frame(), Ok(None));
+/// dec.push(&wire[1..]);
+/// assert_eq!(dec.next_frame(), Ok(Some(env)));
+/// assert_eq!(dec.next_frame(), Ok(None));
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    #[must_use]
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends a raw chunk of stream bytes.
+    pub fn push(&mut self, chunk: &[u8]) {
+        self.buf.put_slice(chunk);
+    }
+
+    /// Bytes buffered but not yet consumed as a complete frame.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next complete envelope, or `Ok(None)` if the buffered
+    /// bytes end mid-frame (push more and retry).
+    ///
+    /// # Errors
+    ///
+    /// Any [`DecodeError`] on a malformed frame. The decoder consumes the
+    /// offending frame's announced bytes where it can (`TrailingBytes`),
+    /// but after `Truncated`/`FrameTooLarge`/`VarintOverflow` the stream
+    /// has lost framing and the decoder should be discarded.
+    pub fn next_frame(&mut self) -> Result<Option<Envelope>, DecodeError> {
+        // Peek the length varint without consuming: a split prefix must
+        // leave the buffer untouched for the next push.
+        let mut len: u64 = 0;
+        let mut shift = 0u32;
+        let mut prefix = 0usize;
+        loop {
+            let Some(&byte) = self.buf.get(prefix) else {
+                return Ok(None); // mid-prefix: need more bytes
+            };
+            prefix += 1;
+            if shift >= 64 || (shift == 63 && byte > 1) {
+                return Err(DecodeError::VarintOverflow);
+            }
+            len |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+        }
+        if len > MAX_FRAME_LEN {
+            return Err(DecodeError::FrameTooLarge { len });
+        }
+        let len = len as usize;
+        if self.buf.len() < prefix + len {
+            return Ok(None); // mid-body: need more bytes
+        }
+        let _ = self.buf.split_to(prefix);
+        let mut body = self.buf.split_to(len).freeze();
+        let env = decode(&mut body)?;
+        if body.has_remaining() {
+            return Err(DecodeError::TrailingBytes {
+                extra: body.remaining(),
+            });
+        }
+        Ok(Some(env))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Compares a fresh `hot_paths` bench run against the newest committed
+# Compares a fresh run of the per-message (`hot_paths`) and end-to-end
+# (`runtime_load`) benches against the newest committed
 # BENCH_*.json snapshot (the perf trajectory started in PR 2 by
 # scripts/bench_snapshot.sh) and prints a regression table — into
 # $GITHUB_STEP_SUMMARY when set (CI step summary), else to stdout.
@@ -24,8 +25,10 @@ fi
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
-echo "== cargo bench --bench hot_paths (baseline: $baseline)" >&2
-cargo bench --bench hot_paths 2>/dev/null | tee /dev/stderr >"$raw"
+for bench in hot_paths runtime_load; do
+    echo "== cargo bench --bench $bench (baseline: $baseline)" >&2
+    cargo bench --bench "$bench" 2>/dev/null | tee /dev/stderr >>"$raw"
+done
 
 out="${GITHUB_STEP_SUMMARY:-/dev/stdout}"
 {

@@ -1,18 +1,18 @@
 #!/usr/bin/env bash
-# Runs the three criterion benches (hot_paths, experiments,
+# Runs the criterion benches (hot_paths, runtime_load, experiments,
 # baseline_protocols) and writes a {bench name -> ns/iter} JSON snapshot at
 # the repo root. Committed snapshots (BENCH_PR2.json onwards) form the perf
 # trajectory every later optimisation PR is judged against.
 #
-# Usage: scripts/bench_snapshot.sh [output.json]   (default: BENCH_PR4.json)
+# Usage: scripts/bench_snapshot.sh [output.json]   (default: BENCH_PR5.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR4.json}"
+out="${1:-BENCH_PR5.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-for bench in hot_paths experiments baseline_protocols; do
+for bench in hot_paths runtime_load experiments baseline_protocols; do
     echo "== cargo bench --bench $bench" >&2
     cargo bench --bench "$bench" 2>/dev/null | tee /dev/stderr >>"$raw"
 done

@@ -278,6 +278,22 @@ impl BytesMut {
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.buf)
     }
+
+    /// Splits off and returns the first `at` bytes, leaving the rest.
+    ///
+    /// The real crate shares the allocation between the halves; this shim
+    /// copies the head and shifts the tail, which is fine for the small
+    /// frame-at-a-time buffers the workspace uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > len`.
+    #[must_use]
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.buf.len(), "split_to out of bounds");
+        let head = self.buf.drain(..at).collect();
+        BytesMut { buf: head }
+    }
 }
 
 impl Deref for BytesMut {
