@@ -5,6 +5,7 @@
 //! buffer and the retention store, so buffering a message never copies its
 //! payload (see DESIGN.md §7, "Performance model").
 
+use newtop_types::digest::{DigestHasher, StateDigest};
 use newtop_types::{Message, MessageBody, Msn, ProcessId};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -91,6 +92,24 @@ impl DeliveryBuffer {
     /// Iterates in delivery order.
     pub fn iter(&self) -> impl Iterator<Item = &Message> {
         self.map.values().map(|m| &**m)
+    }
+
+    /// Whether the cached head key equals the map's true first key — the
+    /// invariant `insert`/`take`/`discard_from_above` maintain
+    /// incrementally. Audit hook; O(log n).
+    #[must_use]
+    pub fn head_cache_coherent(&self) -> bool {
+        self.first == self.map.keys().next().copied()
+    }
+}
+
+impl StateDigest for DeliveryBuffer {
+    fn digest_into(&self, h: &mut DigestHasher) {
+        // `first` is derived (head cache) — digest only the map.
+        h.write_u64(self.map.len() as u64);
+        for m in self.map.values() {
+            m.digest_into(h);
+        }
     }
 }
 
@@ -210,6 +229,19 @@ impl RetentionStore {
     }
 }
 
+impl StateDigest for RetentionStore {
+    fn digest_into(&self, h: &mut DigestHasher) {
+        h.write_u64(self.map.len() as u64);
+        for (sender, msgs) in &self.map {
+            sender.digest_into(h);
+            h.write_u64(msgs.len() as u64);
+            for m in msgs.values() {
+                m.digest_into(h);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,6 +327,20 @@ mod tests {
         b.insert(msg(2, 5));
         b.discard_from_above(p(1), Msn(1));
         assert_eq!(b.first_key(), Some((Msn(5), p(2))));
+    }
+
+    #[test]
+    fn head_cache_audit_tracks_mutations_and_detects_corruption() {
+        let mut b = DeliveryBuffer::new();
+        assert!(b.head_cache_coherent());
+        b.insert(msg(1, 9));
+        b.insert(msg(2, 3));
+        b.take((Msn(3), p(2)));
+        b.discard_from_above(p(1), Msn(0));
+        assert!(b.head_cache_coherent());
+        b.insert(msg(1, 4));
+        b.first = None; // simulated cache corruption
+        assert!(!b.head_cache_coherent());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! groups it belongs to — this is what makes Newtop's multi-group total
 //! order (MD4') fall out of the single message-number ordering.
 
+use newtop_types::digest::{DigestHasher, StateDigest};
 use newtop_types::Msn;
 
 /// A process-wide Lamport counter.
@@ -57,6 +58,12 @@ impl LogicalClock {
     /// which sets `LCk` to the agreed start-number-max if larger).
     pub fn raise_to(&mut self, floor: Msn) {
         self.observe(floor);
+    }
+}
+
+impl StateDigest for LogicalClock {
+    fn digest_into(&self, h: &mut DigestHasher) {
+        self.value.digest_into(h);
     }
 }
 

@@ -3,6 +3,7 @@
 use crate::buffer::{DeliveryBuffer, RetentionStore};
 use crate::vectors::MsnVector;
 use bytes::Bytes;
+use newtop_types::digest::{DigestHasher, StateDigest};
 use newtop_types::{
     GroupConfig, GroupId, Instant, Message, Msn, OrderMode, ProcessId, SignedView, Suspicion, View,
 };
@@ -267,6 +268,13 @@ impl GroupState {
         if let Some(cached) = self.timer_cache.get() {
             return cached;
         }
+        let next = self.compute_timer_deadline();
+        self.timer_cache.set(Some(next));
+        next
+    }
+
+    /// The uncached ω/Ω argmin scan behind [`GroupState::timer_deadline`].
+    fn compute_timer_deadline(&self) -> Option<Instant> {
         let mut next: Option<Instant> = None;
         let mut fold = |t: Instant| {
             next = Some(match next {
@@ -284,8 +292,17 @@ impl GroupState {
             }
             fold(*heard + self.cfg.big_omega);
         }
-        self.timer_cache.set(Some(next));
         next
+    }
+
+    /// Whether the memoised timer deadline (if any) matches a recomputed
+    /// argmin — the invariant `touch_timers`'s call discipline and
+    /// `note_heard`'s conditional invalidation maintain. Audit hook; O(n).
+    pub(crate) fn timer_cache_coherent(&self) -> bool {
+        match self.timer_cache.get() {
+            None => true, // dirty: next read recomputes
+            Some(cached) => cached == self.compute_timer_deadline(),
+        }
     }
 
     /// The group-local deliverability bound `D_{x,i}` (conditions *safe1*
@@ -373,6 +390,110 @@ impl GroupState {
         } else {
             self.own_unstable = self.own_unstable.split_off(&stable.next());
         }
+    }
+}
+
+impl StateDigest for GroupPhase {
+    fn digest_into(&self, h: &mut DigestHasher) {
+        match self {
+            GroupPhase::AwaitStart {
+                starters,
+                start_number_max,
+            } => {
+                h.write_u8(0);
+                h.write_u64(starters.len() as u64);
+                for p in starters {
+                    p.digest_into(h);
+                }
+                start_number_max.digest_into(h);
+            }
+            GroupPhase::Active => h.write_u8(1),
+        }
+    }
+}
+
+impl StateDigest for PendingInstall {
+    fn digest_into(&self, h: &mut DigestHasher) {
+        h.write_u64(self.failed.len() as u64);
+        for p in &self.failed {
+            p.digest_into(h);
+        }
+        self.bound.digest_into(h);
+    }
+}
+
+impl StateDigest for GroupState {
+    fn digest_into(&self, h: &mut DigestHasher) {
+        // Every field in declaration order, except `timer_cache` (memoised
+        // derived state — two states must not hash apart just because one
+        // has read its deadline since the last mutation). `last_stable` IS
+        // digested: it gates the O(1) fast path of `on_stability_advance`,
+        // so it influences future garbage collection.
+        self.cfg.digest_into(h);
+        self.me.digest_into(h);
+        self.view.digest_into(h);
+        h.write_u32(self.excluded_count);
+        self.rv.digest_into(h);
+        self.sv.digest_into(h);
+        self.d_asym.digest_into(h);
+        self.phase.digest_into(h);
+        self.buffer.digest_into(h);
+        self.retention.digest_into(h);
+        self.last_send.digest_into(h);
+        h.write_u64(self.last_heard.len() as u64);
+        for (p, t) in &self.last_heard {
+            p.digest_into(h);
+            t.digest_into(h);
+        }
+        h.write_u64(self.suspicions.len() as u64);
+        for (p, ln) in &self.suspicions {
+            p.digest_into(h);
+            ln.digest_into(h);
+        }
+        h.write_u64(self.supporters.len() as u64);
+        for ((suspect, ln), sup) in &self.supporters {
+            suspect.digest_into(h);
+            ln.digest_into(h);
+            h.write_u64(sup.len() as u64);
+            for p in sup {
+                p.digest_into(h);
+            }
+        }
+        h.write_u64(self.pending_from.len() as u64);
+        for (p, held) in &self.pending_from {
+            p.digest_into(h);
+            held.digest_into(h);
+        }
+        h.write_u64(self.pending_confirms.len() as u64);
+        for (p, det) in &self.pending_confirms {
+            p.digest_into(h);
+            det.digest_into(h);
+        }
+        h.write_u64(self.install_queue.len() as u64);
+        for pi in &self.install_queue {
+            pi.digest_into(h);
+        }
+        h.write_u64(self.asym_awaiting.len() as u64);
+        for det in &self.asym_awaiting {
+            det.digest_into(h);
+        }
+        h.write_u64(self.outstanding.len() as u64);
+        for (c, payload) in &self.outstanding {
+            c.digest_into(h);
+            payload.digest_into(h);
+        }
+        h.write_u64(self.parked_requests.len() as u64);
+        for (origin, c, payload) in &self.parked_requests {
+            origin.digest_into(h);
+            c.digest_into(h);
+            payload.digest_into(h);
+        }
+        h.write_u64(self.own_unstable.len() as u64);
+        for c in &self.own_unstable {
+            c.digest_into(h);
+        }
+        h.write_bool(self.departing);
+        self.last_stable.digest_into(h);
     }
 }
 
@@ -480,6 +601,35 @@ mod tests {
         );
         assert!(matches!(gs2.phase, GroupPhase::AwaitStart { .. }));
         assert!(!gs2.departing);
+    }
+
+    #[test]
+    fn timer_cache_audit_and_digest_ignore_memoisation() {
+        use newtop_types::digest::digest_of;
+        let mut gs = state(OrderMode::Symmetric);
+        assert!(
+            gs.timer_cache_coherent(),
+            "dirty cache is trivially coherent"
+        );
+        let before = digest_of(&gs);
+        let _ = gs.timer_deadline(); // fills the memo
+        assert!(gs.timer_cache_coherent());
+        assert_eq!(
+            digest_of(&gs),
+            before,
+            "reading the deadline must not move the digest"
+        );
+        // note_heard's conditional invalidation keeps the audit green both
+        // when it preserves and when it drops the cache.
+        gs.note_heard(p(3), Instant::from_micros(1));
+        assert!(gs.timer_cache_coherent());
+        assert_ne!(digest_of(&gs), before, "last_heard is observable state");
+        // A stale memo is corruption the audit must catch.
+        let _ = gs.timer_deadline();
+        gs.last_send = Instant::from_micros(500_000);
+        assert!(!gs.timer_cache_coherent(), "mutation without touch_timers");
+        gs.touch_timers();
+        assert!(gs.timer_cache_coherent());
     }
 
     #[test]

@@ -459,6 +459,66 @@ impl Process {
         self.vote_policy.insert(group, decision);
     }
 
+    /// Checks the engine's internal coherence invariants — every derived
+    /// cache against a from-scratch recomputation, plus the CA1 bound that
+    /// the local receive-vector entry never exceeds the logical clock.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violated invariant. A violation means an
+    /// incremental cache-maintenance path diverged from its definition:
+    /// protocol state is corrupt even if no externally visible ordering
+    /// property has (yet) been broken.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (g, gs) in &self.groups {
+            if !gs.rv.tree_coherent() {
+                return Err(format!(
+                    "{}: group {g}: RV cached-min tree incoherent",
+                    self.id
+                ));
+            }
+            if !gs.sv.tree_coherent() {
+                return Err(format!(
+                    "{}: group {g}: SV cached-min tree incoherent",
+                    self.id
+                ));
+            }
+            if !gs.buffer.head_cache_coherent() {
+                return Err(format!(
+                    "{}: group {g}: delivery-buffer head cache incoherent",
+                    self.id
+                ));
+            }
+            if !gs.timer_cache_coherent() {
+                return Err(format!(
+                    "{}: group {g}: memoised timer deadline diverges from recomputed \
+                     \u{3c9}/\u{3a9} argmin",
+                    self.id
+                ));
+            }
+            let own = gs.rv.get(self.id);
+            if !own.is_infinite() && own > self.lc.value() {
+                return Err(format!(
+                    "{}: group {g}: own RV entry {own:?} exceeds logical clock {:?}",
+                    self.id,
+                    self.lc.value()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Debug-build invariant audit: panics (via `debug_assert!`) if
+    /// [`Process::check_invariants`] fails. The model checker and the chaos
+    /// fleet call this after every step; release builds compile it away.
+    #[inline]
+    pub fn audit_invariants(&self) {
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.check_invariants() {
+            debug_assert!(false, "invariant audit failed: {e}");
+        }
+    }
+
     // ------------------------------------------------------------------
     // Internal plumbing
     // ------------------------------------------------------------------
@@ -616,10 +676,17 @@ impl Process {
         // buffered for delivery a second time; its membership semantics
         // (which the recovery path deliberately skips for third parties)
         // are still processed below.
+        #[cfg(not(feature = "break-rv-dedup"))]
         let already_integrated = !is_request && {
             let have = gs.rv.get(from);
             !have.is_infinite() && m.c <= have
         };
+        // Test-only fault injection for the model checker's self-check: with
+        // the `break-rv-dedup` feature the watermark guard is disabled,
+        // reintroducing the PR 3 duplicate-delivery bug (a recovery copy
+        // integrated from a refute piggyback plus the late original).
+        #[cfg(feature = "break-rv-dedup")]
+        let already_integrated = false;
         if !is_request {
             // Sequencer unicast requests are point-to-point: they advance the
             // logical clock but not the receive vector, so suspicion `ln`
@@ -1104,6 +1171,64 @@ impl Process {
             .collect();
         for j in silent {
             self.suspector_notify(group, j, out);
+        }
+    }
+}
+
+impl newtop_types::digest::StateDigest for DeferredSend {
+    fn digest_into(&self, h: &mut newtop_types::digest::DigestHasher) {
+        match self {
+            DeferredSend::App { group, payload } => {
+                h.write_u8(0);
+                group.digest_into(h);
+                payload.digest_into(h);
+            }
+            DeferredSend::StartGroup { group } => {
+                h.write_u8(1);
+                group.digest_into(h);
+            }
+            DeferredSend::Depart { group } => {
+                h.write_u8(2);
+                group.digest_into(h);
+            }
+        }
+    }
+}
+
+impl newtop_types::digest::StateDigest for Process {
+    /// Folds the complete protocol state: identity, configuration, logical
+    /// clock, local time, every group state, in-flight formations, orphan
+    /// votes, vote policies and the deferred-send queue. Excluded:
+    /// statistics counters and the `scratch_gids` reuse buffer — neither
+    /// influences future protocol behaviour.
+    fn digest_into(&self, h: &mut newtop_types::digest::DigestHasher) {
+        self.id.digest_into(h);
+        self.cfg.digest_into(h);
+        self.lc.digest_into(h);
+        self.now.digest_into(h);
+        h.write_u64(self.groups.keys().count() as u64);
+        for (g, gs) in &self.groups {
+            g.digest_into(h);
+            gs.digest_into(h);
+        }
+        h.write_u64(self.forming.len() as u64);
+        for (g, f) in &self.forming {
+            g.digest_into(h);
+            f.digest_into(h);
+        }
+        h.write_u64(self.orphan_votes.len() as u64);
+        for (g, votes) in &self.orphan_votes {
+            g.digest_into(h);
+            votes.digest_into(h);
+        }
+        h.write_u64(self.vote_policy.len() as u64);
+        for (g, d) in &self.vote_policy {
+            g.digest_into(h);
+            d.digest_into(h);
+        }
+        h.write_u64(self.deferred.len() as u64);
+        for d in &self.deferred {
+            d.digest_into(h);
         }
     }
 }

@@ -38,6 +38,7 @@
 //! it recombines O(log n) cached sibling minima. Nothing on these paths
 //! allocates.
 
+use newtop_types::digest::{DigestHasher, StateDigest};
 use newtop_types::{Msn, ProcessId};
 
 /// A per-member vector of message numbers with an ∞-aware minimum.
@@ -237,6 +238,44 @@ impl MsnVector {
     pub fn iter(&self) -> impl Iterator<Item = (ProcessId, Msn)> + '_ {
         self.ids.iter().copied().zip(self.entries.iter().copied())
     }
+
+    /// Whether every tournament-tree cache node equals the minimum of its
+    /// children and the leaves mirror the entries — the invariant `advance`
+    /// and `raise_leaf` maintain incrementally. Audit hook; O(n).
+    #[must_use]
+    pub fn tree_coherent(&self) -> bool {
+        if self.entries.is_empty() {
+            return self.tree.is_empty() && self.leaf_base == 0;
+        }
+        if self.leaf_base != self.entries.len().next_power_of_two()
+            || self.tree.len() != 2 * self.leaf_base
+        {
+            return false;
+        }
+        for (i, e) in self.entries.iter().enumerate() {
+            if self.tree[self.leaf_base + i] != *e {
+                return false;
+            }
+        }
+        for pad in self.entries.len()..self.leaf_base {
+            if self.tree[self.leaf_base + pad] != Msn::INFINITY {
+                return false;
+            }
+        }
+        (1..self.leaf_base).all(|i| self.tree[i] == self.tree[2 * i].min(self.tree[2 * i + 1]))
+    }
+}
+
+impl StateDigest for MsnVector {
+    fn digest_into(&self, h: &mut DigestHasher) {
+        // The cache tree is derived state — digest only the observable map,
+        // mirroring `PartialEq`.
+        h.write_u64(self.ids.len() as u64);
+        for (p, c) in self.iter() {
+            p.digest_into(h);
+            c.digest_into(h);
+        }
+    }
 }
 
 impl PartialEq for MsnVector {
@@ -365,6 +404,42 @@ mod tests {
                 .unwrap_or(Msn::INFINITY);
             assert_eq!(rv.min_live(), naive);
         }
+    }
+
+    #[test]
+    fn tree_stays_coherent_under_all_mutations() {
+        let mut rv = MsnVector::new((1..=5).map(ProcessId));
+        assert!(rv.tree_coherent());
+        for c in 1..=50u64 {
+            rv.advance(ProcessId((c % 5) as u32 + 1), Msn(c));
+            assert!(rv.tree_coherent());
+        }
+        rv.set_infinite(p(3));
+        assert!(rv.tree_coherent());
+        rv.remove(p(1));
+        assert!(rv.tree_coherent());
+        rv.remove(p(2));
+        rv.remove(p(3));
+        rv.remove(p(4));
+        rv.remove(p(5));
+        assert!(rv.tree_coherent());
+        // And the audit actually detects corruption.
+        let mut bad = MsnVector::new([p(1), p(2)]);
+        bad.tree[1] = Msn(99);
+        assert!(!bad.tree_coherent());
+    }
+
+    #[test]
+    fn digest_ignores_cache_shape_like_equality() {
+        use newtop_types::digest::digest_of;
+        let mut a = MsnVector::new([p(1), p(2), p(3)]);
+        let mut b = MsnVector::new([p(1), p(2), p(3)]);
+        a.advance(p(1), Msn(2));
+        a.advance(p(1), Msn(4));
+        b.advance(p(1), Msn(4));
+        assert_eq!(digest_of(&a), digest_of(&b));
+        b.advance(p(2), Msn(1));
+        assert_ne!(digest_of(&a), digest_of(&b));
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!
 //! newtop-exp load --nodes 32 --groups 4 --secs 5          # runtime load test
 //! newtop-exp load --nodes 32 --host threads               # seed-host baseline
+//!
+//! newtop-exp mc --nodes 3 --max-msgs 4 --max-crashes 1    # exhaustive model check
+//! newtop-exp mc --nodes 3 --strategy iddfs --budget-secs 600
 //! ```
 //!
 //! A failing chaos seed is delta-debugged to a minimal fault schedule and
@@ -22,6 +25,7 @@
 
 use newtop_harness::chaos::{delivery_count, shrink, ChaosPlan, ChaosScenario};
 use newtop_harness::loadgen::{run_load, HostKind, LoadConfig};
+use newtop_harness::mc::{explore, McConfig, McStrategy, McViolation};
 use newtop_harness::sweep::{run_chaos_seed, sweep_seeds, SweepConfig};
 use newtop_harness::{experiments, history_hash};
 use newtop_types::{OrderMode, Span};
@@ -36,6 +40,9 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("load") {
         return load_main(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("mc") {
+        return mc_main(&args[1..]);
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let list = args.iter().any(|a| a == "--list");
     let selected: Vec<String> = args
@@ -46,7 +53,7 @@ fn main() -> ExitCode {
     let registry = experiments::all();
     if list || (selected.is_empty()) {
         eprintln!(
-            "usage: newtop-exp [--quick] (all | <id>...)\n       newtop-exp chaos --help\n       newtop-exp load --help\n\nexperiments:"
+            "usage: newtop-exp [--quick] (all | <id>...)\n       newtop-exp chaos --help\n       newtop-exp load --help\n       newtop-exp mc --help\n\nexperiments:"
         );
         for (id, desc, _) in &registry {
             eprintln!("  {id:<4} {desc}");
@@ -528,6 +535,203 @@ fn load_main(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+const MC_USAGE: &str = "usage:
+  newtop-exp mc [options]          exhaustive small-scope model check
+
+Explores every interleaving of one group over N processes within the
+budgets, deduping on the canonical state digest and running the safety
+checker plus the engine invariant audit at every state. A violation is
+ddmin-shrunk and written as a chaos replay script (newtop-exp chaos
+--replay re-executes it).
+
+options:
+  --nodes N          processes, all in one group (default 3)
+  --max-msgs K       application-multicast budget (default 2)
+  --max-crashes K    crash budget (default 1)
+  --max-wakes K      timer wake-up budget (default 2)
+  --depth D          schedule-length bound; 0 = auto (default 0)
+  --strategy bfs|iddfs
+                     exploration order (default bfs); both find a
+                     shallowest counterexample first
+  --budget-secs S    wall-clock budget; exceeding it exits 3 (inconclusive:
+                     the space was not exhausted; a violation exits 1)
+  --mode sym|asym    ordering variant of the group (default sym)
+  --omega-us US      time-silence interval omega (default 5000)
+  --big-omega-us US  suspicion timeout Omega, must exceed omega
+                     (default 10000); short timers make suspicion
+                     reachable within a small --max-wakes budget
+  --seed S           plan label (the fixed-latency net draws nothing)
+  --emit-dir DIR     where counterexample scripts go (default target/mc)";
+
+struct McArgs {
+    cfg: McConfig,
+    emit_dir: String,
+}
+
+fn parse_mc_args(args: &[String]) -> Result<McArgs, String> {
+    let mut out = McArgs {
+        cfg: McConfig::new(3),
+        emit_dir: "target/mc".to_string(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let parse_u32 = |name: &str, v: String| v.parse::<u32>().map_err(|_| format!("bad {name}"));
+        match a.as_str() {
+            "--nodes" => {
+                let n = parse_u32("--nodes", val("--nodes")?)?;
+                if !(2..=4).contains(&n) {
+                    return Err("--nodes must be 2..=4 (small-scope checker)".to_string());
+                }
+                out.cfg.nodes = n;
+            }
+            "--max-msgs" => out.cfg.max_msgs = parse_u32("--max-msgs", val("--max-msgs")?)?,
+            "--max-crashes" => {
+                out.cfg.max_crashes = parse_u32("--max-crashes", val("--max-crashes")?)?;
+            }
+            "--max-wakes" => out.cfg.max_wakes = parse_u32("--max-wakes", val("--max-wakes")?)?,
+            "--depth" => {
+                out.cfg.depth = val("--depth")?
+                    .parse::<usize>()
+                    .map_err(|_| "bad --depth".to_string())?;
+            }
+            "--strategy" => {
+                out.cfg.strategy = match val("--strategy")?.as_str() {
+                    "bfs" => McStrategy::Bfs,
+                    "dfs" | "iddfs" => McStrategy::Iddfs,
+                    other => return Err(format!("bad --strategy {other} (bfs|iddfs)")),
+                };
+            }
+            "--budget-secs" => {
+                out.cfg.budget = Some(Duration::from_secs(
+                    val("--budget-secs")?
+                        .parse::<u64>()
+                        .map_err(|_| "bad --budget-secs".to_string())?,
+                ));
+            }
+            "--mode" => {
+                out.cfg.mode = match val("--mode")?.as_str() {
+                    "sym" => OrderMode::Symmetric,
+                    "asym" => OrderMode::Asymmetric,
+                    other => return Err(format!("bad --mode {other} (sym|asym)")),
+                };
+            }
+            "--omega-us" => {
+                out.cfg.omega_us = val("--omega-us")?
+                    .parse::<u64>()
+                    .map_err(|_| "bad --omega-us".to_string())?;
+            }
+            "--big-omega-us" => {
+                out.cfg.big_omega_us = val("--big-omega-us")?
+                    .parse::<u64>()
+                    .map_err(|_| "bad --big-omega-us".to_string())?;
+            }
+            "--seed" => {
+                out.cfg.seed = val("--seed")?
+                    .parse::<u64>()
+                    .map_err(|_| "bad --seed".to_string())?;
+            }
+            "--emit-dir" => out.emit_dir = val("--emit-dir")?,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown mc option {other}")),
+        }
+    }
+    if out.cfg.big_omega_us <= out.cfg.omega_us {
+        return Err("--big-omega-us must exceed --omega-us".to_string());
+    }
+    Ok(out)
+}
+
+fn mc_main(args: &[String]) -> ExitCode {
+    let parsed = match parse_mc_args(args) {
+        Ok(p) => p,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{MC_USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = parsed.cfg;
+    let strategy = match cfg.strategy {
+        McStrategy::Bfs => "bfs",
+        McStrategy::Iddfs => "iddfs",
+    };
+    eprintln!(
+        "mc: nodes={} max-msgs={} max-crashes={} max-wakes={} depth={} strategy={strategy}",
+        cfg.nodes,
+        cfg.max_msgs,
+        cfg.max_crashes,
+        cfg.max_wakes,
+        cfg.effective_depth(),
+    );
+    // Shrink probes replay schedules whose invariant audits may
+    // debug-assert; the panics are caught and counted, not printed.
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = explore(&cfg);
+    println!(
+        "mc {} nodes / {} msgs / {} crashes / {} wakes / depth {}: \
+         {} states explored, {} deduped, frontier peak {} ({:.1}s)",
+        cfg.nodes,
+        cfg.max_msgs,
+        cfg.max_crashes,
+        cfg.max_wakes,
+        cfg.effective_depth(),
+        report.explored,
+        report.deduped,
+        report.frontier_peak,
+        report.elapsed.as_secs_f64(),
+    );
+    match &report.violation {
+        None => {
+            if report.complete {
+                println!("mc: space exhausted, no violation — green");
+                ExitCode::SUCCESS
+            } else {
+                // Exit 3 (not 1) so budget-capped deep runs can tell
+                // "inconclusive" from "violation found".
+                println!("mc: BUDGET EXHAUSTED before the space was — inconclusive");
+                ExitCode::from(3)
+            }
+        }
+        Some(v) => {
+            match v {
+                McViolation::Property(vs) => {
+                    println!("mc: VIOLATION ({} checker finding(s)):", vs.len());
+                    for v in vs.iter().take(5) {
+                        println!("  - {v}");
+                    }
+                }
+                McViolation::Invariant(e) => println!("mc: ENGINE INVARIANT VIOLATED: {e}"),
+            }
+            if let Some(cex) = &report.counterexample {
+                println!(
+                    "mc: counterexample schedule has {} step(s) (shrunk in {} runs)",
+                    cex.mc_steps.len(),
+                    report.shrink_runs
+                );
+                let hash = cex.try_run_history().ok().map(|h| history_hash(&h));
+                let script = cex.to_script(hash);
+                if let Err(e) = std::fs::create_dir_all(&parsed.emit_dir) {
+                    eprintln!("mc: cannot create {}: {e}", parsed.emit_dir);
+                } else {
+                    let path = format!("{}/mc-counterexample.chaos", parsed.emit_dir);
+                    match std::fs::write(&path, &script) {
+                        Ok(()) => println!("mc: replay script written to {path}"),
+                        Err(e) => eprintln!("mc: cannot write {path}: {e}"),
+                    }
+                }
+            }
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn chaos_pin(parsed: &ChaosArgs, seed: u64) -> ExitCode {

@@ -17,8 +17,8 @@
 use crate::checker::{check_all, CheckOptions, Violation};
 use crate::cluster::SimCluster;
 use crate::history::{History, HistoryEvent, MessageId};
-use newtop_sim::{LatencyModel, NetConfig, PartitionMode};
-use newtop_types::{GroupConfig, GroupId, Instant, OrderMode, Span};
+use newtop_sim::{LatencyModel, NetConfig, PartitionMode, PendingEvent};
+use newtop_types::{GroupConfig, GroupId, Instant, OrderMode, ProcessId, Span};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -270,6 +270,7 @@ impl ChaosScenario {
             topology,
             sends: plan_sends,
             faults,
+            mc_steps: Vec::new(),
             // Generous settle time: Ω-driven membership plus the delivery
             // barrier need several rounds after the last scripted event.
             horizon_us: last_event_us + 1_200_000,
@@ -360,6 +361,41 @@ impl FaultSpec {
     }
 }
 
+/// One explicit event-order choice in a model-checker schedule. Unlike the
+/// timed [`FaultSpec`]/[`SendSpec`] script, an `McStep` names *which* event
+/// fires next; virtual time advances to the fired event's own timestamp.
+/// Steps that name nothing currently fireable (after shrinking removed the
+/// step that would have armed them) are skipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McStep {
+    /// Deliver the FIFO-head message of the link `src → dst`.
+    Deliver {
+        /// Sending process.
+        src: u32,
+        /// Receiving process.
+        dst: u32,
+    },
+    /// Fire `p`'s pending timer wake-up.
+    Wake {
+        /// The process whose tick runs.
+        p: u32,
+    },
+    /// Issue a tagged application multicast at the current virtual time.
+    Send {
+        /// Sending process.
+        from: u32,
+        /// Destination group.
+        group: GroupId,
+        /// Workload tag.
+        mid: u64,
+    },
+    /// Crash `victim` at the current virtual time.
+    Crash {
+        /// The process to kill.
+        victim: u32,
+    },
+}
+
 /// A fully materialised chaos run: topology + traffic + fault schedule.
 /// Equal plans replay equal histories ([`history_hash`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -374,14 +410,25 @@ pub struct ChaosPlan {
     pub sends: Vec<SendSpec>,
     /// The fault schedule.
     pub faults: Vec<FaultSpec>,
+    /// Model-checker event-order schedule. When non-empty the plan replays
+    /// under external scheduling — the timed `sends`/`faults` script is
+    /// rejected (the generator never mixes the two), the network runs the
+    /// deterministic fixed-latency default, and the run executes exactly
+    /// these steps instead of free-running to the horizon.
+    pub mc_steps: Vec<McStep>,
     /// Total virtual run time, µs.
     pub horizon_us: u64,
 }
 
 impl ChaosPlan {
-    /// Builds the cluster, scripts everything and runs to the horizon.
+    /// Builds the cluster, scripts everything and runs to the horizon —
+    /// or, for a model-checker plan (`mc_steps` non-empty), replays the
+    /// explicit event-order schedule step by step.
     #[must_use]
     pub fn run(&self) -> SimCluster {
+        if !self.mc_steps.is_empty() {
+            return self.run_mc_schedule();
+        }
         let net = NetConfig::new(self.seed ^ 0x9E37_79B9).with_latency(BASE_LATENCY);
         let mut cluster = SimCluster::new(self.n, net);
         for gs in &self.topology {
@@ -415,6 +462,54 @@ impl ChaosPlan {
         cluster
     }
 
+    /// Builds the model-checker fixture and applies the explicit schedule.
+    /// The network is the zero-latency, zero-overhead fixed model (no
+    /// random draws), exactly as `newtop-exp mc` explores, so a shrunk
+    /// counterexample replays the violating interleaving bit-identically.
+    /// With zero latency a delivery never advances the virtual clock (time
+    /// moves only when a timer wake fires), so interleavings that differ
+    /// only in the order of independent deliveries converge to the same
+    /// state digest — this is what makes visited-state dedup effective.
+    pub(crate) fn run_mc_schedule(&self) -> SimCluster {
+        let net = NetConfig::new(self.seed)
+            .with_latency(LatencyModel::Fixed(Span::ZERO))
+            .with_send_overhead(Span::ZERO);
+        let mut cluster = SimCluster::new(self.n, net);
+        for gs in &self.topology {
+            let cfg = GroupConfig::new(gs.mode)
+                .with_omega(Span::from_micros(gs.omega_us))
+                .with_big_omega(Span::from_micros(gs.big_omega_us));
+            cluster.bootstrap_group(gs.group, &gs.members, cfg);
+        }
+        for step in &self.mc_steps {
+            // A step that names nothing currently fireable is skipped: ddmin
+            // shrink candidates routinely remove the step that would have
+            // armed a later one.
+            match *step {
+                McStep::Deliver { src, dst } => {
+                    cluster.fire(PendingEvent::Deliver {
+                        src: ProcessId(src),
+                        dst: ProcessId(dst),
+                        at: Instant::ZERO,
+                    });
+                }
+                McStep::Wake { p } => {
+                    cluster.fire(PendingEvent::Wake {
+                        node: ProcessId(p),
+                        at: Instant::ZERO,
+                    });
+                }
+                McStep::Send { from, group, mid } => {
+                    cluster.invoke_multicast(from, group, MessageId(mid));
+                }
+                McStep::Crash { victim } => {
+                    cluster.crash_now(victim);
+                }
+            }
+        }
+        cluster
+    }
+
     /// The checker configuration appropriate for this plan. Safety (order,
     /// causality, views, the delivery barrier, no-delivery-after-exclusion)
     /// is always asserted. Quiescent liveness is asserted too — the
@@ -433,8 +528,11 @@ impl ChaosPlan {
                 }
             )
         }) && self.faults.iter().any(|f| matches!(f.op, FaultOp::Heal));
+        // A model-checker schedule is a bounded prefix of a run, not a run
+        // to quiescence: liveness (everything sent gets delivered) is
+        // meaningless there and only safety is asserted.
         CheckOptions {
-            liveness: !healed_loss,
+            liveness: !healed_loss && self.mc_steps.is_empty(),
             ..CheckOptions::default()
         }
     }
@@ -540,6 +638,22 @@ impl ChaosPlan {
                 },
             }
         }
+        for step in &self.mc_steps {
+            match *step {
+                McStep::Deliver { src, dst } => {
+                    let _ = writeln!(s, "mc-step deliver {src} {dst}");
+                }
+                McStep::Wake { p } => {
+                    let _ = writeln!(s, "mc-step wake {p}");
+                }
+                McStep::Send { from, group, mid } => {
+                    let _ = writeln!(s, "mc-step send {from} {} {mid}", group.0);
+                }
+                McStep::Crash { victim } => {
+                    let _ = writeln!(s, "mc-step crash {victim}");
+                }
+            }
+        }
         if let Some(h) = expect_hash {
             let _ = writeln!(s, "expect-hash {h:016x}");
         }
@@ -568,13 +682,17 @@ impl ChaosPlan {
             topology: Vec::new(),
             sends: Vec::new(),
             faults: Vec::new(),
+            mc_steps: Vec::new(),
             horizon_us: 0,
         };
         let mut expect_hash = None;
         for (ln, raw) in lines {
             let toks: Vec<&str> = raw.split_whitespace().collect();
-            let parse_u64 = |t: &str| t.parse::<u64>().map_err(|_| err(ln, "bad integer"));
-            let parse_u32 = |t: &str| t.parse::<u32>().map_err(|_| err(ln, "bad integer"));
+            // Body errors quote the offending line itself, not just its
+            // number — corpus scripts get edited by hand.
+            let err = |m: &str| format!("line {}: {m}: `{}`", ln + 1, raw.trim());
+            let parse_u64 = |t: &str| t.parse::<u64>().map_err(|_| err("bad integer"));
+            let parse_u32 = |t: &str| t.parse::<u32>().map_err(|_| err("bad integer"));
             match toks.as_slice() {
                 ["seed", v] => plan.seed = parse_u64(v)?,
                 ["n", v] => plan.n = parse_u32(v)?,
@@ -583,11 +701,11 @@ impl ChaosPlan {
                     let mode = match *mode {
                         "symmetric" => OrderMode::Symmetric,
                         "asymmetric" => OrderMode::Asymmetric,
-                        _ => return Err(err(ln, "mode must be symmetric|asymmetric")),
+                        _ => return Err(err("mode must be symmetric|asymmetric")),
                     };
                     let members = m
                         .split(',')
-                        .map(|t| t.parse::<u32>().map_err(|_| err(ln, "bad member id")))
+                        .map(|t| t.parse::<u32>().map_err(|_| err("bad member id")))
                         .collect::<Result<Vec<u32>, String>>()?;
                     plan.topology.push(GroupSpec {
                         group: GroupId(parse_u32(g)?),
@@ -613,15 +731,13 @@ impl ChaosPlan {
                             let mode = match *mode {
                                 "loss" => PartitionMode::Loss,
                                 "delay" => PartitionMode::Delay,
-                                _ => return Err(err(ln, "partition mode must be loss|delay")),
+                                _ => return Err(err("partition mode must be loss|delay")),
                             };
                             let blocks = blocks
                                 .split('|')
                                 .map(|b| {
                                     b.split(',')
-                                        .map(|t| {
-                                            t.parse::<u32>().map_err(|_| err(ln, "bad block id"))
-                                        })
+                                        .map(|t| t.parse::<u32>().map_err(|_| err("bad block id")))
                                         .collect::<Result<Vec<u32>, String>>()
                                 })
                                 .collect::<Result<Vec<Vec<u32>>, String>>()?;
@@ -641,15 +757,33 @@ impl ChaosPlan {
                                 hi: Span::from_micros(parse_u64(hi)?),
                             },
                         },
-                        _ => return Err(err(ln, "unknown fault")),
+                        _ => return Err(err("unknown fault")),
                     };
                     plan.faults.push(FaultSpec { at_us, op });
                 }
-                ["expect-hash", h] => {
-                    expect_hash =
-                        Some(u64::from_str_radix(h, 16).map_err(|_| err(ln, "bad hash"))?);
+                ["mc-step", rest @ ..] => {
+                    let step = match rest {
+                        ["deliver", src, dst] => McStep::Deliver {
+                            src: parse_u32(src)?,
+                            dst: parse_u32(dst)?,
+                        },
+                        ["wake", p] => McStep::Wake { p: parse_u32(p)? },
+                        ["send", from, g, mid] => McStep::Send {
+                            from: parse_u32(from)?,
+                            group: GroupId(parse_u32(g)?),
+                            mid: parse_u64(mid)?,
+                        },
+                        ["crash", v] => McStep::Crash {
+                            victim: parse_u32(v)?,
+                        },
+                        _ => return Err(err("unknown mc-step")),
+                    };
+                    plan.mc_steps.push(step);
                 }
-                _ => return Err(err(ln, "unknown directive")),
+                ["expect-hash", h] => {
+                    expect_hash = Some(u64::from_str_radix(h, 16).map_err(|_| err("bad hash"))?);
+                }
+                _ => return Err(err("unknown directive")),
             }
         }
         if plan.n == 0 || plan.topology.is_empty() || plan.horizon_us == 0 {
@@ -731,6 +865,15 @@ pub fn shrink(plan: &ChaosPlan, opts: &CheckOptions, max_runs: usize, jobs: usiz
         fails(&probe)
     });
     current.sends = sends;
+    // Phase 3: minimise a model-checker schedule. Removing a step may make
+    // later ones unfireable — they are skipped on replay, so every ddmin
+    // candidate is still a valid (if shorter) schedule.
+    let mc_steps = ddmin(&current.mc_steps, &mut runs, max_runs, jobs, |cand| {
+        let mut probe = current.clone();
+        probe.mc_steps = cand.to_vec();
+        fails(&probe)
+    });
+    current.mc_steps = mc_steps;
     let violations = current.try_run_and_check(opts).unwrap_or_default();
     ShrinkResult {
         plan: current,
@@ -884,6 +1027,77 @@ mod tests {
         assert!(ChaosPlan::parse_script(bad).unwrap_err().contains("line 5"));
         let no_groups = "newtop-chaos v1\nseed 1\nn 3\nhorizon-us 10\n";
         assert!(ChaosPlan::parse_script(no_groups).is_err());
+    }
+
+    #[test]
+    fn parse_errors_quote_the_offending_line() {
+        let bad = "newtop-chaos v1\nseed 1\nn 3\nhorizon-us 10\nfrobnicate\n";
+        let e = ChaosPlan::parse_script(bad).unwrap_err();
+        assert!(e.contains("line 5") && e.contains("`frobnicate`"), "{e}");
+        let bad_mc = "newtop-chaos v1\nn 3\nhorizon-us 10\n\
+                      group 1 symmetric omega-us 5 big-omega-us 9 members 1,2,3\n\
+                      mc-step conjure 1\n";
+        let e = ChaosPlan::parse_script(bad_mc).unwrap_err();
+        assert!(
+            e.contains("unknown mc-step") && e.contains("conjure"),
+            "{e}"
+        );
+    }
+
+    fn tiny_mc_plan() -> ChaosPlan {
+        ChaosPlan {
+            seed: 1,
+            n: 3,
+            topology: vec![GroupSpec {
+                group: GroupId(1),
+                mode: OrderMode::Symmetric,
+                omega_us: 5_000,
+                big_omega_us: 10_000,
+                members: vec![1, 2, 3],
+            }],
+            sends: Vec::new(),
+            faults: Vec::new(),
+            mc_steps: vec![
+                McStep::Send {
+                    from: 1,
+                    group: GroupId(1),
+                    mid: 7,
+                },
+                McStep::Deliver { src: 1, dst: 2 },
+                McStep::Deliver { src: 1, dst: 3 },
+                McStep::Wake { p: 2 },
+                McStep::Crash { victim: 3 },
+            ],
+            horizon_us: 1,
+        }
+    }
+
+    #[test]
+    fn mc_script_roundtrips_and_replays_deterministically() {
+        let plan = tiny_mc_plan();
+        let script = plan.to_script(None);
+        let (parsed, _) = ChaosPlan::parse_script(&script).expect("parses");
+        assert_eq!(parsed, plan);
+        let h1 = history_hash(&plan.run().history());
+        let h2 = history_hash(&parsed.run().history());
+        assert_eq!(h1, h2, "mc schedules must replay bit-identically");
+        // Bounded prefix, not a quiescent run: only safety is asserted.
+        assert!(!plan.check_options().liveness);
+    }
+
+    #[test]
+    fn mc_schedule_skips_unfireable_steps() {
+        let mut plan = tiny_mc_plan();
+        // A link with nothing in flight and an already-crashed sender: both
+        // must be no-ops, as ddmin shrink candidates rely on.
+        plan.mc_steps.push(McStep::Deliver { src: 2, dst: 1 });
+        plan.mc_steps.push(McStep::Send {
+            from: 3,
+            group: GroupId(1),
+            mid: 8,
+        });
+        let v = plan.run_and_check(&plan.check_options());
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]

@@ -5,7 +5,8 @@
 use crate::history::{History, HistoryEvent, MessageId};
 use bytes::Bytes;
 use newtop_core::{Action, Process};
-use newtop_sim::{NetConfig, Outbox, PartitionMode, PartitionSpec, Sim, SimNode};
+use newtop_sim::{NetConfig, Outbox, PartitionMode, PartitionSpec, PendingEvent, Sim, SimNode};
+use newtop_types::digest::{DigestHasher, StateDigest};
 use newtop_types::{wire, Envelope, GroupConfig, GroupId, Instant, ProcessConfig, ProcessId, Span};
 use std::collections::BTreeSet;
 
@@ -139,15 +140,30 @@ impl SimNode for NewtopNode {
     ) {
         let actions = self.process.handle(now, from, msg);
         self.absorb(now, actions, out);
+        // Debug builds audit engine coherence after every event — the chaos
+        // fleet and the model checker both run through this hook.
+        self.process.audit_invariants();
     }
 
     fn on_tick(&mut self, now: Instant, out: &mut Outbox<Envelope>) {
         let actions = self.process.tick(now);
         self.absorb(now, actions, out);
+        self.process.audit_invariants();
     }
 
     fn next_deadline(&self) -> Option<Instant> {
         self.process.next_deadline()
+    }
+}
+
+impl StateDigest for NewtopNode {
+    /// Only the protocol engine: the history log is an observation trace,
+    /// not state the protocol can branch on — two runs reaching the same
+    /// engine state by different routes *should* dedup in the model checker
+    /// even though their logs differ. (The checker inspects terminal-state
+    /// histories separately; see `harness::mc`.)
+    fn digest_into(&self, h: &mut DigestHasher) {
+        self.process.digest_into(h);
     }
 }
 
@@ -320,6 +336,65 @@ impl SimCluster {
             .node(ProcessId(p))
             .expect("known process")
             .process()
+    }
+
+    // ------------------------------------------------------------------
+    // Controllable-scheduler seam (the model checker's interface)
+    // ------------------------------------------------------------------
+
+    /// The frontier of schedulable events (see [`Sim::pending_events`]).
+    #[must_use]
+    pub fn pending_events(&self) -> Vec<PendingEvent> {
+        self.sim.pending_events()
+    }
+
+    /// Fires one chosen frontier event (see [`Sim::fire`]).
+    pub fn fire(&mut self, ev: PendingEvent) -> bool {
+        self.sim.fire(ev)
+    }
+
+    /// Synchronously issues a tagged multicast at the current virtual time.
+    /// Returns `false` for an unknown or crashed sender.
+    pub fn invoke_multicast(&mut self, from: u32, group: GroupId, mid: MessageId) -> bool {
+        let at = self.sim.now();
+        self.sim
+            .invoke(ProcessId(from), move |n: &mut NewtopNode, out| {
+                n.do_multicast(at, group, mid, out);
+            })
+    }
+
+    /// Synchronously crashes `p` at the current virtual time. Returns
+    /// `false` for an unknown process.
+    pub fn crash_now(&mut self, p: u32) -> bool {
+        self.sim.crash_now(ProcessId(p))
+    }
+
+    /// Whether `p` has crashed.
+    #[must_use]
+    pub fn is_crashed(&self, p: u32) -> bool {
+        self.sim.crashed(ProcessId(p))
+    }
+
+    /// Canonical hash of the full system state (see [`Sim::state_digest`]).
+    /// Sound for visited-state dedup only under a fixed latency model.
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        self.sim.state_digest()
+    }
+
+    /// Runs every live engine's coherence audit, returning the first
+    /// violation (see `Process::check_invariants`).
+    ///
+    /// # Errors
+    ///
+    /// The description of the first violated engine invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (id, node) in self.sim.nodes() {
+            if !self.sim.crashed(id) {
+                node.process().check_invariants()?;
+            }
+        }
+        Ok(())
     }
 
     /// Collects the full run history (clones the per-node logs).

@@ -17,6 +17,9 @@
 //! * [`chaos`] — the seeded fault-schedule explorer: seed → deterministic
 //!   topology + traffic + timed fault schedule, replay scripts, ddmin
 //!   shrinking (`newtop-exp chaos`);
+//! * [`mc`] — the exhaustive small-scope model checker: full interleaving
+//!   exploration of 2–4 node systems with state dedup, invariant audit and
+//!   shrunk replayable counterexamples (`newtop-exp mc`);
 //! * [`sweep`] — work-stealing parallel seed sweeps with deterministic
 //!   (worker-count-independent) aggregation;
 //! * [`loadgen`] — closed-loop wall-clock load generation against the
@@ -38,14 +41,16 @@ pub mod cluster;
 pub mod experiments;
 pub mod history;
 pub mod loadgen;
+pub mod mc;
 pub mod sweep;
 pub mod table;
 pub mod workload;
 
-pub use chaos::{history_hash, ChaosPlan, ChaosScenario};
+pub use chaos::{history_hash, ChaosPlan, ChaosScenario, McStep};
 pub use checker::{check_all, CheckOptions, Violation};
 pub use cluster::SimCluster;
 pub use history::{History, HistoryEvent, MessageId};
 pub use loadgen::{run_load, HostKind, LoadConfig, LoadReport};
+pub use mc::{explore, McConfig, McReport, McStrategy, McViolation};
 pub use sweep::{run_chaos_seed, sweep_seeds, SeedOutcome, SweepConfig, SweepReport};
 pub use table::Table;

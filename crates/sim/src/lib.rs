@@ -68,4 +68,4 @@ mod model;
 mod sim;
 
 pub use model::{LatencyModel, NetConfig, NetStats, PartitionMode, PartitionSpec};
-pub use sim::{Outbox, Sim, SimNode};
+pub use sim::{Outbox, PendingEvent, Sim, SimNode};

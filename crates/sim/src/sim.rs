@@ -8,6 +8,7 @@
 //! dispatches. The public API stays [`ProcessId`]-keyed.
 
 use crate::model::{LatencyModel, NetConfig, NetStats, PartitionMode, PartitionSpec};
+use newtop_types::digest::{DigestHasher, StateDigest};
 use newtop_types::{Instant, ProcessId, Span};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -95,6 +96,32 @@ impl<M> Outbox<M> {
 }
 
 type CallFn<N> = Box<dyn FnOnce(&mut N, &mut Outbox<<N as SimNode>::Msg>)>;
+
+/// One schedulable event on the current frontier, as exposed by
+/// [`Sim::pending_events`] for externally controlled scheduling (the model
+/// checker). Identity is by link or node — [`Sim::fire`] resolves a
+/// `Deliver` to the FIFO head of that link and a `Wake` to the node's
+/// current (non-stale) wake-up, so a strategy cannot violate the FIFO
+/// transport assumption by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PendingEvent {
+    /// The head-of-line message on the FIFO link `src → dst` is deliverable.
+    Deliver {
+        /// Sending node.
+        src: ProcessId,
+        /// Receiving node (not crashed).
+        dst: ProcessId,
+        /// Scheduled arrival instant of the head message.
+        at: Instant,
+    },
+    /// `node`'s pending timer wake-up can fire.
+    Wake {
+        /// The node whose [`SimNode::on_tick`] would run.
+        node: ProcessId,
+        /// The scheduled wake instant.
+        at: Instant,
+    },
+}
 
 /// Compact per-`Sim` node index (position in the dense node table).
 type NodeIdx = u32;
@@ -449,28 +476,7 @@ impl<N: SimNode> Sim<N> {
                 self.recycle_outbox(out);
                 self.refresh_wake(node);
             }
-            EventKind::Crash(p) => {
-                let Some(idx) = self.idx_of(p) else {
-                    return;
-                };
-                self.nodes[idx as usize].crashed = true;
-                // Messages still in p's send pipeline (departure after the
-                // crash instant) never make it onto the wire.
-                let now = self.now;
-                let before = self.queue.len();
-                let kept: Vec<Event<N>> = self
-                    .queue
-                    .drain()
-                    .filter(|ev| match &ev.kind {
-                        EventKind::Deliver { src, departed, .. } => {
-                            !(*src == idx && *departed > now)
-                        }
-                        _ => true,
-                    })
-                    .collect();
-                self.stats.dropped_crash_src += (before - kept.len()) as u64;
-                self.queue = kept.into_iter().collect();
-            }
+            EventKind::Crash(p) => self.crash_node(p),
             EventKind::SetPartition(spec, mode) => {
                 self.partition = spec;
                 self.partition_mode = mode;
@@ -650,6 +656,252 @@ impl<N: SimNode> Sim<N> {
                 self.push(d, EventKind::Wake { node: idx, epoch });
             }
         }
+    }
+
+    /// Crashes `p` by executing the crash semantics immediately (the
+    /// controllable-scheduler counterpart of [`Sim::schedule_crash`]):
+    /// messages still in `p`'s send pipeline never make it onto the wire.
+    /// Returns `false` for an unknown node.
+    pub fn crash_now(&mut self, p: ProcessId) -> bool {
+        if self.idx_of(p).is_none() {
+            return false;
+        }
+        self.crash_node(p);
+        true
+    }
+
+    fn crash_node(&mut self, p: ProcessId) {
+        let Some(idx) = self.idx_of(p) else {
+            return;
+        };
+        self.nodes[idx as usize].crashed = true;
+        // Messages still in p's send pipeline (departure after the crash
+        // instant) never make it onto the wire.
+        let now = self.now;
+        let before = self.queue.len();
+        let kept: Vec<Event<N>> = self
+            .queue
+            .drain()
+            .filter(|ev| match &ev.kind {
+                EventKind::Deliver { src, departed, .. } => !(*src == idx && *departed > now),
+                _ => true,
+            })
+            .collect();
+        self.stats.dropped_crash_src += (before - kept.len()) as u64;
+        self.queue = kept.into_iter().collect();
+    }
+
+    /// Calls into node `p` synchronously (the controllable-scheduler
+    /// counterpart of [`Sim::schedule_call`]): sends the callback produces
+    /// are flushed onto the wire at the current virtual time, and the node's
+    /// timer is re-read. Returns `false` (without invoking `f`) for an
+    /// unknown or crashed node.
+    pub fn invoke(&mut self, p: ProcessId, f: impl FnOnce(&mut N, &mut Outbox<N::Msg>)) -> bool {
+        let Some(idx) = self.idx_of(p) else {
+            return false;
+        };
+        if self.nodes[idx as usize].crashed {
+            return false;
+        }
+        let mut out = self.take_outbox();
+        f(&mut self.nodes[idx as usize].node, &mut out);
+        self.flush_outbox(idx, &mut out);
+        self.recycle_outbox(out);
+        self.refresh_wake(idx);
+        true
+    }
+
+    /// The frontier of schedulable events: the FIFO head of every link with
+    /// a live (non-crashed) destination, plus every live node's pending
+    /// timer wake-up. Returned in deterministic order (delivers by link,
+    /// then wakes by node id). An external strategy picks one and hands it
+    /// to [`Sim::fire`]; repeatedly firing the earliest frontier event is
+    /// equivalent to [`Sim::run_until`]'s fixed priority-queue order.
+    #[must_use]
+    pub fn pending_events(&self) -> Vec<PendingEvent> {
+        let mut heads: BTreeMap<(ProcessId, ProcessId), (Instant, u64)> = BTreeMap::new();
+        for ev in self.queue.iter() {
+            if let EventKind::Deliver { src, dst, .. } = &ev.kind {
+                if self.nodes[*dst as usize].crashed {
+                    continue;
+                }
+                let key = (self.nodes[*src as usize].id, self.nodes[*dst as usize].id);
+                let cand = (ev.at, ev.seq);
+                let slot = heads.entry(key).or_insert(cand);
+                if cand < *slot {
+                    *slot = cand;
+                }
+            }
+        }
+        let mut out: Vec<PendingEvent> = heads
+            .into_iter()
+            .map(|((src, dst), (at, _))| PendingEvent::Deliver { src, dst, at })
+            .collect();
+        for (id, idx) in &self.lookup {
+            let entry = &self.nodes[*idx as usize];
+            if entry.crashed {
+                continue;
+            }
+            if let Some(at) = entry.wake_at {
+                out.push(PendingEvent::Wake { node: *id, at });
+            }
+        }
+        out
+    }
+
+    /// Fires one frontier event chosen by an external strategy, advancing
+    /// the clock to `max(now, event time)` — under external control events
+    /// may fire out of timestamp order, which models arbitrary asynchrony:
+    /// a "late" event simply executes at the later current time.
+    ///
+    /// A `Deliver` fires the FIFO-head message of the named link; a `Wake`
+    /// fires the node's current pending wake-up. Returns `false` (state
+    /// unchanged) if no matching event is pending — e.g. a stale choice
+    /// replayed against a shrunk schedule.
+    pub fn fire(&mut self, ev: PendingEvent) -> bool {
+        let target_seq = match ev {
+            PendingEvent::Deliver { src, dst, .. } => {
+                let (Some(s), Some(d)) = (self.idx_of(src), self.idx_of(dst)) else {
+                    return false;
+                };
+                let mut best: Option<(Instant, u64)> = None;
+                for e in self.queue.iter() {
+                    if let EventKind::Deliver {
+                        src: es, dst: ed, ..
+                    } = &e.kind
+                    {
+                        if *es == s && *ed == d {
+                            let cand = (e.at, e.seq);
+                            if best.is_none_or(|b| cand < b) {
+                                best = Some(cand);
+                            }
+                        }
+                    }
+                }
+                best.map(|(_, seq)| seq)
+            }
+            PendingEvent::Wake { node, .. } => {
+                let Some(idx) = self.idx_of(node) else {
+                    return false;
+                };
+                let entry = &self.nodes[idx as usize];
+                if entry.crashed || entry.wake_at.is_none() {
+                    return false;
+                }
+                let epoch = entry.wake_epoch;
+                self.queue.iter().find_map(|e| match &e.kind {
+                    EventKind::Wake { node: n, epoch: ep } if *n == idx && *ep == epoch => {
+                        Some(e.seq)
+                    }
+                    _ => None,
+                })
+            }
+        };
+        let Some(seq) = target_seq else {
+            return false;
+        };
+        let mut events = std::mem::take(&mut self.queue).into_vec();
+        let pos = events
+            .iter()
+            .position(|e| e.seq == seq)
+            .expect("selected frontier event is in the queue");
+        let event = events.swap_remove(pos);
+        self.queue = events.into();
+        if event.at > self.now {
+            self.now = event.at;
+        }
+        self.dispatch(event);
+        true
+    }
+}
+
+impl<N> Sim<N>
+where
+    N: SimNode + StateDigest,
+    N::Msg: StateDigest,
+{
+    /// Canonical hash of the full observable system state, for the model
+    /// checker's visited-state dedup: virtual time, every node's protocol
+    /// state (via the node's own [`StateDigest`]), crash flags, pending
+    /// wake-ups, in-flight messages in canonical link-then-arrival order,
+    /// parked (partitioned-away) messages, partition blocks, and the
+    /// per-link FIFO clamp matrix.
+    ///
+    /// Excluded by design: event sequence numbers, the outbox pool, network
+    /// statistics, and the RNG — the digest is therefore sound for dedup
+    /// only under a latency model that draws no randomness
+    /// ([`LatencyModel::Fixed`]) and a fixed [`NetConfig`], which is what
+    /// the model checker runs. Scheduled script events (crash/partition/
+    /// latency/call) are folded in only as a count; externally controlled
+    /// exploration injects those through [`Sim::crash_now`] and
+    /// [`Sim::invoke`] instead of the queue.
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        let mut h = DigestHasher::new();
+        h.write_u64(self.now.as_micros());
+        h.write_u64(self.nodes.len() as u64);
+        for (id, idx) in &self.lookup {
+            let entry = &self.nodes[*idx as usize];
+            id.digest_into(&mut h);
+            h.write_bool(entry.crashed);
+            entry.wake_at.digest_into(&mut h);
+            h.write_u32(entry.block);
+            entry.node.digest_into(&mut h);
+        }
+        h.write_u8(match self.partition_mode {
+            PartitionMode::Loss => 0,
+            PartitionMode::Delay => 1,
+        });
+        // In-flight messages in canonical order. (src, dst, at) is unique
+        // per message: the FIFO clamp spaces same-link arrivals apart.
+        let mut inflight: Vec<(ProcessId, ProcessId, Instant, Instant, &N::Msg)> = Vec::new();
+        let mut scripted = 0u64;
+        for ev in self.queue.iter() {
+            match &ev.kind {
+                EventKind::Deliver {
+                    src,
+                    dst,
+                    departed,
+                    msg,
+                } => {
+                    inflight.push((
+                        self.nodes[*src as usize].id,
+                        self.nodes[*dst as usize].id,
+                        ev.at,
+                        *departed,
+                        msg,
+                    ));
+                }
+                // Only the current-epoch wake is live, and it is already
+                // digested through `wake_at` above; stale epochs are inert.
+                EventKind::Wake { .. } => {}
+                _ => scripted += 1,
+            }
+        }
+        inflight.sort_by_key(|(src, dst, at, ..)| (*src, *dst, *at));
+        h.write_u64(inflight.len() as u64);
+        for (src, dst, at, departed, msg) in inflight {
+            src.digest_into(&mut h);
+            dst.digest_into(&mut h);
+            at.digest_into(&mut h);
+            departed.digest_into(&mut h);
+            msg.digest_into(&mut h);
+        }
+        h.write_u64(scripted);
+        h.write_u64(self.parked.len() as u64);
+        for ((src, dst), q) in &self.parked {
+            src.digest_into(&mut h);
+            dst.digest_into(&mut h);
+            h.write_u64(q.len() as u64);
+            for (departed, msg) in q {
+                departed.digest_into(&mut h);
+                msg.digest_into(&mut h);
+            }
+        }
+        for cell in &self.last_arrival {
+            cell.digest_into(&mut h);
+        }
+        h.finish()
     }
 }
 
@@ -973,5 +1225,202 @@ mod tests {
             n2,
             "per-link FIFO state must not grow across partition/heal cycles"
         );
+    }
+
+    impl StateDigest for Recorder {
+        fn digest_into(&self, h: &mut DigestHasher) {
+            h.write_u64(self.seen.len() as u64);
+            for (at, from, msg) in &self.seen {
+                at.digest_into(h);
+                from.digest_into(h);
+                msg.digest_into(h);
+            }
+            h.write_u32(self.ticks);
+            self.deadline.digest_into(h);
+        }
+    }
+
+    /// A controllable fixture: fixed latency so the digest is sound, and a
+    /// helper to resolve a frontier entry by kind.
+    fn controlled_sim() -> Sim<Recorder> {
+        let mut sim: Sim<Recorder> = Sim::new(
+            NetConfig::new(0)
+                .with_latency(LatencyModel::Fixed(Span::from_micros(100)))
+                .with_send_overhead(Span::from_micros(10)),
+        );
+        for i in 1..=3 {
+            sim.add_node(p(i), Recorder::new());
+        }
+        sim
+    }
+
+    #[test]
+    fn frontier_exposes_link_heads_and_wakes() {
+        let mut sim = controlled_sim();
+        sim.schedule_call(Instant::ZERO, p(1), |n, out| {
+            out.send(p(2), 1);
+            out.send(p(2), 2); // same link: only the head is a frontier entry
+            out.send(p(3), 3);
+            n.deadline = Some(Instant::from_micros(5_000));
+        });
+        sim.run_until(Instant::ZERO);
+        let frontier = sim.pending_events();
+        assert_eq!(
+            frontier,
+            vec![
+                PendingEvent::Deliver {
+                    src: p(1),
+                    dst: p(2),
+                    at: Instant::from_micros(110),
+                },
+                PendingEvent::Deliver {
+                    src: p(1),
+                    dst: p(3),
+                    // third send: 3 × 10µs overhead + 100µs latency
+                    at: Instant::from_micros(130),
+                },
+                PendingEvent::Wake {
+                    node: p(1),
+                    at: Instant::from_micros(5_000),
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn fire_respects_fifo_order_per_link() {
+        let mut sim = controlled_sim();
+        sim.schedule_call(Instant::ZERO, p(1), |_, out| {
+            out.send(p(2), 1);
+            out.send(p(2), 2);
+        });
+        sim.run_until(Instant::ZERO);
+        let head = |sim: &Sim<Recorder>| sim.pending_events()[0];
+        assert!(sim.fire(head(&sim)));
+        assert!(sim.fire(head(&sim)));
+        let seen: Vec<u64> = sim.node(p(2)).unwrap().seen.iter().map(|s| s.2).collect();
+        assert_eq!(seen, vec![1, 2], "fire must deliver FIFO heads in order");
+        assert!(sim.pending_events().is_empty());
+    }
+
+    #[test]
+    fn fire_out_of_order_advances_clock_to_max() {
+        let mut sim = controlled_sim();
+        sim.schedule_call(Instant::ZERO, p(1), |_, out| {
+            out.send(p(2), 1); // arrives 110
+            out.send(p(3), 2); // arrives 120
+        });
+        sim.run_until(Instant::ZERO);
+        // Fire the later event first: the clock jumps to 120; the earlier
+        // event then executes "late" at the current time, modelling an
+        // arbitrarily slow link.
+        let late = PendingEvent::Deliver {
+            src: p(1),
+            dst: p(3),
+            at: Instant::from_micros(120),
+        };
+        assert!(sim.fire(late));
+        assert_eq!(sim.now(), Instant::from_micros(120));
+        let early = PendingEvent::Deliver {
+            src: p(1),
+            dst: p(2),
+            at: Instant::from_micros(110),
+        };
+        assert!(sim.fire(early));
+        assert_eq!(sim.now(), Instant::from_micros(120), "clock never rewinds");
+        assert_eq!(
+            sim.node(p(2)).unwrap().seen,
+            vec![(Instant::from_micros(120), p(1), 1)]
+        );
+    }
+
+    #[test]
+    fn fire_stale_choice_is_a_noop() {
+        let mut sim = controlled_sim();
+        let before = sim.state_digest();
+        assert!(!sim.fire(PendingEvent::Deliver {
+            src: p(1),
+            dst: p(2),
+            at: Instant::ZERO,
+        }));
+        assert!(!sim.fire(PendingEvent::Wake {
+            node: p(1),
+            at: Instant::ZERO,
+        }));
+        assert!(!sim.fire(PendingEvent::Wake {
+            node: p(9),
+            at: Instant::ZERO,
+        }));
+        assert_eq!(sim.state_digest(), before, "failed fire must not mutate");
+    }
+
+    #[test]
+    fn invoke_and_crash_now_drive_nodes_directly() {
+        let mut sim = controlled_sim();
+        assert!(sim.invoke(p(1), |_, out| out.send(p(2), 7)));
+        assert_eq!(sim.pending_events().len(), 1);
+        // The send departs 10µs after the invoke; crashing p(1) at the
+        // current instant severs it while still in the send pipeline.
+        assert!(sim.crash_now(p(1)));
+        assert!(sim.pending_events().is_empty(), "undeparted send dropped");
+        assert_eq!(sim.stats().dropped_crash_src, 1);
+        assert!(!sim.invoke(p(1), |_, out| out.send(p(2), 8)), "crashed");
+        assert!(!sim.crash_now(p(9)), "unknown node");
+        // A message that has left its (live) sender is deliverable as usual.
+        assert!(sim.invoke(p(2), |_, out| out.send(p(3), 9)));
+        assert!(sim.fire(sim.pending_events()[0]));
+        assert_eq!(sim.node(p(3)).unwrap().seen.len(), 1);
+    }
+
+    #[test]
+    fn frontier_hides_crashed_destinations() {
+        let mut sim = controlled_sim();
+        assert!(sim.invoke(p(1), |_, out| {
+            out.send(p(2), 1);
+            out.send(p(3), 2);
+        }));
+        assert!(sim.crash_now(p(2)));
+        let frontier = sim.pending_events();
+        assert_eq!(frontier.len(), 1);
+        assert!(matches!(
+            frontier[0],
+            PendingEvent::Deliver { dst, .. } if dst == p(3)
+        ));
+    }
+
+    #[test]
+    fn digest_identical_across_replays_and_unchanged_by_noop_invoke() {
+        let run = |script: &[u64]| -> Vec<u64> {
+            let mut sim = controlled_sim();
+            let mut digests = vec![sim.state_digest()];
+            assert!(sim.invoke(p(1), |_, out| {
+                out.send(p(2), 1);
+                out.send(p(3), 2);
+            }));
+            for &pick in script {
+                let ev = sim.pending_events()[pick as usize];
+                assert!(sim.fire(ev));
+                digests.push(sim.state_digest());
+            }
+            digests
+        };
+        let a = run(&[0, 0]);
+        let b = run(&[0, 0]);
+        assert_eq!(a, b, "same schedule must produce the same digest trace");
+        let c = run(&[1, 0]);
+        assert_ne!(
+            a.last(),
+            c.last(),
+            "different arrival orders leave different arrival timestamps"
+        );
+
+        // A no-op invoke churns the outbox pool (allocation shape) but must
+        // not move the digest.
+        let mut sim = controlled_sim();
+        let before = sim.state_digest();
+        for _ in 0..4 {
+            assert!(sim.invoke(p(2), |_, _| {}));
+        }
+        assert_eq!(sim.state_digest(), before);
     }
 }

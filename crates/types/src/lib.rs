@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod digest;
 mod error;
 mod ids;
 mod message;

@@ -3,6 +3,8 @@
 //! The workspace only uses `#[derive(Serialize, Deserialize)]` as metadata —
 //! nothing ever serializes a value — so the derives expand to nothing.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// Expands to nothing; accepted wherever `serde::Serialize` is derived.
