@@ -4,14 +4,18 @@
 //! a fixed number of member deliveries, so ns/iter is directly
 //! comparable across hosts and PRs: `delivered msgs/sec =
 //! DELIVERIES / (ns_per_iter * 1e-9)`. The `sharded/*` entries measure the
-//! PR 5 sharded event-loop host (framed wire transport included); the
-//! `thread_per_process/*` entry is the frozen seed baseline
-//! (`newtop_runtime::legacy`) on the identical workload — the committed
-//! snapshot pins the ≥2× separation at 32 nodes.
+//! sharded event-loop host with the PR 7 batched wire path (multi-envelope
+//! frames, adaptive egress flush); `sharded_nobatch/*` pins the same host
+//! with batching disabled (`flush_window = 0`, one envelope per frame —
+//! the PR 5 wire path) so the committed snapshot separates what batching
+//! buys from what the host costs. The `thread_per_process/*` entry is the
+//! frozen seed baseline (`newtop_runtime::legacy`) on the identical
+//! workload.
 //!
-//! The workload (32 nodes / 4 groups / window 8, and 8 nodes / 3 groups /
-//! window 8) matches `newtop-exp load --window 8`; see DESIGN.md §7
-//! "Runtime throughput".
+//! The workloads (32 nodes / 4 groups / window 8, and 8 nodes / 3 groups /
+//! window 8) match `newtop-exp load --window 8`; `sharded/256n8g` is the
+//! scaling point (256 nodes / 8 groups of 32). See DESIGN.md §7 "Batched
+//! wire path".
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use newtop_harness::loadgen::{run_load, HostKind, LoadConfig};
@@ -20,6 +24,9 @@ use newtop_harness::loadgen::{run_load, HostKind, LoadConfig};
 const DELIVERIES_32: u64 = 100_000;
 /// Member deliveries per timed run at 8 nodes.
 const DELIVERIES_8: u64 = 50_000;
+/// Member deliveries per timed run at 256 nodes (groups of 32: ~1.6k
+/// multicasts, each fanning out 31 envelopes).
+const DELIVERIES_256: u64 = 50_000;
 
 fn cfg(host: HostKind, nodes: u32, groups: u32, target: u64) -> LoadConfig {
     LoadConfig {
@@ -54,6 +61,17 @@ fn bench_runtime_load(c: &mut Criterion) {
             run_to_target(&cfg(HostKind::Sharded, 32, 4, DELIVERIES_32), DELIVERIES_32);
         });
     });
+    g.bench_function("sharded_nobatch/32n4g", |b| {
+        b.iter(|| {
+            run_to_target(
+                &LoadConfig {
+                    flush_window_us: Some(0),
+                    ..cfg(HostKind::Sharded, 32, 4, DELIVERIES_32)
+                },
+                DELIVERIES_32,
+            );
+        });
+    });
     g.bench_function("thread_per_process/32n4g", |b| {
         b.iter(|| {
             run_to_target(
@@ -65,6 +83,14 @@ fn bench_runtime_load(c: &mut Criterion) {
     g.bench_function("sharded/8n3g", |b| {
         b.iter(|| {
             run_to_target(&cfg(HostKind::Sharded, 8, 3, DELIVERIES_8), DELIVERIES_8);
+        });
+    });
+    g.bench_function("sharded/256n8g", |b| {
+        b.iter(|| {
+            run_to_target(
+                &cfg(HostKind::Sharded, 256, 8, DELIVERIES_256),
+                DELIVERIES_256,
+            );
         });
     });
     g.finish();

@@ -293,39 +293,61 @@ impl Process {
 
     /// Handles one envelope from the reliable FIFO transport.
     pub fn handle(&mut self, now: Instant, from: ProcessId, env: Envelope) -> Vec<Action> {
-        self.observe_time(now);
         let mut out = Vec::new();
+        self.handle_into(now, from, env, &mut out);
+        out
+    }
+
+    /// [`Process::handle`] appending into a caller-owned action buffer.
+    ///
+    /// Semantics are identical to calling `handle` per envelope — the
+    /// delivery pump and deferred-send drain run to their fixpoint every
+    /// call — but a host decoding a batched wire frame can reuse one
+    /// `Vec` across all of the frame's envelopes instead of allocating
+    /// (and then concatenating) one per message.
+    pub fn handle_into(
+        &mut self,
+        now: Instant,
+        from: ProcessId,
+        env: Envelope,
+        out: &mut Vec<Action>,
+    ) {
+        self.observe_time(now);
         match env {
-            Envelope::Control(c) => self.handle_control(from, c, &mut out),
-            Envelope::Group(m) => self.receive_group_message(from, m, &mut out),
+            Envelope::Control(c) => self.handle_control(from, c, out),
+            Envelope::Group(m) => self.receive_group_message(from, m, out),
         }
-        self.pump(&mut out);
-        if self.drain_deferred(&mut out) {
+        self.pump(out);
+        if self.drain_deferred(out) {
             // Deferred sends may have unblocked deliveries of our own
             // messages; otherwise the fixpoint above still stands.
-            self.pump(&mut out);
+            self.pump(out);
         }
-        out
     }
 
     /// Advances local timers: time-silence null emission (§4.1), failure
     /// suspicion (§5.2 `S_i`), and formation deadlines (§5.3 step 3).
     pub fn tick(&mut self, now: Instant) -> Vec<Action> {
-        self.observe_time(now);
         let mut out = Vec::new();
-        self.formation_tick(&mut out);
+        self.tick_into(now, &mut out);
+        out
+    }
+
+    /// [`Process::tick`] appending into a caller-owned action buffer.
+    pub fn tick_into(&mut self, now: Instant, out: &mut Vec<Action>) {
+        self.observe_time(now);
+        self.formation_tick(out);
         let mut gids = std::mem::take(&mut self.scratch_gids);
         gids.clear();
         gids.extend(self.groups.keys().copied());
         for gid in &gids {
-            self.group_tick(*gid, &mut out);
+            self.group_tick(*gid, out);
         }
         self.scratch_gids = gids;
-        self.pump(&mut out);
-        if self.drain_deferred(&mut out) {
-            self.pump(&mut out);
+        self.pump(out);
+        if self.drain_deferred(out) {
+            self.pump(out);
         }
-        out
     }
 
     /// The earliest instant at which [`Process::tick`] has work to do, or
@@ -1172,6 +1194,40 @@ impl Process {
         for j in silent {
             self.suspector_notify(group, j, out);
         }
+    }
+}
+
+/// Whether `later` makes a pending ω null-message from `sender` in
+/// `group` numbered `c` redundant on a link, **provided both would be
+/// handled by the receiver in the same batch at the same local time**.
+///
+/// A null's entire receive-side effect is monotone bookkeeping: the
+/// logical clock observes `c`, the receive vector advances to `c`, the
+/// seen vector advances to the null's `ldn`, and liveness (`note_heard`,
+/// refutation condition (iii)) is refreshed — a null is never delivered
+/// or retained for recovery. Any later numbered message from the same
+/// sender in the same group carries a strictly higher `c` and a `ldn` at
+/// least as high (both are non-decreasing per sender within a view, and
+/// views only shrink), so every one of those maxima lands at the same
+/// final value with or without the null. Sequencer unicast requests are
+/// the one exception: they deliberately do **not** advance the receive
+/// vector (only multicasts count toward suspicion `ln` comparability),
+/// so they cannot stand in for a null.
+///
+/// Transports use this to drop a queued standalone null when a data
+/// frame to the same destination is already coalescing in the same
+/// flush — the §4.1 liveness signal rides piggyback on the data message
+/// instead of costing its own envelope.
+#[must_use]
+pub fn supersedes_omega_null(later: &Envelope, sender: ProcessId, group: GroupId, c: Msn) -> bool {
+    match later {
+        Envelope::Group(m) => {
+            m.sender == sender
+                && m.group == group
+                && m.c > c
+                && !matches!(m.body, MessageBody::SeqRequest { .. })
+        }
+        Envelope::Control(_) => false,
     }
 }
 

@@ -1,0 +1,194 @@
+//! Semantic justification for the transport's ω-null suppression: when a
+//! later numbered message from the same sender/group rides in the same
+//! wire batch, delivering the batch with or without the standalone null
+//! must leave the receiving engine in the **identical** protocol state
+//! (pinned by the canonical `StateDigest`) and produce the identical
+//! application-visible actions.
+
+use bytes::Bytes;
+use newtop_core::{supersedes_omega_null, Action, Process};
+use newtop_types::digest::digest_of;
+use newtop_types::{
+    Envelope, GroupConfig, GroupId, Instant, Message, MessageBody, Msn, OrderMode, ProcessConfig,
+    ProcessId, Span,
+};
+use std::collections::BTreeSet;
+
+const G: GroupId = GroupId(1);
+
+fn p(i: u32) -> ProcessId {
+    ProcessId(i)
+}
+
+fn cfg() -> GroupConfig {
+    GroupConfig::new(OrderMode::Symmetric)
+        .with_omega(Span::from_millis(5))
+        .with_big_omega(Span::from_millis(200))
+}
+
+/// A fresh member of `{P1, P2, P3}` at `id`, bootstrapped at time zero.
+fn member(id: u32) -> Process {
+    let mut proc = Process::new(p(id), ProcessConfig::new());
+    let members: BTreeSet<ProcessId> = [p(1), p(2), p(3)].into();
+    proc.bootstrap_group(Instant::ZERO, G, &members, cfg())
+        .expect("bootstrap");
+    proc
+}
+
+fn group_msg(sender: u32, c: u64, ldn: u64, body: MessageBody) -> Envelope {
+    Envelope::from(Message {
+        group: G,
+        sender: p(sender),
+        c: Msn(c),
+        ldn: Msn(ldn),
+        body,
+    })
+}
+
+fn null(sender: u32, c: u64, ldn: u64) -> Envelope {
+    group_msg(sender, c, ldn, MessageBody::Null)
+}
+
+fn app(sender: u32, c: u64, ldn: u64, payload: &'static [u8]) -> Envelope {
+    group_msg(
+        sender,
+        c,
+        ldn,
+        MessageBody::App(Bytes::from_static(payload)),
+    )
+}
+
+/// Feeds `envs` to a fresh P2 in one batch at one instant, returning the
+/// process and the actions produced.
+fn run_batch(envs: &[Envelope]) -> (Process, Vec<Action>) {
+    let mut proc = member(2);
+    let now = Instant::from_micros(100);
+    let mut out = Vec::new();
+    for env in envs {
+        let from = env.source();
+        proc.handle_into(now, from, env.clone(), &mut out);
+    }
+    (proc, out)
+}
+
+fn assert_same_actions(a: &[Action], b: &[Action]) {
+    assert_eq!(a.len(), b.len(), "action counts diverge");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(format!("{x:?}"), format!("{y:?}"), "actions diverge");
+    }
+}
+
+/// The core claim the egress relies on: `[null(c), app(c+1)]` in one
+/// batch produces the same actions and the same protocol-visible
+/// observables as `[app(c+1)]` alone. The one legitimate residue of the
+/// null is the receiver's retention store (a retained null could later
+/// ride a refute piggyback, where the retained superseding message
+/// covers its vector effects transitively), so retention is compared
+/// only after stability GC in the test below.
+#[test]
+fn suppressed_null_leaves_identical_actions_and_observables() {
+    let (with_null, acts_a) = run_batch(&[null(1, 1, 0), app(1, 2, 1, b"hello")]);
+    let (without, acts_b) = run_batch(&[app(1, 2, 1, b"hello")]);
+    assert_same_actions(&acts_a, &acts_b);
+    assert_eq!(with_null.lc(), without.lc());
+    assert_eq!(with_null.d_of(G), without.d_of(G));
+    assert_eq!(with_null.di(), without.di());
+    assert_eq!(with_null.buffered(G), without.buffered(G));
+    assert_eq!(with_null.view(G), without.view(G));
+    assert_eq!(with_null.retained_app(G), without.retained_app(G));
+    // The null itself is the only retention delta.
+    assert_eq!(with_null.retained(G), without.retained(G) + 1);
+}
+
+/// Same equivalence when the superseding message is itself a null (two
+/// quiet ω windows coalescing into one frame).
+#[test]
+fn later_null_supersedes_earlier_null() {
+    let (both, acts_a) = run_batch(&[null(1, 1, 0), null(1, 2, 1)]);
+    let (only_later, acts_b) = run_batch(&[null(1, 2, 1)]);
+    assert_same_actions(&acts_a, &acts_b);
+    assert_eq!(both.lc(), only_later.lc());
+    assert_eq!(both.d_of(G), only_later.d_of(G));
+    assert_eq!(both.buffered(G), only_later.buffered(G));
+}
+
+/// Once the suppressed number becomes stable, retention GC drops it and
+/// the two executions become **fully** state-identical — pinned by the
+/// canonical digest over the whole process, retention included. The
+/// common suffix advances every member's `ldn` past the null's number
+/// (P1 and P3 by piggyback, P2 by its own multicast), which moves
+/// `min(SV)` and triggers the GC.
+#[test]
+fn digests_converge_after_stability_gc() {
+    let run = |prefix: &[Envelope]| {
+        let (mut proc, _) = run_batch(prefix);
+        let now = Instant::from_micros(200);
+        let mut out = Vec::new();
+        proc.handle_into(now, p(3), app(3, 2, 0, b"warm"), &mut out);
+        proc.handle_into(now, p(1), app(1, 3, 2, b"adv1"), &mut out);
+        proc.handle_into(now, p(3), app(3, 3, 2, b"adv3"), &mut out);
+        proc.multicast(now, G, Bytes::from_static(b"own")).unwrap();
+        // Stability GC runs on receipt, not on send: one more inbound
+        // message after P2's own multicast moves `min(SV)` to 2.
+        proc.handle_into(now, p(1), app(1, 4, 3, b"gc"), &mut out);
+        proc
+    };
+    let with_null = run(&[null(1, 1, 0), app(1, 2, 1, b"hello")]);
+    let without = run(&[app(1, 2, 1, b"hello")]);
+    // Stability reached c=2: both retentions dropped the prefix,
+    // including the suppressed null.
+    assert_eq!(with_null.retained(G), without.retained(G));
+    assert_eq!(
+        digest_of(&with_null),
+        digest_of(&without),
+        "post-GC digests diverge: the null left a permanent trace"
+    );
+}
+
+/// The predicate itself: exactly later, non-request messages from the
+/// same sender and group supersede.
+#[test]
+fn supersession_predicate_is_precise() {
+    let sender = p(1);
+    let c = Msn(5);
+    assert!(supersedes_omega_null(&app(1, 6, 4, b"x"), sender, G, c));
+    assert!(supersedes_omega_null(&null(1, 6, 4), sender, G, c));
+    // Not later.
+    assert!(!supersedes_omega_null(&app(1, 5, 4, b"x"), sender, G, c));
+    assert!(!supersedes_omega_null(&app(1, 4, 3, b"x"), sender, G, c));
+    // Different sender or group.
+    assert!(!supersedes_omega_null(&app(2, 6, 4, b"x"), sender, G, c));
+    assert!(!supersedes_omega_null(
+        &app(1, 6, 4, b"x"),
+        sender,
+        GroupId(2),
+        c
+    ));
+    // Sequencer unicast requests never advance the receive vector, so
+    // they cannot stand in for the null's liveness/stability effects.
+    assert!(!supersedes_omega_null(
+        &group_msg(
+            1,
+            6,
+            4,
+            MessageBody::SeqRequest {
+                origin_c: Msn(6),
+                payload: Bytes::from_static(b"q"),
+            }
+        ),
+        sender,
+        G,
+        c
+    ));
+}
+
+/// A null that is *not* superseded still matters: handling it is
+/// observably different from dropping it (the receive vector advances).
+/// This is why the egress only ever drops a null when a superseding
+/// message shares the same frame.
+#[test]
+fn unsuperseded_null_is_not_redundant() {
+    let (with_null, _) = run_batch(&[null(1, 1, 0)]);
+    let (without, _) = run_batch(&[]);
+    assert_ne!(digest_of(&with_null), digest_of(&without));
+}

@@ -393,7 +393,12 @@ options:
                      host under test: the sharded event-loop host or the
                      frozen thread-per-process baseline (default sharded)
   --omega-ms MS      time-silence interval omega (default 25)
-  --big-omega-ms MS  suspicion timeout Omega (default 10000)";
+  --big-omega-ms MS  suspicion timeout Omega (default 10000)
+  --flush-window US  egress flush window in microseconds for the sharded
+                     host; bounds coalescing delay only under saturation
+                     (an idle shard flushes immediately). 0 disables wire
+                     batching entirely (default 200)
+  --batch-max N      max envelopes coalesced into one frame (default 128)";
 
 fn parse_load_args(args: &[String]) -> Result<LoadConfig, String> {
     let mut cfg = LoadConfig::default();
@@ -463,6 +468,20 @@ fn parse_load_args(args: &[String]) -> Result<LoadConfig, String> {
                         .map_err(|_| "bad --big-omega-ms".to_string())?,
                 );
             }
+            "--flush-window" => {
+                cfg.flush_window_us = Some(
+                    val("--flush-window")?
+                        .parse::<u64>()
+                        .map_err(|_| "bad --flush-window".to_string())?,
+                );
+            }
+            "--batch-max" => {
+                cfg.batch_max = Some(
+                    val("--batch-max")?
+                        .parse::<u32>()
+                        .map_err(|_| "bad --batch-max".to_string())?,
+                );
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown load option {other}")),
         }
@@ -518,10 +537,28 @@ fn load_main(args: &[String]) -> ExitCode {
     );
     if let Some(wire) = report.wire {
         println!(
-            "load wire: {} frames, {:.2} MB exact ({:.2} MB/s)",
+            "load wire: {} frames / {} envelopes, {:.2} MB exact ({:.2} MB/s)",
             wire.frames,
+            wire.envelopes,
             wire.bytes as f64 / 1e6,
             wire.bytes as f64 / 1e6 / report.elapsed.as_secs_f64().max(1e-9),
+        );
+        println!(
+            "load wire: {:.0} frames/sec vs {:.0} envelopes/sec \
+             (mean batch occupancy {:.2})",
+            report.frames_per_sec().unwrap_or(0.0),
+            report.envelopes_per_sec().unwrap_or(0.0),
+            wire.mean_occupancy(),
+        );
+        let hist: Vec<String> = newtop_runtime::OCCUPANCY_LABELS
+            .iter()
+            .zip(wire.occupancy.iter())
+            .map(|(label, n)| format!("{label}:{n}"))
+            .collect();
+        println!("load wire: occupancy histogram [{}]", hist.join(" "));
+        println!(
+            "load wire: {} null-only frames, {} omega nulls suppressed at egress",
+            wire.null_frames, wire.suppressed_nulls,
         );
     }
     if report.view_changes > 0 {

@@ -63,6 +63,12 @@ pub struct LoadConfig {
     /// Stop as soon as this many member deliveries were observed (bench
     /// mode); `None` = run the full `secs`.
     pub target_deliveries: Option<u64>,
+    /// Egress flush window in microseconds for the sharded host:
+    /// `Some(0)` disables wire batching (the pre-PR 7 path), `None`
+    /// keeps the host default (200µs).
+    pub flush_window_us: Option<u64>,
+    /// Cap on envelopes coalesced per frame (`None` = host default).
+    pub batch_max: Option<u32>,
 }
 
 impl Default for LoadConfig {
@@ -79,6 +85,8 @@ impl Default for LoadConfig {
             omega: Span::from_millis(25),
             big_omega: Span::from_secs(10),
             target_deliveries: None,
+            flush_window_us: None,
+            batch_max: None,
         }
     }
 }
@@ -113,11 +121,43 @@ impl LoadReport {
     pub fn delivered_per_sec(&self) -> f64 {
         self.delivered as f64 / self.elapsed.as_secs_f64().max(1e-9)
     }
+
+    /// Wire frames shipped per second (sharded host only).
+    #[must_use]
+    pub fn frames_per_sec(&self) -> Option<f64> {
+        #[allow(clippy::cast_precision_loss)]
+        self.wire
+            .map(|w| w.frames as f64 / self.elapsed.as_secs_f64().max(1e-9))
+    }
+
+    /// Envelopes shipped per second (sharded host only). The ratio of
+    /// this to [`LoadReport::frames_per_sec`] is the mean batch
+    /// occupancy the run achieved.
+    #[must_use]
+    pub fn envelopes_per_sec(&self) -> Option<f64> {
+        #[allow(clippy::cast_precision_loss)]
+        self.wire
+            .map(|w| w.envelopes as f64 / self.elapsed.as_secs_f64().max(1e-9))
+    }
 }
 
 /// Minimal host surface the driver needs; implemented by both runtimes.
 trait Host: Sync {
     fn multicast(&self, node: ProcessId, group: GroupId, payload: Bytes) -> Result<(), SendError>;
+    /// Pipelined variant: enqueue the multicast and report the engine's
+    /// verdict on `reply` instead of blocking for it. The default (used
+    /// by the legacy host) degenerates to the blocking call, so the A/B
+    /// baseline keeps its original cost profile.
+    fn multicast_pipelined(
+        &self,
+        node: ProcessId,
+        group: GroupId,
+        payload: Bytes,
+        reply: &Sender<Result<(), SendError>>,
+    ) -> bool {
+        let verdict = self.multicast(node, group, payload);
+        reply.send(verdict).is_ok()
+    }
     fn output_rx(&self, node: ProcessId) -> Receiver<Output>;
     fn wire_stats(&self) -> Option<WireStats>;
     fn shards_used(&self) -> usize;
@@ -128,6 +168,16 @@ impl Host for newtop_runtime::RunningCluster {
         self.node(node)
             .ok_or(SendError::NotMember { group })?
             .multicast(group, payload)
+    }
+    fn multicast_pipelined(
+        &self,
+        node: ProcessId,
+        group: GroupId,
+        payload: Bytes,
+        reply: &Sender<Result<(), SendError>>,
+    ) -> bool {
+        self.node(node)
+            .is_some_and(|n| n.multicast_pipelined(group, payload, reply))
     }
     fn output_rx(&self, node: ProcessId) -> Receiver<Output> {
         self.node(node).expect("known node").outputs().clone()
@@ -198,34 +248,57 @@ struct Shared {
     latencies: Mutex<Vec<u64>>,
 }
 
-/// One node's output drain: counts deliveries, samples latency, and
-/// feeds the closed loop (a token per delivery observed at the group's
-/// ack node).
-fn collector(shared: &Shared, rx: &Receiver<Output>, ack_for: &[(GroupId, Sender<()>)]) {
-    let mut local: Vec<u64> = Vec::new();
-    loop {
-        match rx.recv_timeout(Duration::from_millis(20)) {
-            Ok(Output::Delivery(d)) => {
-                shared.delivered.fetch_add(1, Ordering::Relaxed);
+/// Folds one output into the run counters (delivered count and, when
+/// `sample` is set, a latency sample) and reports which group it
+/// delivered for, so the caller can feed its closed loop.
+fn absorb(shared: &Shared, out: Output, local: &mut Vec<u64>, sample: bool) -> Option<GroupId> {
+    match out {
+        Output::Delivery(d) => {
+            shared.delivered.fetch_add(1, Ordering::Relaxed);
+            if sample {
                 if let Some(t_send) = read_timestamp(&d.payload) {
                     #[allow(clippy::cast_possible_truncation)]
                     let now = shared.epoch.elapsed().as_micros() as u64;
                     local.push(now.saturating_sub(t_send));
                 }
-                if let Some((_, tx)) = ack_for.iter().find(|(g, _)| *g == d.group) {
-                    let _ = tx.send(());
-                }
             }
-            Ok(Output::ViewChange { .. }) => {
-                shared.view_changes.fetch_add(1, Ordering::Relaxed);
+            Some(d.group)
+        }
+        Output::ViewChange { .. } => {
+            shared.view_changes.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Output drain for a set of plain (non-ack) nodes: counts deliveries
+/// and samples latency. One thread blocks on the **first** channel of
+/// its set and sweeps the rest non-blocking — one parked thread per
+/// node turned every frame of deliveries into a wakeup, which on a
+/// small box was the largest single source of context switches.
+///
+/// Latency is sampled only from the blocking channel: its items are
+/// received the moment they arrive, while swept channels hold items for
+/// up to a sweep interval. Since every node sees statistically
+/// identical traffic, the subset is unbiased; the swept channels
+/// contribute to the delivered count only.
+fn collector(shared: &Shared, rxs: &[Receiver<Output>]) {
+    let mut local: Vec<u64> = Vec::new();
+    loop {
+        let mut next = rxs[0].recv_timeout(Duration::from_millis(1)).ok();
+        while let Some(out) = next {
+            absorb(shared, out, &mut local, true);
+            next = rxs[0].try_recv().ok();
+        }
+        for rx in &rxs[1..] {
+            while let Ok(out) = rx.try_recv() {
+                absorb(shared, out, &mut local, false);
             }
-            Ok(_) => {}
-            Err(_) => {
-                // Timeout or disconnect: check for the end of the run.
-                if shared.stop_all.load(Ordering::Relaxed) {
-                    break;
-                }
-            }
+        }
+        // The sweep ran dry (timeout or disconnect): end of run?
+        if shared.stop_all.load(Ordering::Relaxed) {
+            break;
         }
     }
     shared
@@ -235,41 +308,119 @@ fn collector(shared: &Shared, rx: &Receiver<Output>, ack_for: &[(GroupId, Sender
         .extend(local);
 }
 
-/// One group's closed-loop driver: primes `window` messages, then sends
-/// one more per ack token until told to stop.
+/// One group's closed-loop driver, fused with the collector of the
+/// group's **ack node** (its first member): primes `window` messages,
+/// then sends one more per own-group delivery drained from the ack
+/// node's output channel, until told to stop.
+///
+/// Two things keep the loop short on a busy box. Sends are
+/// **pipelined**: the multicast command is enqueued and the engine's
+/// verdict comes back on a per-driver channel drained opportunistically,
+/// so a send costs one channel push instead of a blocking round trip
+/// through the shard. And acks are **direct**: the refill loop is
+/// shard → driver → shard, with no separate collector thread and token
+/// channel adding two more thread wakeups per round trip.
 fn driver<H: Host>(
     shared: &Shared,
     host: &H,
     cfg: &LoadConfig,
     group: GroupId,
     members: &[ProcessId],
-    tokens: &Receiver<()>,
+    ack_rx: &Receiver<Output>,
 ) {
+    let mut local: Vec<u64> = Vec::new();
     let mut next = 0usize;
-    let send_one = |next: &mut usize| -> bool {
+    // Every command the host accepts owes exactly one verdict; the
+    // issued/received pair lets shutdown drain precisely the verdicts
+    // still in flight instead of waiting out a quiet-channel timeout.
+    let mut issued = 0u64;
+    let mut received = 0u64;
+    let (verdict_tx, verdict_rx) = unbounded::<Result<(), SendError>>();
+    let send_one = |next: &mut usize, issued: &mut u64| -> bool {
         let sender = members[*next % members.len()];
         *next += 1;
-        match host.multicast(sender, group, make_payload(shared.epoch, cfg.payload)) {
-            Ok(()) => {
-                shared.sent.fetch_add(1, Ordering::Relaxed);
-                true
+        let accepted = host.multicast_pipelined(
+            sender,
+            group,
+            make_payload(shared.epoch, cfg.payload),
+            &verdict_tx,
+        );
+        if accepted {
+            *issued += 1;
+        }
+        accepted
+    };
+    // Counts accepted sends; false the moment any verdict is an error
+    // (membership churn: stop driving this group).
+    let drain_verdicts = |received: &mut u64| -> bool {
+        loop {
+            match verdict_rx.try_recv() {
+                Ok(Ok(())) => {
+                    *received += 1;
+                    shared.sent.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(Err(_)) => {
+                    *received += 1;
+                    return false;
+                }
+                Err(_) => return true,
             }
-            Err(_) => false, // membership churn: stop driving this group
         }
     };
+    // `false` once the engine refuses a send: the group is churning, so
+    // stop driving it but keep draining the ack node's outputs (this
+    // thread is also its collector).
+    let mut driving = true;
     for _ in 0..cfg.window {
-        if !send_one(&mut next) {
-            return;
+        if !send_one(&mut next, &mut issued) {
+            driving = false;
+            break;
         }
     }
-    while !shared.stop_sending.load(Ordering::Relaxed) {
-        // A recv timeout just re-checks the stop flag.
-        if tokens.recv_timeout(Duration::from_millis(10)).is_ok()
-            && (shared.stop_sending.load(Ordering::Relaxed) || !send_one(&mut next))
-        {
-            return;
+    loop {
+        let mut refills = 0u32;
+        let mut out = ack_rx.recv_timeout(Duration::from_millis(10)).ok();
+        while let Some(o) = out {
+            if absorb(shared, o, &mut local, true) == Some(group) {
+                refills += 1;
+            }
+            out = ack_rx.try_recv().ok();
+        }
+        if driving && !shared.stop_sending.load(Ordering::Relaxed) {
+            for _ in 0..refills {
+                if !send_one(&mut next, &mut issued) {
+                    driving = false;
+                    break;
+                }
+            }
+            if !drain_verdicts(&mut received) {
+                driving = false;
+            }
+        }
+        // The drain ran dry (timeout or disconnect): end of run?
+        if shared.stop_all.load(Ordering::Relaxed) {
+            break;
         }
     }
+    // Collect exactly the verdicts still in flight so `sent` stays
+    // exact, with a timeout failsafe in case the host died mid-command;
+    // when nothing is outstanding this costs nothing.
+    while received < issued {
+        match verdict_rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(v) => {
+                received += 1;
+                if v.is_ok() {
+                    shared.sent.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    shared
+        .latencies
+        .lock()
+        .expect("driver latency lock")
+        .extend(local);
 }
 
 fn run_on<H: Host>(host: &H, cfg: &LoadConfig) -> LoadReport {
@@ -282,37 +433,39 @@ fn run_on<H: Host>(host: &H, cfg: &LoadConfig) -> LoadReport {
         view_changes: AtomicU64::new(0),
         latencies: Mutex::new(Vec::new()),
     };
-    let mut token_txs: Vec<(GroupId, Sender<()>)> = Vec::new();
-    let mut token_rxs: Vec<(GroupId, Receiver<()>)> = Vec::new();
-    for g in 0..cfg.groups {
-        let gid = GroupId(g + 1);
-        let (tx, rx) = unbounded();
-        token_txs.push((gid, tx));
-        token_rxs.push((gid, rx));
-    }
     let deadline = shared.epoch + Duration::from_secs_f64(cfg.secs);
     let mut elapsed = Duration::ZERO;
     let mut sent_at_cut = 0u64;
     let mut delivered_at_cut = 0u64;
     let mut wire_at_cut = None;
-    std::thread::scope(|scope| {
-        // Collectors: one per node; the group ack token is routed through
-        // the group's first member only (one token per multicast).
-        for i in 1..=cfg.nodes {
-            let node = ProcessId(i);
-            let rx = host.output_rx(node);
-            let acks: Vec<(GroupId, Sender<()>)> = (0..cfg.groups)
-                .filter(|g| group_members(cfg, *g).first() == Some(&node))
-                .map(|g| token_txs[g as usize].clone())
-                .collect();
-            let shared = &shared;
-            scope.spawn(move || collector(shared, &rx, &acks));
+    // Each group's closed loop is acked at its first member; that node's
+    // output channel is drained by the group's driver thread directly.
+    // Every other node gets a plain collector.
+    let ack_nodes: Vec<ProcessId> = (0..cfg.groups)
+        .map(|g| *group_members(cfg, g).first().expect("validated nonempty"))
+        .collect();
+    let mut driver_seats: Vec<(GroupId, Vec<ProcessId>, Receiver<Output>)> = Vec::new();
+    let mut plain_rxs: Vec<Receiver<Output>> = Vec::new();
+    for i in 1..=cfg.nodes {
+        let node = ProcessId(i);
+        let rx = host.output_rx(node);
+        if let Some(g) = ack_nodes.iter().position(|&n| n == node) {
+            #[allow(clippy::cast_possible_truncation)]
+            let gid = GroupId(g as u32 + 1);
+            driver_seats.push((gid, group_members(cfg, g as u32), rx));
+        } else {
+            plain_rxs.push(rx);
         }
-        // Drivers: one per group.
-        for (gid, rx) in &token_rxs {
-            let members = group_members(cfg, gid.0 - 1);
+    }
+    std::thread::scope(|scope| {
+        for (gid, members, rx) in &driver_seats {
             let shared = &shared;
-            scope.spawn(move || driver(shared, host, cfg, *gid, &members, rx));
+            scope.spawn(move || driver(shared, host, cfg, *gid, members, rx));
+        }
+        // One collector thread per handful of plain nodes.
+        for chunk in plain_rxs.chunks(8) {
+            let shared = &shared;
+            scope.spawn(move || collector(shared, chunk));
         }
         // Conductor: watch for the deadline or the delivery target.
         loop {
@@ -389,6 +542,12 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, String> {
             }
             if cfg.shards > 0 {
                 cluster.shards(cfg.shards);
+            }
+            if let Some(us) = cfg.flush_window_us {
+                cluster.flush_window(Duration::from_micros(us));
+            }
+            if let Some(max) = cfg.batch_max {
+                cluster.batch_max(max);
             }
             for g in 0..cfg.groups {
                 cluster
@@ -474,6 +633,36 @@ mod tests {
         };
         let report = run_load(&cfg).expect("asym load runs");
         assert!(report.delivered > 0);
+    }
+
+    /// Under a saturating closed loop the egress coalesces (occupancy
+    /// above 1); with the window forced to 0 every frame carries exactly
+    /// one envelope.
+    #[test]
+    fn flush_window_controls_batching() {
+        let cfg = LoadConfig {
+            nodes: 8,
+            groups: 1,
+            shards: 1,
+            secs: 0.5,
+            window: 32,
+            ..LoadConfig::default()
+        };
+        let batched = run_load(&cfg).expect("batched run");
+        let wire = batched.wire.expect("sharded host accounts wire");
+        assert!(
+            wire.mean_occupancy() > 1.0,
+            "saturating load should coalesce (occupancy {:.2})",
+            wire.mean_occupancy()
+        );
+        let unbatched = run_load(&LoadConfig {
+            flush_window_us: Some(0),
+            ..cfg
+        })
+        .expect("unbatched run");
+        let wire0 = unbatched.wire.expect("wire stats");
+        assert_eq!(wire0.envelopes, wire0.frames);
+        assert_eq!(wire0.suppressed_nulls, 0);
     }
 
     #[test]

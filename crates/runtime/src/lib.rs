@@ -59,11 +59,12 @@ mod shard;
 mod timer;
 mod transport;
 
-pub use transport::WireStats;
+pub use transport::{WireStats, OCCUPANCY_BUCKETS, OCCUPANCY_LABELS};
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use newtop_core::{Delivery, FormationFailure, GroupError, Process, ProtocolEvent};
+use newtop_types::Span;
 use newtop_types::{
     GroupConfig, GroupId, Instant, ProcessConfig, ProcessId, SendError, SignedView, View,
 };
@@ -73,7 +74,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
-use transport::{Router, ShardMsg};
+use transport::{BatchPolicy, Router, ShardMsg};
 
 /// Everything a node reports to its application.
 #[derive(Debug, Clone)]
@@ -136,6 +137,8 @@ fn default_shards() -> usize {
 pub struct Cluster {
     procs: BTreeMap<ProcessId, Process>,
     shards: Option<usize>,
+    flush_window: Option<Duration>,
+    batch_max: Option<u32>,
 }
 
 impl Cluster {
@@ -157,6 +160,25 @@ impl Cluster {
     /// (clamped to the node count; default: available parallelism).
     pub fn shards(&mut self, shards: usize) -> &mut Cluster {
         self.shards = Some(shards.max(1));
+        self
+    }
+
+    /// Sets the egress flush window: the longest an outbound envelope may
+    /// wait to be coalesced with others for the same destination while
+    /// the shard is *busy*. An idle shard always flushes immediately, so
+    /// this bounds added latency only at saturation. `Duration::ZERO`
+    /// disables batching entirely — every envelope ships as its own
+    /// frame, the pre-batching wire path. Default: 200µs.
+    pub fn flush_window(&mut self, window: Duration) -> &mut Cluster {
+        self.flush_window = Some(window);
+        self
+    }
+
+    /// Caps how many envelopes one destination's egress queue coalesces
+    /// into a single frame before flushing regardless of the window.
+    /// Default: 128.
+    pub fn batch_max(&mut self, max_envelopes: u32) -> &mut Cluster {
+        self.batch_max = Some(max_envelopes.max(1));
         self
     }
 
@@ -240,14 +262,38 @@ impl Cluster {
             );
         }
         let router = Arc::new(Router::new(addrs, inbox_txs));
+        #[allow(clippy::cast_possible_truncation)]
+        let policy = BatchPolicy {
+            window: self
+                .flush_window
+                .map_or(BatchPolicy::default().window, |w| {
+                    Span::from_micros(w.as_micros() as u64)
+                }),
+            max_envelopes: self
+                .batch_max
+                .unwrap_or(BatchPolicy::default().max_envelopes),
+            ..BatchPolicy::default()
+        };
         let mut threads = Vec::with_capacity(shard_count);
         for (s, seeds) in per_shard.into_iter().enumerate() {
             let rx = inbox_rxs.remove(0);
             let router = Arc::clone(&router);
             let partition = Arc::clone(&partition);
+            #[allow(clippy::cast_possible_truncation)]
             let thread = std::thread::Builder::new()
                 .name(format!("newtop-shard-{s}"))
-                .spawn(move || shard::shard_main(seeds, epoch, &rx, router, partition))
+                .spawn(move || {
+                    shard::shard_main(
+                        s as u32,
+                        seeds,
+                        epoch,
+                        &rx,
+                        router,
+                        partition,
+                        policy,
+                        shard_count,
+                    );
+                })
                 .expect("spawn shard thread");
             threads.push(thread);
         }
@@ -298,6 +344,28 @@ impl NodeHandle {
             return Err(SendError::NotMember { group });
         }
         rx.recv().unwrap_or(Err(SendError::NotMember { group }))
+    }
+
+    /// Requests an application multicast **without** waiting for the
+    /// engine's verdict: the `Result` is sent to `reply` once the shard
+    /// processes the command. This lets a caller keep many multicasts in
+    /// flight per handle — [`NodeHandle::multicast`] pays a blocking
+    /// round trip (two scheduler hops) per call, which dominates when
+    /// the caller is a load generator.
+    ///
+    /// Returns `false` (and sends nothing) if the node has terminated.
+    /// Verdicts arrive on `reply` in submission order.
+    pub fn multicast_pipelined(
+        &self,
+        group: GroupId,
+        payload: Bytes,
+        reply: &Sender<Result<(), SendError>>,
+    ) -> bool {
+        self.command(Command::Multicast {
+            group,
+            payload,
+            reply: reply.clone(),
+        })
     }
 
     /// Announces voluntary departure from `group`.

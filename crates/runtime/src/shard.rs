@@ -4,21 +4,27 @@
 //! shard drains its single MPSC inbox in batches (first receive blocks
 //! until a frame arrives or the earliest timer deadline; the rest of the
 //! batch is taken non-blocking), decodes each wire frame, feeds the
-//! addressed engine, and routes the resulting actions — encoding outbound
-//! frames through the [`FrameCache`] so an n-member multicast is one
-//! encode plus n refcount bumps. Timers live in the shard's
-//! [`TimerWheel`]; partition state is re-read only when its version
-//! moves. Compare the seed: one thread per node, a polling `select!` over
-//! three channels, a fresh `after()` timer allocation per loop iteration
-//! and an `RwLock`-scan per frame.
+//! addressed engine, and parks the resulting sends in the per-destination
+//! [`Egress`]. The egress flushes **adaptively**: the instant the shard
+//! runs out of input it ships everything pending (so an idle cluster sees
+//! no added latency), while under sustained load envelopes coalesce until
+//! the flush window or a byte/count budget fires — one frame per
+//! destination node, one channel send per destination shard, and no
+//! channel at all for destinations this shard owns (those frames ride a
+//! local ring). Timers live in the shard's [`TimerWheel`]; partition
+//! state is re-read only when its version moves. Compare the seed: one
+//! thread per node, a polling `select!` over three channels, a fresh
+//! `after()` timer allocation per loop iteration and an `RwLock`-scan per
+//! frame.
 
 use crate::partition::{PartitionCtl, Snapshot};
 use crate::timer::TimerWheel;
-use crate::transport::{unframe, Frame, FrameCache, Router, ShardMsg};
+use crate::transport::{unframe_each, BatchPolicy, Egress, Frame, FrameCache, Router, ShardMsg};
 use crate::{Command, Output};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use newtop_core::{Action, Process};
-use newtop_types::{Instant, ProcessId};
+use newtop_types::{Envelope, Instant, MessageBody, ProcessId};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Upper bound on messages handled per inbox drain: keeps timer checks
@@ -41,6 +47,8 @@ struct Slot {
 }
 
 pub(crate) struct Shard {
+    /// This shard's id — destinations we own skip the channel.
+    me: u32,
     /// `None` = the node died (frames to it drop silently).
     slots: Vec<Option<Slot>>,
     /// Sorted `(process, slot)` pairs for O(log n) addressing.
@@ -48,6 +56,16 @@ pub(crate) struct Shard {
     alive: usize,
     timers: TimerWheel,
     frames: FrameCache,
+    egress: Egress,
+    batching: bool,
+    /// Same-shard frames in flight: a mutex-free stand-in for the inbox.
+    local: VecDeque<Frame>,
+    /// Reused per-frame action buffer.
+    actions: Vec<Action>,
+    /// Reused per-frame output buffer: a frame's worth of outputs ships
+    /// to the node's application channel as one `send_many` (one lock,
+    /// one wakeup) instead of one `send` per delivery.
+    outbuf: Vec<Output>,
     partition: Arc<PartitionCtl>,
     partition_version: u64,
     snapshot: Arc<Snapshot>,
@@ -82,47 +100,70 @@ impl Shard {
         }
     }
 
-    /// Executes one engine's actions: frames out through the router,
-    /// outputs to the node's application channel.
-    fn route(&mut self, slot_idx: usize, actions: Vec<Action>) {
-        for action in actions {
+    /// Executes one engine's actions: sends into the egress (or straight
+    /// out when batching is off), outputs to the node's application
+    /// channel. Drains `actions` so the buffer can be reused.
+    fn route(&mut self, slot_idx: usize, actions: &mut Vec<Action>, now: Instant) {
+        let mut outs = std::mem::take(&mut self.outbuf);
+        for action in actions.drain(..) {
             match action {
                 Action::Send { to, envelope } => {
                     let slot = self.slots[slot_idx].as_ref().expect("routing live slot");
                     if !self.snapshot.connected(slot.block, to) {
                         continue; // loss across the cut
                     }
-                    let bytes = self.frames.frame_for(&envelope);
-                    self.router.send_frame(Frame {
-                        from: slot.id,
-                        to,
-                        bytes,
-                    });
-                }
-                other => {
-                    let slot = self.slots[slot_idx].as_ref().expect("routing live slot");
-                    let out = match other {
-                        Action::Deliver(d) => Output::Delivery(d),
-                        Action::ViewChange {
-                            group,
-                            view,
-                            signed,
-                        } => Output::ViewChange {
-                            group,
-                            view,
-                            signed,
-                        },
-                        Action::GroupActive { group, view } => Output::GroupActive { group, view },
-                        Action::FormationFailed { group, reason } => {
-                            Output::FormationFailed { group, reason }
-                        }
-                        Action::Event(e) => Output::Event(e),
-                        Action::Send { .. } => unreachable!("matched above"),
+                    if !self.batching {
+                        // Pre-PR 7 wire path: one frame, one channel send
+                        // per envelope — the A/B baseline.
+                        let (bytes, _) = self.frames.frame_for(&envelope);
+                        let nulls = u32::from(matches!(
+                            &envelope,
+                            Envelope::Group(m) if matches!(m.body, MessageBody::Null)
+                        ));
+                        self.router.send_frame(Frame {
+                            to,
+                            bytes,
+                            envelopes: 1,
+                            nulls,
+                        });
+                        continue;
+                    }
+                    let Some(shard) = self.router.shard_of(to) else {
+                        continue; // unknown destination: drop
                     };
-                    let _ = slot.outputs.send(out);
+                    if self
+                        .egress
+                        .enqueue(now, to, shard, &envelope, &mut self.frames)
+                    {
+                        self.egress
+                            .flush_dest(to.0, self.me, &self.router, &mut self.local);
+                    }
                 }
+                other => outs.push(match other {
+                    Action::Deliver(d) => Output::Delivery(d),
+                    Action::ViewChange {
+                        group,
+                        view,
+                        signed,
+                    } => Output::ViewChange {
+                        group,
+                        view,
+                        signed,
+                    },
+                    Action::GroupActive { group, view } => Output::GroupActive { group, view },
+                    Action::FormationFailed { group, reason } => {
+                        Output::FormationFailed { group, reason }
+                    }
+                    Action::Event(e) => Output::Event(e),
+                    Action::Send { .. } => unreachable!("matched above"),
+                }),
             }
         }
+        if !outs.is_empty() {
+            let slot = self.slots[slot_idx].as_ref().expect("routing live slot");
+            let _ = slot.outputs.send_many(outs.drain(..));
+        }
+        self.outbuf = outs;
     }
 
     /// Re-arms the slot's wheel entry from the engine's own next deadline.
@@ -146,27 +187,41 @@ impl Shard {
         }
     }
 
+    /// Decodes every envelope in `frame` into the addressed engine, then
+    /// routes the accumulated actions and re-arms the slot's timer once
+    /// for the whole frame.
+    fn handle_frame(&mut self, frame: Frame, now: Instant) {
+        let Some(slot_idx) = self.slot_of(frame.to) else {
+            return;
+        };
+        if self.slots[slot_idx].is_none() {
+            return; // node died; drop like a closed socket
+        }
+        let mut actions = std::mem::take(&mut self.actions);
+        let slots = &mut self.slots;
+        let result = unframe_each(frame.bytes, |env| {
+            if let Some(slot) = slots[slot_idx].as_mut() {
+                let from = env.source();
+                slot.process.handle_into(now, from, env, &mut actions);
+            }
+        });
+        if let Err(e) = result {
+            // We framed these bytes ourselves; a decode error means
+            // transport corruption. Surface it loudly in debug builds,
+            // drop the rest of the frame in release.
+            debug_assert!(false, "malformed wire frame for {}: {e}", frame.to);
+        }
+        self.route(slot_idx, &mut actions, now);
+        self.actions = actions;
+        self.sync_timer(slot_idx);
+    }
+
     fn handle_msg(&mut self, msg: ShardMsg, now: Instant) {
         match msg {
-            ShardMsg::Frame(frame) => {
-                let Some(slot_idx) = self.slot_of(frame.to) else {
-                    return;
-                };
-                let Some(slot) = self.slots[slot_idx].as_mut() else {
-                    return; // node died; drop like a closed socket
-                };
-                match unframe(frame.bytes) {
-                    Ok(env) => {
-                        let actions = slot.process.handle(now, frame.from, env);
-                        self.route(slot_idx, actions);
-                        self.sync_timer(slot_idx);
-                    }
-                    Err(e) => {
-                        // We framed these bytes ourselves; a decode error
-                        // means transport corruption. Surface it loudly in
-                        // debug builds, drop the frame in release.
-                        debug_assert!(false, "malformed wire frame from {}: {e}", frame.from);
-                    }
+            ShardMsg::Frame(frame) => self.handle_frame(frame, now),
+            ShardMsg::Batch(frames) => {
+                for frame in frames {
+                    self.handle_frame(frame, now);
                 }
             }
             ShardMsg::Command { to, cmd } => {
@@ -180,7 +235,7 @@ impl Shard {
                 let Some(slot) = self.slots[slot_idx].as_mut() else {
                     return; // dead node: dropping the reply sender reports it
                 };
-                let actions = match cmd {
+                let mut actions = match cmd {
                     Command::Multicast {
                         group,
                         payload,
@@ -222,20 +277,29 @@ impl Shard {
                     },
                     Command::Die => unreachable!("handled above"),
                 };
-                self.route(slot_idx, actions);
+                self.route(slot_idx, &mut actions, now);
                 self.sync_timer(slot_idx);
             }
         }
     }
+
+    fn flush_egress(&mut self) {
+        self.egress
+            .flush_all(self.me, &self.router, &mut self.local);
+    }
 }
 
 /// One shard's thread body: runs until every owned node has died.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn shard_main(
+    me: u32,
     nodes: Vec<NodeSeed>,
     epoch: std::time::Instant,
     inbox: &Receiver<ShardMsg>,
     router: Arc<Router>,
     partition: Arc<PartitionCtl>,
+    policy: BatchPolicy,
+    shard_count: usize,
 ) {
     let mut index: Vec<(ProcessId, usize)> = nodes
         .iter()
@@ -256,11 +320,17 @@ pub(crate) fn shard_main(
         })
         .collect();
     let mut shard = Shard {
+        me,
         timers: TimerWheel::with_slots(slots.len()),
         slots,
         index,
         alive,
         frames: FrameCache::default(),
+        batching: policy.enabled(),
+        egress: Egress::new(policy, shard_count),
+        local: VecDeque::new(),
+        actions: Vec::new(),
+        outbuf: Vec::new(),
         partition_version: u64::MAX, // force the initial resolve
         snapshot: Arc::new(Snapshot::default()),
         partition,
@@ -271,7 +341,9 @@ pub(crate) fn shard_main(
     for slot_idx in 0..shard.slots.len() {
         shard.sync_timer(slot_idx);
     }
-    let mut batch: Vec<ShardMsg> = Vec::with_capacity(BATCH);
+    // Consecutive yields taken while holding a young egress batch open
+    // (reset whenever input arrives or the egress flushes).
+    let mut holds = 0u32;
     while shard.alive > 0 {
         shard.refresh_partition();
         // 1. Fire every due timer (each tick re-arms its own slot).
@@ -280,45 +352,89 @@ pub(crate) fn shard_main(
             if shard.slots[slot_idx].is_none() {
                 continue;
             }
-            let actions = shard.slots[slot_idx]
-                .as_mut()
-                .map(|s| s.process.tick(now))
-                .unwrap_or_default();
-            shard.route(slot_idx, actions);
+            let mut actions = std::mem::take(&mut shard.actions);
+            if let Some(s) = shard.slots[slot_idx].as_mut() {
+                s.process.tick_into(now, &mut actions);
+            }
+            shard.route(slot_idx, &mut actions, now);
+            shard.actions = actions;
             shard.sync_timer(slot_idx);
         }
-        // 2. Wait for traffic, bounded by the earliest live deadline.
-        let first = match shard.timers.next_deadline() {
+        // 2. Work through a batch: same-shard frames first (they are
+        // oldest — enqueued before anything the channel holds was
+        // flushed), then the inbox, all without blocking.
+        let mut n = 0;
+        while n < BATCH {
+            if let Some(frame) = shard.local.pop_front() {
+                let now = shard.now();
+                shard.handle_frame(frame, now);
+                n += 1;
+                continue;
+            }
+            match inbox.try_recv() {
+                Ok(msg) => {
+                    let now = shard.now();
+                    shard.handle_msg(msg, now);
+                    n += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        if n > 0 {
+            holds = 0;
+        }
+        if n == BATCH {
+            // Saturated: only the flush window forces frames out —
+            // otherwise keep coalescing and take the next batch.
+            if shard.egress.window_expired(shard.now()) {
+                shard.flush_egress();
+            }
+            continue;
+        }
+        // 3. The input ran dry. A young egress batch is worth holding
+        // open for a moment: yield the core once so whoever is feeding
+        // us (an application thread, a peer shard) can run, and only
+        // ship the batch if the input is still dry afterwards. The
+        // flush window bounds the hold, and a genuinely idle shard
+        // passes through on the second look — so the idle-flush
+        // latency cost stays one yield, not a window.
+        if shard.batching
+            && holds < 2
+            && shard.egress.has_pending()
+            && !shard.egress.window_expired(shard.now())
+        {
+            holds += 1;
+            std::thread::yield_now();
+            continue;
+        }
+        holds = 0;
+        // About to idle for real: flush everything. The flush may land
+        // same-shard frames on the local ring — loop back to handle
+        // them (and anything that arrived meanwhile) first.
+        shard.flush_egress();
+        if !shard.local.is_empty() || n > 0 {
+            continue;
+        }
+        // 4. Idle (egress verifiably empty): block for traffic, bounded
+        // by the earliest live deadline.
+        let msg = match shard.timers.next_deadline() {
             Some(d) => {
                 let now = shard.now();
                 if d <= now {
                     continue; // already due: fire before blocking
                 }
                 match inbox.recv_timeout((d - now).to_duration()) {
-                    Ok(msg) => Some(msg),
-                    Err(RecvTimeoutError::Timeout) => None,
+                    Ok(msg) => msg,
+                    Err(RecvTimeoutError::Timeout) => continue, // fire the timer
                     Err(RecvTimeoutError::Disconnected) => return,
                 }
             }
             None => match inbox.recv() {
-                Ok(msg) => Some(msg),
+                Ok(msg) => msg,
                 Err(_) => return, // every handle and peer shard is gone
             },
         };
-        // 3. Drain up to a batch without blocking, then process it.
-        let Some(first) = first else {
-            continue; // woke for a timer; loop back to fire it
-        };
-        batch.push(first);
-        while batch.len() < BATCH {
-            match inbox.try_recv() {
-                Ok(msg) => batch.push(msg),
-                Err(_) => break,
-            }
-        }
         let now = shard.now();
-        for msg in batch.drain(..) {
-            shard.handle_msg(msg, now);
-        }
+        shard.handle_msg(msg, now);
     }
 }

@@ -95,6 +95,11 @@ pub enum DecodeError {
         /// The announced frame length in bytes.
         len: u64,
     },
+    /// A frame announced a zero-length body. Since the batched wire
+    /// format carries one *or more* envelopes per frame, an empty frame
+    /// is never legitimate — encoders must not emit one and decoders
+    /// reject it rather than silently skipping the prefix.
+    EmptyFrame,
 }
 
 impl fmt::Display for DecodeError {
@@ -110,6 +115,9 @@ impl fmt::Display for DecodeError {
             }
             DecodeError::FrameTooLarge { len } => {
                 write!(f, "frame length prefix {len} exceeds the decoder limit")
+            }
+            DecodeError::EmptyFrame => {
+                write!(f, "frame carries no envelopes")
             }
         }
     }

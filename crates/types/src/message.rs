@@ -294,6 +294,22 @@ impl Envelope {
             Envelope::Control(c) => c.group(),
         }
     }
+
+    /// The process that originated this envelope.
+    ///
+    /// Every envelope is self-identifying: group messages name their
+    /// sender, control messages their initiator or voter. Transports that
+    /// coalesce envelopes from several co-located senders into one frame
+    /// per destination rely on this to recover the per-envelope source
+    /// without carrying it out of band.
+    #[must_use]
+    pub fn source(&self) -> ProcessId {
+        match self {
+            Envelope::Group(m) => m.sender,
+            Envelope::Control(ControlMessage::FormGroup { initiator, .. }) => *initiator,
+            Envelope::Control(ControlMessage::FormVote { voter, .. }) => *voter,
+        }
+    }
 }
 
 impl From<Message> for Envelope {

@@ -559,11 +559,56 @@ pub const MAX_FRAME_LEN: u64 = 64 * 1024 * 1024;
 /// shards (and what a byte-stream transport would write to a socket);
 /// [`FrameDecoder`] performs the inverse, including reassembly of frames
 /// that arrive split across reads.
+///
+/// A frame body may carry **one or more** envelopes back to back — this
+/// helper emits the single-envelope case, [`frame_batch_into`] the
+/// general one. The two produce byte-identical output for a one-element
+/// batch.
 pub fn frame_into(env: &Envelope, buf: &mut BytesMut) {
     let len = encoded_len(env);
     buf.reserve(varint_len(len as u64) + len);
     put_varint(buf, len as u64);
     encode_into(env, buf);
+}
+
+/// Appends `envs` to `buf` as **one** length-prefixed wire frame whose
+/// body is the concatenated [`encode_into`] bytes of every envelope: N
+/// envelopes to one destination cost one length prefix, one channel send
+/// and one buffer — the core of the batched wire path. The receiving
+/// [`FrameDecoder`] yields the envelopes back in order; a one-element
+/// batch is byte-identical to [`frame_into`].
+///
+/// # Errors
+///
+/// [`DecodeError::EmptyFrame`] for an empty batch (the wire format has no
+/// legitimate zero-envelope frame) and [`DecodeError::FrameTooLarge`] when
+/// the combined body would exceed [`MAX_FRAME_LEN`] and be rejected by
+/// every conforming decoder. On error `buf` is untouched.
+pub fn frame_batch_into(envs: &[Envelope], buf: &mut BytesMut) -> Result<(), DecodeError> {
+    if envs.is_empty() {
+        return Err(DecodeError::EmptyFrame);
+    }
+    let body: usize = envs.iter().map(encoded_len).sum();
+    if body as u64 > MAX_FRAME_LEN {
+        return Err(DecodeError::FrameTooLarge { len: body as u64 });
+    }
+    buf.reserve(varint_len(body as u64) + body);
+    put_varint(buf, body as u64);
+    for env in envs {
+        encode_into(env, buf);
+    }
+    Ok(())
+}
+
+/// Total on-wire size of `envs` as one batched frame: the shared length
+/// varint plus every envelope's [`encoded_len`]. Arithmetic only, so
+/// transports can account batched bytes exactly before (or without)
+/// encoding; equals the bytes [`frame_batch_into`] appends, and
+/// [`framed_len`] for a one-element batch.
+#[must_use]
+pub fn batched_len(envs: &[Envelope]) -> usize {
+    let body: usize = envs.iter().map(encoded_len).sum();
+    varint_len(body as u64) + body
 }
 
 /// Encodes `env` as one length-prefixed frame in a fresh, exactly sized
@@ -590,10 +635,13 @@ pub fn framed_len(env: &Envelope) -> usize {
 /// Feed raw chunks with [`push`](FrameDecoder::push) in arrival order —
 /// chunk boundaries need not align with frame boundaries — and drain
 /// complete envelopes with [`next_frame`](FrameDecoder::next_frame). A
-/// frame split across any number of reads reassembles exactly; a frame
-/// whose body decodes short ([`DecodeError::TrailingBytes`]), overlong
-/// ([`DecodeError::Truncated`]) or with a corrupt length prefix
-/// ([`DecodeError::FrameTooLarge`]) is reported without panicking.
+/// frame body holds one or more envelopes ([`frame_batch_into`]); the
+/// decoder yields them individually, in order, before peeling the next
+/// length prefix. A frame split across any number of reads reassembles
+/// exactly; a frame that decodes overlong ([`DecodeError::Truncated`]),
+/// announces no body ([`DecodeError::EmptyFrame`]) or carries a corrupt
+/// length prefix ([`DecodeError::FrameTooLarge`]) is reported without
+/// panicking.
 ///
 /// # Examples
 ///
@@ -620,6 +668,10 @@ pub fn framed_len(env: &Envelope) -> usize {
 #[derive(Debug, Default)]
 pub struct FrameDecoder {
     buf: BytesMut,
+    /// Unconsumed remainder of the current frame's body: a batched frame
+    /// drains envelope by envelope from here before the next length
+    /// prefix is peeled off `buf`.
+    body: Bytes,
 }
 
 impl FrameDecoder {
@@ -634,22 +686,28 @@ impl FrameDecoder {
         self.buf.put_slice(chunk);
     }
 
-    /// Bytes buffered but not yet consumed as a complete frame.
+    /// Bytes buffered but not yet consumed as a complete frame, including
+    /// undrained envelopes of the frame currently being decoded.
     #[must_use]
     pub fn pending(&self) -> usize {
-        self.buf.len()
+        self.buf.len() + self.body.len()
     }
 
     /// Pops the next complete envelope, or `Ok(None)` if the buffered
-    /// bytes end mid-frame (push more and retry).
+    /// bytes end mid-frame (push more and retry). Envelopes of a batched
+    /// frame come out one call at a time, in encoding order.
     ///
     /// # Errors
     ///
-    /// Any [`DecodeError`] on a malformed frame. The decoder consumes the
-    /// offending frame's announced bytes where it can (`TrailingBytes`),
-    /// but after `Truncated`/`FrameTooLarge`/`VarintOverflow` the stream
-    /// has lost framing and the decoder should be discarded.
+    /// Any [`DecodeError`] on a malformed frame — including
+    /// [`DecodeError::EmptyFrame`] for a zero-length body and whatever
+    /// error the codec reports for junk between envelopes. After any
+    /// error the stream has lost framing and the decoder should be
+    /// discarded.
     pub fn next_frame(&mut self) -> Result<Option<Envelope>, DecodeError> {
+        if self.body.has_remaining() {
+            return decode(&mut self.body).map(Some);
+        }
         // Peek the length varint without consuming: a split prefix must
         // leave the buffer untouched for the next push.
         let mut len: u64 = 0;
@@ -672,19 +730,16 @@ impl FrameDecoder {
         if len > MAX_FRAME_LEN {
             return Err(DecodeError::FrameTooLarge { len });
         }
+        if len == 0 {
+            return Err(DecodeError::EmptyFrame);
+        }
         let len = len as usize;
         if self.buf.len() < prefix + len {
             return Ok(None); // mid-body: need more bytes
         }
         let _ = self.buf.split_to(prefix);
-        let mut body = self.buf.split_to(len).freeze();
-        let env = decode(&mut body)?;
-        if body.has_remaining() {
-            return Err(DecodeError::TrailingBytes {
-                extra: body.remaining(),
-            });
-        }
-        Ok(Some(env))
+        self.body = self.buf.split_to(len).freeze();
+        decode(&mut self.body).map(Some)
     }
 }
 
@@ -813,5 +868,68 @@ mod tests {
     fn decode_rejects_empty() {
         let mut b = Bytes::new();
         assert_eq!(decode(&mut b), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn single_envelope_batch_matches_frame_into() {
+        let env: Envelope = app(7, b"one").into();
+        let mut single = BytesMut::new();
+        frame_into(&env, &mut single);
+        let mut batch = BytesMut::new();
+        frame_batch_into(std::slice::from_ref(&env), &mut batch).unwrap();
+        assert_eq!(&single[..], &batch[..]);
+        assert_eq!(batch.len(), batched_len(std::slice::from_ref(&env)));
+        assert_eq!(batch.len(), framed_len(&env));
+    }
+
+    #[test]
+    fn batched_frame_roundtrips_in_order() {
+        let envs: Vec<Envelope> = (0..5).map(|i| app(10 + i, b"payload").into()).collect();
+        let mut buf = BytesMut::new();
+        frame_batch_into(&envs, &mut buf).unwrap();
+        assert_eq!(buf.len(), batched_len(&envs));
+        let mut dec = FrameDecoder::new();
+        dec.push(&buf);
+        for env in &envs {
+            assert_eq!(dec.next_frame(), Ok(Some(env.clone())));
+        }
+        assert_eq!(dec.next_frame(), Ok(None));
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn empty_batch_rejected_on_encode_and_decode() {
+        let mut buf = BytesMut::new();
+        assert_eq!(
+            frame_batch_into(&[], &mut buf),
+            Err(DecodeError::EmptyFrame)
+        );
+        assert!(buf.is_empty(), "failed encode must not touch the buffer");
+        // A zero-length prefix on the wire is equally illegitimate.
+        put_varint(&mut buf, 0);
+        let mut dec = FrameDecoder::new();
+        dec.push(&buf);
+        assert_eq!(dec.next_frame(), Err(DecodeError::EmptyFrame));
+    }
+
+    #[test]
+    fn oversized_batch_rejected_on_encode() {
+        // One envelope whose payload alone exceeds MAX_FRAME_LEN: the
+        // batch encoder must refuse before buffering anything.
+        #[allow(clippy::cast_possible_truncation)]
+        let huge = Message {
+            group: GroupId(1),
+            sender: ProcessId(2),
+            c: Msn(3),
+            ldn: Msn(2),
+            body: MessageBody::App(Bytes::from(vec![0u8; MAX_FRAME_LEN as usize + 1])),
+        };
+        let envs = [Envelope::from(huge)];
+        let mut buf = BytesMut::new();
+        assert!(matches!(
+            frame_batch_into(&envs, &mut buf),
+            Err(DecodeError::FrameTooLarge { .. })
+        ));
+        assert!(buf.is_empty());
     }
 }

@@ -175,12 +175,108 @@ proptest! {
             }
         }
     }
+
+    /// A batched frame yields its envelopes back in order, its byte size
+    /// matches `batched_len` exactly, and a one-element batch is
+    /// byte-identical to the single-envelope framing.
+    #[test]
+    fn batched_frame_roundtrip_is_identity(
+        envs in proptest::collection::vec(arb_envelope(), 1..8),
+    ) {
+        let mut buf = bytes::BytesMut::new();
+        wire::frame_batch_into(&envs, &mut buf).unwrap();
+        prop_assert_eq!(buf.len(), wire::batched_len(&envs));
+        if envs.len() == 1 {
+            let mut single = bytes::BytesMut::new();
+            wire::frame_into(&envs[0], &mut single);
+            prop_assert_eq!(&single[..], &buf[..]);
+        }
+        let mut dec = FrameDecoder::new();
+        dec.push(&buf);
+        for env in &envs {
+            prop_assert_eq!(dec.next_frame(), Ok(Some(env.clone())));
+        }
+        prop_assert_eq!(dec.next_frame(), Ok(None));
+        prop_assert_eq!(dec.pending(), 0);
+    }
+
+    /// A stream of several batched frames cut at an arbitrary point —
+    /// including inside a length prefix or across a batch boundary —
+    /// reassembles into exactly the original envelope sequence.
+    #[test]
+    fn split_read_reassembles_across_batch_boundaries(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(arb_envelope(), 1..4), 1..4),
+        cut_raw in 0usize..65536,
+    ) {
+        let mut stream = bytes::BytesMut::new();
+        let mut expect = Vec::new();
+        for batch in &batches {
+            wire::frame_batch_into(batch, &mut stream).unwrap();
+            expect.extend(batch.iter().cloned());
+        }
+        let cut = cut_raw % (stream.len() + 1);
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        dec.push(&stream[..cut]);
+        while let Some(env) = dec.next_frame().unwrap() {
+            got.push(env);
+        }
+        dec.push(&stream[cut..]);
+        while let Some(env) = dec.next_frame().unwrap() {
+            got.push(env);
+        }
+        prop_assert_eq!(got, expect);
+        prop_assert_eq!(dec.pending(), 0);
+    }
+
+    /// Byte-at-a-time delivery of a batched frame still yields every
+    /// envelope, each becoming available no earlier than its final byte.
+    #[test]
+    fn byte_at_a_time_reassembles_batched(
+        envs in proptest::collection::vec(arb_envelope(), 2..5),
+    ) {
+        let mut buf = bytes::BytesMut::new();
+        wire::frame_batch_into(&envs, &mut buf).unwrap();
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in buf.iter() {
+            dec.push(std::slice::from_ref(b));
+            while let Some(env) = dec.next_frame().unwrap() {
+                got.push(env);
+            }
+        }
+        prop_assert_eq!(got, envs);
+    }
+
+    /// The empty batch is rejected symmetrically: the encoder refuses to
+    /// emit it and the decoder refuses a zero-length prefix.
+    #[test]
+    fn empty_batch_rejected(junk in proptest::collection::vec(any::<u8>(), 0..16)) {
+        let mut buf = bytes::BytesMut::new();
+        prop_assert_eq!(
+            wire::frame_batch_into(&[], &mut buf),
+            Err(newtop_types::DecodeError::EmptyFrame)
+        );
+        prop_assert_eq!(buf.len(), 0);
+        wire::put_varint(&mut buf, 0);
+        bytes::BufMut::put_slice(&mut buf, &junk);
+        let mut dec = FrameDecoder::new();
+        dec.push(&buf);
+        prop_assert_eq!(
+            dec.next_frame(),
+            Err(newtop_types::DecodeError::EmptyFrame)
+        );
+    }
 }
 
 #[test]
-fn trailing_bytes_inside_frame_reported() {
+fn junk_between_envelopes_inside_frame_reported() {
     // A frame whose announced length overshoots its envelope encoding by
-    // two bytes: decode succeeds but must flag the desynchronisation.
+    // two junk bytes: since a frame body is a sequence of envelopes, the
+    // junk is parsed as the start of a second envelope and must surface
+    // as a clean decode error, not be silently skipped. (The pre-batching
+    // decoder reported this as `TrailingBytes`.)
     let env: Envelope = Message {
         group: GroupId(1),
         sender: ProcessId(2),
@@ -196,10 +292,14 @@ fn trailing_bytes_inside_frame_reported() {
     bytes::BufMut::put_slice(&mut buf, &[0xaa, 0xbb]);
     let mut dec = FrameDecoder::new();
     dec.push(&buf);
-    assert_eq!(
+    assert_eq!(dec.next_frame(), Ok(Some(env)));
+    assert!(matches!(
         dec.next_frame(),
-        Err(newtop_types::DecodeError::TrailingBytes { extra: 2 })
-    );
+        Err(newtop_types::DecodeError::UnknownTag {
+            context: "envelope",
+            ..
+        })
+    ));
 }
 
 #[test]
@@ -212,4 +312,32 @@ fn oversized_length_prefix_rejected() {
         dec.next_frame(),
         Err(newtop_types::DecodeError::FrameTooLarge { .. })
     ));
+}
+
+#[test]
+fn oversized_batch_rejected_on_encode() {
+    // `FrameTooLarge` symmetry on the encode side: a batch whose combined
+    // body exceeds the decoder limit is refused before any byte is
+    // buffered, so no conforming sender can emit a frame its peer must
+    // reject.
+    let env: Envelope = Message {
+        group: GroupId(1),
+        sender: ProcessId(2),
+        c: Msn(3),
+        ldn: Msn(2),
+        body: MessageBody::App(Bytes::from(vec![
+            0u8;
+            usize::try_from(wire::MAX_FRAME_LEN)
+                .unwrap()
+                + 1
+        ])),
+    }
+    .into();
+    let batch = [env];
+    let mut buf = bytes::BytesMut::new();
+    assert!(matches!(
+        wire::frame_batch_into(&batch, &mut buf),
+        Err(newtop_types::DecodeError::FrameTooLarge { .. })
+    ));
+    assert!(buf.is_empty());
 }
