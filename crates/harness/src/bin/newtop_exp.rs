@@ -14,6 +14,13 @@
 //!
 //! newtop-exp load --nodes 32 --groups 4 --secs 5          # runtime load test
 //! newtop-exp load --nodes 32 --host threads               # seed-host baseline
+//! newtop-exp load --host tcp --peers 127.0.0.1:7101,127.0.0.1:7102
+//!                                          # drive a real multi-process cluster
+//!
+//! newtop-exp serve --nodes 6 --peers A,B,C --ctrl X,Y,Z --me 0
+//!                                          # one node process of a TCP cluster
+//! newtop-exp proxy --route 127.0.0.1:7201=127.0.0.1:7002 --drop-pct 2
+//!                                          # frame-level chaos between peers
 //!
 //! newtop-exp mc --nodes 3 --max-msgs 4 --max-crashes 1    # exhaustive model check
 //! newtop-exp mc --nodes 3 --strategy iddfs --budget-secs 600
@@ -26,9 +33,12 @@
 use newtop_harness::chaos::{delivery_count, shrink, ChaosPlan, ChaosScenario};
 use newtop_harness::loadgen::{run_load, HostKind, LoadConfig};
 use newtop_harness::mc::{explore, McConfig, McStrategy, McViolation};
+use newtop_harness::proxy::{run_proxy, ProxyConfig};
+use newtop_harness::remote::{serve, ServeConfig};
 use newtop_harness::sweep::{run_chaos_seed, sweep_seeds, SweepConfig};
 use newtop_harness::{experiments, history_hash};
 use newtop_types::{OrderMode, Span};
+use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -43,6 +53,12 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("mc") {
         return mc_main(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("proxy") {
+        return proxy_main(&args[1..]);
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let list = args.iter().any(|a| a == "--list");
     let selected: Vec<String> = args
@@ -53,7 +69,7 @@ fn main() -> ExitCode {
     let registry = experiments::all();
     if list || (selected.is_empty()) {
         eprintln!(
-            "usage: newtop-exp [--quick] (all | <id>...)\n       newtop-exp chaos --help\n       newtop-exp load --help\n       newtop-exp mc --help\n\nexperiments:"
+            "usage: newtop-exp [--quick] (all | <id>...)\n       newtop-exp chaos --help\n       newtop-exp load --help\n       newtop-exp mc --help\n       newtop-exp serve --help\n       newtop-exp proxy --help\n\nexperiments:"
         );
         for (id, desc, _) in &registry {
             eprintln!("  {id:<4} {desc}");
@@ -389,9 +405,15 @@ options:
   --mode sym|asym    ordering variant for every group (default sym)
   --payload B        application payload bytes, >= 8 (default 64)
   --window W         closed-loop in-flight messages per group (default 16)
-  --host sharded|threads
-                     host under test: the sharded event-loop host or the
-                     frozen thread-per-process baseline (default sharded)
+  --host sharded|threads|tcp
+                     host under test: the sharded event-loop host, the
+                     frozen thread-per-process baseline, or a real
+                     multi-process cluster of `newtop-exp serve`
+                     processes (default sharded)
+  --peers A,B,...    tcp host: the serve processes' control addresses,
+                     cluster order (required with --host tcp)
+  --stop-peers       tcp host: ask every serve process to shut down
+                     after the run
   --omega-ms MS      time-silence interval omega (default 25)
   --big-omega-ms MS  suspicion timeout Omega (default 10000)
   --flush-window US  egress flush window in microseconds for the sharded
@@ -447,13 +469,9 @@ fn parse_load_args(args: &[String]) -> Result<LoadConfig, String> {
                     .parse::<u32>()
                     .map_err(|_| "bad --window".to_string())?;
             }
-            "--host" => {
-                cfg.host = match val("--host")?.as_str() {
-                    "sharded" => HostKind::Sharded,
-                    "threads" => HostKind::ThreadPerProcess,
-                    other => return Err(format!("bad --host {other} (sharded|threads)")),
-                };
-            }
+            "--host" => cfg.host = val("--host")?.parse::<HostKind>()?,
+            "--peers" => cfg.peers = parse_addr_list("--peers", &val("--peers")?)?,
+            "--stop-peers" => cfg.stop_peers = true,
             "--omega-ms" => {
                 cfg.omega = Span::from_millis(
                     val("--omega-ms")?
@@ -500,10 +518,7 @@ fn load_main(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let host_name = match cfg.host {
-        HostKind::Sharded => "sharded",
-        HostKind::ThreadPerProcess => "threads",
-    };
+    let host_name = cfg.host.as_str();
     let mode_name = match cfg.mode {
         OrderMode::Symmetric => "sym",
         OrderMode::Asymmetric => "asym",
@@ -769,6 +784,289 @@ fn mc_main(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Parses a comma-separated socket-address list.
+fn parse_addr_list(name: &str, v: &str) -> Result<Vec<SocketAddr>, String> {
+    v.split(',')
+        .map(|a| {
+            a.trim()
+                .parse::<SocketAddr>()
+                .map_err(|_| format!("bad address '{a}' in {name}"))
+        })
+        .collect()
+}
+
+const SERVE_USAGE: &str = "usage:
+  newtop-exp serve --nodes N --peers A,B,... --ctrl X,Y,... --me I [options]
+
+Runs one peer process of a real TCP cluster: hosts its contiguous block
+of the N nodes on the sharded runtime, speaks the batched frame protocol
+to the other peers over --peers, and serves the load generator's control
+connections on --ctrl until a client sends shutdown (load --stop-peers).
+
+options:
+  --nodes N          protocol participants cluster-wide (required)
+  --groups G         groups; node i joins group (i-1) mod G (default 1)
+  --peers A,B,...    every peer's data-plane address, cluster order
+  --ctrl X,Y,...     every peer's control-plane address, same order
+  --me I             this process's index into both lists (0-based)
+  --shards S         worker shards for the local sharded host
+                     (default: available parallelism)
+  --mode sym|asym    ordering variant for every group (default sym)
+  --omega-ms MS      time-silence interval omega (default 25)
+  --big-omega-ms MS  suspicion timeout Omega (default 10000)";
+
+fn parse_serve_args(args: &[String]) -> Result<ServeConfig, String> {
+    let mut cfg = ServeConfig::new(0, 1, Vec::new(), Vec::new(), 0);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--nodes" => {
+                cfg.nodes = val("--nodes")?
+                    .parse::<u32>()
+                    .map_err(|_| "bad --nodes".to_string())?;
+            }
+            "--groups" => {
+                cfg.groups = val("--groups")?
+                    .parse::<u32>()
+                    .map_err(|_| "bad --groups".to_string())?;
+            }
+            "--peers" => cfg.peers = parse_addr_list("--peers", &val("--peers")?)?,
+            "--ctrl" => cfg.ctrl = parse_addr_list("--ctrl", &val("--ctrl")?)?,
+            "--me" => {
+                cfg.me = val("--me")?
+                    .parse::<usize>()
+                    .map_err(|_| "bad --me".to_string())?;
+            }
+            "--shards" => {
+                let s = val("--shards")?
+                    .parse::<usize>()
+                    .map_err(|_| "bad --shards".to_string())?;
+                if s > 0 {
+                    cfg.cluster = cfg.cluster.shards(s);
+                }
+            }
+            "--mode" => {
+                cfg.mode = match val("--mode")?.as_str() {
+                    "sym" => OrderMode::Symmetric,
+                    "asym" => OrderMode::Asymmetric,
+                    other => return Err(format!("bad --mode {other} (sym|asym)")),
+                };
+            }
+            "--omega-ms" => {
+                cfg.omega = Span::from_millis(
+                    val("--omega-ms")?
+                        .parse::<u64>()
+                        .map_err(|_| "bad --omega-ms".to_string())?,
+                );
+            }
+            "--big-omega-ms" => {
+                cfg.big_omega = Span::from_millis(
+                    val("--big-omega-ms")?
+                        .parse::<u64>()
+                        .map_err(|_| "bad --big-omega-ms".to_string())?,
+                );
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown serve option {other}")),
+        }
+    }
+    if cfg.nodes == 0 {
+        return Err("--nodes is required".to_string());
+    }
+    Ok(cfg)
+}
+
+fn serve_main(args: &[String]) -> ExitCode {
+    let cfg = match parse_serve_args(args) {
+        Ok(c) => c,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{SERVE_USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!(
+        "serve: peer {}/{} data={} ctrl={} hosting its block of the {} node(s)",
+        cfg.me,
+        cfg.peers.len(),
+        cfg.peers[cfg.me.min(cfg.peers.len().saturating_sub(1))],
+        cfg.ctrl[cfg.me.min(cfg.ctrl.len().saturating_sub(1))],
+        cfg.nodes,
+    );
+    match serve(&cfg) {
+        Ok(()) => {
+            eprintln!("serve: clean shutdown");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const PROXY_USAGE: &str = "usage:
+  newtop-exp proxy --route LISTEN=UPSTREAM [--route ...] [options]
+
+Frame-level chaos proxy for the TCP data plane: point a peer's --peers
+entry at LISTEN and the proxy tunnels every connection to UPSTREAM,
+dropping / delaying / reordering whole addressed records in the data
+direction and pumping acks back verbatim. All interference resolves
+through the runtime's sever-and-resume path, so the cluster must stay
+correct under any schedule.
+
+options:
+  --route L=U        tunnel: accept on L, forward to U (repeatable)
+  --seed S           interference schedule seed (default 0)
+  --drop-pct P       percent of data records dropped (default 0)
+  --delay-ms MS      max random per-record hold, milliseconds (default 0)
+  --reorder-pct P    percent of records held past their successor (default 0)
+  --partition-at-ms T    open a partition window T ms after start
+  --partition-for-ms D   window length, milliseconds (default 2000)
+  --secs T           run this long then exit; 0 = until killed (default 0)";
+
+struct ProxyArgs {
+    cfg: ProxyConfig,
+    secs: f64,
+}
+
+fn parse_proxy_args(args: &[String]) -> Result<ProxyArgs, String> {
+    let mut out = ProxyArgs {
+        cfg: ProxyConfig::new(Vec::new()),
+        secs: 0.0,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--route" => {
+                let v = val("--route")?;
+                let (listen, upstream) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad --route '{v}' (want LISTEN=UPSTREAM)"))?;
+                out.cfg.routes.push((
+                    listen
+                        .trim()
+                        .parse::<SocketAddr>()
+                        .map_err(|_| format!("bad listen address '{listen}'"))?,
+                    upstream
+                        .trim()
+                        .parse::<SocketAddr>()
+                        .map_err(|_| format!("bad upstream address '{upstream}'"))?,
+                ));
+            }
+            "--seed" => {
+                out.cfg.seed = val("--seed")?
+                    .parse::<u64>()
+                    .map_err(|_| "bad --seed".to_string())?;
+            }
+            "--drop-pct" => {
+                out.cfg.drop_pct = val("--drop-pct")?
+                    .parse::<u8>()
+                    .map_err(|_| "bad --drop-pct".to_string())?
+                    .min(100);
+            }
+            "--delay-ms" => {
+                out.cfg.delay_ms = val("--delay-ms")?
+                    .parse::<u64>()
+                    .map_err(|_| "bad --delay-ms".to_string())?;
+            }
+            "--reorder-pct" => {
+                out.cfg.reorder_pct = val("--reorder-pct")?
+                    .parse::<u8>()
+                    .map_err(|_| "bad --reorder-pct".to_string())?
+                    .min(100);
+            }
+            "--partition-at-ms" => {
+                out.cfg.partition_at = Some(Duration::from_millis(
+                    val("--partition-at-ms")?
+                        .parse::<u64>()
+                        .map_err(|_| "bad --partition-at-ms".to_string())?,
+                ));
+            }
+            "--partition-for-ms" => {
+                out.cfg.partition_for = Duration::from_millis(
+                    val("--partition-for-ms")?
+                        .parse::<u64>()
+                        .map_err(|_| "bad --partition-for-ms".to_string())?,
+                );
+            }
+            "--secs" => {
+                out.secs = val("--secs")?
+                    .parse::<f64>()
+                    .map_err(|_| "bad --secs".to_string())?;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown proxy option {other}")),
+        }
+    }
+    if out.cfg.routes.is_empty() {
+        return Err("at least one --route is required".to_string());
+    }
+    Ok(out)
+}
+
+fn proxy_main(args: &[String]) -> ExitCode {
+    let parsed = match parse_proxy_args(args) {
+        Ok(p) => p,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{PROXY_USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let handle = match run_proxy(&parsed.cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: proxy bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (listen, upstream) in &parsed.cfg.routes {
+        eprintln!("proxy: {listen} -> {upstream}");
+    }
+    eprintln!(
+        "proxy: seed={} drop={}% delay<= {}ms reorder={}%{}",
+        parsed.cfg.seed,
+        parsed.cfg.drop_pct,
+        parsed.cfg.delay_ms,
+        parsed.cfg.reorder_pct,
+        match parsed.cfg.partition_at {
+            Some(at) => format!(
+                " partition @{}ms for {}ms",
+                at.as_millis(),
+                parsed.cfg.partition_for.as_millis()
+            ),
+            None => String::new(),
+        },
+    );
+    if parsed.secs > 0.0 {
+        std::thread::sleep(Duration::from_secs_f64(parsed.secs));
+        let forwarded = handle.forwarded.load(std::sync::atomic::Ordering::Relaxed);
+        let dropped = handle.dropped.load(std::sync::atomic::Ordering::Relaxed);
+        handle.stop();
+        eprintln!("proxy: done ({forwarded} records forwarded, {dropped} dropped)");
+    } else {
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn chaos_pin(parsed: &ChaosArgs, seed: u64) -> ExitCode {

@@ -24,8 +24,14 @@
 //!   (worker-count-independent) aggregation;
 //! * [`loadgen`] — closed-loop wall-clock load generation against the
 //!   real-time runtime host (`newtop-exp load`): delivered msgs/sec and
-//!   end-to-end latency percentiles, for both the sharded host and the
-//!   thread-per-process baseline;
+//!   end-to-end latency percentiles, for the sharded host, the
+//!   thread-per-process baseline, and a real multi-process TCP cluster;
+//! * [`remote`] — the control plane for real multi-process clusters:
+//!   the `newtop-exp serve` node process and the client handle the load
+//!   generator drives it with;
+//! * [`proxy`] — a frame-aware chaos proxy (`newtop-exp proxy`) that
+//!   drops, delays, reorders and partitions peer-link records so
+//!   recovery paths can be exercised on real sockets;
 //! * [`experiments`] — E1–E10, one per claim (see DESIGN.md §4), each
 //!   printing the table EXPERIMENTS.md records;
 //! * [`table`] — plain-text aligned table rendering.
@@ -42,6 +48,8 @@ pub mod experiments;
 pub mod history;
 pub mod loadgen;
 pub mod mc;
+pub mod proxy;
+pub mod remote;
 pub mod sweep;
 pub mod table;
 pub mod workload;
@@ -52,5 +60,7 @@ pub use cluster::SimCluster;
 pub use history::{History, HistoryEvent, MessageId};
 pub use loadgen::{run_load, HostKind, LoadConfig, LoadReport};
 pub use mc::{explore, McConfig, McReport, McStrategy, McViolation};
+pub use proxy::{run_proxy, ProxyConfig, ProxyHandle};
+pub use remote::{peer_of, serve, RemoteCluster, ServeConfig};
 pub use sweep::{run_chaos_seed, sweep_seeds, SeedOutcome, SweepConfig, SweepReport};
 pub use table::Table;

@@ -14,15 +14,18 @@
 //! waiting for ω nulls). Each payload carries its send timestamp, so
 //! every member delivery yields one latency sample.
 //!
-//! Both hosts are drivable — the sharded event-loop host and the frozen
-//! thread-per-process baseline ([`newtop_runtime::legacy`]) — so a single
-//! binary A/Bs the two schedulers: `newtop-exp load --host sharded` vs
-//! `--host threads`.
+//! Three hosts are drivable behind one surface — the sharded event-loop
+//! host, the frozen thread-per-process baseline
+//! ([`newtop_runtime::legacy`]), and a real multi-process TCP cluster
+//! reached through [`crate::remote::RemoteCluster`] — so a single
+//! binary A/Bs the schedulers and the wire: `newtop-exp load --host
+//! sharded` vs `--host threads` vs `--host tcp --peers …`.
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use newtop_runtime::{legacy, Cluster, Output, WireStats};
+use newtop_runtime::{legacy, Cluster, ClusterConfig, Output, WireStats};
 use newtop_types::{GroupConfig, GroupId, OrderMode, ProcessId, SendError, Span};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -34,6 +37,43 @@ pub enum HostKind {
     Sharded,
     /// The frozen thread-per-process baseline (`newtop_runtime::legacy`).
     ThreadPerProcess,
+    /// A real multi-process cluster of `newtop-exp serve` processes,
+    /// reached over their control plane (`--peers` lists the control
+    /// addresses, cluster order).
+    Tcp,
+}
+
+impl HostKind {
+    /// The canonical CLI spelling of this host.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HostKind::Sharded => "sharded",
+            HostKind::ThreadPerProcess => "threads",
+            HostKind::Tcp => "tcp",
+        }
+    }
+}
+
+impl std::fmt::Display for HostKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for HostKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<HostKind, String> {
+        match s {
+            "sharded" => Ok(HostKind::Sharded),
+            "threads" => Ok(HostKind::ThreadPerProcess),
+            "tcp" => Ok(HostKind::Tcp),
+            other => Err(format!(
+                "unknown host '{other}' (expected sharded, threads or tcp)"
+            )),
+        }
+    }
 }
 
 /// Parameters of one load run.
@@ -69,6 +109,12 @@ pub struct LoadConfig {
     pub flush_window_us: Option<u64>,
     /// Cap on envelopes coalesced per frame (`None` = host default).
     pub batch_max: Option<u32>,
+    /// Control-plane addresses of the `serve` processes, cluster order
+    /// ([`HostKind::Tcp`] only).
+    pub peers: Vec<SocketAddr>,
+    /// Ask the `serve` processes to shut down after the run
+    /// ([`HostKind::Tcp`] only).
+    pub stop_peers: bool,
 }
 
 impl Default for LoadConfig {
@@ -87,6 +133,8 @@ impl Default for LoadConfig {
             target_deliveries: None,
             flush_window_us: None,
             batch_max: None,
+            peers: Vec::new(),
+            stop_peers: false,
         }
     }
 }
@@ -141,8 +189,9 @@ impl LoadReport {
     }
 }
 
-/// Minimal host surface the driver needs; implemented by both runtimes.
-trait Host: Sync {
+/// Minimal host surface the driver needs; implemented by the in-process
+/// runtimes and by the remote-cluster client.
+pub(crate) trait Host: Sync {
     fn multicast(&self, node: ProcessId, group: GroupId, payload: Bytes) -> Result<(), SendError>;
     /// Pipelined variant: enqueue the multicast and report the engine's
     /// verdict on `reply` instead of blocking for it. The default (used
@@ -187,6 +236,30 @@ impl Host for newtop_runtime::RunningCluster {
     }
     fn shards_used(&self) -> usize {
         self.shard_count()
+    }
+}
+
+impl Host for crate::remote::RemoteCluster {
+    fn multicast(&self, node: ProcessId, group: GroupId, payload: Bytes) -> Result<(), SendError> {
+        crate::remote::RemoteCluster::multicast(self, node, group, &payload)
+    }
+    fn multicast_pipelined(
+        &self,
+        node: ProcessId,
+        group: GroupId,
+        payload: Bytes,
+        reply: &Sender<Result<(), SendError>>,
+    ) -> bool {
+        crate::remote::RemoteCluster::multicast_pipelined(self, node, group, &payload, reply)
+    }
+    fn output_rx(&self, node: ProcessId) -> Receiver<Output> {
+        self.outputs(node).expect("known node")
+    }
+    fn wire_stats(&self) -> Option<WireStats> {
+        crate::remote::RemoteCluster::wire_stats(self)
+    }
+    fn shards_used(&self) -> usize {
+        crate::remote::RemoteCluster::shards_used(self)
     }
 }
 
@@ -536,18 +609,19 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, String> {
     }
     match cfg.host {
         HostKind::Sharded => {
-            let mut cluster = Cluster::new();
-            for i in 1..=cfg.nodes {
-                cluster.add_process(ProcessId(i));
-            }
+            let mut knobs = ClusterConfig::new();
             if cfg.shards > 0 {
-                cluster.shards(cfg.shards);
+                knobs = knobs.shards(cfg.shards);
             }
             if let Some(us) = cfg.flush_window_us {
-                cluster.flush_window(Duration::from_micros(us));
+                knobs = knobs.flush_window(Duration::from_micros(us));
             }
             if let Some(max) = cfg.batch_max {
-                cluster.batch_max(max);
+                knobs = knobs.batch_max(max);
+            }
+            let mut cluster = Cluster::with_config(knobs);
+            for i in 1..=cfg.nodes {
+                cluster.add_process(ProcessId(i));
             }
             for g in 0..cfg.groups {
                 cluster
@@ -572,6 +646,22 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, String> {
             let running = cluster.start();
             let report = run_on(&running, cfg);
             running.shutdown();
+            Ok(report)
+        }
+        HostKind::Tcp => {
+            if cfg.peers.is_empty() {
+                return Err("--host tcp needs the serve processes' control addresses".into());
+            }
+            let remote = crate::remote::RemoteCluster::connect(
+                &cfg.peers,
+                cfg.nodes,
+                Duration::from_secs(10),
+            )
+            .map_err(|e| format!("connect to serve processes: {e}"))?;
+            let report = run_on(&remote, cfg);
+            if cfg.stop_peers {
+                remote.shutdown_peers();
+            }
             Ok(report)
         }
     }
@@ -663,6 +753,16 @@ mod tests {
         let wire0 = unbatched.wire.expect("wire stats");
         assert_eq!(wire0.envelopes, wire0.frames);
         assert_eq!(wire0.suppressed_nulls, 0);
+    }
+
+    /// Every host kind round-trips through its CLI spelling.
+    #[test]
+    fn host_kind_round_trips_through_strings() {
+        for kind in [HostKind::Sharded, HostKind::ThreadPerProcess, HostKind::Tcp] {
+            let spelled = kind.to_string();
+            assert_eq!(spelled.parse::<HostKind>(), Ok(kind), "{spelled}");
+        }
+        assert!("udp".parse::<HostKind>().is_err());
     }
 
     #[test]

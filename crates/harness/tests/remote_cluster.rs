@@ -1,0 +1,198 @@
+//! End-to-end tests of the real multi-process TCP stack, in-process:
+//! several `serve` event loops on their own threads, a real
+//! [`RemoteCluster`] client over loopback control connections, and the
+//! chaos proxy interposed on the data plane.
+
+use newtop_harness::proxy::{run_proxy, ProxyConfig};
+use newtop_harness::remote::{members_of, serve, RemoteCluster, ServeConfig};
+use newtop_runtime::Output;
+use newtop_types::{GroupId, ProcessId, Span};
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener};
+use std::time::{Duration, Instant};
+
+fn free_addrs(n: usize) -> Vec<SocketAddr> {
+    // Hold all listeners while picking so the ports are distinct.
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind ephemeral"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr"))
+        .collect()
+}
+
+fn fast(mut cfg: ServeConfig) -> ServeConfig {
+    cfg.omega = Span::from_millis(5);
+    cfg.big_omega = Span::from_secs(30);
+    cfg
+}
+
+/// Drains every node's outputs until each group member has `expect`
+/// deliveries of its group (or the deadline passes), returning the
+/// per-node payload sequences.
+fn collect_deliveries(
+    remote: &RemoteCluster,
+    groups: &[(GroupId, Vec<ProcessId>)],
+    expect: usize,
+    deadline: Duration,
+) -> BTreeMap<ProcessId, Vec<Vec<u8>>> {
+    let mut got: BTreeMap<ProcessId, Vec<Vec<u8>>> = BTreeMap::new();
+    let rxs: Vec<(ProcessId, _)> = groups
+        .iter()
+        .flat_map(|(_, members)| members.iter().copied())
+        .map(|m| (m, remote.outputs(m).expect("known node")))
+        .collect();
+    for &(m, _) in &rxs {
+        got.insert(m, Vec::new());
+    }
+    let t0 = Instant::now();
+    while t0.elapsed() < deadline {
+        let mut all_done = true;
+        for &(m, ref rx) in &rxs {
+            while let Ok(out) = rx.try_recv() {
+                if let Output::Delivery(d) = out {
+                    got.get_mut(&m).expect("tracked").push(d.payload.to_vec());
+                }
+            }
+            if got[&m].len() < expect {
+                all_done = false;
+            }
+        }
+        if all_done {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    got
+}
+
+/// Three serve processes (as threads), two groups spanning all of them,
+/// driven over the control plane: every member of a group sees every
+/// group message, all members agree on the order, the wire moved real
+/// frames, and shutdown tears all three down cleanly.
+#[test]
+fn three_peer_cluster_agrees_and_shuts_down() {
+    let addrs = free_addrs(6);
+    let (peers, ctrl) = (addrs[..3].to_vec(), addrs[3..].to_vec());
+    let (nodes, groups) = (6u32, 2u32);
+    let mut servers = Vec::new();
+    for me in 0..3usize {
+        let cfg = fast(ServeConfig::new(
+            nodes,
+            groups,
+            peers.clone(),
+            ctrl.clone(),
+            me,
+        ));
+        servers.push(std::thread::spawn(move || serve(&cfg)));
+    }
+    let remote =
+        RemoteCluster::connect(&ctrl, nodes, Duration::from_secs(15)).expect("client connects");
+    let group_list: Vec<(GroupId, Vec<ProcessId>)> = (0..groups)
+        .map(|g| (GroupId(g + 1), members_of(g, nodes, groups)))
+        .collect();
+    let per_group = 20usize;
+    for (gid, members) in &group_list {
+        for k in 0..per_group {
+            let sender = members[k % members.len()];
+            let payload = format!("g{}:{k:03}", gid.0).into_bytes();
+            remote
+                .multicast(sender, *gid, &payload)
+                .expect("multicast accepted");
+        }
+    }
+    let got = collect_deliveries(&remote, &group_list, per_group, Duration::from_secs(30));
+    for (gid, members) in &group_list {
+        let reference = &got[&members[0]];
+        assert_eq!(
+            reference.len(),
+            per_group,
+            "group {} member {} must deliver everything",
+            gid.0,
+            members[0].0
+        );
+        for m in &members[1..] {
+            assert_eq!(
+                &got[m], reference,
+                "group {} members {} and {} disagree on delivery order",
+                gid.0, members[0].0, m.0
+            );
+        }
+    }
+    let wire = remote.wire_stats().expect("stats answered");
+    assert!(wire.frames > 0, "a real cluster ships frames");
+    assert_eq!(wire.handshake_rejects, 0);
+    assert!(remote.shards_used() >= 3, "each peer runs >= 1 shard");
+    remote.shutdown_peers();
+    for s in servers {
+        s.join().expect("serve thread").expect("serve exits clean");
+    }
+}
+
+/// Two peers whose data link runs through the chaos proxy with drops,
+/// delay and reorder: every interference resolves through the
+/// sever-and-resume path, so both members still deliver the complete
+/// message sequence in the same order, and shutdown stays clean.
+#[test]
+fn chaos_proxy_drop_delay_roundtrip_stays_exact() {
+    let addrs = free_addrs(5);
+    let (data, ctrl) = (addrs[..2].to_vec(), addrs[2..4].to_vec());
+    let proxy_listen = addrs[4];
+    // Peer 0 dials peer 1 through the proxy; everything else is direct.
+    let mut proxy_cfg = ProxyConfig::new(vec![(proxy_listen, data[1])]);
+    proxy_cfg.seed = 42;
+    proxy_cfg.drop_pct = 5;
+    proxy_cfg.delay_ms = 2;
+    proxy_cfg.reorder_pct = 5;
+    let proxy = run_proxy(&proxy_cfg).expect("proxy binds");
+    let (nodes, groups) = (2u32, 1u32);
+    let mut servers = Vec::new();
+    for me in 0..2usize {
+        let peers_view = if me == 0 {
+            vec![data[0], proxy_listen]
+        } else {
+            data.clone()
+        };
+        let cfg = fast(ServeConfig::new(
+            nodes,
+            groups,
+            peers_view,
+            ctrl.clone(),
+            me,
+        ));
+        servers.push(std::thread::spawn(move || serve(&cfg)));
+    }
+    let remote =
+        RemoteCluster::connect(&ctrl, nodes, Duration::from_secs(15)).expect("client connects");
+    let gid = GroupId(1);
+    let members = members_of(0, nodes, groups);
+    let total = 30usize;
+    for k in 0..total {
+        let sender = members[k % members.len()];
+        let payload = format!("m{k:03}").into_bytes();
+        remote
+            .multicast(sender, gid, &payload)
+            .expect("multicast accepted");
+    }
+    let group_list = vec![(gid, members.clone())];
+    let got = collect_deliveries(&remote, &group_list, total, Duration::from_secs(45));
+    let reference = &got[&members[0]];
+    assert_eq!(
+        reference.len(),
+        total,
+        "chaos must not lose application messages (got {} of {total})",
+        reference.len()
+    );
+    assert_eq!(
+        &got[&members[1]], reference,
+        "chaos must not break delivery-order agreement"
+    );
+    let wire = remote.wire_stats().expect("stats answered");
+    assert!(wire.frames > 0);
+    remote.shutdown_peers();
+    for s in servers {
+        s.join().expect("serve thread").expect("serve exits clean");
+    }
+    proxy.stop();
+}

@@ -55,6 +55,17 @@ impl Cluster {
         Cluster::default()
     }
 
+    /// An empty cluster builder from a shared [`crate::ClusterConfig`].
+    ///
+    /// The thread-per-process host has no shards and no egress
+    /// batching, so every knob in the config is accepted and ignored;
+    /// this constructor exists so harness code can build any host kind
+    /// through the one configuration type.
+    #[must_use]
+    pub fn with_config(_config: crate::ClusterConfig) -> Cluster {
+        Cluster::default()
+    }
+
     /// Adds a protocol participant.
     pub fn add_process(&mut self, id: ProcessId) -> &mut Cluster {
         self.procs

@@ -54,12 +54,14 @@
 #![warn(missing_docs)]
 
 pub mod legacy;
+mod net;
 mod partition;
 mod shard;
 mod timer;
 mod transport;
 
-pub use transport::{WireStats, OCCUPANCY_BUCKETS, OCCUPANCY_LABELS};
+pub use net::TcpConfig;
+pub use transport::{Frame, Route, Transport, WireStats, OCCUPANCY_BUCKETS, OCCUPANCY_LABELS};
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
@@ -131,34 +133,35 @@ fn default_shards() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
-/// A cluster under construction: processes and statically bootstrapped
-/// groups are configured before the shard threads start.
-#[derive(Default)]
-pub struct Cluster {
-    procs: BTreeMap<ProcessId, Process>,
+/// Host-construction knobs shared by every cluster flavour — the
+/// sharded in-process host ([`Cluster::start`]), the TCP multi-process
+/// host ([`Cluster::start_tcp`]) and the [`legacy`] thread-per-process
+/// baseline ([`legacy::Cluster::with_config`]) are all built from one
+/// `ClusterConfig`, so a harness can construct any of them through the
+/// same value.
+///
+/// Every knob is optional; an unset knob takes the host's default.
+/// Knobs a host has no use for (the legacy baseline has neither shards
+/// nor an egress) are accepted and ignored, so configs stay portable
+/// across hosts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterConfig {
     shards: Option<usize>,
     flush_window: Option<Duration>,
     batch_max: Option<u32>,
 }
 
-impl Cluster {
-    /// An empty cluster builder.
+impl ClusterConfig {
+    /// A config where every knob takes the host default.
     #[must_use]
-    pub fn new() -> Cluster {
-        Cluster::default()
+    pub fn new() -> ClusterConfig {
+        ClusterConfig::default()
     }
 
-    /// Adds a protocol participant.
-    pub fn add_process(&mut self, id: ProcessId) -> &mut Cluster {
-        self.procs
-            .entry(id)
-            .or_insert_with(|| Process::new(id, ProcessConfig::new()));
-        self
-    }
-
-    /// Sets the number of worker shards [`Cluster::start`] spawns
-    /// (clamped to the node count; default: available parallelism).
-    pub fn shards(&mut self, shards: usize) -> &mut Cluster {
+    /// Sets the number of worker shards (clamped to the node count;
+    /// default: available parallelism).
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> ClusterConfig {
         self.shards = Some(shards.max(1));
         self
     }
@@ -169,7 +172,8 @@ impl Cluster {
     /// this bounds added latency only at saturation. `Duration::ZERO`
     /// disables batching entirely — every envelope ships as its own
     /// frame, the pre-batching wire path. Default: 200µs.
-    pub fn flush_window(&mut self, window: Duration) -> &mut Cluster {
+    #[must_use]
+    pub fn flush_window(mut self, window: Duration) -> ClusterConfig {
         self.flush_window = Some(window);
         self
     }
@@ -177,8 +181,95 @@ impl Cluster {
     /// Caps how many envelopes one destination's egress queue coalesces
     /// into a single frame before flushing regardless of the window.
     /// Default: 128.
-    pub fn batch_max(&mut self, max_envelopes: u32) -> &mut Cluster {
+    #[must_use]
+    pub fn batch_max(mut self, max_envelopes: u32) -> ClusterConfig {
         self.batch_max = Some(max_envelopes.max(1));
+        self
+    }
+
+    /// Resolves the shard count for `procs` hosted nodes.
+    fn shard_count(&self, procs: usize) -> usize {
+        self.shards
+            .unwrap_or_else(default_shards)
+            .clamp(1, procs.max(1))
+    }
+
+    /// Resolves the egress batching policy.
+    fn policy(&self) -> BatchPolicy {
+        #[allow(clippy::cast_possible_truncation)]
+        BatchPolicy {
+            window: self
+                .flush_window
+                .map_or(BatchPolicy::default().window, |w| {
+                    Span::from_micros(w.as_micros() as u64)
+                }),
+            max_envelopes: self
+                .batch_max
+                .unwrap_or(BatchPolicy::default().max_envelopes),
+            ..BatchPolicy::default()
+        }
+    }
+}
+
+/// A cluster under construction: processes and statically bootstrapped
+/// groups are configured before the shard threads start.
+#[derive(Default)]
+pub struct Cluster {
+    procs: BTreeMap<ProcessId, Process>,
+    config: ClusterConfig,
+}
+
+impl Cluster {
+    /// An empty cluster builder.
+    #[must_use]
+    pub fn new() -> Cluster {
+        Cluster::default()
+    }
+
+    /// An empty cluster builder carrying `config`.
+    #[must_use]
+    pub fn with_config(config: ClusterConfig) -> Cluster {
+        Cluster {
+            procs: BTreeMap::new(),
+            config,
+        }
+    }
+
+    /// Adds a protocol participant.
+    pub fn add_process(&mut self, id: ProcessId) -> &mut Cluster {
+        self.procs
+            .entry(id)
+            .or_insert_with(|| Process::new(id, ProcessConfig::new()));
+        self
+    }
+
+    /// Sets the number of worker shards.
+    ///
+    /// Deprecated: prefer [`ClusterConfig::shards`] with
+    /// [`Cluster::with_config`]; this shim mutates the builder's config
+    /// in place and survives for source compatibility.
+    pub fn shards(&mut self, shards: usize) -> &mut Cluster {
+        self.config = self.config.shards(shards);
+        self
+    }
+
+    /// Sets the egress flush window (see [`ClusterConfig::flush_window`]).
+    ///
+    /// Deprecated: prefer [`ClusterConfig::flush_window`] with
+    /// [`Cluster::with_config`]; this shim mutates the builder's config
+    /// in place and survives for source compatibility.
+    pub fn flush_window(&mut self, window: Duration) -> &mut Cluster {
+        self.config = self.config.flush_window(window);
+        self
+    }
+
+    /// Caps envelopes per coalesced frame (see [`ClusterConfig::batch_max`]).
+    ///
+    /// Deprecated: prefer [`ClusterConfig::batch_max`] with
+    /// [`Cluster::with_config`]; this shim mutates the builder's config
+    /// in place and survives for source compatibility.
+    pub fn batch_max(&mut self, max_envelopes: u32) -> &mut Cluster {
+        self.config = self.config.batch_max(max_envelopes);
         self
     }
 
@@ -223,15 +314,131 @@ impl Cluster {
         Ok(())
     }
 
+    /// Statically installs `group` at the **locally hosted** subset of
+    /// `members` — the multi-process counterpart of
+    /// [`Cluster::bootstrap_group`]. Every peer process of a TCP cluster
+    /// calls this with the *same full member set* (the engine must know
+    /// all members to order against them); each installs only the members
+    /// it hosts, and the rest are installed by their own host process.
+    /// Hosting no member of `group` is a no-op, not an error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's [`GroupError`]; the full set is validated
+    /// against the locally hosted members before any is touched.
+    pub fn bootstrap_group_local<I: IntoIterator<Item = ProcessId>>(
+        &mut self,
+        group: GroupId,
+        members: I,
+        config: GroupConfig,
+    ) -> Result<(), GroupError> {
+        let set: BTreeSet<ProcessId> = members.into_iter().collect();
+        config.validate().map_err(GroupError::Config)?;
+        if set.is_empty() {
+            return Err(GroupError::EmptyMembership);
+        }
+        let local: Vec<ProcessId> = set
+            .iter()
+            .copied()
+            .filter(|m| self.procs.contains_key(m))
+            .collect();
+        for m in &local {
+            if self.procs[m].is_member(group) {
+                return Err(GroupError::AlreadyExists { group });
+            }
+        }
+        for m in &local {
+            let p = self.procs.get_mut(m).expect("filtered on presence");
+            p.bootstrap_group(Instant::ZERO, group, &set, config)?;
+        }
+        Ok(())
+    }
+
     /// Spawns the worker shards and returns the running cluster.
     #[must_use]
     pub fn start(self) -> RunningCluster {
         let epoch = std::time::Instant::now();
         let partition = Arc::new(PartitionCtl::new());
-        let shard_count = self
-            .shards
-            .unwrap_or_else(default_shards)
-            .clamp(1, self.procs.len().max(1));
+        let policy = self.config.policy();
+        let shard_count = self.config.shard_count(self.procs.len());
+        let layout = Layout::place(self.procs, shard_count);
+        let transport: Arc<dyn Transport> =
+            Arc::new(Router::new(layout.addrs.clone(), layout.inbox_txs.clone()));
+        let threads = spawn_shards(
+            layout.per_shard,
+            layout.inbox_rxs,
+            epoch,
+            &transport,
+            &partition,
+            policy,
+            shard_count,
+        );
+        RunningCluster {
+            nodes: layout.nodes,
+            threads,
+            partition,
+            transport,
+            shard_count,
+            net: None,
+        }
+    }
+
+    /// Spawns the worker shards **plus the TCP peer links** of `tcp` and
+    /// returns the running cluster. The builder's processes are this
+    /// peer's locally hosted nodes; frames for processes owned by other
+    /// peers (per [`TcpConfig::owners`]) travel over per-peer TCP
+    /// connections speaking the exact frame bytes of the in-process path
+    /// inside addressed records (`newtop_types::peer`). Links reconnect
+    /// with exponential backoff and resume retransmission from the
+    /// receiver's cumulative ack, so the engine's reliable-FIFO transport
+    /// assumption holds across connection loss.
+    ///
+    /// # Errors
+    ///
+    /// An [`std::io::Error`] from binding this peer's listen address; the
+    /// cluster is consumed either way (rebuild to retry).
+    pub fn start_tcp(self, tcp: TcpConfig) -> std::io::Result<RunningCluster> {
+        let epoch = std::time::Instant::now();
+        let partition = Arc::new(PartitionCtl::new());
+        let policy = self.config.policy();
+        let shard_count = self.config.shard_count(self.procs.len());
+        let layout = Layout::place(self.procs, shard_count);
+        let router = Router::new(layout.addrs.clone(), layout.inbox_txs.clone());
+        let (tcp_transport, net) = net::start(tcp, router, layout.inbox_txs.clone())?;
+        let transport: Arc<dyn Transport> = tcp_transport;
+        let threads = spawn_shards(
+            layout.per_shard,
+            layout.inbox_rxs,
+            epoch,
+            &transport,
+            &partition,
+            policy,
+            shard_count,
+        );
+        Ok(RunningCluster {
+            nodes: layout.nodes,
+            threads,
+            partition,
+            transport,
+            shard_count,
+            net: Some(net),
+        })
+    }
+}
+
+/// Shard placement shared by [`Cluster::start`] and
+/// [`Cluster::start_tcp`]: nodes round-robin onto shards, one MPSC inbox
+/// per shard, one output channel per node.
+struct Layout {
+    nodes: BTreeMap<ProcessId, NodeHandle>,
+    addrs: Vec<(ProcessId, u32)>,
+    per_shard: Vec<Vec<NodeSeed>>,
+    inbox_txs: Vec<Sender<ShardMsg>>,
+    inbox_rxs: Vec<Receiver<ShardMsg>>,
+}
+
+impl Layout {
+    fn place(procs: BTreeMap<ProcessId, Process>, shard_count: usize) -> Layout {
         let mut inbox_txs: Vec<Sender<ShardMsg>> = Vec::with_capacity(shard_count);
         let mut inbox_rxs: Vec<Receiver<ShardMsg>> = Vec::with_capacity(shard_count);
         for _ in 0..shard_count {
@@ -239,10 +446,10 @@ impl Cluster {
             inbox_txs.push(tx);
             inbox_rxs.push(rx);
         }
-        let mut addrs: Vec<(ProcessId, u32)> = Vec::with_capacity(self.procs.len());
+        let mut addrs: Vec<(ProcessId, u32)> = Vec::with_capacity(procs.len());
         let mut per_shard: Vec<Vec<NodeSeed>> = (0..shard_count).map(|_| Vec::new()).collect();
         let mut nodes = BTreeMap::new();
-        for (i, (id, process)) in self.procs.into_iter().enumerate() {
+        for (i, (id, process)) in procs.into_iter().enumerate() {
             let s = i % shard_count;
             let (out_tx, out_rx) = unbounded::<Output>();
             #[allow(clippy::cast_possible_truncation)]
@@ -261,50 +468,49 @@ impl Cluster {
                 },
             );
         }
-        let router = Arc::new(Router::new(addrs, inbox_txs));
-        #[allow(clippy::cast_possible_truncation)]
-        let policy = BatchPolicy {
-            window: self
-                .flush_window
-                .map_or(BatchPolicy::default().window, |w| {
-                    Span::from_micros(w.as_micros() as u64)
-                }),
-            max_envelopes: self
-                .batch_max
-                .unwrap_or(BatchPolicy::default().max_envelopes),
-            ..BatchPolicy::default()
-        };
-        let mut threads = Vec::with_capacity(shard_count);
-        for (s, seeds) in per_shard.into_iter().enumerate() {
-            let rx = inbox_rxs.remove(0);
-            let router = Arc::clone(&router);
-            let partition = Arc::clone(&partition);
-            #[allow(clippy::cast_possible_truncation)]
-            let thread = std::thread::Builder::new()
-                .name(format!("newtop-shard-{s}"))
-                .spawn(move || {
-                    shard::shard_main(
-                        s as u32,
-                        seeds,
-                        epoch,
-                        &rx,
-                        router,
-                        partition,
-                        policy,
-                        shard_count,
-                    );
-                })
-                .expect("spawn shard thread");
-            threads.push(thread);
-        }
-        RunningCluster {
+        Layout {
             nodes,
-            threads,
-            partition,
-            router,
-            shard_count,
+            addrs,
+            per_shard,
+            inbox_txs,
+            inbox_rxs,
         }
     }
+}
+
+fn spawn_shards(
+    per_shard: Vec<Vec<NodeSeed>>,
+    mut inbox_rxs: Vec<Receiver<ShardMsg>>,
+    epoch: std::time::Instant,
+    transport: &Arc<dyn Transport>,
+    partition: &Arc<PartitionCtl>,
+    policy: BatchPolicy,
+    shard_count: usize,
+) -> Vec<JoinHandle<()>> {
+    let mut threads = Vec::with_capacity(shard_count);
+    for (s, seeds) in per_shard.into_iter().enumerate() {
+        let rx = inbox_rxs.remove(0);
+        let transport = Arc::clone(transport);
+        let partition = Arc::clone(partition);
+        #[allow(clippy::cast_possible_truncation)]
+        let thread = std::thread::Builder::new()
+            .name(format!("newtop-shard-{s}"))
+            .spawn(move || {
+                shard::shard_main(
+                    s as u32,
+                    seeds,
+                    epoch,
+                    &rx,
+                    transport,
+                    partition,
+                    policy,
+                    shard_count,
+                );
+            })
+            .expect("spawn shard thread");
+        threads.push(thread);
+    }
+    threads
 }
 
 /// Application-side handle to one running protocol participant.
@@ -461,8 +667,10 @@ pub struct RunningCluster {
     nodes: BTreeMap<ProcessId, NodeHandle>,
     threads: Vec<JoinHandle<()>>,
     partition: Arc<PartitionCtl>,
-    router: Arc<Router>,
+    transport: Arc<dyn Transport>,
     shard_count: usize,
+    /// Peer-link threads of a TCP host (`None` in-process).
+    net: Option<net::NetRuntime>,
 }
 
 impl RunningCluster {
@@ -483,10 +691,12 @@ impl RunningCluster {
         self.shard_count
     }
 
-    /// Cumulative wire-transport counters (frames and exact bytes shipped).
+    /// Cumulative wire-transport counters (frames and exact bytes
+    /// shipped; on a TCP host also reconnects, dead-peer drops and
+    /// handshake rejects).
     #[must_use]
     pub fn wire_stats(&self) -> WireStats {
-        self.router.stats()
+        self.transport.stats()
     }
 
     /// Splits the network into blocks; traffic across the cut is dropped.
@@ -507,13 +717,17 @@ impl RunningCluster {
         }
     }
 
-    /// Stops every node and joins the shard threads.
+    /// Stops every node, joins the shard threads, and (on a TCP host)
+    /// stops and joins the peer-link threads.
     pub fn shutdown(mut self) {
         for n in self.nodes.values() {
             let _ = n.command(Command::Die);
         }
         for t in std::mem::take(&mut self.threads) {
             let _ = t.join();
+        }
+        if let Some(net) = self.net.take() {
+            net.stop();
         }
     }
 }
@@ -550,6 +764,46 @@ mod tests {
         GroupConfig::new(OrderMode::Symmetric)
             .with_omega(Span::from_millis(5))
             .with_big_omega(Span::from_millis(150))
+    }
+
+    #[test]
+    fn cluster_config_resolves_knobs_and_defaults() {
+        let cfg = ClusterConfig::new();
+        assert_eq!(cfg, ClusterConfig::default());
+        assert_eq!(cfg.policy(), BatchPolicy::default());
+        // Explicit knobs override; shard counts clamp to the node count.
+        let cfg = ClusterConfig::new()
+            .shards(8)
+            .flush_window(Duration::from_micros(50))
+            .batch_max(16);
+        assert_eq!(cfg.shard_count(3), 3);
+        assert_eq!(cfg.shard_count(100), 8);
+        let policy = cfg.policy();
+        assert_eq!(policy.window, Span::from_micros(50));
+        assert_eq!(policy.max_envelopes, 16);
+        // Degenerate values are pinned to sane floors.
+        let cfg = ClusterConfig::new().shards(0).batch_max(0);
+        assert_eq!(cfg.shard_count(4), 1);
+        assert_eq!(cfg.policy().max_envelopes, 1);
+        // A zero window means "no batching", preserved verbatim.
+        let cfg = ClusterConfig::new().flush_window(Duration::ZERO);
+        assert_eq!(cfg.policy().window, Span::ZERO);
+    }
+
+    #[test]
+    fn deprecated_setters_match_config_builder() {
+        let mut via_setters = Cluster::new();
+        via_setters
+            .shards(4)
+            .flush_window(Duration::from_micros(75))
+            .batch_max(32);
+        let via_config = Cluster::with_config(
+            ClusterConfig::new()
+                .shards(4)
+                .flush_window(Duration::from_micros(75))
+                .batch_max(32),
+        );
+        assert_eq!(via_setters.config, via_config.config);
     }
 
     #[test]

@@ -1,0 +1,656 @@
+//! The socket-backed [`Transport`]: real-network peer links for
+//! [`Cluster::start_tcp`](crate::Cluster::start_tcp).
+//!
+//! A TCP cluster is a set of OS processes (*peers*), each hosting a
+//! subset of the protocol participants on its own sharded event loop.
+//! Frames for locally hosted destinations take the exact in-process
+//! path (the channel-backed router); frames for remote destinations are
+//! wrapped in addressed records ([`newtop_types::peer`]) and written to
+//! the owning peer's connection. The frame bytes themselves are
+//! bit-identical to the in-process wire path — batching, ω-null
+//! suppression and byte accounting all happen before the transport
+//! split, in the shard's egress.
+//!
+//! # Connection management
+//!
+//! Every peer dials every other peer once (one outbound link per
+//! remote peer, frames out / acks in) and accepts inbound connections
+//! on its listen address (frames in / acks out). A lost connection is
+//! redialed with exponential backoff ([`TcpConfig::dial_backoff`] up to
+//! [`TcpConfig::dial_backoff_max`]); while a peer is unreachable, up to
+//! [`TcpConfig::dead_cap`] frames buffer on the link and the overflow
+//! is dropped **before sequencing** (counted as
+//! [`WireStats::dropped_dead`]), so a recovered link never faces a
+//! permanent sequence gap.
+//!
+//! # Reliability
+//!
+//! The engine requires a transport that is reliable and FIFO per
+//! ordered pair (§3 of the paper); a reconnecting socket alone is not
+//! that, so every link runs the `newtop_types::peer` session protocol:
+//! frames carry per-link sequence numbers, the receiver acknowledges
+//! cumulatively, the sender retains unacknowledged records and
+//! retransmits them after the handshake of a reconnect (the acceptor's
+//! [`Hello::resume`] names the next sequence it expects), duplicates
+//! are dropped by sequence, and a sequence *gap* — only possible if
+//! something in the middle discarded bytes, e.g. a chaos proxy — makes
+//! the receiver sever the connection so the dialer's retransmission
+//! closes the hole. Session nonces distinguish a restarted peer from a
+//! resumed link.
+
+use crate::transport::{Frame, Route, Router, ShardMsg, Transport, WireStats};
+use bytes::{Bytes, BytesMut};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use newtop_types::peer::{
+    addressed_frame_into, decode_ack, decode_hello, encode_ack, encode_hello, Hello,
+    PeerFrameDecoder, ACK_LEN, HELLO_LEN,
+};
+use newtop_types::ProcessId;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Topology and link policy for one peer of a TCP cluster.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Listen addresses of every peer, in cluster-wide order. All peers
+    /// must agree on this list; a peer's index in it is its identity.
+    pub peers: Vec<SocketAddr>,
+    /// This peer's index into [`TcpConfig::peers`] (its address is
+    /// bound locally; every other address is dialed).
+    pub me: usize,
+    /// Which peer index owns each protocol participant, for the whole
+    /// cluster. Processes hosted locally may be listed or omitted —
+    /// local routing always wins.
+    pub owners: Vec<(ProcessId, u32)>,
+    /// First reconnect delay after a connection loss (doubles per
+    /// failure). Default 20 ms.
+    pub dial_backoff: Duration,
+    /// Reconnect delay ceiling. Default 1 s.
+    pub dial_backoff_max: Duration,
+    /// How many frames may buffer for an unreachable peer before new
+    /// ones are dropped ([`WireStats::dropped_dead`]). Default 8192.
+    pub dead_cap: u64,
+}
+
+impl TcpConfig {
+    /// A config with default link policy.
+    #[must_use]
+    pub fn new(peers: Vec<SocketAddr>, me: usize, owners: Vec<(ProcessId, u32)>) -> TcpConfig {
+        TcpConfig {
+            peers,
+            me,
+            owners,
+            dial_backoff: Duration::from_millis(20),
+            dial_backoff_max: Duration::from_secs(1),
+            dead_cap: 8192,
+        }
+    }
+}
+
+#[derive(Default)]
+struct NetCounters {
+    reconnects: AtomicU64,
+    dropped_dead: AtomicU64,
+    handshake_rejects: AtomicU64,
+}
+
+/// One outbound peer link: the egress side of a connection manager.
+/// `queued` counts frames in the channel plus unacknowledged records at
+/// the writer — together the link's buffered backlog, capped at
+/// `cap` while the peer is unreachable.
+struct PeerLink {
+    tx: Sender<Frame>,
+    queued: AtomicU64,
+    cap: u64,
+}
+
+impl PeerLink {
+    /// Hands one frame to the writer thread; `false` = backlog full,
+    /// frame dropped *before* it was ever sequenced.
+    fn enqueue(&self, frame: Frame) -> bool {
+        if self.queued.load(Ordering::Relaxed) >= self.cap {
+            return false;
+        }
+        self.queued.fetch_add(1, Ordering::Relaxed);
+        self.tx.send(frame).is_ok()
+    }
+}
+
+/// The socket-backed transport: local router + one link per remote peer.
+pub(crate) struct TcpTransport {
+    router: Arc<Router>,
+    /// Sorted `(process, owning peer)` for processes hosted elsewhere.
+    remote: Vec<(ProcessId, u32)>,
+    /// Indexed by peer; `None` at our own index.
+    links: Vec<Option<Arc<PeerLink>>>,
+    counters: Arc<NetCounters>,
+}
+
+impl TcpTransport {
+    fn remote_peer(&self, to: ProcessId) -> Option<u32> {
+        self.remote
+            .binary_search_by_key(&to, |&(p, _)| p)
+            .ok()
+            .map(|i| self.remote[i].1)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn route_of(&self, to: ProcessId) -> Option<Route> {
+        if let Some(shard) = self.router.shard_of(to) {
+            return Some(Route::Local(shard));
+        }
+        self.remote_peer(to).map(|_| Route::Remote)
+    }
+
+    fn ship(&self, frame: Frame) {
+        if self.router.shard_of(frame.to).is_some() {
+            self.router.send_frame(frame);
+            return;
+        }
+        let Some(peer) = self.remote_peer(frame.to) else {
+            return; // unknown destination: drop (crash semantics)
+        };
+        let link = self.links[peer as usize]
+            .as_ref()
+            .expect("remote peer has a link");
+        // Count only what the link accepted: a dead-peer drop never
+        // reaches any wire, and was never sequenced.
+        self.router.count_frame(&frame);
+        if !link.enqueue(frame) {
+            self.counters.dropped_dead.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn ship_local_batch(&self, shard: u32, frames: Vec<Frame>) {
+        self.router.send_batch(shard, frames);
+    }
+
+    fn count_frame(&self, frame: &Frame) {
+        self.router.count_frame(frame);
+    }
+
+    fn note_suppressed(&self, n: u64) {
+        self.router.note_suppressed(n);
+    }
+
+    fn stats(&self) -> WireStats {
+        let mut s = self.router.stats();
+        s.reconnects = self.counters.reconnects.load(Ordering::Relaxed);
+        s.dropped_dead = self.counters.dropped_dead.load(Ordering::Relaxed);
+        s.handshake_rejects = self.counters.handshake_rejects.load(Ordering::Relaxed);
+        s
+    }
+}
+
+/// Per-link receive state: the next sequence expected from one
+/// `(peer, nonce)` session. The mutex serialises the
+/// check–deliver–advance step so that, during the brief overlap of a
+/// dying connection and its replacement, a sequence is applied exactly
+/// once and frames reach the shard inbox in sequence order.
+type LinkState = Arc<Mutex<u64>>;
+
+/// Shared context of the accept loop and its per-connection ingress
+/// threads.
+struct Acceptor {
+    me: u32,
+    npeers: u32,
+    stop: Arc<AtomicBool>,
+    nonce: u64,
+    router: Arc<Router>,
+    inboxes: Vec<Sender<ShardMsg>>,
+    counters: Arc<NetCounters>,
+    registry: Mutex<HashMap<(u32, u64), LinkState>>,
+    ingress: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The link threads of a TCP host: per-peer writers, the accept loop,
+/// and one ingress thread per live inbound connection.
+pub(crate) struct NetRuntime {
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    acceptor: Arc<Acceptor>,
+}
+
+impl NetRuntime {
+    /// Signals every link thread to exit and joins them all.
+    pub(crate) fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        let handles: Vec<JoinHandle<()>> = self.acceptor.ingress.lock().drain(..).collect();
+        for t in handles {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for NetRuntime {
+    /// Dropping without [`NetRuntime::stop`] still signals the threads
+    /// to exit (detached: every loop polls the flag within ~50 ms).
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+fn session_nonce() -> u64 {
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap_or_default();
+    #[allow(clippy::cast_possible_truncation)]
+    let nanos = t.as_nanos() as u64;
+    nanos ^ (u64::from(std::process::id()) << 32)
+}
+
+/// Binds this peer's listener, spawns the per-peer writer threads and
+/// the accept loop, and returns the transport plus the thread runtime.
+pub(crate) fn start(
+    cfg: TcpConfig,
+    router: Router,
+    inboxes: Vec<Sender<ShardMsg>>,
+) -> std::io::Result<(Arc<TcpTransport>, NetRuntime)> {
+    if cfg.me >= cfg.peers.len() {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidInput,
+            format!(
+                "peer index {} out of range ({} peers)",
+                cfg.me,
+                cfg.peers.len()
+            ),
+        ));
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    let me = cfg.me as u32;
+    let router = Arc::new(router);
+    let counters = Arc::new(NetCounters::default());
+    let stop = Arc::new(AtomicBool::new(false));
+    let nonce = session_nonce();
+    let listener = TcpListener::bind(cfg.peers[cfg.me])?;
+    listener.set_nonblocking(true)?;
+    let mut threads = Vec::new();
+    let mut links: Vec<Option<Arc<PeerLink>>> = (0..cfg.peers.len()).map(|_| None).collect();
+    for (k, &addr) in cfg.peers.iter().enumerate() {
+        if k == cfg.me {
+            continue;
+        }
+        let (tx, rx) = unbounded();
+        let link = Arc::new(PeerLink {
+            tx,
+            queued: AtomicU64::new(0),
+            cap: cfg.dead_cap,
+        });
+        links[k] = Some(Arc::clone(&link));
+        #[allow(clippy::cast_possible_truncation)]
+        let writer = WriterCfg {
+            peer: k as u32,
+            addr,
+            me,
+            nonce,
+            backoff0: cfg.dial_backoff,
+            backoff_max: cfg.dial_backoff_max,
+        };
+        let counters = Arc::clone(&counters);
+        let stop = Arc::clone(&stop);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("newtop-link-{k}"))
+                .spawn(move || writer_main(&writer, &rx, &link, &counters, &stop))
+                .expect("spawn link writer"),
+        );
+    }
+    let mut remote: Vec<(ProcessId, u32)> = cfg
+        .owners
+        .iter()
+        .copied()
+        .filter(|&(p, owner)| owner != me && router.shard_of(p).is_none())
+        .collect();
+    remote.sort_unstable();
+    remote.dedup();
+    #[allow(clippy::cast_possible_truncation)]
+    let acceptor = Arc::new(Acceptor {
+        me,
+        npeers: cfg.peers.len() as u32,
+        stop: Arc::clone(&stop),
+        nonce,
+        router: Arc::clone(&router),
+        inboxes,
+        counters: Arc::clone(&counters),
+        registry: Mutex::new(HashMap::new()),
+        ingress: Mutex::new(Vec::new()),
+    });
+    {
+        let acceptor = Arc::clone(&acceptor);
+        threads.push(
+            std::thread::Builder::new()
+                .name("newtop-accept".into())
+                .spawn(move || accept_main(&acceptor, &listener))
+                .expect("spawn accept loop"),
+        );
+    }
+    let transport = Arc::new(TcpTransport {
+        router,
+        remote,
+        links,
+        counters,
+    });
+    Ok((
+        transport,
+        NetRuntime {
+            stop,
+            threads,
+            acceptor,
+        },
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Outbound: per-peer writer threads (dial, handshake, send, acks).
+// ---------------------------------------------------------------------
+
+struct WriterCfg {
+    peer: u32,
+    addr: SocketAddr,
+    me: u32,
+    nonce: u64,
+    backoff0: Duration,
+    backoff_max: Duration,
+}
+
+fn would_block(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Sleeps `total` in short slices so a stop request is honoured quickly.
+fn backoff_sleep(total: Duration, stop: &AtomicBool) {
+    let mut left = total;
+    while left > Duration::ZERO && !stop.load(Ordering::Relaxed) {
+        let step = left.min(Duration::from_millis(25));
+        std::thread::sleep(step);
+        left = left.saturating_sub(step);
+    }
+}
+
+/// Dials, handshakes, prunes the retransmission queue per the
+/// acceptor's resume point, and retransmits what remains.
+fn dial(
+    cfg: &WriterCfg,
+    unacked: &mut VecDeque<(u64, Bytes)>,
+    link: &PeerLink,
+) -> Option<TcpStream> {
+    let stream = TcpStream::connect_timeout(&cfg.addr, Duration::from_millis(500)).ok()?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let hello = encode_hello(&Hello {
+        peer: cfg.me,
+        nonce: cfg.nonce,
+        resume: 0,
+    });
+    (&stream).write_all(&hello).ok()?;
+    let mut reply = [0u8; HELLO_LEN];
+    (&stream).read_exact(&mut reply).ok()?;
+    let reply = decode_hello(&reply).ok()?;
+    if reply.peer != cfg.peer {
+        return None; // dialed the wrong process (stale address)
+    }
+    while unacked.front().is_some_and(|&(s, _)| s < reply.resume) {
+        unacked.pop_front();
+        link.queued.fetch_sub(1, Ordering::Relaxed);
+    }
+    for (_, rec) in unacked.iter() {
+        (&stream).write_all(rec).ok()?;
+    }
+    // Steady state: ack polls must not stall the writer.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(1)));
+    Some(stream)
+}
+
+/// Sequences `frame` into an addressed record, retains it for
+/// retransmission, and writes it. `false` = connection lost.
+fn write_frame(
+    mut stream: &TcpStream,
+    frame: &Frame,
+    next_seq: &mut u64,
+    unacked: &mut VecDeque<(u64, Bytes)>,
+    scratch: &mut BytesMut,
+) -> bool {
+    addressed_frame_into(frame.to, *next_seq, &frame.bytes, scratch);
+    let rec = scratch.split_to(scratch.len()).freeze();
+    unacked.push_back((*next_seq, rec.clone()));
+    *next_seq += 1;
+    stream.write_all(&rec).is_ok()
+}
+
+/// Drains whatever acks have arrived, pruning the retransmission queue.
+/// `false` = connection lost.
+fn poll_acks(
+    mut stream: &TcpStream,
+    pend: &mut Vec<u8>,
+    unacked: &mut VecDeque<(u64, Bytes)>,
+    link: &PeerLink,
+) -> bool {
+    let mut buf = [0u8; 512];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => return false, // acceptor severed (gap) or exited
+            Ok(n) => pend.extend_from_slice(&buf[..n]),
+            Err(e) if would_block(&e) => break,
+            Err(_) => return false,
+        }
+    }
+    while pend.len() >= ACK_LEN {
+        let mut raw = [0u8; ACK_LEN];
+        raw.copy_from_slice(&pend[..ACK_LEN]);
+        pend.drain(..ACK_LEN);
+        let ack = decode_ack(raw);
+        while unacked.front().is_some_and(|&(s, _)| s < ack) {
+            unacked.pop_front();
+            link.queued.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    true
+}
+
+fn writer_main(
+    cfg: &WriterCfg,
+    rx: &Receiver<Frame>,
+    link: &PeerLink,
+    counters: &NetCounters,
+    stop: &AtomicBool,
+) {
+    let mut unacked: VecDeque<(u64, Bytes)> = VecDeque::new();
+    let mut next_seq: u64 = 1;
+    let mut conn: Option<TcpStream> = None;
+    let mut backoff = cfg.backoff0;
+    let mut connected_before = false;
+    let mut ackpend: Vec<u8> = Vec::new();
+    let mut scratch = BytesMut::new();
+    while !stop.load(Ordering::Relaxed) {
+        if conn.is_none() {
+            match dial(cfg, &mut unacked, link) {
+                Some(stream) => {
+                    if connected_before {
+                        counters.reconnects.fetch_add(1, Ordering::Relaxed);
+                    }
+                    connected_before = true;
+                    backoff = cfg.backoff0;
+                    ackpend.clear();
+                    conn = Some(stream);
+                }
+                None => {
+                    backoff_sleep(backoff, stop);
+                    backoff = (backoff * 2).min(cfg.backoff_max);
+                    continue;
+                }
+            }
+        }
+        let stream = conn.as_ref().expect("ensured above");
+        let mut io_ok = true;
+        match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(frame) => {
+                io_ok = write_frame(stream, &frame, &mut next_seq, &mut unacked, &mut scratch);
+                let mut burst = 0;
+                while io_ok && burst < 512 {
+                    match rx.try_recv() {
+                        Ok(f) => {
+                            io_ok =
+                                write_frame(stream, &f, &mut next_seq, &mut unacked, &mut scratch);
+                            burst += 1;
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return, // transport gone
+        }
+        if io_ok {
+            io_ok = poll_acks(stream, &mut ackpend, &mut unacked, link);
+        }
+        if !io_ok {
+            conn = None; // dropping the stream closes it; redial next turn
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Inbound: accept loop + per-connection ingress threads.
+// ---------------------------------------------------------------------
+
+fn accept_main(ctx: &Arc<Acceptor>, listener: &TcpListener) {
+    while !ctx.stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => accept_conn(ctx, stream),
+            Err(e) if would_block(&e) => std::thread::sleep(Duration::from_millis(5)),
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn accept_conn(ctx: &Arc<Acceptor>, stream: TcpStream) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let mut raw = [0u8; HELLO_LEN];
+    if (&stream).read_exact(&mut raw).is_err() {
+        ctx.counters
+            .handshake_rejects
+            .fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let hello = match decode_hello(&raw) {
+        Ok(h) => h,
+        Err(_) => {
+            ctx.counters
+                .handshake_rejects
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    if hello.peer >= ctx.npeers || hello.peer == ctx.me {
+        ctx.counters
+            .handshake_rejects
+            .fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let state = Arc::clone(
+        ctx.registry
+            .lock()
+            .entry((hello.peer, hello.nonce))
+            .or_insert_with(|| Arc::new(Mutex::new(1))),
+    );
+    let resume = *state.lock();
+    let reply = encode_hello(&Hello {
+        peer: ctx.me,
+        nonce: ctx.nonce,
+        resume,
+    });
+    if (&stream).write_all(&reply).is_err() {
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let ctx2 = Arc::clone(ctx);
+    let handle = std::thread::Builder::new()
+        .name(format!("newtop-ingress-{}", hello.peer))
+        .spawn(move || ingress_main(&ctx2, &stream, &state))
+        .expect("spawn ingress thread");
+    ctx.ingress.lock().push(handle);
+}
+
+fn ingress_main(ctx: &Acceptor, mut stream: &TcpStream, state: &Mutex<u64>) {
+    let mut dec = PeerFrameDecoder::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut last_acked: u64 = 0;
+    let ack_stream = stream;
+    let send_ack = move |last_acked: &mut u64| -> bool {
+        let v = *state.lock();
+        if v == *last_acked {
+            return true;
+        }
+        let mut w = ack_stream;
+        if w.write_all(&encode_ack(v)).is_err() {
+            return false;
+        }
+        *last_acked = v;
+        true
+    };
+    'conn: while !ctx.stop.load(Ordering::Relaxed) {
+        match stream.read(&mut buf) {
+            Ok(0) => break, // dialer closed
+            Ok(n) => {
+                dec.push(&buf[..n]);
+                loop {
+                    match dec.next_record() {
+                        Ok(Some(rec)) => {
+                            let mut exp = state.lock();
+                            if rec.seq < *exp {
+                                continue; // duplicate of a resumed link
+                            }
+                            if rec.seq > *exp {
+                                // A gap can only mean lost records (a
+                                // proxy dropped frames): sever so the
+                                // dialer reconnects and retransmits.
+                                break 'conn;
+                            }
+                            if let Some(shard) = ctx.router.shard_of(rec.dest) {
+                                let _ = ctx.inboxes[shard as usize].send(ShardMsg::Frame(Frame {
+                                    to: rec.dest,
+                                    bytes: rec.frame,
+                                    // Envelope accounting happened at the
+                                    // sending peer; zeros here keep the
+                                    // cluster-wide counters single-count.
+                                    envelopes: 0,
+                                    nulls: 0,
+                                }));
+                            }
+                            *exp += 1;
+                        }
+                        Ok(None) => break,
+                        Err(_) => break 'conn, // malformed stream: sever
+                    }
+                }
+                // Cumulative ack once enough arrived (the read-timeout
+                // arm below covers trickles).
+                if *state.lock() - last_acked >= 32 && !send_ack(&mut last_acked) {
+                    break;
+                }
+            }
+            Err(e) if would_block(&e) => {
+                if !send_ack(&mut last_acked) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    // Best-effort final ack so a graceful close loses nothing.
+    let _ = send_ack(&mut last_acked);
+}

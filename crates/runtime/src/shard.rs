@@ -19,7 +19,7 @@
 
 use crate::partition::{PartitionCtl, Snapshot};
 use crate::timer::TimerWheel;
-use crate::transport::{unframe_each, BatchPolicy, Egress, Frame, FrameCache, Router, ShardMsg};
+use crate::transport::{unframe_each, BatchPolicy, Egress, Frame, FrameCache, ShardMsg, Transport};
 use crate::{Command, Output};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use newtop_core::{Action, Process};
@@ -69,7 +69,7 @@ pub(crate) struct Shard {
     partition: Arc<PartitionCtl>,
     partition_version: u64,
     snapshot: Arc<Snapshot>,
-    router: Arc<Router>,
+    transport: Arc<dyn Transport>,
     epoch: std::time::Instant,
 }
 
@@ -120,7 +120,7 @@ impl Shard {
                             &envelope,
                             Envelope::Group(m) if matches!(m.body, MessageBody::Null)
                         ));
-                        self.router.send_frame(Frame {
+                        self.transport.ship(Frame {
                             to,
                             bytes,
                             envelopes: 1,
@@ -128,15 +128,19 @@ impl Shard {
                         });
                         continue;
                     }
-                    let Some(shard) = self.router.shard_of(to) else {
+                    let Some(route) = self.transport.route_of(to) else {
                         continue; // unknown destination: drop
                     };
                     if self
                         .egress
-                        .enqueue(now, to, shard, &envelope, &mut self.frames)
+                        .enqueue(now, to, route, &envelope, &mut self.frames)
                     {
-                        self.egress
-                            .flush_dest(to.0, self.me, &self.router, &mut self.local);
+                        self.egress.flush_dest(
+                            to.0,
+                            self.me,
+                            self.transport.as_ref(),
+                            &mut self.local,
+                        );
                     }
                 }
                 other => outs.push(match other {
@@ -285,7 +289,7 @@ impl Shard {
 
     fn flush_egress(&mut self) {
         self.egress
-            .flush_all(self.me, &self.router, &mut self.local);
+            .flush_all(self.me, self.transport.as_ref(), &mut self.local);
     }
 }
 
@@ -296,7 +300,7 @@ pub(crate) fn shard_main(
     nodes: Vec<NodeSeed>,
     epoch: std::time::Instant,
     inbox: &Receiver<ShardMsg>,
-    router: Arc<Router>,
+    transport: Arc<dyn Transport>,
     partition: Arc<PartitionCtl>,
     policy: BatchPolicy,
     shard_count: usize,
@@ -334,7 +338,7 @@ pub(crate) fn shard_main(
         partition_version: u64::MAX, // force the initial resolve
         snapshot: Arc::new(Snapshot::default()),
         partition,
-        router,
+        transport,
         epoch,
     };
     shard.refresh_partition();

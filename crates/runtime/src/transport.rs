@@ -24,15 +24,67 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// One wire frame in flight between shards: a length-prefixed batch of
-/// `envelopes` encoded envelopes bound for one destination node.
-/// `nulls` of them are ω time-silence nulls (kept for exact accounting
-/// of null-only frames at the counting site).
-pub(crate) struct Frame {
-    pub(crate) to: ProcessId,
-    pub(crate) bytes: Bytes,
-    pub(crate) envelopes: u32,
-    pub(crate) nulls: u32,
+/// One wire frame in flight between shards (or peer processes): a
+/// length-prefixed batch of `envelopes` encoded envelopes bound for one
+/// destination node. `nulls` of them are ω time-silence nulls (kept for
+/// exact accounting of null-only frames at the counting site).
+pub struct Frame {
+    /// Destination process.
+    pub to: ProcessId,
+    /// The complete length-prefixed wire bytes
+    /// ([`newtop_types::wire::frame_batch_into`] format).
+    pub bytes: Bytes,
+    /// How many envelopes the frame carries.
+    pub envelopes: u32,
+    /// How many of them are ω time-silence nulls.
+    pub nulls: u32,
+}
+
+/// Where a destination process lives, relative to one transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Hosted by a local shard (the index) of this process.
+    Local(u32),
+    /// Hosted by another OS process, reached over a peer link.
+    Remote,
+}
+
+/// The seam between the sharded event loop and whatever moves frames.
+///
+/// Shards are written against this trait only: they ask where a
+/// destination lives ([`route_of`](Transport::route_of)), hand frames
+/// over ([`ship`](Transport::ship) /
+/// [`ship_local_batch`](Transport::ship_local_batch)), and read the
+/// cumulative counters back ([`stats`](Transport::stats)). The
+/// in-process [`Cluster::start`](crate::Cluster::start) path plugs in
+/// the channel-backed `Router`; [`Cluster::start_tcp`](crate::Cluster::start_tcp)
+/// plugs in the socket-backed TCP transport, which routes
+/// [`Route::Local`] destinations through the very same router and
+/// [`Route::Remote`] ones onto per-peer connections. Both carry
+/// identical frame bytes, so the wire format is bit-compatible across
+/// hosts.
+pub trait Transport: Send + Sync {
+    /// Where `to` lives — `None` for unknown destinations (which drop,
+    /// crash semantics).
+    fn route_of(&self, to: ProcessId) -> Option<Route>;
+
+    /// Ships one frame toward its destination, counting it. Unknown
+    /// destinations and exited shards drop the frame silently.
+    fn ship(&self, frame: Frame);
+
+    /// Ships one flush worth of frames to a single **local** shard as
+    /// one inbox message, counting each.
+    fn ship_local_batch(&self, shard: u32, frames: Vec<Frame>);
+
+    /// Books one frame into the counters without moving it — for frames
+    /// committed outside the transport (a shard's same-shard ring).
+    fn count_frame(&self, frame: &Frame);
+
+    /// Books `n` ω nulls suppressed at an egress.
+    fn note_suppressed(&self, n: u64);
+
+    /// Cumulative wire counters.
+    fn stats(&self) -> WireStats;
 }
 
 /// Everything a shard's inbox can receive.
@@ -85,6 +137,16 @@ pub struct WireStats {
     /// Batch-occupancy histogram: frames by envelope count, bucketed as
     /// [`OCCUPANCY_LABELS`].
     pub occupancy: [u64; OCCUPANCY_BUCKETS],
+    /// Peer connections re-established after a loss (TCP host; always 0
+    /// in-process).
+    pub reconnects: u64,
+    /// Frames dropped because a peer's link buffer was full while it was
+    /// unreachable (TCP host). Dropped frames are never sequenced, so a
+    /// recovered link resumes without a gap.
+    pub dropped_dead: u64,
+    /// Inbound connections rejected at the handshake (bad magic,
+    /// version, or peer index; TCP host).
+    pub handshake_rejects: u64,
 }
 
 impl WireStats {
@@ -184,7 +246,36 @@ impl Router {
             null_frames: self.null_frames.load(Ordering::Relaxed),
             suppressed_nulls: self.suppressed_nulls.load(Ordering::Relaxed),
             occupancy: std::array::from_fn(|i| self.occupancy[i].load(Ordering::Relaxed)),
+            reconnects: 0,
+            dropped_dead: 0,
+            handshake_rejects: 0,
         }
+    }
+}
+
+impl Transport for Router {
+    fn route_of(&self, to: ProcessId) -> Option<Route> {
+        self.shard_of(to).map(Route::Local)
+    }
+
+    fn ship(&self, frame: Frame) {
+        self.send_frame(frame);
+    }
+
+    fn ship_local_batch(&self, shard: u32, frames: Vec<Frame>) {
+        self.send_batch(shard, frames);
+    }
+
+    fn count_frame(&self, frame: &Frame) {
+        Router::count_frame(self, frame);
+    }
+
+    fn note_suppressed(&self, n: u64) {
+        Router::note_suppressed(self, n);
+    }
+
+    fn stats(&self) -> WireStats {
+        Router::stats(self)
     }
 }
 
@@ -291,7 +382,7 @@ pub(crate) fn unframe_each(
 /// Egress batching knobs. `window == 0` disables batching entirely: every
 /// envelope ships as its own frame through its own channel send, which is
 /// the pre-PR 7 wire path and the A/B baseline.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct BatchPolicy {
     /// Maximum time an envelope may wait in the egress under sustained
     /// load. (When the shard runs out of input it flushes immediately
@@ -335,7 +426,7 @@ struct PendingPart {
 /// The pending batch for one destination node.
 struct DestBatch {
     to: ProcessId,
-    shard: u32,
+    route: Route,
     parts: Vec<PendingPart>,
     live: u32,
     live_nulls: u32,
@@ -426,14 +517,14 @@ impl Egress {
             .is_some_and(|t| now.saturating_since(t) >= self.policy.window)
     }
 
-    /// Parks `env` for `to` (whose owning shard is `shard`). Returns
-    /// `true` when this destination hit its batch budget and should be
-    /// flushed immediately.
+    /// Parks `env` for `to` (which the transport resolved to `route`).
+    /// Returns `true` when this destination hit its batch budget and
+    /// should be flushed immediately.
     pub(crate) fn enqueue(
         &mut self,
         now: Instant,
         to: ProcessId,
-        shard: u32,
+        route: Route,
         env: &Envelope,
         cache: &mut FrameCache,
     ) -> bool {
@@ -443,7 +534,7 @@ impl Egress {
         }
         let entry = self.dests.entry(to.0).or_insert_with(|| DestBatch {
             to,
-            shard,
+            route,
             parts: Vec::new(),
             live: 0,
             live_nulls: 0,
@@ -492,64 +583,72 @@ impl Egress {
     }
 
     /// Flushes one destination (budget overflow). Same-shard frames go on
-    /// `local`; remote ones ship as a single-frame message.
+    /// `local`; everything else ships through the transport.
     pub(crate) fn flush_dest(
         &mut self,
         key: u32,
         me: u32,
-        router: &Router,
+        transport: &dyn Transport,
         local: &mut VecDeque<Frame>,
     ) {
         let Some(entry) = self.dests.get_mut(&key) else {
             return;
         };
-        let shard = entry.shard;
+        let route = entry.route;
         if let Some(frame) = entry.take_frame() {
-            if shard == me {
-                router.count_frame(&frame);
+            if route == Route::Local(me) {
+                transport.count_frame(&frame);
                 local.push_back(frame);
             } else {
-                router.send_frame(frame);
+                transport.ship(frame);
             }
         }
         self.dirty.retain(|&k| k != key);
         if self.dirty.is_empty() {
             self.opened = None;
         }
-        self.drain_suppressed(router);
+        self.drain_suppressed(transport);
     }
 
     /// Flushes every pending destination: same-shard frames onto `local`,
-    /// remote ones as one batch message per destination shard.
-    pub(crate) fn flush_all(&mut self, me: u32, router: &Router, local: &mut VecDeque<Frame>) {
+    /// other local shards as one batch message per destination shard, and
+    /// remote destinations frame by frame onto their peer links.
+    pub(crate) fn flush_all(
+        &mut self,
+        me: u32,
+        transport: &dyn Transport,
+        local: &mut VecDeque<Frame>,
+    ) {
         if self.dirty.is_empty() {
             return;
         }
         self.opened = None;
         for key in self.dirty.drain(..) {
             let entry = self.dests.get_mut(&key).expect("dirty dest exists");
-            let shard = entry.shard;
+            let route = entry.route;
             if let Some(frame) = entry.take_frame() {
-                if shard == me {
-                    router.count_frame(&frame);
-                    local.push_back(frame);
-                } else {
-                    self.by_shard[shard as usize].push(frame);
+                match route {
+                    Route::Local(shard) if shard == me => {
+                        transport.count_frame(&frame);
+                        local.push_back(frame);
+                    }
+                    Route::Local(shard) => self.by_shard[shard as usize].push(frame),
+                    Route::Remote => transport.ship(frame),
                 }
             }
         }
         #[allow(clippy::cast_possible_truncation)]
         for s in 0..self.by_shard.len() {
             if !self.by_shard[s].is_empty() {
-                router.send_batch(s as u32, std::mem::take(&mut self.by_shard[s]));
+                transport.ship_local_batch(s as u32, std::mem::take(&mut self.by_shard[s]));
             }
         }
-        self.drain_suppressed(router);
+        self.drain_suppressed(transport);
     }
 
-    fn drain_suppressed(&mut self, router: &Router) {
+    fn drain_suppressed(&mut self, transport: &dyn Transport) {
         if self.suppressed > 0 {
-            router.note_suppressed(self.suppressed);
+            transport.note_suppressed(self.suppressed);
             self.suppressed = 0;
         }
     }
@@ -677,9 +776,9 @@ mod tests {
             env_from(2, 3, b"ccc"),
         ];
         for e in &envs {
-            assert!(!egress.enqueue(now, ProcessId(1), 0, e, &mut cache));
+            assert!(!egress.enqueue(now, ProcessId(1), Route::Local(0), e, &mut cache));
         }
-        egress.flush_all(1, &router, &mut local); // me=1: dest shard 0 is remote
+        egress.flush_all(1, router.as_ref(), &mut local); // me=1: dest shard 0 is cross-shard
         assert!(local.is_empty());
         let ShardMsg::Batch(frames) = rx0.try_recv().expect("one batch message") else {
             panic!("expected a batch");
@@ -706,8 +805,14 @@ mod tests {
         let mut cache = FrameCache::default();
         let mut egress = Egress::new(BatchPolicy::default(), 2);
         let mut local = VecDeque::new();
-        egress.enqueue(Instant::ZERO, ProcessId(1), 0, &env(b"x"), &mut cache);
-        egress.flush_all(0, &router, &mut local); // me=0: dest is local
+        egress.enqueue(
+            Instant::ZERO,
+            ProcessId(1),
+            Route::Local(0),
+            &env(b"x"),
+            &mut cache,
+        );
+        egress.flush_all(0, router.as_ref(), &mut local); // me=0: dest is local
         assert_eq!(local.len(), 1);
         assert!(
             rx0.try_recv().is_err(),
@@ -728,10 +833,28 @@ mod tests {
         let mut egress = Egress::new(BatchPolicy::default(), 2);
         let mut local = VecDeque::new();
         let now = Instant::ZERO;
-        egress.enqueue(now, ProcessId(1), 0, &null_from(2, 1), &mut cache);
-        egress.enqueue(now, ProcessId(1), 0, &null_from(3, 1), &mut cache); // other sender
-        egress.enqueue(now, ProcessId(1), 0, &env_from(2, 2, b"data"), &mut cache);
-        egress.flush_all(1, &router, &mut local);
+        egress.enqueue(
+            now,
+            ProcessId(1),
+            Route::Local(0),
+            &null_from(2, 1),
+            &mut cache,
+        );
+        egress.enqueue(
+            now,
+            ProcessId(1),
+            Route::Local(0),
+            &null_from(3, 1),
+            &mut cache,
+        ); // other sender
+        egress.enqueue(
+            now,
+            ProcessId(1),
+            Route::Local(0),
+            &env_from(2, 2, b"data"),
+            &mut cache,
+        );
+        egress.flush_all(1, router.as_ref(), &mut local);
         let ShardMsg::Batch(frames) = rx0.try_recv().expect("batch") else {
             panic!("expected a batch");
         };
@@ -754,9 +877,21 @@ mod tests {
         let mut cache = FrameCache::default();
         let mut egress = Egress::new(BatchPolicy::default(), 2);
         let mut local = VecDeque::new();
-        egress.enqueue(Instant::ZERO, ProcessId(1), 0, &null_from(2, 1), &mut cache);
-        egress.enqueue(Instant::ZERO, ProcessId(1), 0, &null_from(3, 1), &mut cache);
-        egress.flush_all(1, &router, &mut local);
+        egress.enqueue(
+            Instant::ZERO,
+            ProcessId(1),
+            Route::Local(0),
+            &null_from(2, 1),
+            &mut cache,
+        );
+        egress.enqueue(
+            Instant::ZERO,
+            ProcessId(1),
+            Route::Local(0),
+            &null_from(3, 1),
+            &mut cache,
+        );
+        egress.flush_all(1, router.as_ref(), &mut local);
         let stats = router.stats();
         assert_eq!(stats.null_frames, 1);
         assert_eq!(stats.envelopes, 2);
@@ -775,20 +910,20 @@ mod tests {
         assert!(!egress.enqueue(
             Instant::ZERO,
             ProcessId(1),
-            0,
+            Route::Local(0),
             &env_from(2, 1, b"a"),
             &mut cache
         ));
         assert!(egress.enqueue(
             Instant::ZERO,
             ProcessId(1),
-            0,
+            Route::Local(0),
             &env_from(2, 2, b"b"),
             &mut cache
         ));
         let (router, rx0) = test_router();
         let mut local = VecDeque::new();
-        egress.flush_dest(1, 1, &router, &mut local);
+        egress.flush_dest(1, 1, router.as_ref(), &mut local);
         assert!(!egress.has_pending());
         let ShardMsg::Frame(frame) = rx0.try_recv().expect("frame") else {
             panic!("expected a single frame");
@@ -804,7 +939,7 @@ mod tests {
         egress.enqueue(
             Instant::from_micros(100),
             ProcessId(1),
-            0,
+            Route::Local(0),
             &env(b"x"),
             &mut cache,
         );

@@ -36,6 +36,7 @@ pub mod digest;
 mod error;
 mod ids;
 mod message;
+pub mod peer;
 mod time;
 mod view;
 pub mod wire;

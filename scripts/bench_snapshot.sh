@@ -4,11 +4,11 @@
 # the repo root. Committed snapshots (BENCH_PR2.json onwards) form the perf
 # trajectory every later optimisation PR is judged against.
 #
-# Usage: scripts/bench_snapshot.sh [output.json]   (default: BENCH_PR7.json)
+# Usage: scripts/bench_snapshot.sh [output.json]   (default: BENCH_PR8.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR7.json}"
+out="${1:-BENCH_PR8.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Multi-process smoke test of the real TCP host (gating in CI).
+#
+# Spawns three `newtop-exp serve` processes on loopback — a 6-node /
+# 2-group cluster whose every group spans all three processes — with the
+# frame-level chaos proxy interposed on the links into peer 2 (2% record
+# drop, 1ms jitter, and a 1.5s partition window opening 4s in). Drives
+# the cluster with the closed-loop load generator over the control
+# plane, then asserts:
+#
+#   * the load run delivered traffic (the generator exits nonzero on a
+#     silent cluster), i.e. the cluster survived the partition + heal;
+#   * every serve process exits 0 after `--stop-peers` (clean
+#     cluster-wide teardown through the control plane).
+#
+# All interference resolves through the runtime's sever-and-resume path,
+# so drops/partitions must never lose or duplicate a delivery — the
+# in-tree integration tests (crates/harness/tests/remote_cluster.rs)
+# pin the exactness property; this script pins the real-process wiring.
+#
+# Usage: scripts/tcp_smoke.sh [path-to-newtop-exp]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${1:-target/release/newtop-exp}"
+if [[ ! -x "$BIN" ]]; then
+    echo "tcp_smoke: $BIN not built (cargo build --release -p newtop-harness)" >&2
+    exit 2
+fi
+
+# Fresh port block per run so parallel CI jobs don't collide.
+BASE=$((20000 + RANDOM % 20000))
+D0="127.0.0.1:$BASE";       D1="127.0.0.1:$((BASE + 1))"; D2="127.0.0.1:$((BASE + 2))"
+C0="127.0.0.1:$((BASE + 3))"; C1="127.0.0.1:$((BASE + 4))"; C2="127.0.0.1:$((BASE + 5))"
+PX="127.0.0.1:$((BASE + 6))"
+
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+}
+trap cleanup EXIT
+
+# Chaos proxy in front of peer 2's data port: drops, jitter, and a
+# partition window that opens mid-run and heals.
+"$BIN" proxy --route "$PX=$D2" --seed 7 --drop-pct 2 --delay-ms 1 \
+    --partition-at-ms 4000 --partition-for-ms 1500 --secs 60 &
+PROXY_PID=$!
+PIDS+=("$PROXY_PID")
+
+# Peers 0 and 1 reach peer 2 only through the proxy; peer 2 dials direct.
+SERVE_PIDS=()
+for me in 0 1 2; do
+    if [[ "$me" == 2 ]]; then
+        view="$D0,$D1,$D2"
+    else
+        view="$D0,$D1,$PX"
+    fi
+    "$BIN" serve --nodes 6 --groups 2 --peers "$view" --ctrl "$C0,$C1,$C2" \
+        --me "$me" --omega-ms 10 --big-omega-ms 30000 &
+    SERVE_PIDS+=("$!")
+    PIDS+=("$!")
+done
+
+# The closed loop runs through the partition (4.0s..5.5s) and keeps
+# going after the heal; --stop-peers tears the cluster down at the end.
+"$BIN" load --host tcp --peers "$C0,$C1,$C2" --nodes 6 --groups 2 \
+    --secs 8 --window 8 --stop-peers
+
+status=0
+for pid in "${SERVE_PIDS[@]}"; do
+    if ! wait "$pid"; then
+        echo "tcp_smoke: serve process $pid exited nonzero" >&2
+        status=1
+    fi
+done
+kill "$PROXY_PID" 2>/dev/null || true
+PIDS=()
+
+if [[ "$status" == 0 ]]; then
+    echo "tcp_smoke: OK — cluster delivered through drop+partition chaos and shut down clean"
+fi
+exit "$status"
