@@ -5,7 +5,8 @@ use crate::vectors::MsnVector;
 use bytes::Bytes;
 use newtop_types::digest::{DigestHasher, StateDigest};
 use newtop_types::{
-    GroupConfig, GroupId, Instant, Message, Msn, OrderMode, ProcessId, SignedView, Suspicion, View,
+    GroupConfig, GroupId, Instant, Message, Msn, OrderMode, ProcessId, SignedView, Span, Suspicion,
+    SuspicionMode, View,
 };
 use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -123,6 +124,49 @@ pub(crate) struct PendingInstall {
     pub bound: Msn,
 }
 
+/// Per-member inter-arrival sample window for the accrual suspector
+/// ([`SuspicionMode::Accrual`]): the newest `window` gaps between receipts
+/// with a running sum for O(1) mean queries. Integer microseconds
+/// throughout, so the derived timeout is bit-identical across replays.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ArrivalWindow {
+    samples: VecDeque<u64>,
+    sum: u64,
+}
+
+impl ArrivalWindow {
+    fn push(&mut self, gap_us: u64, window: u8) {
+        self.samples.push_back(gap_us);
+        self.sum = self.sum.saturating_add(gap_us);
+        while self.samples.len() > usize::from(window.max(2)) {
+            let old = self.samples.pop_front().expect("len checked");
+            self.sum -= old;
+        }
+    }
+
+    /// The adaptive silence timeout: `clamp(mean × factor, Ω, Ω × cap)`,
+    /// falling back to Ω until the window holds at least 2 samples.
+    fn adaptive_span(&self, big_omega: Span, factor: u16, cap: u16) -> Span {
+        if self.samples.len() < 2 {
+            return big_omega;
+        }
+        let mean = self.sum / self.samples.len() as u64;
+        Span::from_micros(mean.saturating_mul(u64::from(factor)))
+            .clamp(big_omega, big_omega.saturating_mul(u64::from(cap)))
+    }
+}
+
+impl StateDigest for ArrivalWindow {
+    fn digest_into(&self, h: &mut DigestHasher) {
+        // `sum` is derived from `samples`; digesting it too would be
+        // redundant, not wrong.
+        h.write_u64(self.samples.len() as u64);
+        for s in &self.samples {
+            h.write_u64(*s);
+        }
+    }
+}
+
 /// Everything one member keeps about one group.
 #[derive(Debug)]
 pub(crate) struct GroupState {
@@ -146,6 +190,10 @@ pub(crate) struct GroupState {
     pub last_send: Instant,
     /// When each co-member was last heard from (failure suspector).
     pub last_heard: BTreeMap<ProcessId, Instant>,
+    /// Per-co-member inter-arrival sample windows feeding the accrual
+    /// suspector ([`SuspicionMode::Accrual`]); empty under the fixed-Ω
+    /// mode.
+    pub arrivals: BTreeMap<ProcessId, ArrivalWindow>,
     /// Own live suspicions: suspect → `ln`.
     pub suspicions: BTreeMap<ProcessId, Msn>,
     /// Which processes have multicast a `suspect` for each exact pair
@@ -221,6 +269,7 @@ impl GroupState {
             retention: RetentionStore::new(),
             last_send: now,
             last_heard,
+            arrivals: BTreeMap::new(),
             suspicions: BTreeMap::new(),
             supporters: BTreeMap::new(),
             pending_from: BTreeMap::new(),
@@ -245,25 +294,65 @@ impl GroupState {
         self.timer_cache.set(None);
     }
 
-    /// Records hearing from `from` at `now`, invalidating the timer cache
-    /// only when necessary: raising a `last_heard` entry whose Ω deadline
-    /// was strictly later than the cached minimum cannot change that
-    /// minimum (entries only move forward), which is the overwhelmingly
-    /// common case — most receives leave the earliest deadline (usually
-    /// the ω null-send deadline) where it was.
+    /// Records hearing from `from` at `now` — feeding the accrual
+    /// detector's inter-arrival window when enabled — and invalidates the
+    /// timer cache only when necessary: raising a `last_heard` entry whose
+    /// silence deadline was strictly later than the cached minimum cannot
+    /// change that minimum provided the member's *new* deadline also stays
+    /// above it. The adaptive span never drops below Ω, so `now + Ω` is a
+    /// safe lower bound on the new deadline even though the fresh sample
+    /// may have shrunk the member's span. This keeps the cache on the
+    /// overwhelmingly common receive — the earliest deadline is usually the
+    /// ω null-send deadline, untouched here.
     pub(crate) fn note_heard(&mut self, from: ProcessId, now: Instant) {
+        let old_span = self.suspicion_span(from);
         let prev = self.last_heard.insert(from, now);
+        if let (SuspicionMode::Accrual { window, .. }, Some(prev)) = (self.cfg.suspicion, prev) {
+            self.arrivals
+                .entry(from)
+                .or_default()
+                .push(now.saturating_since(prev).as_micros(), window);
+        }
         match (self.timer_cache.get(), prev) {
-            (Some(Some(cached)), Some(prev)) if prev + self.cfg.big_omega > cached => {}
+            (Some(Some(cached)), Some(prev))
+                if prev + old_span > cached && now + self.cfg.big_omega > cached => {}
             (None, _) => {}
             _ => self.timer_cache.set(None),
         }
     }
 
+    /// The silence timeout after which the suspector suspects `j`: the
+    /// fixed Ω (§5.2), or the accrual detector's adaptive timeout derived
+    /// from `j`'s observed inter-arrival times.
+    pub(crate) fn suspicion_span(&self, j: ProcessId) -> Span {
+        match self.cfg.suspicion {
+            SuspicionMode::FixedOmega => self.cfg.big_omega,
+            SuspicionMode::Accrual { factor, cap, .. } => match self.arrivals.get(&j) {
+                None => self.cfg.big_omega,
+                Some(w) => w.adaptive_span(self.cfg.big_omega, factor, cap),
+            },
+        }
+    }
+
+    /// `j`'s silence as a fraction of its suspicion timeout, in permille
+    /// (1000 = at the exclusion threshold) — the accrual detector's
+    /// "suspicion level". Also meaningful (silence/Ω) under the fixed mode.
+    pub(crate) fn suspicion_level_permille(&self, j: ProcessId, now: Instant) -> Option<u64> {
+        let heard = self.last_heard.get(&j)?;
+        let span = self.suspicion_span(j).as_micros().max(1);
+        Some(
+            now.saturating_since(*heard)
+                .as_micros()
+                .saturating_mul(1000)
+                / span,
+        )
+    }
+
     /// The earliest instant this group's `tick` machinery has work to do:
-    /// the ω null-send deadline (only when co-members exist) and the Ω
-    /// silence deadline per unsuspected co-member. Cached between events;
-    /// see [`GroupState::touch_timers`].
+    /// the ω null-send deadline (only when co-members exist) and the
+    /// silence deadline per unsuspected co-member (fixed Ω or the accrual
+    /// detector's adaptive timeout). Cached between events; see
+    /// [`GroupState::touch_timers`].
     pub(crate) fn timer_deadline(&self) -> Option<Instant> {
         if let Some(cached) = self.timer_cache.get() {
             return cached;
@@ -290,7 +379,7 @@ impl GroupState {
             if self.suspicions.contains_key(j) || failed.contains(j) {
                 continue;
             }
-            fold(*heard + self.cfg.big_omega);
+            fold(*heard + self.suspicion_span(*j));
         }
         next
     }
@@ -445,6 +534,11 @@ impl StateDigest for GroupState {
             p.digest_into(h);
             t.digest_into(h);
         }
+        h.write_u64(self.arrivals.len() as u64);
+        for (p, w) in &self.arrivals {
+            p.digest_into(h);
+            w.digest_into(h);
+        }
         h.write_u64(self.suspicions.len() as u64);
         for (p, ln) in &self.suspicions {
             p.digest_into(h);
@@ -584,6 +678,73 @@ mod tests {
         gs.on_stability_advance();
         assert_eq!(gs.own_unstable.len(), 1);
         assert!(gs.own_unstable.contains(&Msn(5)));
+    }
+
+    #[test]
+    fn accrual_span_floors_at_big_omega_until_two_samples() {
+        let mut w = ArrivalWindow::default();
+        let big = Span::from_millis(100);
+        assert_eq!(w.adaptive_span(big, 6, 8), big);
+        w.push(30_000, 8);
+        assert_eq!(w.adaptive_span(big, 6, 8), big); // one sample: still Ω
+        w.push(30_000, 8);
+        // mean 30ms × factor 6 = 180ms, inside [Ω, Ω×cap].
+        assert_eq!(w.adaptive_span(big, 6, 8), Span::from_millis(180));
+    }
+
+    #[test]
+    fn accrual_span_clamps_to_floor_and_cap() {
+        let big = Span::from_millis(100);
+        let mut fast = ArrivalWindow::default();
+        fast.push(1_000, 8);
+        fast.push(1_000, 8); // mean 1ms × 6 = 6ms < Ω → floor at Ω
+        assert_eq!(fast.adaptive_span(big, 6, 8), big);
+        let mut slow = ArrivalWindow::default();
+        slow.push(500_000, 8);
+        slow.push(500_000, 8); // mean 500ms × 6 = 3s > Ω×8 → cap
+        assert_eq!(slow.adaptive_span(big, 6, 8), Span::from_millis(800));
+    }
+
+    #[test]
+    fn accrual_window_evicts_oldest_samples() {
+        let mut w = ArrivalWindow::default();
+        for _ in 0..4 {
+            w.push(1_000_000, 2);
+        }
+        w.push(10_000, 2);
+        w.push(10_000, 2);
+        // Only the last two samples survive: mean 10ms × 2 = 20ms.
+        assert_eq!(
+            w.adaptive_span(Span::from_millis(1), 2, 1000),
+            Span::from_millis(20)
+        );
+    }
+
+    #[test]
+    fn note_heard_keeps_timer_cache_coherent_under_accrual() {
+        let cfg = GroupConfig::new(OrderMode::Symmetric)
+            .with_omega(Span::from_millis(10))
+            .with_big_omega(Span::from_millis(100))
+            .with_suspicion(SuspicionMode::accrual());
+        let mut gs = GroupState::new(
+            GroupId(1),
+            p(2),
+            cfg,
+            [p(1), p(2), p(3)].into(),
+            Instant::ZERO,
+            GroupPhase::Active,
+        );
+        let mut now = Instant::ZERO;
+        for (i, gap) in [7u64, 31, 2, 55, 13, 90, 1, 40, 70, 5].iter().enumerate() {
+            now += Span::from_millis(*gap);
+            let from = if i % 3 == 0 { p(1) } else { p(3) };
+            let _ = gs.timer_deadline(); // populate the memoized deadline
+            gs.note_heard(from, now);
+            assert!(
+                gs.timer_cache_coherent(),
+                "cache incoherent after sample {i}"
+            );
+        }
     }
 
     #[test]

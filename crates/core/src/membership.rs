@@ -585,6 +585,7 @@ impl Process {
             gs.rv.remove(*pk);
             gs.sv.remove(*pk);
             gs.last_heard.remove(pk);
+            gs.arrivals.remove(pk);
             gs.pending_from.remove(pk);
             gs.retention.remove_sender(*pk);
             gs.suspicions.remove(pk);

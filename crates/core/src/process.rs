@@ -475,6 +475,17 @@ impl Process {
         })
     }
 
+    /// `member`'s current suspicion level in `group`, in permille of its
+    /// silence timeout (1000 = at the exclusion threshold) — under
+    /// [`newtop_types::SuspicionMode::Accrual`] the timeout is the
+    /// per-member adaptive one. `None` for an unknown group or member.
+    #[must_use]
+    pub fn suspicion_level(&self, group: GroupId, member: ProcessId, now: Instant) -> Option<u64> {
+        self.groups
+            .get(&group)?
+            .suspicion_level_permille(member, now)
+    }
+
     /// Presets the vote this process will cast if invited to form `group`
     /// (§5.3 step 2). The default is yes.
     pub fn set_vote_policy(&mut self, group: GroupId, decision: FormationDecision) {
@@ -1174,7 +1185,9 @@ impl Process {
             self.send_numbered(group, |_| MessageBody::Null, out);
             self.stats.nulls_sent += 1;
         }
-        // Failure suspector S_i (§5.2): suspect members silent for Ω.
+        // Failure suspector S_i (§5.2): suspect members whose silence
+        // exceeds their suspicion timeout — the fixed Ω, or the accrual
+        // detector's adaptive timeout per member.
         let Some(gs) = self.groups.get(&group) else {
             return;
         };
@@ -1187,7 +1200,7 @@ impl Process {
                     && gs.view.contains(**j)
                     && !gs.suspicions.contains_key(*j)
                     && !failed.contains(*j)
-                    && now.saturating_since(**heard) >= gs.cfg.big_omega
+                    && now.saturating_since(**heard) >= gs.suspicion_span(**j)
             })
             .map(|(j, _)| *j)
             .collect();

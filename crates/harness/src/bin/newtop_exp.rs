@@ -35,9 +35,10 @@ use newtop_harness::loadgen::{run_load, HostKind, LoadConfig};
 use newtop_harness::mc::{explore, McConfig, McStrategy, McViolation};
 use newtop_harness::proxy::{run_proxy, ProxyConfig};
 use newtop_harness::remote::{serve, ServeConfig};
+use newtop_harness::supervisor::{run_supervisor, SupervisorConfig};
 use newtop_harness::sweep::{run_chaos_seed, sweep_seeds, SweepConfig};
 use newtop_harness::{experiments, history_hash};
-use newtop_types::{OrderMode, Span};
+use newtop_types::{OrderMode, Span, SuspicionMode};
 use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -112,7 +113,10 @@ options:
   --no-shrink        skip delta-debugging failing schedules
   --dump             with --replay: print the per-process event logs
   --max-n N          generation limit: processes (default 7)
-  --max-faults K     generation limit: fault-schedule entries (default 4)";
+  --max-faults K     generation limit: fault-schedule entries (default 4;
+                     8 under --churn)
+  --churn            generate the churn family: crash/depart-heavy fault
+                     schedules with the crash budget raised to n-2";
 
 struct ChaosArgs {
     seeds: Option<(u64, u64)>,
@@ -125,7 +129,8 @@ struct ChaosArgs {
     no_shrink: bool,
     dump: bool,
     max_n: u32,
-    max_faults: u32,
+    max_faults: Option<u32>,
+    churn: bool,
 }
 
 fn default_jobs() -> usize {
@@ -144,7 +149,8 @@ fn parse_chaos_args(args: &[String]) -> Result<ChaosArgs, String> {
         no_shrink: false,
         dump: false,
         max_n: 7,
-        max_faults: 4,
+        max_faults: None,
+        churn: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -199,10 +205,13 @@ fn parse_chaos_args(args: &[String]) -> Result<ChaosArgs, String> {
                     .map_err(|_| "bad --max-n".to_string())?;
             }
             "--max-faults" => {
-                out.max_faults = val("--max-faults")?
-                    .parse::<u32>()
-                    .map_err(|_| "bad --max-faults".to_string())?;
+                out.max_faults = Some(
+                    val("--max-faults")?
+                        .parse::<u32>()
+                        .map_err(|_| "bad --max-faults".to_string())?,
+                );
             }
+            "--churn" => out.churn = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown chaos option {other}")),
         }
@@ -235,9 +244,15 @@ fn chaos_main(args: &[String]) -> ExitCode {
 }
 
 fn scenario_for(parsed: &ChaosArgs, seed: u64) -> ChaosScenario {
-    let mut s = ChaosScenario::new(seed);
+    let mut s = if parsed.churn {
+        ChaosScenario::churn(seed)
+    } else {
+        ChaosScenario::new(seed)
+    };
     s.max_n = parsed.max_n;
-    s.max_faults = parsed.max_faults;
+    if let Some(mf) = parsed.max_faults {
+        s.max_faults = mf;
+    }
     s
 }
 
@@ -415,15 +430,53 @@ options:
   --stop-peers       tcp host: ask every serve process to shut down
                      after the run
   --omega-ms MS      time-silence interval omega (default 25)
-  --big-omega-ms MS  suspicion timeout Omega (default 10000)
+  --big-omega-ms MS  suspicion timeout Omega (default 10000;
+                     1500 under --supervise)
+  --accrual          run the adaptive accrual suspicion detector instead
+                     of the fixed Omega timeout
+  --expect-stable    fail (exit 1) if any view change occurs mid-run —
+                     asserts zero false exclusions under latency spikes
+  --inbox-cap N      shard-inbox admission bound; excess client
+                     multicasts are shed as explicit backpressure
   --flush-window US  egress flush window in microseconds for the sharded
                      host; bounds coalescing delay only under saturation
                      (an idle shard flushes immediately). 0 disables wire
                      batching entirely (default 200)
-  --batch-max N      max envelopes coalesced into one frame (default 128)";
+  --batch-max N      max envelopes coalesced into one frame (default 128)
 
-fn parse_load_args(args: &[String]) -> Result<LoadConfig, String> {
+churn / crash-recovery:
+  --churn SEED       sharded host: seeded mid-run kills of non-driver
+                     nodes (exclusions are then expected, not warnings).
+                     With --host tcp this routes to --supervise
+  --supervise        spawn a real TCP cluster of serve processes and run
+                     seeded kill-9 / restart / rejoin cycles against it
+                     (ignores --host and --peers)
+  --cycles N         supervise: kill/restart cycles (default 3)
+  --procs P          supervise: serve processes (default 3; peer 0 is
+                     never killed)
+  --seed S           supervise: victim-schedule seed (default 1)
+  --port-base P      supervise: first listen port (default 7400)";
+
+struct LoadArgs {
+    cfg: LoadConfig,
+    supervise: bool,
+    cycles: u32,
+    procs: usize,
+    seed: u64,
+    port_base: u16,
+    big_omega_set: bool,
+    expect_stable: bool,
+}
+
+fn parse_load_args(args: &[String]) -> Result<LoadArgs, String> {
     let mut cfg = LoadConfig::default();
+    let mut supervise = false;
+    let mut cycles = 3u32;
+    let mut procs = 3usize;
+    let mut seed = 1u64;
+    let mut port_base = 7400u16;
+    let mut big_omega_set = false;
+    let mut expect_stable = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut val = |name: &str| {
@@ -485,6 +538,44 @@ fn parse_load_args(args: &[String]) -> Result<LoadConfig, String> {
                         .parse::<u64>()
                         .map_err(|_| "bad --big-omega-ms".to_string())?,
                 );
+                big_omega_set = true;
+            }
+            "--accrual" => cfg.suspicion = SuspicionMode::accrual(),
+            "--expect-stable" => expect_stable = true,
+            "--inbox-cap" => {
+                cfg.inbox_cap = Some(
+                    val("--inbox-cap")?
+                        .parse::<usize>()
+                        .map_err(|_| "bad --inbox-cap".to_string())?,
+                );
+            }
+            "--churn" => {
+                cfg.churn = Some(
+                    val("--churn")?
+                        .parse::<u64>()
+                        .map_err(|_| "bad --churn seed".to_string())?,
+                );
+            }
+            "--supervise" => supervise = true,
+            "--cycles" => {
+                cycles = val("--cycles")?
+                    .parse::<u32>()
+                    .map_err(|_| "bad --cycles".to_string())?;
+            }
+            "--procs" => {
+                procs = val("--procs")?
+                    .parse::<usize>()
+                    .map_err(|_| "bad --procs".to_string())?;
+            }
+            "--seed" => {
+                seed = val("--seed")?
+                    .parse::<u64>()
+                    .map_err(|_| "bad --seed".to_string())?;
+            }
+            "--port-base" => {
+                port_base = val("--port-base")?
+                    .parse::<u16>()
+                    .map_err(|_| "bad --port-base".to_string())?;
             }
             "--flush-window" => {
                 cfg.flush_window_us = Some(
@@ -504,11 +595,69 @@ fn parse_load_args(args: &[String]) -> Result<LoadConfig, String> {
             other => return Err(format!("unknown load option {other}")),
         }
     }
-    Ok(cfg)
+    Ok(LoadArgs {
+        cfg,
+        supervise,
+        cycles,
+        procs,
+        seed,
+        port_base,
+        big_omega_set,
+        expect_stable,
+    })
+}
+
+/// `load --supervise` (and `load --churn --host tcp`): the supervised
+/// crash-recovery scenario against a real spawned TCP cluster.
+fn supervise_main(args: &LoadArgs) -> ExitCode {
+    let mut cfg = SupervisorConfig::new(args.cfg.churn.unwrap_or(args.seed));
+    cfg.nodes = args.cfg.nodes;
+    cfg.groups = args.cfg.groups;
+    cfg.procs = args.procs;
+    cfg.cycles = args.cycles;
+    cfg.payload = args.cfg.payload;
+    cfg.mode = args.cfg.mode;
+    cfg.omega = args.cfg.omega;
+    if args.big_omega_set {
+        cfg.big_omega = args.cfg.big_omega;
+    }
+    cfg.accrual = args.cfg.suspicion != SuspicionMode::FixedOmega;
+    cfg.port_base = args.port_base;
+    eprintln!(
+        "supervise: {} nodes / {} groups over {} procs, {} kill/restart cycle(s), seed {}{}",
+        cfg.nodes,
+        cfg.groups,
+        cfg.procs,
+        cfg.cycles,
+        cfg.seed,
+        if cfg.accrual { ", accrual" } else { "" },
+    );
+    match run_supervisor(&cfg) {
+        Ok(r) => {
+            println!(
+                "supervise [tcp] {} nodes / {} groups / {} procs: {} cycle(s), victims {:?}, \
+                 {} rejoin(s), {} deliveries, {} view change(s), {} order violation(s) — green",
+                cfg.nodes,
+                cfg.groups,
+                cfg.procs,
+                r.cycles,
+                r.victims,
+                r.rejoins,
+                r.deliveries,
+                r.view_changes,
+                r.order_violations,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("supervise: FAILED: {msg}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn load_main(args: &[String]) -> ExitCode {
-    let cfg = match parse_load_args(args) {
+    let parsed = match parse_load_args(args) {
         Ok(c) => c,
         Err(msg) => {
             if !msg.is_empty() {
@@ -518,6 +667,10 @@ fn load_main(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if parsed.supervise || (parsed.cfg.churn.is_some() && parsed.cfg.host == HostKind::Tcp) {
+        return supervise_main(&parsed);
+    }
+    let cfg = parsed.cfg;
     let host_name = cfg.host.as_str();
     let mode_name = match cfg.mode {
         OrderMode::Symmetric => "sym",
@@ -576,7 +729,19 @@ fn load_main(args: &[String]) -> ExitCode {
             wire.null_frames, wire.suppressed_nulls,
         );
     }
-    if report.view_changes > 0 {
+    if cfg.churn.is_some() {
+        println!(
+            "load churn: {} node(s) killed, {} view change(s) (expected exclusions), {} shed",
+            report.killed, report.view_changes, report.shed
+        );
+    } else if report.view_changes > 0 {
+        if parsed.expect_stable {
+            eprintln!(
+                "load: FAILED: {} view change(s) under --expect-stable — false exclusion(s)",
+                report.view_changes
+            );
+            return ExitCode::FAILURE;
+        }
         eprintln!(
             "load: WARNING: {} view change(s) mid-run — the host starved a node past Omega",
             report.view_changes
@@ -815,7 +980,14 @@ options:
                      (default: available parallelism)
   --mode sym|asym    ordering variant for every group (default sym)
   --omega-ms MS      time-silence interval omega (default 25)
-  --big-omega-ms MS  suspicion timeout Omega (default 10000)";
+  --big-omega-ms MS  suspicion timeout Omega (default 10000)
+  --accrual          adaptive accrual suspicion instead of fixed Omega
+  --inbox-cap N      shard-inbox admission bound (client multicasts
+                     beyond it are shed as explicit backpressure)
+  --rejoin           crash-recovery restart: skip the group bootstrap
+                     (the survivors excluded this peer's old nodes; a
+                     fresh group arrives via a client's form op) and
+                     retry the data-plane bind over TIME_WAIT residue";
 
 fn parse_serve_args(args: &[String]) -> Result<ServeConfig, String> {
     let mut cfg = ServeConfig::new(0, 1, Vec::new(), Vec::new(), 0);
@@ -873,6 +1045,14 @@ fn parse_serve_args(args: &[String]) -> Result<ServeConfig, String> {
                         .map_err(|_| "bad --big-omega-ms".to_string())?,
                 );
             }
+            "--accrual" => cfg.suspicion = SuspicionMode::accrual(),
+            "--inbox-cap" => {
+                let cap = val("--inbox-cap")?
+                    .parse::<usize>()
+                    .map_err(|_| "bad --inbox-cap".to_string())?;
+                cfg.cluster = cfg.cluster.inbox_cap(cap);
+            }
+            "--rejoin" => cfg.bootstrap = false,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown serve option {other}")),
         }
@@ -930,6 +1110,8 @@ options:
   --drop-pct P       percent of data records dropped (default 0)
   --delay-ms MS      max random per-record hold, milliseconds (default 0)
   --reorder-pct P    percent of records held past their successor (default 0)
+  --dup-pct P        percent of records emitted twice back-to-back; the
+                     receiver must dedup by sequence (default 0)
   --partition-at-ms T    open a partition window T ms after start
   --partition-for-ms D   window length, milliseconds (default 2000)
   --secs T           run this long then exit; 0 = until killed (default 0)";
@@ -990,6 +1172,12 @@ fn parse_proxy_args(args: &[String]) -> Result<ProxyArgs, String> {
                     .map_err(|_| "bad --reorder-pct".to_string())?
                     .min(100);
             }
+            "--dup-pct" => {
+                out.cfg.dup_pct = val("--dup-pct")?
+                    .parse::<u8>()
+                    .map_err(|_| "bad --dup-pct".to_string())?
+                    .min(100);
+            }
             "--partition-at-ms" => {
                 out.cfg.partition_at = Some(Duration::from_millis(
                     val("--partition-at-ms")?
@@ -1041,11 +1229,12 @@ fn proxy_main(args: &[String]) -> ExitCode {
         eprintln!("proxy: {listen} -> {upstream}");
     }
     eprintln!(
-        "proxy: seed={} drop={}% delay<= {}ms reorder={}%{}",
+        "proxy: seed={} drop={}% delay<= {}ms reorder={}% dup={}%{}",
         parsed.cfg.seed,
         parsed.cfg.drop_pct,
         parsed.cfg.delay_ms,
         parsed.cfg.reorder_pct,
+        parsed.cfg.dup_pct,
         match parsed.cfg.partition_at {
             Some(at) => format!(
                 " partition @{}ms for {}ms",
@@ -1059,8 +1248,11 @@ fn proxy_main(args: &[String]) -> ExitCode {
         std::thread::sleep(Duration::from_secs_f64(parsed.secs));
         let forwarded = handle.forwarded.load(std::sync::atomic::Ordering::Relaxed);
         let dropped = handle.dropped.load(std::sync::atomic::Ordering::Relaxed);
+        let duplicated = handle.duplicated.load(std::sync::atomic::Ordering::Relaxed);
         handle.stop();
-        eprintln!("proxy: done ({forwarded} records forwarded, {dropped} dropped)");
+        eprintln!(
+            "proxy: done ({forwarded} records forwarded, {dropped} dropped, {duplicated} duplicated)"
+        );
     } else {
         loop {
             std::thread::sleep(Duration::from_secs(3600));

@@ -48,6 +48,11 @@ pub struct ChaosScenario {
     /// latency spike counts as one entry even though it expands to two
     /// scripted events).
     pub max_faults: u32,
+    /// Churn bias: crash/depart-heavy schedules with the crash budget
+    /// raised to `n - 2`, modelling rapid membership churn rather than
+    /// network chaos. Off by default; `false` reproduces the classic
+    /// fleet's plans bit-for-bit.
+    pub churn: bool,
 }
 
 impl ChaosScenario {
@@ -60,6 +65,19 @@ impl ChaosScenario {
             max_groups: 3,
             max_sends: 28,
             max_faults: 4,
+            churn: false,
+        }
+    }
+
+    /// The churn family for `seed`: a fault budget twice the default,
+    /// drawn crash/depart-heavy, so most plans shrink the membership
+    /// several times while traffic is still flowing.
+    #[must_use]
+    pub fn churn(seed: u64) -> ChaosScenario {
+        ChaosScenario {
+            max_faults: 8,
+            churn: true,
+            ..ChaosScenario::new(seed)
         }
     }
 
@@ -140,10 +158,31 @@ impl ChaosScenario {
         let mut faults: Vec<FaultSpec> = Vec::new();
         let mut cursor: u64 = 5_000;
         let mut crashes = 0u32;
-        let max_crashes = n.saturating_sub(2).min(2);
+        // Churn raises the crash budget to everyone-but-two; the classic
+        // fleet keeps the conservative cap of 2.
+        let max_crashes = if self.churn {
+            n.saturating_sub(2)
+        } else {
+            n.saturating_sub(2).min(2)
+        };
         let mut crashed: Vec<u32> = Vec::new();
-        for _ in 0..rng.gen_range(0..=self.max_faults) {
-            match rng.gen_range(0..4u32) {
+        let fault_count = if self.churn {
+            // Always-faulty: churn plans without churn tell us nothing.
+            rng.gen_range(self.max_faults.max(2) / 2..=self.max_faults.max(2))
+        } else {
+            rng.gen_range(0..=self.max_faults)
+        };
+        for _ in 0..fault_count {
+            // Churn draws crash/depart with 3× the weight of the network
+            // faults; the classic fleet draws uniformly. The non-churn
+            // draw sequence is unchanged so existing seeds replay
+            // bit-identically.
+            let kind = if self.churn {
+                [0u32, 0, 0, 3, 3, 3, 1, 2][rng.gen_range(0..8usize)]
+            } else {
+                rng.gen_range(0..4u32)
+            };
+            match kind {
                 0 => {
                     if crashes >= max_crashes {
                         continue;
@@ -998,6 +1037,77 @@ mod tests {
         let b = ChaosScenario::new(17).plan();
         assert_eq!(a, b);
         assert_ne!(a, ChaosScenario::new(18).plan());
+    }
+
+    /// The churn family is deterministic, always schedules faults, and
+    /// leans on crashes/departures: across a seed window the majority
+    /// of scheduled faults are membership churn, and at least one plan
+    /// exceeds the classic 2-crash cap while still leaving 2 survivors.
+    #[test]
+    fn churn_family_is_crash_heavy_and_bounded() {
+        assert_eq!(
+            ChaosScenario::churn(9).plan(),
+            ChaosScenario::churn(9).plan()
+        );
+        let mut churn_faults = 0u32;
+        let mut other_faults = 0u32;
+        let mut beyond_classic_cap = false;
+        for seed in 0..40 {
+            let plan = ChaosScenario::churn(seed).plan();
+            assert!(!plan.faults.is_empty(), "seed {seed} scheduled no faults");
+            let crashes = plan
+                .faults
+                .iter()
+                .filter(|f| matches!(f.op, FaultOp::Crash { .. }))
+                .count();
+            assert!(
+                (crashes as u32) <= plan.n.saturating_sub(2),
+                "seed {seed} leaves fewer than 2 survivors"
+            );
+            if crashes > 2 {
+                beyond_classic_cap = true;
+            }
+            for f in &plan.faults {
+                match f.op {
+                    FaultOp::Crash { .. } | FaultOp::Depart { .. } => churn_faults += 1,
+                    FaultOp::Partition { .. } | FaultOp::Latency { .. } => other_faults += 1,
+                    FaultOp::Heal => {}
+                }
+            }
+        }
+        assert!(
+            churn_faults > other_faults,
+            "churn family should be membership-heavy ({churn_faults} vs {other_faults})"
+        );
+        assert!(
+            beyond_classic_cap,
+            "crash budget never exceeded the old cap"
+        );
+    }
+
+    /// Adding the churn knob must not perturb the classic fleet's draw
+    /// sequence: a non-churn plan keeps replaying to the same history.
+    #[test]
+    fn churn_off_keeps_classic_plans_identical() {
+        let classic = ChaosScenario::new(17);
+        let with_flag_field = ChaosScenario {
+            churn: false,
+            ..ChaosScenario::new(17)
+        };
+        assert_eq!(classic.plan(), with_flag_field.plan());
+    }
+
+    /// Churn plans run to completion and their histories pass the
+    /// checker like any other generated plan.
+    #[test]
+    fn churn_plans_run_green() {
+        for seed in [1u64, 8, 21] {
+            let plan = ChaosScenario::churn(seed).plan();
+            let violations = plan
+                .try_run_and_check(&plan.check_options())
+                .expect("engine survives churn plans");
+            assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        }
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod loadgen;
 pub mod mc;
 pub mod proxy;
 pub mod remote;
+pub mod supervisor;
 pub mod sweep;
 pub mod table;
 pub mod workload;
@@ -62,5 +63,6 @@ pub use loadgen::{run_load, HostKind, LoadConfig, LoadReport};
 pub use mc::{explore, McConfig, McReport, McStrategy, McViolation};
 pub use proxy::{run_proxy, ProxyConfig, ProxyHandle};
 pub use remote::{peer_of, serve, RemoteCluster, ServeConfig};
+pub use supervisor::{run_supervisor, SupervisorConfig, SupervisorReport};
 pub use sweep::{run_chaos_seed, sweep_seeds, SeedOutcome, SweepConfig, SweepReport};
 pub use table::Table;

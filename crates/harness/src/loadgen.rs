@@ -24,7 +24,7 @@
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use newtop_runtime::{legacy, Cluster, ClusterConfig, Output, WireStats};
-use newtop_types::{GroupConfig, GroupId, OrderMode, ProcessId, SendError, Span};
+use newtop_types::{GroupConfig, GroupId, OrderMode, ProcessId, SendError, Span, SuspicionMode};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -100,6 +100,13 @@ pub struct LoadConfig {
     /// Suspicion timeout Ω (generous: a suspicion mid-run means the
     /// scheduler starved a node, which the report surfaces).
     pub big_omega: Span,
+    /// Failure-suspicion mode every group runs: the fixed Ω timeout or
+    /// the adaptive accrual detector.
+    pub suspicion: SuspicionMode,
+    /// Churn mode: seeded mid-run kills of non-driver nodes (sharded
+    /// host only; the TCP host gets churn from the supervisor). View
+    /// changes are then expected, not a warning.
+    pub churn: Option<u64>,
     /// Stop as soon as this many member deliveries were observed (bench
     /// mode); `None` = run the full `secs`.
     pub target_deliveries: Option<u64>,
@@ -109,6 +116,9 @@ pub struct LoadConfig {
     pub flush_window_us: Option<u64>,
     /// Cap on envelopes coalesced per frame (`None` = host default).
     pub batch_max: Option<u32>,
+    /// Shard-inbox admission bound for the sharded host (`None` = host
+    /// default; `Some(0)` sheds every client multicast).
+    pub inbox_cap: Option<usize>,
     /// Control-plane addresses of the `serve` processes, cluster order
     /// ([`HostKind::Tcp`] only).
     pub peers: Vec<SocketAddr>,
@@ -130,9 +140,12 @@ impl Default for LoadConfig {
             host: HostKind::Sharded,
             omega: Span::from_millis(25),
             big_omega: Span::from_secs(10),
+            suspicion: SuspicionMode::FixedOmega,
+            churn: None,
             target_deliveries: None,
             flush_window_us: None,
             batch_max: None,
+            inbox_cap: None,
             peers: Vec::new(),
             stop_peers: false,
         }
@@ -156,6 +169,11 @@ pub struct LoadReport {
     /// View changes observed (0 in a healthy run; >0 means the host
     /// starved someone past Ω).
     pub view_changes: u64,
+    /// Multicasts the host shed at its admission boundary (explicit
+    /// backpressure; the closed loop drops the token and continues).
+    pub shed: u64,
+    /// Nodes killed mid-run by churn mode (0 outside `--churn`).
+    pub killed: u64,
     /// Exact wire accounting (sharded host only — the baseline never
     /// serializes, which is part of what it gets wrong).
     pub wire: Option<WireStats>,
@@ -291,6 +309,7 @@ fn group_config(cfg: &LoadConfig) -> GroupConfig {
     GroupConfig::new(cfg.mode)
         .with_omega(cfg.omega)
         .with_big_omega(cfg.big_omega)
+        .with_suspicion(cfg.suspicion)
 }
 
 /// Builds the payload: 8-byte little-endian send timestamp (µs since the
@@ -318,6 +337,7 @@ struct Shared {
     sent: AtomicU64,
     delivered: AtomicU64,
     view_changes: AtomicU64,
+    shed: AtomicU64,
     latencies: Mutex<Vec<u64>>,
 }
 
@@ -423,14 +443,20 @@ fn driver<H: Host>(
         }
         accepted
     };
-    // Counts accepted sends; false the moment any verdict is an error
-    // (membership churn: stop driving this group).
+    // Counts accepted sends; false the moment any verdict is a
+    // *membership* error (churn: stop driving this group). A shed
+    // verdict is backpressure, not churn — the loop drops the token so
+    // offered load decays to what the host admits, and keeps driving.
     let drain_verdicts = |received: &mut u64| -> bool {
         loop {
             match verdict_rx.try_recv() {
                 Ok(Ok(())) => {
                     *received += 1;
                     shared.sent.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(Err(SendError::Overloaded { .. })) => {
+                    *received += 1;
+                    shared.shed.fetch_add(1, Ordering::Relaxed);
                 }
                 Ok(Err(_)) => {
                     *received += 1;
@@ -482,8 +508,14 @@ fn driver<H: Host>(
         match verdict_rx.recv_timeout(Duration::from_millis(50)) {
             Ok(v) => {
                 received += 1;
-                if v.is_ok() {
-                    shared.sent.fetch_add(1, Ordering::Relaxed);
+                match v {
+                    Ok(()) => {
+                        shared.sent.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(SendError::Overloaded { .. }) => {
+                        shared.shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {}
                 }
             }
             Err(_) => break,
@@ -504,6 +536,7 @@ fn run_on<H: Host>(host: &H, cfg: &LoadConfig) -> LoadReport {
         sent: AtomicU64::new(0),
         delivered: AtomicU64::new(0),
         view_changes: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
         latencies: Mutex::new(Vec::new()),
     };
     let deadline = shared.epoch + Duration::from_secs_f64(cfg.secs);
@@ -581,9 +614,67 @@ fn run_on<H: Host>(host: &H, cfg: &LoadConfig) -> LoadReport {
         p50_us: pct(50),
         p99_us: pct(99),
         view_changes: shared.view_changes.load(Ordering::Relaxed),
+        shed: shared.shed.load(Ordering::Relaxed),
+        killed: 0,
         wire: wire_at_cut,
         shards_used: host.shards_used(),
     }
+}
+
+/// Churn mode on the sharded host: the ordinary closed loop plus a
+/// seeded killer thread that hard-kills non-driver nodes spread across
+/// the run. Ack nodes (one per group, fused with the drivers) are
+/// spared so every group keeps a live closed loop; everything else is
+/// fair game, and the drivers absorb the resulting membership errors
+/// as churn rather than failure.
+fn run_churn_on(
+    running: &newtop_runtime::RunningCluster,
+    cfg: &LoadConfig,
+    seed: u64,
+) -> LoadReport {
+    let ack_nodes: Vec<u32> = (0..cfg.groups)
+        .map(|g| group_members(cfg, g).first().expect("nonempty group").0)
+        .collect();
+    let mut pool: Vec<u32> = (1..=cfg.nodes).filter(|i| !ack_nodes.contains(i)).collect();
+    // Seeded Fisher–Yates: the victim order is a pure function of the
+    // seed, so a churn run is nameable and repeatable.
+    let mut rng = seed | 1;
+    let mut next = || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    for i in (1..pool.len()).rev() {
+        #[allow(clippy::cast_possible_truncation)]
+        let j = (next() as usize) % (i + 1);
+        pool.swap(i, j);
+    }
+    let kills = pool.len().min(3);
+    let stop = AtomicBool::new(false);
+    let killed = AtomicU64::new(0);
+    let mut report = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let start = Instant::now();
+            let total = Duration::from_secs_f64(cfg.secs);
+            for (k, &victim) in pool[..kills].iter().enumerate() {
+                let at = total.mul_f64((k as f64 + 1.0) / (kills as f64 + 1.0));
+                while start.elapsed() < at {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                running.kill(ProcessId(victim));
+                killed.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        let r = run_on(running, cfg);
+        stop.store(true, Ordering::Relaxed);
+        r
+    });
+    report.killed = killed.load(Ordering::Relaxed);
+    report
 }
 
 /// Runs one closed-loop load experiment and returns the aggregate.
@@ -607,6 +698,13 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, String> {
     if cfg.window == 0 {
         return Err("window must be at least 1".into());
     }
+    if cfg.churn.is_some() && cfg.host != HostKind::Sharded {
+        return Err(
+            "--churn drives the sharded host; for TCP churn use load --supervise (the \
+             supervisor kill-9s and restarts real serve processes)"
+                .into(),
+        );
+    }
     match cfg.host {
         HostKind::Sharded => {
             let mut knobs = ClusterConfig::new();
@@ -619,6 +717,9 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, String> {
             if let Some(max) = cfg.batch_max {
                 knobs = knobs.batch_max(max);
             }
+            if let Some(cap) = cfg.inbox_cap {
+                knobs = knobs.inbox_cap(cap);
+            }
             let mut cluster = Cluster::with_config(knobs);
             for i in 1..=cfg.nodes {
                 cluster.add_process(ProcessId(i));
@@ -629,7 +730,10 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, String> {
                     .map_err(|e| format!("bootstrap group {}: {e}", g + 1))?;
             }
             let running = cluster.start();
-            let report = run_on(&running, cfg);
+            let report = match cfg.churn {
+                Some(seed) => run_churn_on(&running, cfg, seed),
+                None => run_on(&running, cfg),
+            };
             running.shutdown();
             Ok(report)
         }
@@ -753,6 +857,64 @@ mod tests {
         let wire0 = unbatched.wire.expect("wire stats");
         assert_eq!(wire0.envelopes, wire0.frames);
         assert_eq!(wire0.suppressed_nulls, 0);
+    }
+
+    /// With the admission valve closed every send is shed, reported as
+    /// backpressure (not churn), and the run still completes.
+    #[test]
+    fn closed_inbox_valve_reports_shed() {
+        let cfg = LoadConfig {
+            nodes: 3,
+            groups: 1,
+            secs: 0.3,
+            window: 4,
+            inbox_cap: Some(0),
+            ..LoadConfig::default()
+        };
+        let report = run_load(&cfg).expect("shed run completes");
+        assert_eq!(report.sent, 0, "every multicast was shed");
+        assert_eq!(report.shed, 4, "exactly the primed window sheds");
+        let wire = report.wire.expect("sharded host accounts wire");
+        assert_eq!(wire.shed_multicasts, 4);
+    }
+
+    /// Churn mode kills non-driver nodes mid-run: the run survives,
+    /// exclusions land (view changes), and deliveries keep flowing
+    /// among the survivors.
+    #[test]
+    fn churn_mode_kills_and_survives() {
+        let cfg = LoadConfig {
+            nodes: 6,
+            groups: 2,
+            secs: 1.2,
+            window: 4,
+            omega: Span::from_millis(5),
+            big_omega: Span::from_millis(150),
+            churn: Some(7),
+            ..LoadConfig::default()
+        };
+        let report = run_load(&cfg).expect("churn run completes");
+        assert!(report.killed > 0, "the killer never fired");
+        assert!(
+            report.view_changes > 0,
+            "kills must surface as exclusions ({} killed)",
+            report.killed
+        );
+        assert!(report.delivered > 0, "survivors stopped delivering");
+    }
+
+    /// Churn is a sharded-host feature; other hosts reject it up front.
+    #[test]
+    fn churn_rejects_non_sharded_hosts() {
+        for host in [HostKind::ThreadPerProcess, HostKind::Tcp] {
+            assert!(run_load(&LoadConfig {
+                churn: Some(1),
+                host,
+                peers: vec!["127.0.0.1:1".parse().unwrap()],
+                ..LoadConfig::default()
+            })
+            .is_err());
+        }
     }
 
     /// Every host kind round-trips through its CLI spelling.

@@ -49,6 +49,10 @@ pub struct ProxyConfig {
     pub delay_ms: u64,
     /// Percent of data records held back past their successor (0–100).
     pub reorder_pct: u8,
+    /// Percent of data records emitted twice back-to-back (0–100). The
+    /// upstream sees the same sequence again and must drop it by
+    /// sequence — the receive path's dedup guarantee.
+    pub dup_pct: u8,
     /// When (after proxy start) a partition window opens, if any.
     pub partition_at: Option<Duration>,
     /// How long the partition window lasts.
@@ -66,6 +70,7 @@ impl ProxyConfig {
             drop_pct: 0,
             delay_ms: 0,
             reorder_pct: 0,
+            dup_pct: 0,
             partition_at: None,
             partition_for: Duration::from_secs(2),
         }
@@ -81,6 +86,8 @@ pub struct ProxyHandle {
     pub forwarded: Arc<AtomicU64>,
     /// Data records deliberately dropped.
     pub dropped: Arc<AtomicU64>,
+    /// Data records deliberately duplicated.
+    pub duplicated: Arc<AtomicU64>,
 }
 
 impl ProxyHandle {
@@ -91,6 +98,14 @@ impl ProxyHandle {
             let _ = t.join();
         }
     }
+}
+
+/// Shared interference tallies, one set per proxy.
+#[derive(Clone, Default)]
+struct Tallies {
+    forwarded: Arc<AtomicU64>,
+    dropped: Arc<AtomicU64>,
+    duplicated: Arc<AtomicU64>,
 }
 
 /// Is `elapsed` inside the configured partition window?
@@ -112,22 +127,20 @@ fn partitioned(cfg: &ProxyConfig, started: Instant) -> bool {
 pub fn run_proxy(cfg: &ProxyConfig) -> std::io::Result<ProxyHandle> {
     let stop = Arc::new(AtomicBool::new(false));
     let started = Instant::now();
-    let forwarded = Arc::new(AtomicU64::new(0));
-    let dropped = Arc::new(AtomicU64::new(0));
+    let tallies = Tallies::default();
     let mut threads = Vec::new();
     for (i, &(listen, upstream)) in cfg.routes.iter().enumerate() {
         let listener = TcpListener::bind(listen)?;
         listener.set_nonblocking(true)?;
         let stop = Arc::clone(&stop);
         let cfg = cfg.clone();
-        let forwarded = Arc::clone(&forwarded);
-        let dropped = Arc::clone(&dropped);
+        let tallies = tallies.clone();
         threads.push(
             std::thread::Builder::new()
                 .name(format!("newtop-proxy-{i}"))
                 .spawn(move || {
                     route_main(
-                        &listener, upstream, &cfg, i as u64, started, &stop, &forwarded, &dropped,
+                        &listener, upstream, &cfg, i as u64, started, &stop, &tallies,
                     );
                 })
                 .expect("spawn proxy route"),
@@ -136,14 +149,14 @@ pub fn run_proxy(cfg: &ProxyConfig) -> std::io::Result<ProxyHandle> {
     Ok(ProxyHandle {
         stop,
         threads,
-        forwarded,
-        dropped,
+        forwarded: tallies.forwarded,
+        dropped: tallies.dropped,
+        duplicated: tallies.duplicated,
     })
 }
 
 /// Accept loop for one route; tunnels are severed and refused while a
 /// partition window is open.
-#[allow(clippy::too_many_arguments)]
 fn route_main(
     listener: &TcpListener,
     upstream: SocketAddr,
@@ -151,8 +164,7 @@ fn route_main(
     route_idx: u64,
     started: Instant,
     stop: &Arc<AtomicBool>,
-    forwarded: &Arc<AtomicU64>,
-    dropped: &Arc<AtomicU64>,
+    tallies: &Tallies,
 ) {
     let pumps: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
     let mut conn_idx = 0u64;
@@ -177,14 +189,11 @@ fn route_main(
                     .wrapping_add(route_idx << 32 | conn_idx);
                 let cfg = cfg.clone();
                 let stop = Arc::clone(stop);
-                let forwarded = Arc::clone(forwarded);
-                let dropped = Arc::clone(dropped);
+                let tallies = tallies.clone();
                 let pump = std::thread::Builder::new()
                     .name("newtop-proxy-pump".into())
                     .spawn(move || {
-                        tunnel(
-                            client, server, &cfg, conn_seed, started, &stop, &forwarded, &dropped,
-                        );
+                        tunnel(client, server, &cfg, conn_seed, started, &stop, &tallies);
                     })
                     .expect("spawn proxy pump");
                 pumps.lock().expect("pump list").push(pump);
@@ -223,7 +232,6 @@ fn read_exactly(mut stream: &TcpStream, want: usize, stop: &AtomicBool) -> Optio
 /// One accepted connection: hello verbatim, then the chaotic data pump
 /// and the verbatim ack pump, until either side closes, a partition
 /// opens, or the proxy stops.
-#[allow(clippy::too_many_arguments)]
 fn tunnel(
     client: TcpStream,
     server: TcpStream,
@@ -231,8 +239,7 @@ fn tunnel(
     conn_seed: u64,
     started: Instant,
     stop: &Arc<AtomicBool>,
-    forwarded: &Arc<AtomicU64>,
-    dropped: &Arc<AtomicU64>,
+    tallies: &Tallies,
 ) {
     let _ = client.set_nodelay(true);
     let _ = server.set_nodelay(true);
@@ -261,9 +268,7 @@ fn tunnel(
             .spawn(move || raw_pump(&server_rd, &client_wr, &stop))
             .expect("spawn ack pump")
     };
-    chaos_pump(
-        &client, &server, cfg, conn_seed, started, stop, forwarded, dropped,
-    );
+    chaos_pump(&client, &server, cfg, conn_seed, started, stop, tallies);
     // Sever both halves so the ack pump unblocks, then reap it.
     let _ = client.shutdown(Shutdown::Both);
     let _ = server.shutdown(Shutdown::Both);
@@ -289,7 +294,6 @@ fn raw_pump(mut rd: &TcpStream, mut wr: &TcpStream, stop: &AtomicBool) {
 
 /// The data direction: parse addressed records, apply the seeded
 /// schedule, re-encode survivors in emission order.
-#[allow(clippy::too_many_arguments)]
 fn chaos_pump(
     mut client: &TcpStream,
     mut server: &TcpStream,
@@ -297,8 +301,7 @@ fn chaos_pump(
     conn_seed: u64,
     started: Instant,
     stop: &AtomicBool,
-    forwarded: &AtomicU64,
-    dropped: &AtomicU64,
+    tallies: &Tallies,
 ) {
     let mut rng = StdRng::seed_from_u64(conn_seed);
     let mut dec = PeerFrameDecoder::new();
@@ -326,7 +329,7 @@ fn chaos_pump(
                 Err(_) => return,
             };
             if cfg.drop_pct > 0 && rng.gen_range(0u32..100) < u32::from(cfg.drop_pct) {
-                dropped.fetch_add(1, Ordering::Relaxed);
+                tallies.dropped.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
             if cfg.delay_ms > 0 {
@@ -350,10 +353,23 @@ fn chaos_pump(
             for rec in emit {
                 out.clear();
                 addressed_frame_into(rec.dest, rec.seq, &rec.frame, &mut out);
-                if server.write_all(&out).is_err() {
-                    return;
+                // Duplication: the same encoded record twice back to
+                // back. The upstream's per-link sequence dedup must
+                // swallow the echo, so this is correctness-neutral by
+                // construction — which is exactly what it tests.
+                let copies = if cfg.dup_pct > 0 && rng.gen_range(0u32..100) < u32::from(cfg.dup_pct)
+                {
+                    tallies.duplicated.fetch_add(1, Ordering::Relaxed);
+                    2
+                } else {
+                    1
+                };
+                for _ in 0..copies {
+                    if server.write_all(&out).is_err() {
+                        return;
+                    }
                 }
-                forwarded.fetch_add(1, Ordering::Relaxed);
+                tallies.forwarded.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -362,7 +378,7 @@ fn chaos_pump(
         out.clear();
         addressed_frame_into(rec.dest, rec.seq, &rec.frame, &mut out);
         if server.write_all(&out).is_ok() {
-            forwarded.fetch_add(1, Ordering::Relaxed);
+            tallies.forwarded.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -390,6 +406,60 @@ mod tests {
         assert_eq!(cfg.drop_pct, 0);
         assert_eq!(cfg.delay_ms, 0);
         assert_eq!(cfg.reorder_pct, 0);
+        assert_eq!(cfg.dup_pct, 0);
         assert!(cfg.partition_at.is_none());
+    }
+
+    /// A dup-100 proxy emits every data record twice: the upstream
+    /// byte stream is exactly two copies of each encoded record, and
+    /// the duplicated counter matches the forwarded one.
+    #[test]
+    fn dup_mode_doubles_records_on_the_wire() {
+        use newtop_types::peer::encode_hello;
+        use newtop_types::peer::Hello;
+        use newtop_types::ProcessId;
+        let upstream = TcpListener::bind("127.0.0.1:0").expect("bind upstream");
+        let up_addr = upstream.local_addr().expect("addr");
+        let listen = TcpListener::bind("127.0.0.1:0").expect("probe listen");
+        let listen_addr = listen.local_addr().expect("addr");
+        drop(listen); // free the port for the proxy
+        let mut cfg = ProxyConfig::new(vec![(listen_addr, up_addr)]);
+        cfg.dup_pct = 100;
+        let handle = run_proxy(&cfg).expect("proxy starts");
+        let mut client = TcpStream::connect(listen_addr).expect("dial proxy");
+        let (mut server, _) = upstream.accept().expect("accept tunnel");
+        server
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let hello = encode_hello(&Hello {
+            peer: 0,
+            nonce: 7,
+            resume: 0,
+        });
+        client.write_all(&hello).expect("hello");
+        // A minimal valid wire frame: varint body length, then body.
+        let frame = [3u8, b'x', b'y', b'z'];
+        let mut rec = BytesMut::new();
+        addressed_frame_into(ProcessId(2), 1, &frame, &mut rec);
+        client.write_all(&rec).expect("record");
+        client.flush().expect("flush");
+        // Expect hello + two copies of the record at the upstream.
+        let mut want = hello.to_vec();
+        want.extend_from_slice(&rec);
+        want.extend_from_slice(&rec);
+        let mut got = vec![0u8; want.len()];
+        server.read_exact(&mut got).expect("doubled stream");
+        assert_eq!(got, want, "record must arrive exactly twice");
+        // The pump bumps the tallies around the socket writes; the bytes
+        // can land here before the counters do, so poll briefly.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while handle.forwarded.load(Ordering::Relaxed) < 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(handle.duplicated.load(Ordering::Relaxed), 1);
+        assert_eq!(handle.forwarded.load(Ordering::Relaxed), 1);
+        drop(client);
+        drop(server);
+        handle.stop();
     }
 }

@@ -35,7 +35,8 @@ use newtop_core::Delivery;
 use newtop_runtime::{Cluster, ClusterConfig, Output, RunningCluster, TcpConfig, WireStats};
 use newtop_types::wire::put_varint;
 use newtop_types::{
-    GroupConfig, GroupId, Msn, OrderMode, ProcessId, SendError, SignedView, Span, View, ViewSeq,
+    GroupConfig, GroupId, Msn, OrderMode, ProcessId, SendError, SignedView, Span, SuspicionMode,
+    View, ViewSeq,
 };
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
@@ -82,6 +83,15 @@ pub struct ServeConfig {
     pub omega: Span,
     /// Suspicion timeout Ω.
     pub big_omega: Span,
+    /// Failure-suspicion mode every group runs: fixed Ω silence or the
+    /// accrual detector.
+    pub suspicion: SuspicionMode,
+    /// Whether to bootstrap the initial groups at startup. A process
+    /// restarted after a crash starts with `false`: the survivors
+    /// excluded its old incarnation's nodes, so it comes up with no
+    /// group state and re-enters through the §5.3 formation path (a
+    /// client's form op, typically issued by the supervisor).
+    pub bootstrap: bool,
     /// Host knobs (shards, egress batching) for the local shard set.
     pub cluster: ClusterConfig,
 }
@@ -105,8 +115,19 @@ impl ServeConfig {
             mode: OrderMode::Symmetric,
             omega: Span::from_millis(25),
             big_omega: Span::from_secs(10),
+            suspicion: SuspicionMode::FixedOmega,
+            bootstrap: true,
             cluster: ClusterConfig::new(),
         }
+    }
+
+    /// The group configuration every group of this cluster runs.
+    #[must_use]
+    pub fn group_config(&self) -> GroupConfig {
+        GroupConfig::new(self.mode)
+            .with_omega(self.omega)
+            .with_big_omega(self.big_omega)
+            .with_suspicion(self.suspicion)
     }
 
     #[allow(clippy::cast_possible_truncation)]
@@ -152,12 +173,14 @@ const OP_MULTICAST: u8 = 0x01;
 const OP_SUBSCRIBE: u8 = 0x02;
 const OP_STATS: u8 = 0x03;
 const OP_SHUTDOWN: u8 = 0x04;
+const OP_FORM: u8 = 0x05;
 // Server→client records:
 const REC_VERDICT: u8 = 0x81;
 const REC_DELIVERY: u8 = 0x82;
 const REC_VIEW: u8 = 0x83;
 const REC_STATS: u8 = 0x84;
 const REC_BYE: u8 = 0x85;
+const REC_ACTIVE: u8 = 0x86;
 
 /// Control records may carry an application payload but never a frame
 /// batch; 16 MiB is far above any legitimate record.
@@ -278,6 +301,7 @@ fn encode_stats(stats: &WireStats, shards: u64) -> Vec<u8> {
     put_u64(&mut rec, stats.reconnects);
     put_u64(&mut rec, stats.dropped_dead);
     put_u64(&mut rec, stats.handshake_rejects);
+    put_u64(&mut rec, stats.shed_multicasts);
     put_u64(&mut rec, shards);
     rec
 }
@@ -298,6 +322,7 @@ fn decode_stats(body: &[u8]) -> Result<(WireStats, u64), String> {
     stats.reconnects = c.u64()?;
     stats.dropped_dead = c.u64()?;
     stats.handshake_rejects = c.u64()?;
+    stats.shed_multicasts = c.u64()?;
     let shards = c.u64()?;
     Ok((stats, shards))
 }
@@ -322,19 +347,24 @@ pub fn serve(cfg: &ServeConfig) -> Result<(), String> {
     for &node in &hosted {
         cluster.add_process(node);
     }
-    let group_cfg = GroupConfig::new(cfg.mode)
-        .with_omega(cfg.omega)
-        .with_big_omega(cfg.big_omega);
-    for g in 0..cfg.groups {
-        cluster
-            .bootstrap_group_local(
-                GroupId(g + 1),
-                members_of(g, cfg.nodes, cfg.groups),
-                group_cfg,
-            )
-            .map_err(|e| format!("bootstrap group {}: {e}", g + 1))?;
+    let group_cfg = cfg.group_config();
+    if cfg.bootstrap {
+        for g in 0..cfg.groups {
+            cluster
+                .bootstrap_group_local(
+                    GroupId(g + 1),
+                    members_of(g, cfg.nodes, cfg.groups),
+                    group_cfg,
+                )
+                .map_err(|e| format!("bootstrap group {}: {e}", g + 1))?;
+        }
     }
-    let tcp = TcpConfig::new(cfg.peers.clone(), cfg.me, cfg.owners());
+    let mut tcp = TcpConfig::new(cfg.peers.clone(), cfg.me, cfg.owners());
+    if !cfg.bootstrap {
+        // A rejoining process binds the address its old incarnation just
+        // vacated; ride out any lingering TIME_WAIT sockets.
+        tcp.bind_retry = Duration::from_secs(10);
+    }
     let running = Arc::new(
         cluster
             .start_tcp(tcp)
@@ -356,7 +386,7 @@ pub fn serve(cfg: &ServeConfig) -> Result<(), String> {
                 handlers.push(
                     std::thread::Builder::new()
                         .name("newtop-ctrl".into())
-                        .spawn(move || ctrl_conn_main(&running, &hosted, conn, &stop))
+                        .spawn(move || ctrl_conn_main(&running, &hosted, group_cfg, conn, &stop))
                         .expect("spawn ctrl handler"),
                 );
             }
@@ -381,6 +411,7 @@ pub fn serve(cfg: &ServeConfig) -> Result<(), String> {
 fn ctrl_conn_main(
     running: &Arc<RunningCluster>,
     hosted: &[ProcessId],
+    group_cfg: GroupConfig,
     conn: TcpStream,
     stop: &Arc<AtomicBool>,
 ) {
@@ -412,6 +443,7 @@ fn ctrl_conn_main(
                     if !handle_op(
                         running,
                         hosted,
+                        group_cfg,
                         &writer,
                         stop,
                         &mut forwarders,
@@ -433,9 +465,11 @@ fn ctrl_conn_main(
 }
 
 /// Dispatches one control op; `false` ends the connection.
+#[allow(clippy::too_many_arguments)]
 fn handle_op(
     running: &Arc<RunningCluster>,
     hosted: &[ProcessId],
+    group_cfg: GroupConfig,
     writer: &Arc<Mutex<TcpStream>>,
     stop: &Arc<AtomicBool>,
     forwarders: &mut Vec<JoinHandle<()>>,
@@ -457,11 +491,51 @@ fn handle_op(
             let mut rec = vec![REC_VERDICT];
             match verdict {
                 Ok(Ok(())) => rec.push(0),
+                // Shed at the host's admission boundary: a distinct tag,
+                // so the client can count backpressure separately from
+                // membership refusals.
+                Ok(Err(e @ SendError::Overloaded { .. })) => {
+                    rec.push(2);
+                    rec.extend_from_slice(e.to_string().as_bytes());
+                }
                 Ok(Err(e)) => {
                     rec.push(1);
                     rec.extend_from_slice(e.to_string().as_bytes());
                 }
                 Err(e) => {
+                    rec.push(1);
+                    rec.extend_from_slice(e.as_bytes());
+                }
+            }
+            write_record(writer, &rec).is_ok()
+        }
+        Some(OP_FORM) => {
+            // §5.3 formation, driven over the control plane: the named
+            // hosted node acts as initiator; invitees (on any peer,
+            // including a freshly rejoined one) vote over the data
+            // plane. This is how crash recovery re-admits a restarted
+            // process — a *new* group with fresh identifiers (§3), not
+            // a same-id re-entry.
+            let verdict = (|| -> Result<Result<(), String>, String> {
+                let mut c = Cursor::new(&record[1..]);
+                let initiator = ProcessId(c.u32()?);
+                let group = GroupId(c.u32()?);
+                let count = c.u32()?;
+                let mut members = Vec::new();
+                for _ in 0..count {
+                    members.push(ProcessId(c.u32()?));
+                }
+                Ok(match running.node(initiator) {
+                    Some(n) => n
+                        .initiate_group(group, members, group_cfg)
+                        .map_err(|e| e.to_string()),
+                    None => Err(format!("initiator {initiator} is not hosted here")),
+                })
+            })();
+            let mut rec = vec![REC_VERDICT];
+            match verdict {
+                Ok(Ok(())) => rec.push(0),
+                Ok(Err(e)) | Err(e) => {
                     rec.push(1);
                     rec.extend_from_slice(e.as_bytes());
                 }
@@ -533,9 +607,19 @@ fn forward_outputs(
                 }
                 rec
             }
-            // Formation and trace events are not part of the load
-            // protocol; the control plane forwards the two output kinds
-            // the generator consumes.
+            Output::GroupActive { group, view } => {
+                let mut rec = vec![REC_ACTIVE];
+                put_u32(&mut rec, node.0);
+                put_u32(&mut rec, group.0);
+                #[allow(clippy::cast_possible_truncation)]
+                put_u32(&mut rec, view.len() as u32);
+                for m in view.iter() {
+                    put_u32(&mut rec, m.0);
+                }
+                rec
+            }
+            // Failed formations and trace events stay local; the control
+            // plane forwards what the generator and supervisor consume.
             _ => continue,
         };
         if write_record(writer, &rec).is_err() {
@@ -570,7 +654,47 @@ pub struct RemoteCluster {
     /// Node `i` (1-based) lives on `peers[home[i-1]]`.
     home: Vec<usize>,
     outputs: Vec<Receiver<Output>>,
+    /// Kept for re-subscribing after a peer reconnect.
+    txs: Vec<Sender<Output>>,
     shards: AtomicU64,
+}
+
+/// Dials one peer's control address (retrying until `deadline`),
+/// subscribes, and spawns its record reader.
+fn dial_ctrl(
+    addr: SocketAddr,
+    deadline: Instant,
+    txs: &[Sender<Output>],
+) -> std::io::Result<CtrlPeer> {
+    let conn = loop {
+        match TcpStream::connect(addr) {
+            Ok(c) => break c,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    };
+    let _ = conn.set_nodelay(true);
+    let writer = Mutex::new(conn.try_clone()?);
+    write_record(&writer, &[OP_SUBSCRIBE])
+        .map_err(|e| std::io::Error::new(e.kind(), format!("subscribe {addr}: {e}")))?;
+    let pending = Arc::new(PendingReplies::default());
+    let reader = {
+        let pending = Arc::clone(&pending);
+        let txs = txs.to_vec();
+        std::thread::Builder::new()
+            .name("newtop-ctrl-rx".into())
+            .spawn(move || ctrl_reader_main(conn, &pending, &txs))
+            .expect("spawn ctrl reader")
+    };
+    Ok(CtrlPeer {
+        writer,
+        pending,
+        reader: Some(reader),
+    })
 }
 
 impl RemoteCluster {
@@ -608,42 +732,121 @@ impl RemoteCluster {
         let deadline = Instant::now() + timeout;
         let mut peers = Vec::new();
         for &addr in ctrl {
-            let conn = loop {
-                match TcpStream::connect(addr) {
-                    Ok(c) => break c,
-                    Err(e) => {
-                        if Instant::now() >= deadline {
-                            return Err(e);
-                        }
-                        std::thread::sleep(Duration::from_millis(50));
-                    }
-                }
-            };
-            let _ = conn.set_nodelay(true);
-            let writer = Mutex::new(conn.try_clone()?);
-            write_record(&writer, &[OP_SUBSCRIBE])
-                .map_err(|e| std::io::Error::new(e.kind(), format!("subscribe {addr}: {e}")))?;
-            let pending = Arc::new(PendingReplies::default());
-            let reader = {
-                let pending = Arc::clone(&pending);
-                let txs = txs.clone();
-                std::thread::Builder::new()
-                    .name("newtop-ctrl-rx".into())
-                    .spawn(move || ctrl_reader_main(conn, &pending, &txs))
-                    .expect("spawn ctrl reader")
-            };
-            peers.push(CtrlPeer {
-                writer,
-                pending,
-                reader: Some(reader),
-            });
+            peers.push(dial_ctrl(addr, deadline, &txs)?);
         }
         Ok(RemoteCluster {
             peers,
             home,
             outputs,
+            txs,
             shards: AtomicU64::new(0),
         })
+    }
+
+    /// Re-establishes the control connection to peer `peer` at `addr`
+    /// after its process restarted, re-subscribing to its hosted nodes'
+    /// outputs. The old connection's reader is reaped; verdicts it
+    /// still owed are abandoned.
+    ///
+    /// # Errors
+    ///
+    /// The last connection error if the peer never became reachable
+    /// within `timeout`.
+    pub fn reconnect_peer(
+        &mut self,
+        peer: usize,
+        addr: SocketAddr,
+        timeout: Duration,
+    ) -> std::io::Result<()> {
+        if peer >= self.peers.len() {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidInput,
+                format!(
+                    "peer index {peer} out of range ({} peers)",
+                    self.peers.len()
+                ),
+            ));
+        }
+        {
+            let old = &mut self.peers[peer];
+            let _ = old
+                .writer
+                .lock()
+                .expect("ctrl writer")
+                .shutdown(std::net::Shutdown::Both);
+            if let Some(reader) = old.reader.take() {
+                let _ = reader.join();
+            }
+        }
+        self.peers[peer] = dial_ctrl(addr, Instant::now() + timeout, &self.txs)?;
+        Ok(())
+    }
+
+    /// Asks the peer hosting `initiator` to initiate §5.3 formation of
+    /// `group` with the given membership, and waits for the engine's
+    /// verdict. This is the crash-recovery re-entry path: after a
+    /// restarted peer reconnects, a surviving member initiates a fresh
+    /// group spanning the survivors and the rejoined nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::NotMember`] if the engine rejected the formation,
+    /// the initiator is unknown, or the control connection died.
+    pub fn form_group(
+        &self,
+        initiator: ProcessId,
+        group: GroupId,
+        members: &[ProcessId],
+    ) -> Result<(), SendError> {
+        let Some(peer) = self.peer_for(initiator) else {
+            return Err(SendError::NotMember { group });
+        };
+        let mut rec = vec![OP_FORM];
+        put_u32(&mut rec, initiator.0);
+        put_u32(&mut rec, group.0);
+        #[allow(clippy::cast_possible_truncation)]
+        put_u32(&mut rec, members.len() as u32);
+        for m in members {
+            put_u32(&mut rec, m.0);
+        }
+        let (tx, rx) = unbounded();
+        peer.pending
+            .verdicts
+            .lock()
+            .expect("verdict queue")
+            .push_back(tx);
+        if write_record(&peer.writer, &rec).is_err() {
+            let _ = peer
+                .pending
+                .verdicts
+                .lock()
+                .expect("verdict queue")
+                .pop_back();
+            return Err(SendError::NotMember { group });
+        }
+        rx.recv_timeout(Duration::from_secs(30))
+            .unwrap_or(Err(SendError::NotMember { group }))
+    }
+
+    /// Waits up to `timeout` for `group` to report active on `node`,
+    /// consuming (and discarding) other outputs of that node meanwhile.
+    #[must_use]
+    pub fn await_group_active(
+        &self,
+        node: ProcessId,
+        group: GroupId,
+        timeout: Duration,
+    ) -> Option<View> {
+        let rx = self.outputs(node)?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            let left = deadline.checked_duration_since(Instant::now())?;
+            match rx.recv_timeout(left) {
+                Ok(Output::GroupActive { group: g, view }) if g == group => return Some(view),
+                Ok(_) => continue,
+                Err(_) => return None,
+            }
+        }
     }
 
     fn peer_for(&self, node: ProcessId) -> Option<&CtrlPeer> {
@@ -739,6 +942,7 @@ impl RemoteCluster {
             sum.reconnects += stats.reconnects;
             sum.dropped_dead += stats.dropped_dead;
             sum.handshake_rejects += stats.handshake_rejects;
+            sum.shed_multicasts += stats.shed_multicasts;
             shards_total += shards;
         }
         self.shards.store(shards_total, Ordering::Relaxed);
@@ -809,8 +1013,11 @@ fn dispatch_record(record: &[u8], pending: &PendingReplies, txs: &[Sender<Output
         REC_VERDICT => {
             let verdict = match record.get(1).copied()? {
                 0 => Ok(()),
+                // Admission-boundary shed: preserved as Overloaded so
+                // the generator counts backpressure, not churn.
+                2 => Err(SendError::Overloaded { group: GroupId(0) }),
                 // The group id is not echoed in the error record; the
-                // generator only branches on is_err.
+                // generator only branches on the error kind.
                 _ => Err(SendError::NotMember { group: GroupId(0) }),
             };
             let slot = pending
@@ -853,6 +1060,21 @@ fn dispatch_record(record: &[u8], pending: &PendingReplies, txs: &[Sender<Output
                 group,
                 view: View::initial(members.clone()),
                 signed: SignedView::new(members, 0),
+            });
+        }
+        REC_ACTIVE => {
+            let mut c = Cursor::new(&record[1..]);
+            let node = c.u32().ok()?;
+            let group = GroupId(c.u32().ok()?);
+            let count = c.u32().ok()?;
+            let mut members = Vec::new();
+            for _ in 0..count {
+                members.push(ProcessId(c.u32().ok()?));
+            }
+            let tx = txs.get(node.checked_sub(1)? as usize)?;
+            let _ = tx.send(Output::GroupActive {
+                group,
+                view: View::initial(members),
             });
         }
         REC_STATS => {
@@ -922,6 +1144,7 @@ mod tests {
             reconnects: 1,
             dropped_dead: 4,
             handshake_rejects: 5,
+            shed_multicasts: 9,
             ..WireStats::default()
         };
         for (i, bucket) in stats.occupancy.iter_mut().enumerate() {

@@ -76,7 +76,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
-use transport::{BatchPolicy, Router, ShardMsg};
+use transport::{Admission, BatchPolicy, Router, ShardMsg};
 
 /// Everything a node reports to its application.
 #[derive(Debug, Clone)]
@@ -149,7 +149,11 @@ pub struct ClusterConfig {
     shards: Option<usize>,
     flush_window: Option<Duration>,
     batch_max: Option<u32>,
+    inbox_cap: Option<usize>,
 }
+
+/// Default shard-inbox depth at which new client multicasts are shed.
+const DEFAULT_INBOX_CAP: usize = 16 * 1024;
 
 impl ClusterConfig {
     /// A config where every knob takes the host default.
@@ -185,6 +189,23 @@ impl ClusterConfig {
     pub fn batch_max(mut self, max_envelopes: u32) -> ClusterConfig {
         self.batch_max = Some(max_envelopes.max(1));
         self
+    }
+
+    /// Bounds each worker shard's inbox for **client traffic**: a new
+    /// application multicast is shed with
+    /// [`SendError::Overloaded`] once the destination shard's inbox
+    /// holds this many messages (protocol frames always enqueue — see
+    /// [`WireStats::shed_multicasts`]). `0` sheds every multicast (a
+    /// closed admission valve). Default: 16384.
+    #[must_use]
+    pub fn inbox_cap(mut self, cap: usize) -> ClusterConfig {
+        self.inbox_cap = Some(cap);
+        self
+    }
+
+    /// Resolves the admission bound.
+    fn inbox_limit(&self) -> usize {
+        self.inbox_cap.unwrap_or(DEFAULT_INBOX_CAP)
     }
 
     /// Resolves the shard count for `procs` hosted nodes.
@@ -361,9 +382,13 @@ impl Cluster {
         let partition = Arc::new(PartitionCtl::new());
         let policy = self.config.policy();
         let shard_count = self.config.shard_count(self.procs.len());
-        let layout = Layout::place(self.procs, shard_count);
-        let transport: Arc<dyn Transport> =
-            Arc::new(Router::new(layout.addrs.clone(), layout.inbox_txs.clone()));
+        let admission = Arc::new(Admission::new(self.config.inbox_limit()));
+        let layout = Layout::place(self.procs, shard_count, &admission);
+        let transport: Arc<dyn Transport> = Arc::new(Router::new(
+            layout.addrs.clone(),
+            layout.inbox_txs.clone(),
+            admission,
+        ));
         let threads = spawn_shards(
             layout.per_shard,
             layout.inbox_rxs,
@@ -402,8 +427,9 @@ impl Cluster {
         let partition = Arc::new(PartitionCtl::new());
         let policy = self.config.policy();
         let shard_count = self.config.shard_count(self.procs.len());
-        let layout = Layout::place(self.procs, shard_count);
-        let router = Router::new(layout.addrs.clone(), layout.inbox_txs.clone());
+        let admission = Arc::new(Admission::new(self.config.inbox_limit()));
+        let layout = Layout::place(self.procs, shard_count, &admission);
+        let router = Router::new(layout.addrs.clone(), layout.inbox_txs.clone(), admission);
         let (tcp_transport, net) = net::start(tcp, router, layout.inbox_txs.clone())?;
         let transport: Arc<dyn Transport> = tcp_transport;
         let threads = spawn_shards(
@@ -438,7 +464,11 @@ struct Layout {
 }
 
 impl Layout {
-    fn place(procs: BTreeMap<ProcessId, Process>, shard_count: usize) -> Layout {
+    fn place(
+        procs: BTreeMap<ProcessId, Process>,
+        shard_count: usize,
+        admission: &Arc<Admission>,
+    ) -> Layout {
         let mut inbox_txs: Vec<Sender<ShardMsg>> = Vec::with_capacity(shard_count);
         let mut inbox_rxs: Vec<Receiver<ShardMsg>> = Vec::with_capacity(shard_count);
         for _ in 0..shard_count {
@@ -465,6 +495,7 @@ impl Layout {
                     id,
                     shard_tx: inbox_txs[s].clone(),
                     outputs: out_rx,
+                    admission: Arc::clone(admission),
                 },
             );
         }
@@ -519,6 +550,7 @@ pub struct NodeHandle {
     id: ProcessId,
     shard_tx: Sender<ShardMsg>,
     outputs: Receiver<Output>,
+    admission: Arc<Admission>,
 }
 
 impl NodeHandle {
@@ -526,6 +558,13 @@ impl NodeHandle {
         self.shard_tx
             .send(ShardMsg::Command { to: self.id, cmd })
             .is_ok()
+    }
+
+    /// Whether the admission gate accepts a new client multicast right
+    /// now (the shard's inbox is below its cap). A refusal is counted
+    /// as a shed in [`WireStats::shed_multicasts`].
+    fn admit_multicast(&self) -> bool {
+        self.admission.try_admit(self.shard_tx.len())
     }
 
     /// The participant's identifier.
@@ -538,9 +577,13 @@ impl NodeHandle {
     ///
     /// # Errors
     ///
-    /// The engine's [`SendError`], or [`SendError::NotMember`] if the node
-    /// has terminated.
+    /// The engine's [`SendError`]; [`SendError::NotMember`] if the node
+    /// has terminated; [`SendError::Overloaded`] if the host shed the
+    /// request at its admission boundary (retry later).
     pub fn multicast(&self, group: GroupId, payload: Bytes) -> Result<(), SendError> {
+        if !self.admit_multicast() {
+            return Err(SendError::Overloaded { group });
+        }
         let (reply, rx) = bounded(1);
         if !self.command(Command::Multicast {
             group,
@@ -560,13 +603,19 @@ impl NodeHandle {
     /// the caller is a load generator.
     ///
     /// Returns `false` (and sends nothing) if the node has terminated.
-    /// Verdicts arrive on `reply` in submission order.
+    /// Verdicts arrive on `reply` in submission order; a request shed at
+    /// the admission boundary is reported as an immediate
+    /// [`SendError::Overloaded`] verdict (the submission still counts as
+    /// accepted — exactly one verdict per `true` return).
     pub fn multicast_pipelined(
         &self,
         group: GroupId,
         payload: Bytes,
         reply: &Sender<Result<(), SendError>>,
     ) -> bool {
+        if !self.admit_multicast() {
+            return reply.send(Err(SendError::Overloaded { group })).is_ok();
+        }
         self.command(Command::Multicast {
             group,
             payload,
@@ -788,6 +837,54 @@ mod tests {
         // A zero window means "no batching", preserved verbatim.
         let cfg = ClusterConfig::new().flush_window(Duration::ZERO);
         assert_eq!(cfg.policy().window, Span::ZERO);
+        // The admission bound defaults and accepts an explicit zero
+        // (closed valve).
+        assert_eq!(ClusterConfig::new().inbox_limit(), DEFAULT_INBOX_CAP);
+        assert_eq!(ClusterConfig::new().inbox_cap(64).inbox_limit(), 64);
+        assert_eq!(ClusterConfig::new().inbox_cap(0).inbox_limit(), 0);
+    }
+
+    /// With the admission valve closed, every client multicast sheds
+    /// with explicit backpressure — but protocol traffic (suspicion,
+    /// views) still flows, so overload never costs liveness.
+    #[test]
+    fn closed_admission_valve_sheds_client_traffic_only() {
+        let mut cluster = Cluster::with_config(ClusterConfig::new().inbox_cap(0));
+        for i in 1..=3 {
+            cluster.add_process(p(i));
+        }
+        let g = GroupId(1);
+        cluster
+            .bootstrap_group(g, [p(1), p(2), p(3)], fast_cfg())
+            .unwrap();
+        let cluster = cluster.start();
+        assert!(matches!(
+            cluster
+                .node(p(1))
+                .unwrap()
+                .multicast(g, Bytes::from_static(b"x")),
+            Err(SendError::Overloaded { .. })
+        ));
+        let (tx, rx) = bounded(1);
+        assert!(cluster
+            .node(p(2))
+            .unwrap()
+            .multicast_pipelined(g, Bytes::from_static(b"y"), &tx));
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_secs(5)),
+            Ok(Err(SendError::Overloaded { .. }))
+        ));
+        cluster.kill(p(3));
+        let v = cluster
+            .node(p(1))
+            .unwrap()
+            .await_view_change(g, Duration::from_secs(30))
+            .expect("membership still runs under full shed");
+        assert!(!v.contains(p(3)));
+        let stats = cluster.wire_stats();
+        assert!(stats.shed_multicasts >= 2);
+        assert!(stats.frames > 0, "protocol frames still flow under shed");
+        cluster.shutdown();
     }
 
     #[test]

@@ -36,7 +36,11 @@
 //! something in the middle discarded bytes, e.g. a chaos proxy — makes
 //! the receiver sever the connection so the dialer's retransmission
 //! closes the hole. Session nonces distinguish a restarted peer from a
-//! resumed link.
+//! resumed link: the acceptor retires a peer's previous nonce when a
+//! new incarnation handshakes and rejects hellos bearing retired
+//! nonces, and a dialer severs on a resume point beyond anything it
+//! ever sent (receive state from a colliding nonce) rather than
+//! letting the link blackhole.
 
 use crate::transport::{Frame, Route, Router, ShardMsg, Transport, WireStats};
 use bytes::{Bytes, BytesMut};
@@ -76,6 +80,11 @@ pub struct TcpConfig {
     /// How many frames may buffer for an unreachable peer before new
     /// ones are dropped ([`WireStats::dropped_dead`]). Default 8192.
     pub dead_cap: u64,
+    /// How long to retry binding the listen address before giving up.
+    /// A process restarted in place (crash recovery) can find its old
+    /// incarnation's accepted sockets still in TIME_WAIT; retrying
+    /// rides out the window. Default zero: fail on the first error.
+    pub bind_retry: Duration,
 }
 
 impl TcpConfig {
@@ -89,6 +98,7 @@ impl TcpConfig {
             dial_backoff: Duration::from_millis(20),
             dial_backoff_max: Duration::from_secs(1),
             dead_cap: 8192,
+            bind_retry: Duration::ZERO,
         }
     }
 }
@@ -207,7 +217,20 @@ struct Acceptor {
     inboxes: Vec<Sender<ShardMsg>>,
     counters: Arc<NetCounters>,
     registry: Mutex<HashMap<(u32, u64), LinkState>>,
+    sessions: Mutex<HashMap<u32, PeerSession>>,
     ingress: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Incarnation bookkeeping for one dialing peer index: the nonce of its
+/// newest incarnation and every nonce that incarnation superseded. A
+/// hello bearing a retired nonce is a connection from a dead
+/// incarnation (e.g. a delayed dial that raced a crash-restart) — its
+/// records belong to engine state that no longer exists, so it is
+/// rejected at the handshake instead of being resumed.
+#[derive(Default)]
+struct PeerSession {
+    current: Option<u64>,
+    retired: std::collections::HashSet<u64>,
 }
 
 /// The link threads of a TCP host: per-peer writers, the accept loop,
@@ -272,7 +295,18 @@ pub(crate) fn start(
     let counters = Arc::new(NetCounters::default());
     let stop = Arc::new(AtomicBool::new(false));
     let nonce = session_nonce();
-    let listener = TcpListener::bind(cfg.peers[cfg.me])?;
+    let bind_deadline = std::time::Instant::now() + cfg.bind_retry;
+    let listener = loop {
+        match TcpListener::bind(cfg.peers[cfg.me]) {
+            Ok(l) => break l,
+            Err(e) => {
+                if std::time::Instant::now() >= bind_deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    };
     listener.set_nonblocking(true)?;
     let mut threads = Vec::new();
     let mut links: Vec<Option<Arc<PeerLink>>> = (0..cfg.peers.len()).map(|_| None).collect();
@@ -323,6 +357,7 @@ pub(crate) fn start(
         inboxes,
         counters: Arc::clone(&counters),
         registry: Mutex::new(HashMap::new()),
+        sessions: Mutex::new(HashMap::new()),
         ingress: Mutex::new(Vec::new()),
     });
     {
@@ -367,6 +402,20 @@ fn would_block(e: &std::io::Error) -> bool {
     matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
 }
 
+/// Applies deterministic ±25% jitter to a backoff delay, advancing the
+/// xorshift state `rng`. Peers that lost a common peer at the same
+/// instant would otherwise redial in lockstep, hammering the restarted
+/// listener in synchronized waves; the spread stays within
+/// `[3/4·base, 5/4·base)` so backoff analysis still holds.
+fn jittered(base: Duration, rng: &mut u64) -> Duration {
+    *rng ^= *rng << 13;
+    *rng ^= *rng >> 7;
+    *rng ^= *rng << 17;
+    let span = u64::try_from(base.as_nanos() / 2).unwrap_or(u64::MAX);
+    let offset = if span == 0 { 0 } else { *rng % span };
+    base.mul_f64(0.75) + Duration::from_nanos(offset)
+}
+
 /// Sleeps `total` in short slices so a stop request is honoured quickly.
 fn backoff_sleep(total: Duration, stop: &AtomicBool) {
     let mut left = total;
@@ -379,9 +428,18 @@ fn backoff_sleep(total: Duration, stop: &AtomicBool) {
 
 /// Dials, handshakes, prunes the retransmission queue per the
 /// acceptor's resume point, and retransmits what remains.
+///
+/// A reply nonce different from the previous connection's means the
+/// peer process restarted: its receive state — and the engine state the
+/// retained backlog was addressed to — died with the old incarnation.
+/// The backlog is voided and the link's sequence space restarts at 1,
+/// so the fresh acceptor (which expects sequence 1) accepts the link
+/// instead of severing on a gap forever.
 fn dial(
     cfg: &WriterCfg,
     unacked: &mut VecDeque<(u64, Bytes)>,
+    next_seq: &mut u64,
+    peer_nonce: &mut Option<u64>,
     link: &PeerLink,
 ) -> Option<TcpStream> {
     let stream = TcpStream::connect_timeout(&cfg.addr, Duration::from_millis(500)).ok()?;
@@ -399,6 +457,26 @@ fn dial(
     let reply = decode_hello(&reply).ok()?;
     if reply.peer != cfg.peer {
         return None; // dialed the wrong process (stale address)
+    }
+    if peer_nonce
+        .replace(reply.nonce)
+        .is_some_and(|old| old != reply.nonce)
+    {
+        #[allow(clippy::cast_possible_truncation)]
+        let voided = unacked.len() as u64;
+        link.queued.fetch_sub(voided, Ordering::Relaxed);
+        unacked.clear();
+        *next_seq = 1;
+    }
+    if reply.resume > *next_seq {
+        // The acceptor claims to have consumed sequences we never sent
+        // — receive state from a colliding nonce or a corrupted peer.
+        // No resume point can be correct, and writing on (new records
+        // would sit below its expected sequence and be dropped as
+        // duplicates) turns the link into a silent blackhole. Sever
+        // and redial instead: the failure stays visible as a link that
+        // never comes up, with frames counted at the dead-peer cap.
+        return None;
     }
     while unacked.front().is_some_and(|&(s, _)| s < reply.resume) {
         unacked.pop_front();
@@ -467,14 +545,16 @@ fn writer_main(
 ) {
     let mut unacked: VecDeque<(u64, Bytes)> = VecDeque::new();
     let mut next_seq: u64 = 1;
+    let mut peer_nonce: Option<u64> = None;
     let mut conn: Option<TcpStream> = None;
     let mut backoff = cfg.backoff0;
+    let mut rng = cfg.nonce ^ (u64::from(cfg.peer) << 17) ^ u64::from(cfg.me) | 1;
     let mut connected_before = false;
     let mut ackpend: Vec<u8> = Vec::new();
     let mut scratch = BytesMut::new();
     while !stop.load(Ordering::Relaxed) {
         if conn.is_none() {
-            match dial(cfg, &mut unacked, link) {
+            match dial(cfg, &mut unacked, &mut next_seq, &mut peer_nonce, link) {
                 Some(stream) => {
                     if connected_before {
                         counters.reconnects.fetch_add(1, Ordering::Relaxed);
@@ -485,7 +565,7 @@ fn writer_main(
                     conn = Some(stream);
                 }
                 None => {
-                    backoff_sleep(backoff, stop);
+                    backoff_sleep(jittered(backoff, &mut rng), stop);
                     backoff = (backoff * 2).min(cfg.backoff_max);
                     continue;
                 }
@@ -560,6 +640,21 @@ fn accept_conn(ctx: &Arc<Acceptor>, stream: TcpStream) {
             .handshake_rejects
             .fetch_add(1, Ordering::Relaxed);
         return;
+    }
+    {
+        let mut sessions = ctx.sessions.lock();
+        let slot = sessions.entry(hello.peer).or_default();
+        if slot.current != Some(hello.nonce) {
+            if slot.retired.contains(&hello.nonce) {
+                ctx.counters
+                    .handshake_rejects
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            if let Some(old) = slot.current.replace(hello.nonce) {
+                slot.retired.insert(old);
+            }
+        }
     }
     let state = Arc::clone(
         ctx.registry
@@ -653,4 +748,42 @@ fn ingress_main(ctx: &Acceptor, mut stream: &TcpStream, state: &Mutex<u64>) {
     }
     // Best-effort final ack so a graceful close loses nothing.
     let _ = send_ack(&mut last_acked);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::jittered;
+    use std::time::Duration;
+
+    /// Every draw stays within the documented ±25% envelope, for bases
+    /// spanning the whole 20ms → 1s backoff ladder.
+    #[test]
+    fn jitter_stays_within_quarter_envelope() {
+        for base_ms in [20u64, 40, 160, 640, 1000] {
+            let base = Duration::from_millis(base_ms);
+            let mut rng = 0x9e37_79b9_7f4a_7c15u64;
+            for _ in 0..10_000 {
+                let j = jittered(base, &mut rng);
+                assert!(j >= base.mul_f64(0.75), "{j:?} below -25% of {base:?}");
+                assert!(j < base.mul_f64(1.25), "{j:?} at or above +25% of {base:?}");
+            }
+        }
+    }
+
+    /// Identical seeds produce identical schedules (the jitter is
+    /// deterministic, so failures reproduce), and distinct seeds
+    /// actually spread.
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_spreads_across_seeds() {
+        let base = Duration::from_millis(100);
+        let draw = |seed: u64| -> Vec<Duration> {
+            let mut rng = seed;
+            (0..32).map(|_| jittered(base, &mut rng)).collect()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+        // A zero-width base must not panic or jitter.
+        let mut rng = 3;
+        assert_eq!(jittered(Duration::ZERO, &mut rng), Duration::ZERO);
+    }
 }

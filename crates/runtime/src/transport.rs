@@ -147,6 +147,12 @@ pub struct WireStats {
     /// Inbound connections rejected at the handshake (bad magic,
     /// version, or peer index; TCP host).
     pub handshake_rejects: u64,
+    /// Application multicasts shed at the host's admission boundary
+    /// because the destination shard's inbox was at capacity
+    /// ([`crate::ClusterConfig::inbox_cap`]). Only new client traffic is
+    /// ever shed; protocol frames (nulls, suspicions, views) always
+    /// enqueue, so overload degrades offered load instead of liveness.
+    pub shed_multicasts: u64,
 }
 
 impl WireStats {
@@ -163,6 +169,47 @@ impl WireStats {
     }
 }
 
+/// The host's admission gate: client multicasts are shed (with an exact
+/// count) once the destination shard's inbox depth reaches `cap`.
+///
+/// This is deliberately *not* a bounded channel on the inbox itself: a
+/// hard bound on protocol traffic would deadlock two mutually-full
+/// shards (A blocked shipping to B, B blocked shipping to A). Instead
+/// the bound is enforced where load enters the system — the application
+/// multicast boundary — and protocol frames always enqueue, so the
+/// engine's Ω-liveness obligations survive overload.
+#[derive(Debug)]
+pub(crate) struct Admission {
+    /// Inbox depth at or above which new client multicasts are shed.
+    /// `0` closes the valve entirely (every multicast sheds) — a
+    /// degenerate setting used by tests and emergency load shedding.
+    cap: usize,
+    shed: AtomicU64,
+}
+
+impl Admission {
+    pub(crate) fn new(cap: usize) -> Admission {
+        Admission {
+            cap,
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether a client multicast may enter a shard whose inbox holds
+    /// `queued` messages; a refusal is counted as a shed.
+    pub(crate) fn try_admit(&self, queued: usize) -> bool {
+        if queued >= self.cap {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    pub(crate) fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+}
+
 /// Routes frames and commands to the shard owning each destination node.
 pub(crate) struct Router {
     /// Sorted `(process, shard)` pairs — node placement is fixed at
@@ -175,10 +222,15 @@ pub(crate) struct Router {
     null_frames: AtomicU64,
     suppressed_nulls: AtomicU64,
     occupancy: [AtomicU64; OCCUPANCY_BUCKETS],
+    admission: Arc<Admission>,
 }
 
 impl Router {
-    pub(crate) fn new(mut addrs: Vec<(ProcessId, u32)>, inboxes: Vec<Sender<ShardMsg>>) -> Router {
+    pub(crate) fn new(
+        mut addrs: Vec<(ProcessId, u32)>,
+        inboxes: Vec<Sender<ShardMsg>>,
+        admission: Arc<Admission>,
+    ) -> Router {
         addrs.sort_unstable();
         Router {
             addrs,
@@ -189,6 +241,7 @@ impl Router {
             null_frames: AtomicU64::new(0),
             suppressed_nulls: AtomicU64::new(0),
             occupancy: std::array::from_fn(|_| AtomicU64::new(0)),
+            admission,
         }
     }
 
@@ -249,6 +302,7 @@ impl Router {
             reconnects: 0,
             dropped_dead: 0,
             handshake_rejects: 0,
+            shed_multicasts: self.admission.shed_count(),
         }
     }
 }
@@ -690,8 +744,27 @@ mod tests {
     fn test_router() -> (Arc<Router>, crossbeam::channel::Receiver<ShardMsg>) {
         let (tx0, rx0) = unbounded();
         let (tx1, _rx1) = unbounded();
-        let router = Router::new(vec![(ProcessId(1), 0), (ProcessId(2), 1)], vec![tx0, tx1]);
+        let router = Router::new(
+            vec![(ProcessId(1), 0), (ProcessId(2), 1)],
+            vec![tx0, tx1],
+            Arc::new(Admission::new(1024)),
+        );
         (Arc::new(router), rx0)
+    }
+
+    /// The admission gate sheds at capacity and counts exactly.
+    #[test]
+    fn admission_sheds_at_cap_and_counts() {
+        let gate = Admission::new(2);
+        assert!(gate.try_admit(0));
+        assert!(gate.try_admit(1));
+        assert!(!gate.try_admit(2));
+        assert!(!gate.try_admit(100));
+        assert_eq!(gate.shed_count(), 2);
+        // A closed valve (cap 0) sheds everything.
+        let closed = Admission::new(0);
+        assert!(!closed.try_admit(0));
+        assert_eq!(closed.shed_count(), 1);
     }
 
     #[test]

@@ -126,6 +126,8 @@ fn shutdown_under_active_multicast_load() {
                 // error, not panic or wedge.
                 match handle.multicast(g, Bytes::from_static(b"load")) {
                     Ok(()) => sent += 1,
+                    // Backpressure is transient: back off and retry.
+                    Err(SendError::Overloaded { .. }) => std::thread::yield_now(),
                     Err(SendError::NotMember { .. } | SendError::Departed { .. }) => break,
                 }
             }

@@ -37,6 +37,51 @@ pub enum DeliveryMode {
     Atomic,
 }
 
+/// How the failure suspector turns silence into suspicion.
+///
+/// The paper's `S_i` (§5.2) uses a fixed timeout Ω. The accrual variant
+/// replaces it with a phi-accrual-style adaptive timeout derived from the
+/// observed inter-arrival times of each member's messages (dominated by the
+/// ω-null heartbeat cadence): a member is suspected only after staying
+/// silent for `max(Ω, mean_interarrival × factor)`, capped at `Ω × cap` so
+/// a genuinely dead member is still suspected in bounded time. Latency
+/// spikes thus *raise the suspicion level* (silence as a fraction of the
+/// adaptive timeout) instead of instantly triggering exclusion.
+///
+/// All parameters are integers so the config stays `Copy + Eq + Hash` and
+/// every derived quantity is exactly reproducible across replays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SuspicionMode {
+    /// The paper's fixed Ω-silence timeout, verbatim.
+    #[default]
+    FixedOmega,
+    /// Phi-accrual-style adaptive timeout.
+    Accrual {
+        /// Inter-arrival sample window per member (newest `window` samples;
+        /// at least 2).
+        window: u8,
+        /// Suspicion threshold as a multiple of the windowed mean
+        /// inter-arrival time (at least 2).
+        factor: u16,
+        /// Upper bound on the adaptive timeout, as a multiple of Ω (at
+        /// least 1) — the liveness guard.
+        cap: u16,
+    },
+}
+
+impl SuspicionMode {
+    /// The accrual mode with default parameters: an 8-sample window, a
+    /// threshold of 6× the mean inter-arrival, capped at 8×Ω.
+    #[must_use]
+    pub fn accrual() -> SuspicionMode {
+        SuspicionMode::Accrual {
+            window: 8,
+            factor: 6,
+            cap: 8,
+        }
+    }
+}
+
 /// Per-group protocol parameters.
 ///
 /// # Examples
@@ -60,13 +105,17 @@ pub struct GroupConfig {
     /// Suspicion timeout Ω (§5.2): the failure suspector suspects a member
     /// after Ω without receiving any of its messages. Must exceed ω; "in
     /// practice, Ω should be tuned to a value that minimises the possibility
-    /// of unfounded suspicions".
+    /// of unfounded suspicions". Under [`SuspicionMode::Accrual`] this is
+    /// the *floor* of the adaptive timeout.
     pub big_omega: Span,
     /// Flow-control window (§7, detailed in the companion thesis, reference 11 of the paper): the maximum
     /// number of *unstable* own application messages a member may have
     /// outstanding in the group before further sends are queued locally.
     /// `None` disables flow control.
     pub flow_window: Option<u32>,
+    /// How silence becomes suspicion: the paper's fixed Ω, or the accrual
+    /// detector layered on top of it.
+    pub suspicion: SuspicionMode,
 }
 
 impl GroupConfig {
@@ -80,6 +129,7 @@ impl GroupConfig {
             omega: Span::from_millis(10),
             big_omega: Span::from_millis(100),
             flow_window: None,
+            suspicion: SuspicionMode::FixedOmega,
         }
     }
 
@@ -111,13 +161,25 @@ impl GroupConfig {
         self
     }
 
-    /// Checks the paper's constraint Ω > ω and that the window is non-zero.
+    /// Sets the suspicion mode.
+    #[must_use]
+    pub fn with_suspicion(mut self, suspicion: SuspicionMode) -> GroupConfig {
+        self.suspicion = suspicion;
+        self
+    }
+
+    /// Checks the paper's constraint Ω > ω, that the window is non-zero,
+    /// and that accrual parameters are in range.
     ///
     /// # Errors
     ///
-    /// Returns [`ConfigError::TimeoutsInverted`] if `big_omega <= omega`, and
+    /// Returns [`ConfigError::TimeoutsInverted`] if `big_omega <= omega`,
     /// [`ConfigError::ZeroWindow`] if a flow window of zero is configured
-    /// (it would block every send forever).
+    /// (it would block every send forever), and
+    /// [`ConfigError::BadAccrual`] for degenerate accrual parameters (a
+    /// window under 2 samples cannot estimate an inter-arrival mean; a
+    /// factor under 2 would suspect members at their own heartbeat cadence;
+    /// a cap of 0 would make the timeout zero).
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.big_omega <= self.omega {
             return Err(ConfigError::TimeoutsInverted {
@@ -127,6 +189,20 @@ impl GroupConfig {
         }
         if self.flow_window == Some(0) {
             return Err(ConfigError::ZeroWindow);
+        }
+        if let SuspicionMode::Accrual {
+            window,
+            factor,
+            cap,
+        } = self.suspicion
+        {
+            if window < 2 || factor < 2 || cap < 1 {
+                return Err(ConfigError::BadAccrual {
+                    window,
+                    factor,
+                    cap,
+                });
+            }
         }
         Ok(())
     }
@@ -219,6 +295,38 @@ mod tests {
         assert_eq!(cfg.omega, Span::from_millis(1));
         assert_eq!(cfg.big_omega, Span::from_millis(9));
         assert_eq!(cfg.flow_window, Some(16));
+    }
+
+    #[test]
+    fn accrual_params_validated() {
+        let base = GroupConfig::new(OrderMode::Symmetric);
+        assert_eq!(base.suspicion, SuspicionMode::FixedOmega);
+        assert!(base
+            .with_suspicion(SuspicionMode::accrual())
+            .validate()
+            .is_ok());
+        for bad in [
+            SuspicionMode::Accrual {
+                window: 1,
+                factor: 6,
+                cap: 8,
+            },
+            SuspicionMode::Accrual {
+                window: 8,
+                factor: 1,
+                cap: 8,
+            },
+            SuspicionMode::Accrual {
+                window: 8,
+                factor: 6,
+                cap: 0,
+            },
+        ] {
+            assert!(matches!(
+                base.with_suspicion(bad).validate(),
+                Err(ConfigError::BadAccrual { .. })
+            ));
+        }
     }
 
     #[test]

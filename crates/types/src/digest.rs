@@ -238,6 +238,24 @@ impl StateDigest for crate::DeliveryMode {
     }
 }
 
+impl StateDigest for crate::SuspicionMode {
+    fn digest_into(&self, h: &mut DigestHasher) {
+        match self {
+            crate::SuspicionMode::FixedOmega => h.write_u8(0),
+            crate::SuspicionMode::Accrual {
+                window,
+                factor,
+                cap,
+            } => {
+                h.write_u8(1);
+                h.write_u8(*window);
+                h.write_u32(u32::from(*factor));
+                h.write_u32(u32::from(*cap));
+            }
+        }
+    }
+}
+
 impl StateDigest for GroupConfig {
     fn digest_into(&self, h: &mut DigestHasher) {
         self.mode.digest_into(h);
@@ -245,6 +263,7 @@ impl StateDigest for GroupConfig {
         self.omega.digest_into(h);
         self.big_omega.digest_into(h);
         self.flow_window.digest_into(h);
+        self.suspicion.digest_into(h);
     }
 }
 

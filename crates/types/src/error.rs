@@ -19,6 +19,17 @@ pub enum ConfigError {
     },
     /// A flow-control window of zero would block every send forever.
     ZeroWindow,
+    /// Degenerate accrual-detector parameters: the sample window must hold
+    /// at least 2 samples, the threshold factor must be at least 2 mean
+    /// inter-arrivals, and the cap must be at least 1×Ω.
+    BadAccrual {
+        /// Configured sample-window size.
+        window: u8,
+        /// Configured threshold factor.
+        factor: u16,
+        /// Configured timeout cap (multiple of Ω).
+        cap: u16,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -29,6 +40,15 @@ impl fmt::Display for ConfigError {
                 "suspicion timeout Ω ({big_omega}) must exceed time-silence interval ω ({omega})"
             ),
             ConfigError::ZeroWindow => write!(f, "flow-control window must be at least one"),
+            ConfigError::BadAccrual {
+                window,
+                factor,
+                cap,
+            } => write!(
+                f,
+                "accrual parameters out of range (window {window}, factor {factor}, cap {cap}): \
+                 need window >= 2, factor >= 2, cap >= 1"
+            ),
         }
     }
 }
@@ -48,6 +68,14 @@ pub enum SendError {
         /// The group addressed by the send.
         group: GroupId,
     },
+    /// The host shed the request at its admission boundary: the shard's
+    /// inbox is at capacity. Protocol traffic is never shed — only new
+    /// application multicasts — so the caller may simply retry later
+    /// (explicit backpressure, not a membership verdict).
+    Overloaded {
+        /// The group addressed by the send.
+        group: GroupId,
+    },
 }
 
 impl fmt::Display for SendError {
@@ -60,6 +88,12 @@ impl fmt::Display for SendError {
                 write!(
                     f,
                     "process has departed {group} and may no longer send in it"
+                )
+            }
+            SendError::Overloaded { group } => {
+                write!(
+                    f,
+                    "host inbox at capacity; multicast in {group} shed (retry later)"
                 )
             }
         }

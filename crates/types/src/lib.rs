@@ -41,7 +41,7 @@ mod time;
 mod view;
 pub mod wire;
 
-pub use config::{DeliveryMode, GroupConfig, OrderMode, ProcessConfig};
+pub use config::{DeliveryMode, GroupConfig, OrderMode, ProcessConfig, SuspicionMode};
 pub use error::{ConfigError, DecodeError, SendError};
 pub use ids::{GroupId, Msn, ProcessId, ViewSeq};
 pub use message::{ControlMessage, Envelope, FormationDecision, Message, MessageBody, Suspicion};

@@ -32,7 +32,7 @@
 
 use crate::{
     ControlMessage, DecodeError, DeliveryMode, Envelope, FormationDecision, GroupConfig, GroupId,
-    Message, MessageBody, Msn, OrderMode, ProcessId, Span, Suspicion,
+    Message, MessageBody, Msn, OrderMode, ProcessId, Span, Suspicion, SuspicionMode,
 };
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::collections::BTreeSet;
@@ -269,6 +269,19 @@ fn put_config(buf: &mut BytesMut, cfg: &GroupConfig) {
             put_varint(buf, u64::from(w));
         }
     }
+    match cfg.suspicion {
+        SuspicionMode::FixedOmega => buf.put_u8(0),
+        SuspicionMode::Accrual {
+            window,
+            factor,
+            cap,
+        } => {
+            buf.put_u8(1);
+            buf.put_u8(window);
+            put_varint(buf, u64::from(factor));
+            put_varint(buf, u64::from(cap));
+        }
+    }
 }
 
 fn get_config(buf: &mut Bytes) -> Result<GroupConfig, DecodeError> {
@@ -310,12 +323,38 @@ fn get_config(buf: &mut Bytes) -> Result<GroupConfig, DecodeError> {
             })
         }
     };
+    if !buf.has_remaining() {
+        return Err(DecodeError::Truncated);
+    }
+    let suspicion = match buf.get_u8() {
+        0 => SuspicionMode::FixedOmega,
+        1 => {
+            if !buf.has_remaining() {
+                return Err(DecodeError::Truncated);
+            }
+            let window = buf.get_u8();
+            let factor = get_varint(buf)? as u16;
+            let cap = get_varint(buf)? as u16;
+            SuspicionMode::Accrual {
+                window,
+                factor,
+                cap,
+            }
+        }
+        tag => {
+            return Err(DecodeError::UnknownTag {
+                tag,
+                context: "suspicion mode",
+            })
+        }
+    };
     Ok(GroupConfig {
         mode,
         delivery,
         omega,
         big_omega,
         flow_window,
+        suspicion,
     })
 }
 
@@ -497,6 +536,14 @@ fn config_len(cfg: &GroupConfig) -> usize {
         + match cfg.flow_window {
             None => 1,
             Some(w) => 1 + varint_len(u64::from(w)),
+        }
+        + match cfg.suspicion {
+            SuspicionMode::FixedOmega => 1,
+            SuspicionMode::Accrual {
+                window: _,
+                factor,
+                cap,
+            } => 2 + varint_len(u64::from(factor)) + varint_len(u64::from(cap)),
         }
 }
 

@@ -8,7 +8,7 @@ use bytes::Bytes;
 use newtop_types::wire::{self, FrameDecoder};
 use newtop_types::{
     ControlMessage, DeliveryMode, Envelope, FormationDecision, GroupConfig, GroupId, Message,
-    MessageBody, Msn, OrderMode, ProcessId, Span, Suspicion,
+    MessageBody, Msn, OrderMode, ProcessId, Span, Suspicion, SuspicionMode,
 };
 use proptest::prelude::*;
 
@@ -55,22 +55,31 @@ fn arb_config() -> impl Strategy<Value = GroupConfig> {
         1..10_000_000u64,
         1..100_000_000u64,
         proptest::option::of(1..1_000u32),
+        prop_oneof![
+            2 => Just(SuspicionMode::FixedOmega),
+            1 => (2..32u8, 2..64u16, 1..32u16).prop_map(|(window, factor, cap)| {
+                SuspicionMode::Accrual { window, factor, cap }
+            }),
+        ],
     )
-        .prop_map(|(asym, atomic, omega, big, window)| GroupConfig {
-            mode: if asym {
-                OrderMode::Asymmetric
-            } else {
-                OrderMode::Symmetric
+        .prop_map(
+            |(asym, atomic, omega, big, window, suspicion)| GroupConfig {
+                mode: if asym {
+                    OrderMode::Asymmetric
+                } else {
+                    OrderMode::Symmetric
+                },
+                delivery: if atomic {
+                    DeliveryMode::Atomic
+                } else {
+                    DeliveryMode::Total
+                },
+                omega: Span::from_micros(omega),
+                big_omega: Span::from_micros(big),
+                flow_window: window,
+                suspicion,
             },
-            delivery: if atomic {
-                DeliveryMode::Atomic
-            } else {
-                DeliveryMode::Total
-            },
-            omega: Span::from_micros(omega),
-            big_omega: Span::from_micros(big),
-            flow_window: window,
-        })
+        )
 }
 
 fn arb_envelope() -> impl Strategy<Value = Envelope> {

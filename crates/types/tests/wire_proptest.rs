@@ -6,7 +6,7 @@ use bytes::Bytes;
 use newtop_types::wire;
 use newtop_types::{
     ControlMessage, DeliveryMode, Envelope, FormationDecision, GroupConfig, GroupId, Message,
-    MessageBody, Msn, OrderMode, ProcessId, Span, Suspicion,
+    MessageBody, Msn, OrderMode, ProcessId, Span, Suspicion, SuspicionMode,
 };
 use proptest::prelude::*;
 
@@ -71,6 +71,15 @@ fn arb_body() -> impl Strategy<Value = MessageBody> {
     ]
 }
 
+fn arb_suspicion_mode() -> impl Strategy<Value = SuspicionMode> {
+    prop_oneof![
+        2 => Just(SuspicionMode::FixedOmega),
+        1 => (2..32u8, 2..64u16, 1..32u16).prop_map(|(window, factor, cap)| {
+            SuspicionMode::Accrual { window, factor, cap }
+        }),
+    ]
+}
+
 fn arb_config() -> impl Strategy<Value = GroupConfig> {
     (
         any::<bool>(),
@@ -78,22 +87,26 @@ fn arb_config() -> impl Strategy<Value = GroupConfig> {
         1..10_000_000u64,
         1..100_000_000u64,
         proptest::option::of(1..1_000u32),
+        arb_suspicion_mode(),
     )
-        .prop_map(|(asym, atomic, omega, big, window)| GroupConfig {
-            mode: if asym {
-                OrderMode::Asymmetric
-            } else {
-                OrderMode::Symmetric
+        .prop_map(
+            |(asym, atomic, omega, big, window, suspicion)| GroupConfig {
+                mode: if asym {
+                    OrderMode::Asymmetric
+                } else {
+                    OrderMode::Symmetric
+                },
+                delivery: if atomic {
+                    DeliveryMode::Atomic
+                } else {
+                    DeliveryMode::Total
+                },
+                omega: Span::from_micros(omega),
+                big_omega: Span::from_micros(big),
+                flow_window: window,
+                suspicion,
             },
-            delivery: if atomic {
-                DeliveryMode::Atomic
-            } else {
-                DeliveryMode::Total
-            },
-            omega: Span::from_micros(omega),
-            big_omega: Span::from_micros(big),
-            flow_window: window,
-        })
+        )
 }
 
 fn arb_envelope() -> impl Strategy<Value = Envelope> {

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke test (gating in CI), in two acts.
+#
+# Act 1 — kill-9 / restart / rejoin. `newtop-exp load --supervise`
+# spawns a 6-node / 2-group cluster over three serve processes and runs
+# three seeded kill -9 / restart cycles against it, mid-traffic. After
+# every kill the survivors must exclude the dead members (ViewChange at
+# every surviving member); after every restart the victim must rejoin
+# under a fresh incarnation through the §5.3 formation path (a NEW
+# group id — a former member never re-enters the group it was excluded
+# from, per §3 of the paper). The supervisor asserts each rejoin
+# completes and that the final per-group delivery histories agree as
+# prefixes across all members; any divergence or missed rejoin exits
+# nonzero.
+#
+# Act 2 — zero false exclusions under latency spikes. A 3-process
+# cluster with the accrual suspicion detector enabled runs behind the
+# chaos proxy configured for *delay only* (random per-record holds up
+# to 120 ms, no drops, no partitions). Latency spikes must raise
+# suspicion levels, not trigger exclusions: `load --expect-stable`
+# exits nonzero if any view change occurs during the run.
+#
+# Usage: scripts/crash_smoke.sh [path-to-newtop-exp]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${1:-target/release/newtop-exp}"
+if [[ ! -x "$BIN" ]]; then
+    echo "crash_smoke: $BIN not built (cargo build --release -p newtop-harness)" >&2
+    exit 2
+fi
+
+# Fresh port block per run so parallel CI jobs don't collide.
+BASE=$((20000 + RANDOM % 20000))
+
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+}
+trap cleanup EXIT
+
+# ---------------------------------------------------------------- act 1
+echo "crash_smoke: act 1 — supervised kill -9 / restart / rejoin"
+"$BIN" load --supervise --nodes 6 --groups 2 --procs 3 --cycles 3 \
+    --seed 1 --port-base "$BASE"
+echo "crash_smoke: act 1 OK — 3 kill/restart cycles, rejoins green"
+
+# ---------------------------------------------------------------- act 2
+echo "crash_smoke: act 2 — accrual stability under latency spikes"
+BASE2=$((BASE + 100))
+D0="127.0.0.1:$BASE2";         D1="127.0.0.1:$((BASE2 + 1))"; D2="127.0.0.1:$((BASE2 + 2))"
+C0="127.0.0.1:$((BASE2 + 3))"; C1="127.0.0.1:$((BASE2 + 4))"; C2="127.0.0.1:$((BASE2 + 5))"
+PX="127.0.0.1:$((BASE2 + 6))"
+
+# Delay-only proxy on the links into peer 2: spikes, never loss.
+"$BIN" proxy --route "$PX=$D2" --seed 11 --delay-ms 120 --secs 60 &
+PROXY_PID=$!
+PIDS+=("$PROXY_PID")
+
+SERVE_PIDS=()
+for me in 0 1 2; do
+    if [[ "$me" == 2 ]]; then
+        view="$D0,$D1,$D2"
+    else
+        view="$D0,$D1,$PX"
+    fi
+    "$BIN" serve --nodes 6 --groups 2 --peers "$view" --ctrl "$C0,$C1,$C2" \
+        --me "$me" --omega-ms 10 --big-omega-ms 1500 --accrual &
+    SERVE_PIDS+=("$!")
+    PIDS+=("$!")
+done
+
+# Any exclusion during the run is a false one: the only interference is
+# delay, and every process stays up.
+"$BIN" load --host tcp --peers "$C0,$C1,$C2" --nodes 6 --groups 2 \
+    --secs 8 --window 8 --expect-stable --stop-peers
+
+status=0
+for pid in "${SERVE_PIDS[@]}"; do
+    if ! wait "$pid"; then
+        echo "crash_smoke: serve process $pid exited nonzero" >&2
+        status=1
+    fi
+done
+kill "$PROXY_PID" 2>/dev/null || true
+PIDS=()
+
+if [[ "$status" == 0 ]]; then
+    echo "crash_smoke: OK — rejoins green, zero false exclusions under latency spikes"
+fi
+exit "$status"

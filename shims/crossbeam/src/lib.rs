@@ -182,6 +182,18 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
+        /// How many values are currently buffered in the channel.
+        #[must_use]
+        pub fn len(&self) -> usize {
+            self.chan.state.lock().unwrap().queue.len()
+        }
+
+        /// Whether the channel currently buffers no values.
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Enqueues `value`, failing only if every receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut st = self.chan.state.lock().unwrap();
