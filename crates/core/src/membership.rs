@@ -632,9 +632,76 @@ impl Process {
         // If this install made us the sequencer, serve the requests that
         // arrived (from faster-installing senders) before it did.
         self.relay_parked_requests(group, out);
+        // Detections adopted while this install was still queued wait in
+        // `asym_awaiting` for the sequencer's cut — but the install may
+        // have handed the sequencer role to the very process a pending
+        // detection names (which will never cut), or to us (whose cut the
+        // group now awaits).
+        self.reconcile_asym_awaiting(group, out);
         // The shrunk view may make pending suspicions unanimous.
         self.check_consensus(group, out);
         self.recheck_pending_confirms(group, out);
+    }
+
+    /// Post-install reconciliation of `asym_awaiting` against the (possibly
+    /// new) sequencer. A detection adopted under a queued earlier install
+    /// parks awaiting the sequencer's in-stream `ViewCut`; if the install
+    /// promoted a process that detection itself names, the cut can never
+    /// come — fall back to the number-barrier install at the dead
+    /// sequencer's agreed `ln`, exactly as `adopt_detection` does when the
+    /// sequencer is in the detection at adoption time. (Without this, the
+    /// group wedges with the dead sequencer in the view forever, freezing
+    /// the merged cross-group delivery order of every member — found by
+    /// the chaos fleet as churn seed 1401.) Symmetrically, if the install
+    /// promoted *us*, emit the cuts the group is now waiting on.
+    fn reconcile_asym_awaiting(&mut self, group: GroupId, out: &mut Vec<Action>) {
+        let Some(gs) = self.groups.get_mut(&group) else {
+            return;
+        };
+        if gs.cfg.mode != OrderMode::Asymmetric || gs.asym_awaiting.is_empty() {
+            return;
+        }
+        let Some(sequencer) = gs.sequencer() else {
+            return;
+        };
+        if let Some(pos) = gs
+            .asym_awaiting
+            .iter()
+            .position(|d| d.iter().any(|s| s.suspect == sequencer))
+        {
+            let det = gs.asym_awaiting.remove(pos).expect("position exists");
+            let bound = det
+                .iter()
+                .find(|s| s.suspect == sequencer)
+                .map(|s| s.ln)
+                .expect("sequencer pair present");
+            let mut all_failed: BTreeSet<ProcessId> = det.iter().map(|s| s.suspect).collect();
+            for d in gs.asym_awaiting.drain(..) {
+                all_failed.extend(d.iter().map(|s| s.suspect));
+            }
+            // The handover catch-up in `execute_install` reads `RV[new_seq]`,
+            // but adoption already released that entry to ∞ — and `D_{x,i}`
+            // only ever tracked the *previous* sequencer's stream. The agreed
+            // pair `ln` is the agreed end of the dead sequencer's stream
+            // (consensus required every member to have received up to it);
+            // nothing beyond it will ever be ordered, so the deliverability
+            // bound jumps there, releasing the buffered tail for delivery
+            // and letting the number-barrier install pass.
+            gs.d_asym = gs.d_asym.max(bound);
+            gs.install_queue.push_back(PendingInstall {
+                failed: all_failed.clone(),
+                bound,
+            });
+            gs.touch_timers();
+            self.apply_discards(group, &all_failed, bound, out);
+            return;
+        }
+        if gs.is_sequencer() {
+            let pending: Vec<Vec<Suspicion>> = gs.asym_awaiting.iter().cloned().collect();
+            for det in pending {
+                self.send_numbered(group, move |_| MessageBody::ViewCut { detection: det }, out);
+            }
+        }
     }
 
     /// Voluntary departure announcement received: agree on `{sender, c}` —

@@ -116,7 +116,11 @@ options:
   --max-faults K     generation limit: fault-schedule entries (default 4;
                      8 under --churn)
   --churn            generate the churn family: crash/depart-heavy fault
-                     schedules with the crash budget raised to n-2";
+                     schedules with the crash budget raised to n-2
+  --wan              generate the WAN/geo family: seeded multi-region
+                     topologies with capped uplinks, asymmetric trunks,
+                     duplication/reorder knobs and congestion windows
+                     (combines with --churn)";
 
 struct ChaosArgs {
     seeds: Option<(u64, u64)>,
@@ -131,6 +135,7 @@ struct ChaosArgs {
     max_n: u32,
     max_faults: Option<u32>,
     churn: bool,
+    wan: bool,
 }
 
 fn default_jobs() -> usize {
@@ -151,6 +156,7 @@ fn parse_chaos_args(args: &[String]) -> Result<ChaosArgs, String> {
         max_n: 7,
         max_faults: None,
         churn: false,
+        wan: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -212,6 +218,7 @@ fn parse_chaos_args(args: &[String]) -> Result<ChaosArgs, String> {
                 );
             }
             "--churn" => out.churn = true,
+            "--wan" => out.wan = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown chaos option {other}")),
         }
@@ -249,6 +256,7 @@ fn scenario_for(parsed: &ChaosArgs, seed: u64) -> ChaosScenario {
     } else {
         ChaosScenario::new(seed)
     };
+    s.wan = parsed.wan;
     s.max_n = parsed.max_n;
     if let Some(mf) = parsed.max_faults {
         s.max_faults = mf;
@@ -443,6 +451,12 @@ options:
                      (an idle shard flushes immediately). 0 disables wire
                      batching entirely (default 200)
   --batch-max N      max envelopes coalesced into one frame (default 128)
+  --wan-profile KBPS sharded host: cap the host's whole egress at KBPS
+                     kilobytes per second (a WAN uplink). Shards past
+                     the budget stall, so latency rises like on a
+                     saturated real link; pair with --accrual
+                     --expect-stable to assert congestion never causes
+                     a false exclusion
 
 churn / crash-recovery:
   --churn SEED       sharded host: seeded mid-run kills of non-driver
@@ -589,6 +603,13 @@ fn parse_load_args(args: &[String]) -> Result<LoadArgs, String> {
                     val("--batch-max")?
                         .parse::<u32>()
                         .map_err(|_| "bad --batch-max".to_string())?,
+                );
+            }
+            "--wan-profile" => {
+                cfg.wan_profile_kbps = Some(
+                    val("--wan-profile")?
+                        .parse::<u64>()
+                        .map_err(|_| "bad --wan-profile".to_string())?,
                 );
             }
             "--help" | "-h" => return Err(String::new()),
@@ -1114,6 +1135,10 @@ options:
                      receiver must dedup by sequence (default 0)
   --partition-at-ms T    open a partition window T ms after start
   --partition-for-ms D   window length, milliseconds (default 2000)
+  --rate-kbps R      token-bucket bandwidth shaping: cap each tunnel's
+                     data direction at R kilobytes per second; records
+                     past the budget stall like on a saturated WAN
+                     uplink (default: unshaped)
   --secs T           run this long then exit; 0 = until killed (default 0)";
 
 struct ProxyArgs {
@@ -1191,6 +1216,15 @@ fn parse_proxy_args(args: &[String]) -> Result<ProxyArgs, String> {
                         .parse::<u64>()
                         .map_err(|_| "bad --partition-for-ms".to_string())?,
                 );
+            }
+            "--rate-kbps" => {
+                let kbps = val("--rate-kbps")?
+                    .parse::<u64>()
+                    .map_err(|_| "bad --rate-kbps".to_string())?;
+                if kbps == 0 {
+                    return Err("--rate-kbps must be nonzero (omit it for unshaped)".to_string());
+                }
+                out.cfg.rate_kbps = Some(kbps);
             }
             "--secs" => {
                 out.secs = val("--secs")?

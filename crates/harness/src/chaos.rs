@@ -17,7 +17,7 @@
 use crate::checker::{check_all, CheckOptions, Violation};
 use crate::cluster::SimCluster;
 use crate::history::{History, HistoryEvent, MessageId};
-use newtop_sim::{LatencyModel, NetConfig, PartitionMode, PendingEvent};
+use newtop_sim::{LatencyModel, NetConfig, PartitionMode, PendingEvent, WanConfig, WanLinkSpec};
 use newtop_types::{GroupConfig, GroupId, Instant, OrderMode, ProcessId, Span};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -53,6 +53,16 @@ pub struct ChaosScenario {
     /// network chaos. Off by default; `false` reproduces the classic
     /// fleet's plans bit-for-bit.
     pub churn: bool,
+    /// WAN/geo family: runs on the topology-aware bandwidth model — a
+    /// seeded multi-region topology with capped per-node uplinks,
+    /// asymmetric inter-region trunks, a reorder-hold knob, and extra
+    /// congestion-window faults (link/uplink capacity slashes that later
+    /// restore). The wire stays exactly-once (the engine's transport
+    /// contract; see the `dup_permille` note in `plan`). Timeouts and the
+    /// settle horizon are widened so congestion manifests as suspicion,
+    /// not false exclusion. Off by default; `false` reproduces the
+    /// classic fleet's plans bit-for-bit.
+    pub wan: bool,
 }
 
 impl ChaosScenario {
@@ -66,6 +76,7 @@ impl ChaosScenario {
             max_sends: 28,
             max_faults: 4,
             churn: false,
+            wan: false,
         }
     }
 
@@ -81,6 +92,17 @@ impl ChaosScenario {
         }
     }
 
+    /// The WAN/geo family for `seed`: classic traffic and faults replayed
+    /// over a seeded multi-region bandwidth topology, plus congestion
+    /// windows that temporarily slash a trunk's or uplink's capacity.
+    #[must_use]
+    pub fn wan(seed: u64) -> ChaosScenario {
+        ChaosScenario {
+            wan: true,
+            ..ChaosScenario::new(seed)
+        }
+    }
+
     /// Deterministically expands the scenario into a concrete plan.
     #[must_use]
     #[allow(clippy::too_many_lines)]
@@ -92,6 +114,14 @@ impl ChaosScenario {
 
         // Overlapping topology: P1 is in every group (exercises the merged
         // cross-group order), everyone else joins with probability 0.6.
+        // The WAN family widens ω/Ω so trunk latency plus fair-share
+        // queueing raises suspicion levels without crossing the exclusion
+        // threshold: congestion must not look like a crash.
+        let (omega_us, big_omega_us) = if self.wan {
+            (20_000, 250_000)
+        } else {
+            (5_000, 60_000)
+        };
         let mut topology = Vec::new();
         for gi in 0..groups {
             let mut members: Vec<u32> = vec![1];
@@ -112,8 +142,8 @@ impl ChaosScenario {
             topology.push(GroupSpec {
                 group: GroupId(gi + 1),
                 mode,
-                omega_us: 5_000,
-                big_omega_us: 60_000,
+                omega_us,
+                big_omega_us,
                 members,
             });
         }
@@ -236,7 +266,14 @@ impl ChaosScenario {
                         });
                         cursor = heal + 5_000;
                     } else {
-                        // Loss mode: permanent, or heals long after 2Ω.
+                        // Loss mode: permanent, or heals long after 2Ω. The
+                        // classic draw range (150–300 ms) is 2.5–5 Ω at the
+                        // classic Ω of 60 ms; the WAN family widens Ω to
+                        // 250 ms, so the same draw shifts out past 2 Ω —
+                        // a loss cut that healed sooner would restore the
+                        // network before either side excluded the other,
+                        // losing messages without the partition ⇒ mutual
+                        // exclusion the checker (rightly) insists on.
                         faults.push(FaultSpec {
                             at_us: start,
                             op: FaultOp::Partition {
@@ -245,7 +282,12 @@ impl ChaosScenario {
                             },
                         });
                         if rng.gen_bool(0.5) {
-                            let heal = start + rng.gen_range(150_000u64..300_000);
+                            let wan_shift = if self.wan {
+                                2 * big_omega_us + 50_000 - 150_000
+                            } else {
+                                0
+                            };
+                            let heal = start + rng.gen_range(150_000u64..300_000) + wan_shift;
                             faults.push(FaultSpec {
                                 at_us: heal,
                                 op: FaultOp::Heal,
@@ -295,6 +337,107 @@ impl ChaosScenario {
                 }
             }
         }
+        // WAN topology and congestion-window faults. Every draw below is
+        // gated on `self.wan`, so the classic and churn families consume
+        // exactly the draw sequence they always did and replay
+        // bit-identically.
+        let wan = if self.wan {
+            let regions = rng.gen_range(2..=3u32);
+            const UPLINKS: [u64; 4] = [64_000, 128_000, 256_000, 512_000];
+            let mut nodes = Vec::new();
+            for p in 1..=n {
+                nodes.push(WanNodeSpec {
+                    p,
+                    region: rng.gen_range(0..regions),
+                    uplink_bps: UPLINKS[rng.gen_range(0..UPLINKS.len())],
+                });
+            }
+            // Every directed region pair gets its own independent draw —
+            // asymmetric latency and capacity by construction.
+            let mut routes = Vec::new();
+            for from in 0..regions {
+                for to in 0..regions {
+                    if from == to {
+                        continue;
+                    }
+                    let lo_us = rng.gen_range(5_000u64..20_000);
+                    routes.push(WanRouteSpec {
+                        from,
+                        to,
+                        lo_us,
+                        hi_us: lo_us + rng.gen_range(5_000u64..40_000),
+                        capacity_bps: rng.gen_range(128u64..=1024) * 1_000,
+                    });
+                }
+            }
+            Some(WanSpec {
+                // The engine's transport contract is exactly-once per link
+                // — the TCP plane enforces it by link-sequence dedup below
+                // the engine, and the sim harness binds the engine straight
+                // to the wire with no such layer in between. Family plans
+                // therefore keep the wire exactly-once; the duplication
+                // knob stays a network-model feature (pinned by the sim's
+                // unit and property tests) for hosts that model their own
+                // dedup, and hand-written scripts may still set `dup-pm`.
+                dup_permille: 0,
+                reorder_permille: rng.gen_range(0..=50),
+                reorder_hold_us: rng.gen_range(500..5_000),
+                nodes,
+                routes,
+            })
+        } else {
+            None
+        };
+        if let Some(ws) = &wan {
+            // Congestion windows: a trunk or an uplink drops to 1/8th of
+            // its capacity (with a latency bump for trunks) and restores
+            // after 15–40 ms — long enough to build a real backlog, short
+            // enough to drain well inside Ω.
+            for _ in 0..rng.gen_range(1..=2u32) {
+                let start = rng.gen_range(5_000u64..80_000);
+                let end = start + rng.gen_range(15_000u64..40_000);
+                if rng.gen_bool(0.6) {
+                    let r = &ws.routes[rng.gen_range(0..ws.routes.len())];
+                    let lo_us = r.lo_us + rng.gen_range(10_000u64..40_000);
+                    faults.push(FaultSpec {
+                        at_us: start,
+                        op: FaultOp::WanLink {
+                            from: r.from,
+                            to: r.to,
+                            lo_us,
+                            hi_us: lo_us + rng.gen_range(5_000u64..30_000),
+                            capacity_bps: (r.capacity_bps / 8).max(1_000),
+                        },
+                    });
+                    faults.push(FaultSpec {
+                        at_us: end,
+                        op: FaultOp::WanLink {
+                            from: r.from,
+                            to: r.to,
+                            lo_us: r.lo_us,
+                            hi_us: r.hi_us,
+                            capacity_bps: r.capacity_bps,
+                        },
+                    });
+                } else {
+                    let ns = &ws.nodes[rng.gen_range(0..ws.nodes.len())];
+                    faults.push(FaultSpec {
+                        at_us: start,
+                        op: FaultOp::WanUplink {
+                            p: ns.p,
+                            bps: (ns.uplink_bps / 8).max(1_000),
+                        },
+                    });
+                    faults.push(FaultSpec {
+                        at_us: end,
+                        op: FaultOp::WanUplink {
+                            p: ns.p,
+                            bps: ns.uplink_bps,
+                        },
+                    });
+                }
+            }
+        }
         faults.sort_by_key(FaultSpec::sort_key);
 
         let last_event_us = plan_sends
@@ -303,17 +446,94 @@ impl ChaosScenario {
             .chain(faults.iter().map(|f| f.at_us))
             .max()
             .unwrap_or(0);
+        // Generous settle time: Ω-driven membership plus the delivery
+        // barrier need several rounds after the last scripted event — and
+        // the WAN family's widened Ω needs proportionally more.
+        let settle_us = if self.wan { 3_000_000 } else { 1_200_000 };
         ChaosPlan {
             seed: self.seed,
             n,
             topology,
             sends: plan_sends,
             faults,
+            wan,
             mc_steps: Vec::new(),
-            // Generous settle time: Ω-driven membership plus the delivery
-            // barrier need several rounds after the last scripted event.
-            horizon_us: last_event_us + 1_200_000,
+            horizon_us: last_event_us + settle_us,
         }
+    }
+}
+
+/// One node's attachment in a WAN plan: home region and uplink capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WanNodeSpec {
+    /// The process.
+    pub p: u32,
+    /// Its home region.
+    pub region: u32,
+    /// Its uplink capacity, bytes per second.
+    pub uplink_bps: u64,
+}
+
+/// One directed inter-region trunk in a WAN plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WanRouteSpec {
+    /// Source region.
+    pub from: u32,
+    /// Destination region.
+    pub to: u32,
+    /// Propagation latency lower bound, µs.
+    pub lo_us: u64,
+    /// Propagation latency upper bound, µs.
+    pub hi_us: u64,
+    /// Trunk capacity, bytes per second.
+    pub capacity_bps: u64,
+}
+
+/// The WAN topology of a plan: attachments, trunks and wire-chaos knobs.
+/// Part of the plan's identity — equal plans (including this spec) replay
+/// equal histories.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WanSpec {
+    /// Per-mille probability a delivery is duplicated.
+    pub dup_permille: u32,
+    /// Per-mille probability a delivery is held back (manifesting as
+    /// reorder-induced queueing delay; per-link FIFO still holds).
+    pub reorder_permille: u32,
+    /// Maximum hold for a reordered delivery, µs.
+    pub reorder_hold_us: u64,
+    /// Node attachments (every process appears exactly once).
+    pub nodes: Vec<WanNodeSpec>,
+    /// Directed inter-region trunks (every ordered region pair).
+    pub routes: Vec<WanRouteSpec>,
+}
+
+impl WanSpec {
+    /// Materialises the simulator configuration.
+    #[must_use]
+    pub fn to_wan_config(&self) -> WanConfig {
+        let mut cfg = WanConfig::new()
+            .with_duplication(self.dup_permille)
+            .with_reorder(
+                self.reorder_permille,
+                Span::from_micros(self.reorder_hold_us),
+            );
+        for ns in &self.nodes {
+            cfg = cfg.attach_with_uplink(ProcessId(ns.p), ns.region, ns.uplink_bps);
+        }
+        for r in &self.routes {
+            cfg = cfg.with_route(
+                r.from,
+                r.to,
+                WanLinkSpec::new(
+                    LatencyModel::Uniform {
+                        lo: Span::from_micros(r.lo_us),
+                        hi: Span::from_micros(r.hi_us),
+                    },
+                    r.capacity_bps,
+                ),
+            );
+        }
+        cfg
     }
 }
 
@@ -374,6 +594,28 @@ pub enum FaultOp {
         /// The model in force from this instant.
         model: LatencyModel,
     },
+    /// Change an inter-region WAN trunk: a congestion window (capacity
+    /// slash plus latency bump) or its later restoration. Only meaningful
+    /// in a plan with a [`WanSpec`].
+    WanLink {
+        /// Source region.
+        from: u32,
+        /// Destination region.
+        to: u32,
+        /// New propagation latency lower bound, µs.
+        lo_us: u64,
+        /// New propagation latency upper bound, µs.
+        hi_us: u64,
+        /// New trunk capacity, bytes per second.
+        capacity_bps: u64,
+    },
+    /// Change one node's WAN uplink capacity (asymmetric degradation).
+    WanUplink {
+        /// The affected process.
+        p: u32,
+        /// New uplink capacity, bytes per second.
+        bps: u64,
+    },
 }
 
 /// A fault operation bound to a virtual-time instant.
@@ -395,6 +637,8 @@ impl FaultSpec {
             FaultOp::Latency { .. } => 2,
             FaultOp::Depart { .. } => 3,
             FaultOp::Heal => 4,
+            FaultOp::WanLink { .. } => 5,
+            FaultOp::WanUplink { .. } => 6,
         };
         (self.at_us, rank)
     }
@@ -449,6 +693,9 @@ pub struct ChaosPlan {
     pub sends: Vec<SendSpec>,
     /// The fault schedule.
     pub faults: Vec<FaultSpec>,
+    /// The WAN topology, when the plan runs on the bandwidth model.
+    /// `None` replays on the classic constant-latency transport.
+    pub wan: Option<WanSpec>,
     /// Model-checker event-order schedule. When non-empty the plan replays
     /// under external scheduling — the timed `sends`/`faults` script is
     /// rejected (the generator never mixes the two), the network runs the
@@ -470,6 +717,11 @@ impl ChaosPlan {
         }
         let net = NetConfig::new(self.seed ^ 0x9E37_79B9).with_latency(BASE_LATENCY);
         let mut cluster = SimCluster::new(self.n, net);
+        if let Some(ws) = &self.wan {
+            cluster
+                .set_wan(ws.to_wan_config())
+                .expect("generated WAN config validates");
+        }
         for gs in &self.topology {
             let cfg = GroupConfig::new(gs.mode)
                 .with_omega(Span::from_micros(gs.omega_us))
@@ -495,6 +747,25 @@ impl ChaosPlan {
                 FaultOp::Heal => cluster.schedule_heal(at),
                 FaultOp::Depart { p, group } => cluster.schedule_depart(at, *p, *group),
                 FaultOp::Latency { model } => cluster.schedule_set_latency(at, *model),
+                FaultOp::WanLink {
+                    from,
+                    to,
+                    lo_us,
+                    hi_us,
+                    capacity_bps,
+                } => cluster.schedule_set_wan_link(
+                    at,
+                    *from,
+                    *to,
+                    WanLinkSpec::new(
+                        LatencyModel::Uniform {
+                            lo: Span::from_micros(*lo_us),
+                            hi: Span::from_micros(*hi_us),
+                        },
+                        *capacity_bps,
+                    ),
+                ),
+                FaultOp::WanUplink { p, bps } => cluster.schedule_set_wan_uplink(at, *p, *bps),
             }
         }
         cluster.run_for(Span::from_micros(self.horizon_us));
@@ -621,6 +892,23 @@ impl ChaosPlan {
         let _ = writeln!(s, "seed {}", self.seed);
         let _ = writeln!(s, "n {}", self.n);
         let _ = writeln!(s, "horizon-us {}", self.horizon_us);
+        if let Some(ws) = &self.wan {
+            let _ = writeln!(
+                s,
+                "wan dup-pm {} reorder-pm {} hold-us {}",
+                ws.dup_permille, ws.reorder_permille, ws.reorder_hold_us
+            );
+            for ns in &ws.nodes {
+                let _ = writeln!(s, "wan-node {} {} {}", ns.p, ns.region, ns.uplink_bps);
+            }
+            for r in &ws.routes {
+                let _ = writeln!(
+                    s,
+                    "wan-route {} {} {} {} {}",
+                    r.from, r.to, r.lo_us, r.hi_us, r.capacity_bps
+                );
+            }
+        }
         for g in &self.topology {
             let mode = match g.mode {
                 OrderMode::Symmetric => "symmetric",
@@ -675,6 +963,18 @@ impl ChaosPlan {
                             writeln!(s, "latency uniform {} {}", lo.as_micros(), hi.as_micros());
                     }
                 },
+                FaultOp::WanLink {
+                    from,
+                    to,
+                    lo_us,
+                    hi_us,
+                    capacity_bps,
+                } => {
+                    let _ = writeln!(s, "wan-link {from} {to} {lo_us} {hi_us} {capacity_bps}");
+                }
+                FaultOp::WanUplink { p, bps } => {
+                    let _ = writeln!(s, "wan-uplink {p} {bps}");
+                }
             }
         }
         for step in &self.mc_steps {
@@ -721,6 +1021,7 @@ impl ChaosPlan {
             topology: Vec::new(),
             sends: Vec::new(),
             faults: Vec::new(),
+            wan: None,
             mc_steps: Vec::new(),
             horizon_us: 0,
         };
@@ -760,6 +1061,56 @@ impl ChaosPlan {
                     group: GroupId(parse_u32(g)?),
                     mid: parse_u64(mid)?,
                 }),
+                ["wan", "dup-pm", d, "reorder-pm", r, "hold-us", h] => {
+                    let dup_permille = parse_u32(d)?;
+                    let reorder_permille = parse_u32(r)?;
+                    if dup_permille > 1000 || reorder_permille > 1000 {
+                        return Err(err("per-mille probability exceeds 1000"));
+                    }
+                    plan.wan = Some(WanSpec {
+                        dup_permille,
+                        reorder_permille,
+                        reorder_hold_us: parse_u64(h)?,
+                        nodes: Vec::new(),
+                        routes: Vec::new(),
+                    });
+                }
+                ["wan-node", p, region, bps] => {
+                    let uplink_bps = parse_u64(bps)?;
+                    if uplink_bps == 0 {
+                        return Err(err("uplink capacity must be nonzero"));
+                    }
+                    plan.wan
+                        .as_mut()
+                        .ok_or_else(|| err("wan-node before wan"))?
+                        .nodes
+                        .push(WanNodeSpec {
+                            p: parse_u32(p)?,
+                            region: parse_u32(region)?,
+                            uplink_bps,
+                        });
+                }
+                ["wan-route", from, to, lo, hi, bps] => {
+                    let (lo_us, hi_us) = (parse_u64(lo)?, parse_u64(hi)?);
+                    if lo_us > hi_us {
+                        return Err(err("inverted latency bounds"));
+                    }
+                    let capacity_bps = parse_u64(bps)?;
+                    if capacity_bps == 0 {
+                        return Err(err("trunk capacity must be nonzero"));
+                    }
+                    plan.wan
+                        .as_mut()
+                        .ok_or_else(|| err("wan-route before wan"))?
+                        .routes
+                        .push(WanRouteSpec {
+                            from: parse_u32(from)?,
+                            to: parse_u32(to)?,
+                            lo_us,
+                            hi_us,
+                            capacity_bps,
+                        });
+                }
                 ["fault", at, rest @ ..] => {
                     let at_us = parse_u64(at)?;
                     let op = match rest {
@@ -790,12 +1141,47 @@ impl ChaosPlan {
                         ["latency", "fixed", d] => FaultOp::Latency {
                             model: LatencyModel::Fixed(Span::from_micros(parse_u64(d)?)),
                         },
-                        ["latency", "uniform", lo, hi] => FaultOp::Latency {
-                            model: LatencyModel::Uniform {
-                                lo: Span::from_micros(parse_u64(lo)?),
-                                hi: Span::from_micros(parse_u64(hi)?),
-                            },
-                        },
+                        ["latency", "uniform", lo, hi] => {
+                            let (lo_us, hi_us) = (parse_u64(lo)?, parse_u64(hi)?);
+                            // Validated at parse time, not per sample
+                            // mid-run (see `LatencyModel::validate`).
+                            if lo_us > hi_us {
+                                return Err(err("inverted latency bounds"));
+                            }
+                            FaultOp::Latency {
+                                model: LatencyModel::Uniform {
+                                    lo: Span::from_micros(lo_us),
+                                    hi: Span::from_micros(hi_us),
+                                },
+                            }
+                        }
+                        ["wan-link", from, to, lo, hi, bps] => {
+                            let (lo_us, hi_us) = (parse_u64(lo)?, parse_u64(hi)?);
+                            if lo_us > hi_us {
+                                return Err(err("inverted latency bounds"));
+                            }
+                            let capacity_bps = parse_u64(bps)?;
+                            if capacity_bps == 0 {
+                                return Err(err("trunk capacity must be nonzero"));
+                            }
+                            FaultOp::WanLink {
+                                from: parse_u32(from)?,
+                                to: parse_u32(to)?,
+                                lo_us,
+                                hi_us,
+                                capacity_bps,
+                            }
+                        }
+                        ["wan-uplink", p, bps] => {
+                            let bps = parse_u64(bps)?;
+                            if bps == 0 {
+                                return Err(err("uplink capacity must be nonzero"));
+                            }
+                            FaultOp::WanUplink {
+                                p: parse_u32(p)?,
+                                bps,
+                            }
+                        }
                         _ => return Err(err("unknown fault")),
                     };
                     plan.faults.push(FaultSpec { at_us, op });
@@ -1071,7 +1457,7 @@ mod tests {
                 match f.op {
                     FaultOp::Crash { .. } | FaultOp::Depart { .. } => churn_faults += 1,
                     FaultOp::Partition { .. } | FaultOp::Latency { .. } => other_faults += 1,
-                    FaultOp::Heal => {}
+                    FaultOp::Heal | FaultOp::WanLink { .. } | FaultOp::WanUplink { .. } => {}
                 }
             }
         }
@@ -1108,6 +1494,152 @@ mod tests {
                 .expect("engine survives churn plans");
             assert!(violations.is_empty(), "seed {seed}: {violations:?}");
         }
+    }
+
+    /// Regression pins for counterexamples the chaos fleet shrank.
+    ///
+    /// Churn seed 1401: a detection adopted while an earlier (depart)
+    /// install was still queued parked in `asym_awaiting`; executing that
+    /// install handed the sequencer role to the very process the parked
+    /// detection named — dead, so its `ViewCut` never came and the group
+    /// wedged with the failed member in the view forever, freezing the
+    /// merged cross-group delivery order of every overlapping member
+    /// (`reconcile_asym_awaiting` now falls back to the number-barrier
+    /// install and advances `D_{x,i}` to the agreed bound).
+    ///
+    /// WAN churn seed 1098: trunk latency delayed a member's first nulls
+    /// past a loss cut, so one partition side confirmed an exclusion and
+    /// closed the shared view with a different delivery set — legal under
+    /// the paper (agreement holds within a connected component), which
+    /// the checker's VC3 now recognises via its bracket-scoped
+    /// adopted-detection exemption.
+    #[test]
+    fn chaos_fleet_regressions_stay_green() {
+        let plan = ChaosScenario::churn(1401).plan();
+        let violations = plan
+            .try_run_and_check(&plan.check_options())
+            .expect("engine survives churn seed 1401");
+        assert!(violations.is_empty(), "churn 1401: {violations:?}");
+
+        let mut scenario = ChaosScenario::churn(1098);
+        scenario.wan = true;
+        let plan = scenario.plan();
+        let violations = plan
+            .try_run_and_check(&plan.check_options())
+            .expect("engine survives WAN churn seed 1098");
+        assert!(violations.is_empty(), "wan churn 1098: {violations:?}");
+    }
+
+    /// The WAN seam must not perturb the default transport: these hashes
+    /// were pinned before the bandwidth model existed, and every classic
+    /// and churn seed must keep replaying to them byte-for-byte.
+    #[test]
+    fn classic_and_churn_seed_hashes_are_pinned() {
+        let classic: [(u64, u64); 6] = [
+            (0, 0x15a2_1478_c55a_2c21),
+            (3, 0x1d04_5964_a1e4_8bf8),
+            (7, 0x5ad8_aaf5_05d1_0e4c),
+            (17, 0x4099_db2c_7043_1006),
+            (42, 0xde11_aaa5_36ba_6546),
+            (99, 0x40ac_2bdb_0f72_b0b6),
+        ];
+        for (seed, want) in classic {
+            let got = history_hash(&ChaosScenario::new(seed).plan().run().history());
+            assert_eq!(got, want, "classic seed {seed} drifted");
+        }
+        let churn: [(u64, u64); 3] = [
+            (1, 0x2efc_12b8_a2e8_088e),
+            (8, 0x0cf8_58f3_8d83_c57b),
+            (21, 0x8845_77a1_d66a_37cf),
+        ];
+        for (seed, want) in churn {
+            let got = history_hash(&ChaosScenario::churn(seed).plan().run().history());
+            assert_eq!(got, want, "churn seed {seed} drifted");
+        }
+    }
+
+    #[test]
+    fn wan_family_is_deterministic_and_multi_region() {
+        assert_eq!(ChaosScenario::wan(5).plan(), ChaosScenario::wan(5).plan());
+        for seed in 0..20u64 {
+            let plan = ChaosScenario::wan(seed).plan();
+            let ws = plan.wan.as_ref().expect("wan family always has a spec");
+            assert_eq!(ws.nodes.len(), plan.n as usize);
+            let regions: std::collections::BTreeSet<u32> =
+                ws.nodes.iter().map(|n| n.region).collect();
+            assert!(!ws.routes.is_empty());
+            for r in &ws.routes {
+                assert!(r.lo_us <= r.hi_us);
+                assert!(r.capacity_bps > 0);
+            }
+            // A congestion window always restores what it degraded.
+            let wan_faults = plan
+                .faults
+                .iter()
+                .filter(|f| matches!(f.op, FaultOp::WanLink { .. } | FaultOp::WanUplink { .. }))
+                .count();
+            assert!(wan_faults >= 2 && wan_faults % 2 == 0, "seed {seed}");
+            let _ = regions;
+        }
+    }
+
+    /// Congested-but-healthy WAN runs: fair-share queueing, congestion
+    /// windows and reorder holds must all stay inside the checker's
+    /// envelope — suspicion may rise, exclusion may not happen falsely.
+    #[test]
+    fn wan_plans_run_green() {
+        for seed in [0u64, 2, 5, 13] {
+            let plan = ChaosScenario::wan(seed).plan();
+            let violations = plan
+                .try_run_and_check(&plan.check_options())
+                .expect("engine survives WAN plans");
+            assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn wan_plan_replays_to_identical_history_hash() {
+        let plan = ChaosScenario::wan(6).plan();
+        let h1 = history_hash(&plan.run().history());
+        let h2 = history_hash(&plan.run().history());
+        assert_eq!(h1, h2, "same WAN plan must replay bit-identically");
+    }
+
+    #[test]
+    fn wan_script_roundtrip_preserves_plan() {
+        for seed in [1u64, 4, 9] {
+            let plan = ChaosScenario::wan(seed).plan();
+            let script = plan.to_script(None);
+            let (parsed, _) = ChaosPlan::parse_script(&script).expect("parses");
+            assert_eq!(parsed, plan, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_invalid_wan_directives() {
+        let base = "newtop-chaos v1\nseed 1\nn 3\nhorizon-us 10\n\
+                    group 1 symmetric omega-us 5 big-omega-us 9 members 1,2,3\n";
+        let inverted =
+            format!("{base}wan dup-pm 0 reorder-pm 0 hold-us 1\nwan-route 0 1 500 100 1000\n");
+        assert!(ChaosPlan::parse_script(&inverted)
+            .unwrap_err()
+            .contains("inverted latency bounds"));
+        let zero_cap = format!("{base}wan dup-pm 0 reorder-pm 0 hold-us 1\nwan-node 1 0 0\n");
+        assert!(ChaosPlan::parse_script(&zero_cap)
+            .unwrap_err()
+            .contains("nonzero"));
+        let orphan = format!("{base}wan-node 1 0 1000\n");
+        assert!(ChaosPlan::parse_script(&orphan)
+            .unwrap_err()
+            .contains("before wan"));
+        let inverted_fault = format!("{base}fault 5 latency uniform 900 100\n");
+        assert!(ChaosPlan::parse_script(&inverted_fault)
+            .unwrap_err()
+            .contains("inverted latency bounds"));
+        let bad_pm = format!("{base}wan dup-pm 1001 reorder-pm 0 hold-us 1\n");
+        assert!(ChaosPlan::parse_script(&bad_pm)
+            .unwrap_err()
+            .contains("per-mille"));
     }
 
     #[test]
@@ -1167,6 +1699,7 @@ mod tests {
             }],
             sends: Vec::new(),
             faults: Vec::new(),
+            wan: None,
             mc_steps: vec![
                 McStep::Send {
                     from: 1,

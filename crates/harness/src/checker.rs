@@ -8,7 +8,7 @@
 //! | MD5 | same-group causal prefix | if `m → m'` (same group) and `m'` delivered, `m` was delivered earlier — conditioned on `m`'s sender still being in the local view (an excluded sender's tail may be agreed-discarded, step (viii); uniformity is covered by VC3) |
 //! | MD5' | cross-group causal prefix | as MD5 across groups, conditioned on `m.s` still being in the local view of `m.g` at the delivery of `m'` |
 //! | VC1 | processes that never crash nor suspect each other install identical view sequences | prefix-compatible per-group view sequences |
-//! | VC3/MD3 | identical consecutive views bracket identical delivery sets | delivery sets per closed view interval are equal |
+//! | VC3/MD3 | identical consecutive views bracket identical delivery sets | delivery sets per closed view interval are equal — for pairs still mutually connected while closing it (a confirmed exclusion of the peer adopted before the closing install exempts the bracket: partition sides close a shared view independently) |
 //! | exclusion barrier | nothing from an excluded member is delivered after the view change | log-order: every delivery's origin is in the locally current view; no deliveries after a voluntary departure |
 //! | liveness/atomicity | quiescent runs: co-members of the final view delivered the same set, including everything its members sent | optional (fault schedules that partition meaningfully set their own expectations) |
 //!
@@ -836,6 +836,26 @@ fn check_vc3(ix: &Index, violations: &mut Vec<Violation>) {
                         continue;
                     };
                     if wb + 1 >= vb.len() || vb[wb + 1].vid != r_next.vid {
+                        continue;
+                    }
+                    // VC3 precondition: the pair stayed mutually connected
+                    // while closing the interval. A confirmed exclusion of
+                    // the peer adopted before the closing install means the
+                    // views diverged mid-interval (partition sides close a
+                    // shared view independently; the paper guarantees
+                    // agreement only within a connected component). The
+                    // exemption is bracket-scoped and keyed on *adopted*
+                    // detections — refuted suspicions never reach adoption,
+                    // so healthy-run intervals keep full VC3 strength.
+                    let a_cut = da
+                        .adopted_at
+                        .get(&(*g, *b))
+                        .is_some_and(|i| *i <= r_next.idx);
+                    let b_cut = db
+                        .adopted_at
+                        .get(&(*g, *a))
+                        .is_some_and(|i| *i <= vb[wb + 1].idx);
+                    if a_cut || b_cut {
                         continue;
                     }
                     let set = |dels: &[(u32, u32)], lo: u32, hi: u32| -> BitSet {

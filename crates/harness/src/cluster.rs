@@ -298,6 +298,36 @@ impl SimCluster {
         self.sim.schedule_set_latency(at, latency);
     }
 
+    /// Swaps the constant-latency transport for the topology-aware WAN
+    /// model (regions, capped uplinks, fair-share trunks). Also installs
+    /// the wire codec as the byte sizer so transfer times reflect real
+    /// encoded frame sizes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`newtop_sim::WanConfig::validate`] failures.
+    pub fn set_wan(&mut self, cfg: newtop_sim::WanConfig) -> Result<(), newtop_types::ConfigError> {
+        self.measure_wire_bytes();
+        self.sim.set_wan(cfg)
+    }
+
+    /// Schedules an inter-region link change (WAN congestion windows,
+    /// latency spikes, asymmetric degradation).
+    pub fn schedule_set_wan_link(
+        &mut self,
+        at: Instant,
+        from: u32,
+        to: u32,
+        spec: newtop_sim::WanLinkSpec,
+    ) {
+        self.sim.schedule_set_wan_link(at, from, to, spec);
+    }
+
+    /// Schedules an uplink capacity change for one node.
+    pub fn schedule_set_wan_uplink(&mut self, at: Instant, p: u32, bps: u64) {
+        self.sim.schedule_set_wan_uplink(at, ProcessId(p), bps);
+    }
+
     /// Schedules the network to heal.
     pub fn schedule_heal(&mut self, at: Instant) {
         self.sim.schedule_heal(at);

@@ -21,6 +21,7 @@ pub use e01_header_overhead::run as e1_header_overhead;
 pub use e02_time_silence::run as e2_time_silence;
 pub use e03_sym_vs_asym::run as e3_sym_vs_asym;
 pub use e04_throughput::run as e4_throughput;
+pub use e04_throughput::run_wan as e4_wan_throughput;
 pub use e05_multi_group::run as e5_multi_group;
 pub use e06_membership::run as e6_membership;
 pub use e07_partition::run as e7_partition;
@@ -59,6 +60,11 @@ pub fn all() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "e4",
             "throughput and per-multicast cost vs group size (§6)",
             e4_throughput,
+        ),
+        (
+            "e4wan",
+            "uplink saturation: goodput plateaus at the capped capacity (WAN model)",
+            e4_wan_throughput,
         ),
         (
             "e5",

@@ -154,6 +154,7 @@ impl McConfig {
             }],
             sends: Vec::new(),
             faults: Vec::new(),
+            wan: None,
             mc_steps: schedule.to_vec(),
             horizon_us: 1,
         }

@@ -57,6 +57,12 @@ pub struct ProxyConfig {
     pub partition_at: Option<Duration>,
     /// How long the partition window lasts.
     pub partition_for: Duration,
+    /// Bandwidth shaping: cap each tunnel's data direction at this many
+    /// kilobytes per second with a token bucket (`None` = unshaped). A
+    /// record over budget stalls the pump — and everything queued behind
+    /// it — exactly like a saturated WAN uplink; acks stay unshaped, so
+    /// only the data path congests.
+    pub rate_kbps: Option<u64>,
 }
 
 impl ProxyConfig {
@@ -73,6 +79,47 @@ impl ProxyConfig {
             dup_pct: 0,
             partition_at: None,
             partition_for: Duration::from_secs(2),
+            rate_kbps: None,
+        }
+    }
+}
+
+/// A wall-clock token bucket shaping one tunnel's data direction.
+///
+/// Tokens are bytes; the bucket refills at the configured rate and holds
+/// at most ~50 ms of it (floored at 8 KiB so one whole record always
+/// fits). Paying for a record that overdraws the bucket sleeps off the
+/// deficit, which stalls the pump — the back-pressure a real capped
+/// uplink exerts.
+struct Shaper {
+    bytes_per_sec: f64,
+    burst: f64,
+    tokens: f64,
+    last: Instant,
+}
+
+impl Shaper {
+    fn new(kbps: u64) -> Shaper {
+        #[allow(clippy::cast_precision_loss)]
+        let rate = (kbps.max(1) * 1000) as f64;
+        Shaper {
+            bytes_per_sec: rate,
+            burst: (rate / 20.0).max(8_192.0),
+            tokens: (rate / 20.0).max(8_192.0),
+            last: Instant::now(),
+        }
+    }
+
+    fn pace(&mut self, len: usize) {
+        #[allow(clippy::cast_precision_loss)]
+        let cost = len as f64;
+        let now = Instant::now();
+        let refill = now.duration_since(self.last).as_secs_f64() * self.bytes_per_sec;
+        self.tokens = (self.tokens + refill).min(self.burst);
+        self.last = now;
+        self.tokens -= cost;
+        if self.tokens < 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(-self.tokens / self.bytes_per_sec));
         }
     }
 }
@@ -307,6 +354,7 @@ fn chaos_pump(
     let mut dec = PeerFrameDecoder::new();
     let mut buf = [0u8; 16 * 1024];
     let mut out = BytesMut::new();
+    let mut shaper = cfg.rate_kbps.map(Shaper::new);
     // At most one record rides in the hold-back slot; emitting it after
     // the next record is exactly one reordering.
     let mut held: Option<newtop_types::peer::PeerFrame> = None;
@@ -365,6 +413,9 @@ fn chaos_pump(
                     1
                 };
                 for _ in 0..copies {
+                    if let Some(shaper) = &mut shaper {
+                        shaper.pace(out.len());
+                    }
                     if server.write_all(&out).is_err() {
                         return;
                     }
@@ -408,6 +459,75 @@ mod tests {
         assert_eq!(cfg.reorder_pct, 0);
         assert_eq!(cfg.dup_pct, 0);
         assert!(cfg.partition_at.is_none());
+    }
+
+    /// The token bucket alone: a burst-sized prefix is free, every byte
+    /// past it is paid for at the configured rate.
+    #[test]
+    fn shaper_paces_past_the_burst() {
+        let mut shaper = Shaper::new(100); // 100 KB/s, burst 8 KiB
+        let start = Instant::now();
+        // 24 KiB through an 8 KiB burst: ≥ 16 KiB at 100 KB/s ≈ 160 ms.
+        for _ in 0..6 {
+            shaper.pace(4 * 1024);
+        }
+        assert!(start.elapsed() >= Duration::from_millis(140));
+    }
+
+    /// A shaped tunnel delivers a multi-record stream intact but no
+    /// faster than the configured rate (the satellite's acceptance:
+    /// shaping changes timing, never bytes).
+    #[test]
+    fn rate_limited_tunnel_shapes_but_preserves_the_stream() {
+        use newtop_types::peer::encode_hello;
+        use newtop_types::peer::Hello;
+        use newtop_types::ProcessId;
+        let upstream = TcpListener::bind("127.0.0.1:0").expect("bind upstream");
+        let up_addr = upstream.local_addr().expect("addr");
+        let listen = TcpListener::bind("127.0.0.1:0").expect("probe listen");
+        let listen_addr = listen.local_addr().expect("addr");
+        drop(listen);
+        let mut cfg = ProxyConfig::new(vec![(listen_addr, up_addr)]);
+        cfg.rate_kbps = Some(50); // 50 KB/s, burst 8 KiB
+        let handle = run_proxy(&cfg).expect("proxy starts");
+        let mut client = TcpStream::connect(listen_addr).expect("dial proxy");
+        let (mut server, _) = upstream.accept().expect("accept tunnel");
+        server
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        let hello = encode_hello(&Hello {
+            peer: 0,
+            nonce: 7,
+            resume: 0,
+        });
+        client.write_all(&hello).expect("hello");
+        // ~18 KiB of records through an 8 KiB burst at 50 KB/s: the tail
+        // ~10 KiB costs ≥ 200 ms of shaping.
+        let body = [0x55u8; 2048];
+        let mut frame = vec![0x80u8, 0x10]; // varint 2048
+        frame.extend_from_slice(&body);
+        let mut want = hello.to_vec();
+        let mut rec = BytesMut::new();
+        let t0 = Instant::now();
+        for seq in 1..=9u64 {
+            rec.clear();
+            addressed_frame_into(ProcessId(2), seq, &frame, &mut rec);
+            client.write_all(&rec).expect("record");
+            want.extend_from_slice(&rec);
+        }
+        client.flush().expect("flush");
+        let mut got = vec![0u8; want.len()];
+        server.read_exact(&mut got).expect("shaped stream");
+        assert!(
+            t0.elapsed() >= Duration::from_millis(150),
+            "9 records crossed a 50 KB/s shaper in {:?}",
+            t0.elapsed()
+        );
+        assert_eq!(got, want, "shaping must never corrupt the stream");
+        assert_eq!(handle.dropped.load(Ordering::Relaxed), 0);
+        drop(client);
+        drop(server);
+        handle.stop();
     }
 
     /// A dup-100 proxy emits every data record twice: the upstream

@@ -150,6 +150,7 @@ pub struct ClusterConfig {
     flush_window: Option<Duration>,
     batch_max: Option<u32>,
     inbox_cap: Option<usize>,
+    uplink_kbps: Option<u64>,
 }
 
 /// Default shard-inbox depth at which new client multicasts are shed.
@@ -203,9 +204,27 @@ impl ClusterConfig {
         self
     }
 
+    /// Caps the host's whole egress at `kbps` kilobytes per second — a
+    /// WAN uplink profile. Every committed frame (cross-shard, local
+    /// ring, or TCP peer link) pays its transfer time at this rate, so a
+    /// shard past the budget stalls and downstream latency rises exactly
+    /// as on a saturated real uplink. `0` is treated as 1 KB/s (a gate
+    /// must have capacity). Default: unlimited.
+    #[must_use]
+    pub fn uplink_kbps(mut self, kbps: u64) -> ClusterConfig {
+        self.uplink_kbps = Some(kbps.max(1));
+        self
+    }
+
     /// Resolves the admission bound.
     fn inbox_limit(&self) -> usize {
         self.inbox_cap.unwrap_or(DEFAULT_INBOX_CAP)
+    }
+
+    /// Resolves the egress rate gate from the WAN uplink profile.
+    fn rate_gate(&self) -> Option<transport::RateGate> {
+        self.uplink_kbps
+            .map(|kbps| transport::RateGate::new(kbps * 1000))
     }
 
     /// Resolves the shard count for `procs` hosted nodes.
@@ -388,6 +407,7 @@ impl Cluster {
             layout.addrs.clone(),
             layout.inbox_txs.clone(),
             admission,
+            self.config.rate_gate(),
         ));
         let threads = spawn_shards(
             layout.per_shard,
@@ -429,7 +449,12 @@ impl Cluster {
         let shard_count = self.config.shard_count(self.procs.len());
         let admission = Arc::new(Admission::new(self.config.inbox_limit()));
         let layout = Layout::place(self.procs, shard_count, &admission);
-        let router = Router::new(layout.addrs.clone(), layout.inbox_txs.clone(), admission);
+        let router = Router::new(
+            layout.addrs.clone(),
+            layout.inbox_txs.clone(),
+            admission,
+            self.config.rate_gate(),
+        );
         let (tcp_transport, net) = net::start(tcp, router, layout.inbox_txs.clone())?;
         let transport: Arc<dyn Transport> = tcp_transport;
         let threads = spawn_shards(

@@ -20,6 +20,12 @@
 //! * **Determinism** — all randomness comes from a seeded
 //!   [`rand::rngs::StdRng`]; the same seed and script replay the same
 //!   history, so failing property tests reproduce exactly.
+//! * **Pluggable WAN realism** — [`Sim::set_wan`] swaps the default
+//!   constant-latency transport (preserved bit-identical when off) for a
+//!   topology-aware model: regions, finite-capacity uplinks and asymmetric
+//!   inter-region trunks with fair-share bandwidth, plus seeded
+//!   duplication/reorder knobs (see [`WanConfig`] and the `wan` module
+//!   docs).
 //!
 //! The simulator is generic over the node behaviour ([`SimNode`]) and the
 //! message type, so the baseline protocols (vector-clock causal multicast,
@@ -66,6 +72,8 @@
 
 mod model;
 mod sim;
+mod wan;
 
 pub use model::{LatencyModel, NetConfig, NetStats, PartitionMode, PartitionSpec};
 pub use sim::{Outbox, PendingEvent, Sim, SimNode};
+pub use wan::{WanAttachment, WanConfig, WanLinkSpec, WanRoute};

@@ -1,6 +1,6 @@
 //! Network model: latency distributions, partitions and counters.
 
-use newtop_types::{ProcessId, Span};
+use newtop_types::{ConfigError, ProcessId, Span};
 use rand::Rng;
 use std::collections::BTreeSet;
 
@@ -19,16 +19,37 @@ pub enum LatencyModel {
 }
 
 impl LatencyModel {
-    /// Draws one latency sample.
+    /// Checks the model's invariants (`Uniform` needs `lo <= hi`).
     ///
-    /// # Panics
+    /// Validation happens once, where a model enters a configuration
+    /// ([`NetConfig::validate`], the WAN config builders, the chaos script
+    /// parser) — not per sample on the hot path.
     ///
-    /// Panics if a `Uniform` model has `lo > hi`.
+    /// # Errors
+    ///
+    /// [`ConfigError::LatencyBoundsInverted`] for a `Uniform` with
+    /// `lo > hi`.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        match *self {
+            LatencyModel::Fixed(_) => Ok(()),
+            LatencyModel::Uniform { lo, hi } => {
+                if lo <= hi {
+                    Ok(())
+                } else {
+                    Err(ConfigError::LatencyBoundsInverted { lo, hi })
+                }
+            }
+        }
+    }
+
+    /// Draws one latency sample. The caller guarantees the model passed
+    /// [`LatencyModel::validate`]; inverted bounds are a debug-only check
+    /// here rather than a per-sample panic in release runs.
     pub fn sample<R: Rng>(&self, rng: &mut R) -> Span {
         match *self {
             LatencyModel::Fixed(s) => s,
             LatencyModel::Uniform { lo, hi } => {
-                assert!(lo <= hi, "uniform latency bounds inverted");
+                debug_assert!(lo <= hi, "uniform latency bounds inverted");
                 Span::from_micros(rng.gen_range(lo.as_micros()..=hi.as_micros()))
             }
         }
@@ -166,6 +187,16 @@ impl NetConfig {
         self.send_overhead = overhead;
         self
     }
+
+    /// Checks the configuration's invariants.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::LatencyBoundsInverted`] for an inverted uniform
+    /// latency model.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.latency.validate()
+    }
 }
 
 /// Counters the simulator maintains while running.
@@ -186,6 +217,19 @@ pub struct NetStats {
     pub parked: u64,
     /// Total bytes handed to the transport, when a sizer is installed.
     pub bytes_sent: u64,
+    /// Extra copies injected by the WAN duplication knob.
+    pub wan_duplicated: u64,
+    /// Transfers currently in flight through WAN pipes.
+    pub wan_inflight: u64,
+    /// Peak of `wan_inflight` over the run.
+    pub wan_inflight_peak: u64,
+    /// Bytes currently queued or in flight through WAN pipes (backlog).
+    pub wan_backlog_bytes: u64,
+    /// Peak of `wan_backlog_bytes` over the run.
+    pub wan_backlog_peak_bytes: u64,
+    /// Bytes that completed their uplink stage — the goodput a capped
+    /// uplink actually carried (the e04 plateau metric).
+    pub wan_uplink_bytes: u64,
 }
 
 #[cfg(test)]
@@ -215,6 +259,22 @@ mod tests {
             assert!(s >= lo && s <= hi);
         }
         assert_eq!(m.max(), hi);
+    }
+
+    #[test]
+    fn inverted_uniform_bounds_fail_validation_up_front() {
+        let bad = LatencyModel::Uniform {
+            lo: Span::from_millis(5),
+            hi: Span::from_millis(1),
+        };
+        assert!(bad.validate().is_err());
+        assert!(NetConfig::new(7).with_latency(bad).validate().is_err());
+        assert!(NetConfig::new(7).validate().is_ok());
+        let ok = LatencyModel::Uniform {
+            lo: Span::from_millis(1),
+            hi: Span::from_millis(1),
+        };
+        assert!(ok.validate().is_ok());
     }
 
     #[test]

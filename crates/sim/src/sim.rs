@@ -8,10 +8,11 @@
 //! dispatches. The public API stays [`ProcessId`]-keyed.
 
 use crate::model::{LatencyModel, NetConfig, NetStats, PartitionMode, PartitionSpec};
+use crate::wan::{DoneOutcome, Sched, WanConfig, WanLinkSpec, WanState};
 use newtop_types::digest::{DigestHasher, StateDigest};
-use newtop_types::{Instant, ProcessId, Span};
+use newtop_types::{ConfigError, Instant, ProcessId, Span};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
 use std::collections::binary_heap::PeekMut;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
@@ -142,6 +143,23 @@ enum EventKind<N: SimNode> {
     SetLatency(LatencyModel),
     Heal,
     Call(ProcessId, CallFn<N>),
+    /// A WAN transfer's scheduled completion. Stale when the transfer was
+    /// re-shared or dropped since (epoch mismatch / freed slot).
+    TransferDone {
+        id: u32,
+        epoch: u64,
+    },
+    /// Changes a directed inter-region route (WAN model only).
+    SetWanLink {
+        from: u32,
+        to: u32,
+        spec: WanLinkSpec,
+    },
+    /// Changes a node's uplink capacity (WAN model only).
+    SetWanUplink {
+        p: ProcessId,
+        bps: u64,
+    },
 }
 
 struct Event<N: SimNode> {
@@ -191,6 +209,11 @@ type ParkedLinks<M> = BTreeMap<(ProcessId, ProcessId), VecDeque<(Instant, M)>>;
 /// Reports the wire size of a message for the `bytes_sent` counter.
 type MsgSizer<M> = Box<dyn Fn(&M) -> usize>;
 
+/// Clones a message for the WAN duplication knob (installed by
+/// [`Sim::set_wan`], which is where the `Clone` bound lives — the engine
+/// itself never requires `M: Clone`).
+type MsgCloner<M> = Box<dyn Fn(&M) -> M>;
+
 /// The deterministic discrete-event simulator.
 ///
 /// See the [crate documentation](crate) for an overview and an example.
@@ -217,13 +240,25 @@ pub struct Sim<N: SimNode> {
     outbox_pool: Vec<Outbox<N::Msg>>,
     stats: NetStats,
     sizer: Option<MsgSizer<N::Msg>>,
+    /// The WAN model, when enabled via [`Sim::set_wan`]; `None` keeps the
+    /// default constant-latency transport bit-identical.
+    wan: Option<WanState<N::Msg>>,
+    cloner: Option<MsgCloner<N::Msg>>,
+    /// Recycled scratch buffer for WAN completion schedules.
+    wan_sched: Sched,
 }
 
 impl<N: SimNode> Sim<N> {
-    /// Creates an empty simulation with the given network configuration.
-    #[must_use]
-    pub fn new(config: NetConfig) -> Sim<N> {
-        Sim {
+    /// Creates an empty simulation, validating the network configuration.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ConfigError`] from [`NetConfig::validate`] (e.g. inverted
+    /// uniform latency bounds) — caught here, once, instead of panicking
+    /// per sample mid-run.
+    pub fn try_new(config: NetConfig) -> Result<Sim<N>, ConfigError> {
+        config.validate()?;
+        Ok(Sim {
             now: Instant::ZERO,
             seq: 0,
             queue: BinaryHeap::new(),
@@ -238,6 +273,23 @@ impl<N: SimNode> Sim<N> {
             outbox_pool: Vec::new(),
             stats: NetStats::default(),
             sizer: None,
+            wan: None,
+            cloner: None,
+            wan_sched: Sched::new(),
+        })
+    }
+
+    /// Creates an empty simulation with the given network configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration; [`Sim::try_new`] returns the
+    /// error instead.
+    #[must_use]
+    pub fn new(config: NetConfig) -> Sim<N> {
+        match Sim::try_new(config) {
+            Ok(sim) => sim,
+            Err(e) => panic!("invalid network configuration: {e}"),
         }
     }
 
@@ -277,6 +329,9 @@ impl<N: SimNode> Sim<N> {
         });
         self.lookup.insert(pos, (id, idx));
         self.grow_fifo_matrix();
+        if let Some(wan) = &mut self.wan {
+            wan.attach_node(id);
+        }
         if deadline.is_some() {
             self.refresh_wake(idx);
         }
@@ -382,9 +437,60 @@ impl<N: SimNode> Sim<N> {
     /// Schedules the link latency model to change at `at` — fault scripts
     /// use this for congestion phases (a latency spike past ω stresses the
     /// time-silence machinery without severing any link). Messages already
-    /// in flight keep their sampled arrival times.
+    /// in flight keep their sampled arrival times. Under the WAN model this
+    /// governs intra-region propagation (routes carry their own latency).
+    ///
+    /// # Panics
+    ///
+    /// Panics at schedule time on an invalid model (inverted uniform
+    /// bounds) — never mid-run at a sample.
     pub fn schedule_set_latency(&mut self, at: Instant, latency: LatencyModel) {
+        if let Err(e) = latency.validate() {
+            panic!("invalid latency model scheduled: {e}");
+        }
         self.push(at, EventKind::SetLatency(latency));
+    }
+
+    /// Schedules a change of the directed inter-region route `from → to`
+    /// (capacity and propagation latency) — the geo chaos family uses this
+    /// for congestion windows and asymmetric degradation. Transfers in
+    /// flight on the trunk are re-shared at the new capacity. A no-op while
+    /// the WAN model is off.
+    ///
+    /// # Panics
+    ///
+    /// Panics at schedule time on an invalid spec (zero capacity or
+    /// inverted latency bounds).
+    pub fn schedule_set_wan_link(&mut self, at: Instant, from: u32, to: u32, spec: WanLinkSpec) {
+        assert!(spec.capacity_bps > 0, "WAN link capacity must be positive");
+        if let Err(e) = spec.latency.validate() {
+            panic!("invalid WAN link latency scheduled: {e}");
+        }
+        self.push(at, EventKind::SetWanLink { from, to, spec });
+    }
+
+    /// Schedules a change of `p`'s uplink capacity (bytes per second),
+    /// re-sharing its in-flight transfers. A no-op while the WAN model is
+    /// off.
+    ///
+    /// # Panics
+    ///
+    /// Panics at schedule time on a zero capacity.
+    pub fn schedule_set_wan_uplink(&mut self, at: Instant, p: ProcessId, bytes_per_sec: u64) {
+        assert!(bytes_per_sec > 0, "uplink capacity must be positive");
+        self.push(
+            at,
+            EventKind::SetWanUplink {
+                p,
+                bps: bytes_per_sec,
+            },
+        );
+    }
+
+    /// Whether the WAN model is enabled.
+    #[must_use]
+    pub fn wan_enabled(&self) -> bool {
+        self.wan.is_some()
     }
 
     /// Schedules an arbitrary call into node `p` at `at` — the hook through
@@ -519,6 +625,9 @@ impl<N: SimNode> Sim<N> {
                         }
                     }
                 }
+                if self.wan.is_some() {
+                    self.wan_partition_crossing();
+                }
             }
             EventKind::SetLatency(latency) => {
                 self.config.latency = latency;
@@ -529,6 +638,22 @@ impl<N: SimNode> Sim<N> {
                     entry.block = BLOCK_RESIDUAL;
                 }
                 let parked = std::mem::take(&mut self.parked);
+                if self.wan.is_some() {
+                    // Released messages re-enter the WAN as fresh transfers:
+                    // crossing a healed cut costs a full re-transmission
+                    // through the uplink (and trunk), not just one latency
+                    // draw — a heal-time burst congests real capacity.
+                    for ((src_id, dst_id), queue) in parked {
+                        let (Some(src), Some(dst)) = (self.idx_of(src_id), self.idx_of(dst_id))
+                        else {
+                            continue;
+                        };
+                        for (departed, msg) in queue {
+                            self.wan_admit(src, dst, departed, msg);
+                        }
+                    }
+                    return;
+                }
                 for ((src_id, dst_id), queue) in parked {
                     let link = match (self.idx_of(src_id), self.idx_of(dst_id)) {
                         (Some(s), Some(d)) => Some((s, d)),
@@ -562,6 +687,24 @@ impl<N: SimNode> Sim<N> {
                 self.flush_outbox(idx, &mut out);
                 self.recycle_outbox(out);
                 self.refresh_wake(idx);
+            }
+            EventKind::TransferDone { id, epoch } => self.wan_transfer_done(id, epoch),
+            EventKind::SetWanLink { from, to, spec } => {
+                if let Some(mut wan) = self.wan.take() {
+                    let mut sched = std::mem::take(&mut self.wan_sched);
+                    wan.set_route(from, to, spec, self.now, &mut sched);
+                    self.wan = Some(wan);
+                    self.push_transfer_events(sched);
+                }
+            }
+            EventKind::SetWanUplink { p, bps } => {
+                let Some(idx) = self.idx_of(p) else { return };
+                if let Some(mut wan) = self.wan.take() {
+                    let mut sched = std::mem::take(&mut self.wan_sched);
+                    wan.set_uplink(idx, bps, self.now, &mut sched);
+                    self.wan = Some(wan);
+                    self.push_transfer_events(sched);
+                }
             }
         }
     }
@@ -612,6 +755,16 @@ impl<N: SimNode> Sim<N> {
                     }
                 }
             }
+            if self.wan.is_some() {
+                // Topology-aware path: transmission time comes from the
+                // fair-shared pipes; latency, reorder and duplication are
+                // applied when the transfer clears its last pipe. The
+                // WAN-off path below is untouched, so classic seeds keep
+                // their exact RNG draw sequence.
+                let Some(dst) = dst else { continue };
+                self.wan_admit(src, dst, departed, msg);
+                continue;
+            }
             let arrival = departed + self.config.latency.sample(&mut self.rng);
             let Some(dst) = dst else { continue };
             let arrival = self.clamp_fifo(src, dst, arrival);
@@ -626,6 +779,180 @@ impl<N: SimNode> Sim<N> {
             );
         }
         out.sends = sends;
+    }
+
+    /// Pushes a WAN completion schedule as `TransferDone` events, returning
+    /// the scratch buffer.
+    fn push_transfer_events(&mut self, mut sched: Sched) {
+        for (at, id, epoch) in sched.drain(..) {
+            self.push(at, EventKind::TransferDone { id, epoch });
+        }
+        self.wan_sched = sched;
+    }
+
+    /// Admits one send into the WAN model (uplink stage), maintaining the
+    /// in-flight and backlog counters.
+    fn wan_admit(&mut self, src: NodeIdx, dst: NodeIdx, departed: Instant, msg: N::Msg) {
+        let size = match &self.sizer {
+            Some(sizer) => (sizer(&msg) as u64).max(1),
+            None => u64::from(
+                self.wan
+                    .as_ref()
+                    .expect("WAN model present")
+                    .cfg()
+                    .fallback_msg_bytes
+                    .max(1),
+            ),
+        };
+        self.stats.wan_inflight += 1;
+        self.stats.wan_inflight_peak = self.stats.wan_inflight_peak.max(self.stats.wan_inflight);
+        self.stats.wan_backlog_bytes += size;
+        self.stats.wan_backlog_peak_bytes = self
+            .stats
+            .wan_backlog_peak_bytes
+            .max(self.stats.wan_backlog_bytes);
+        let mut wan = self.wan.take().expect("WAN model present");
+        let mut sched = std::mem::take(&mut self.wan_sched);
+        wan.start(src, dst, departed, msg, size, self.now, &mut sched);
+        self.wan = Some(wan);
+        self.push_transfer_events(sched);
+    }
+
+    /// Resolves a fired `TransferDone` event: advance the transfer to its
+    /// trunk stage, or apply latency/reorder/duplication and deliver.
+    fn wan_transfer_done(&mut self, id: u32, epoch: u64) {
+        let mut wan = self.wan.take().expect("transfer event without WAN model");
+        let mut sched = std::mem::take(&mut self.wan_sched);
+        let outcome = wan.on_done(id, epoch, self.now, &mut sched);
+        self.wan = Some(wan);
+        self.push_transfer_events(sched);
+        match outcome {
+            DoneOutcome::Stale => {}
+            DoneOutcome::Trunked { size_bytes } => self.stats.wan_uplink_bytes += size_bytes,
+            DoneOutcome::Final {
+                src,
+                dst,
+                departed,
+                msg,
+                size_bytes,
+                route,
+                from_uplink,
+            } => {
+                if from_uplink {
+                    self.stats.wan_uplink_bytes += size_bytes;
+                }
+                self.stats.wan_inflight = self.stats.wan_inflight.saturating_sub(1);
+                self.stats.wan_backlog_bytes =
+                    self.stats.wan_backlog_bytes.saturating_sub(size_bytes);
+                self.wan_deliver(src, dst, departed, msg, route);
+            }
+        }
+    }
+
+    /// Applies propagation latency and the seeded reorder/duplication knobs
+    /// to a transfer that cleared its last pipe, then schedules delivery.
+    fn wan_deliver(
+        &mut self,
+        src: NodeIdx,
+        dst: NodeIdx,
+        departed: Instant,
+        msg: N::Msg,
+        route: Option<(u32, u32)>,
+    ) {
+        let (latency, dup_pm, reorder_pm, hold_us) = {
+            let wan = self.wan.as_ref().expect("WAN model present");
+            let latency = match route {
+                Some((from, to)) => wan.route_latency(from, to),
+                // Intra-region propagation follows the sim's global latency
+                // model, so SetLatency spikes keep working under WAN.
+                None => self.config.latency,
+            };
+            let cfg = wan.cfg();
+            (
+                latency,
+                cfg.dup_permille,
+                cfg.reorder_permille,
+                cfg.reorder_hold.as_micros().max(1),
+            )
+        };
+        let mut arrival = self.now + latency.sample(&mut self.rng);
+        if reorder_pm > 0 && self.rng.gen_range(0..1000u32) < reorder_pm {
+            // An out-of-order arrival surfaces as reorder-induced queueing
+            // delay: the FIFO clamp models the head-of-line blocking a
+            // resequencing transport would impose (see `crate::wan` docs).
+            arrival += Span::from_micros(self.rng.gen_range(1..=hold_us));
+        }
+        let copy = if dup_pm > 0 && self.rng.gen_range(0..1000u32) < dup_pm {
+            let cloner = self.cloner.as_ref().expect("set_wan installs the cloner");
+            Some(cloner(&msg))
+        } else {
+            None
+        };
+        let arrival = self.clamp_fifo(src, dst, arrival);
+        self.push(
+            arrival,
+            EventKind::Deliver {
+                src,
+                dst,
+                departed,
+                msg,
+            },
+        );
+        if let Some(msg) = copy {
+            self.stats.wan_duplicated += 1;
+            let dup_arrival = self.clamp_fifo(src, dst, arrival);
+            self.push(
+                dup_arrival,
+                EventKind::Deliver {
+                    src,
+                    dst,
+                    departed,
+                    msg,
+                },
+            );
+        }
+    }
+
+    /// Severs WAN transfers crossing the just-installed cut: Loss drops
+    /// them, Delay parks them for re-transmission at heal.
+    fn wan_partition_crossing(&mut self) {
+        let blocks: Vec<u32> = self.nodes.iter().map(|e| e.block).collect();
+        let mut wan = self.wan.take().expect("caller checked");
+        let mut sched = std::mem::take(&mut self.wan_sched);
+        let taken = wan.take_crossing(self.now, &mut sched, |s, d| {
+            blocks[s as usize] != blocks[d as usize]
+        });
+        self.wan = Some(wan);
+        self.push_transfer_events(sched);
+        let mut taken: Vec<(ProcessId, ProcessId, Instant, N::Msg, u64)> = taken
+            .into_iter()
+            .map(|(s, d, departed, msg, size)| {
+                (
+                    self.nodes[s as usize].id,
+                    self.nodes[d as usize].id,
+                    departed,
+                    msg,
+                    size,
+                )
+            })
+            .collect();
+        // Canonical park order: per-flow send order, flows by id — the same
+        // discipline the queue-scan path imposes via (at, seq).
+        taken.sort_by_key(|t| (t.0, t.1, t.2));
+        for (src_id, dst_id, departed, msg, size) in taken {
+            self.stats.wan_inflight = self.stats.wan_inflight.saturating_sub(1);
+            self.stats.wan_backlog_bytes = self.stats.wan_backlog_bytes.saturating_sub(size);
+            match self.partition_mode {
+                PartitionMode::Loss => self.stats.dropped_partition += 1,
+                PartitionMode::Delay => {
+                    self.stats.parked += 1;
+                    self.parked
+                        .entry((src_id, dst_id))
+                        .or_default()
+                        .push_back((departed, msg));
+                }
+            }
+        }
     }
 
     fn refresh_wake(&mut self, idx: NodeIdx) {
@@ -689,6 +1016,17 @@ impl<N: SimNode> Sim<N> {
             .collect();
         self.stats.dropped_crash_src += (before - kept.len()) as u64;
         self.queue = kept.into_iter().collect();
+        if let Some(mut wan) = self.wan.take() {
+            // Uplink-stage transfers of the crashed sender were still
+            // transmitting out of the host — they never fully departed,
+            // whatever their nominal departure instant. Trunk-stage
+            // transfers have already left the host and keep flowing.
+            let (count, bytes) = wan.drop_crashed_src(idx, now);
+            self.wan = Some(wan);
+            self.stats.dropped_crash_src += count;
+            self.stats.wan_inflight = self.stats.wan_inflight.saturating_sub(count);
+            self.stats.wan_backlog_bytes = self.stats.wan_backlog_bytes.saturating_sub(bytes);
+        }
     }
 
     /// Calls into node `p` synchronously (the controllable-scheduler
@@ -817,6 +1155,31 @@ impl<N: SimNode> Sim<N> {
 
 impl<N> Sim<N>
 where
+    N: SimNode,
+    N::Msg: Clone + 'static,
+{
+    /// Enables the topology-aware WAN model (see [`WanConfig`]): every send
+    /// issued after this call transmits through fair-shared uplink and
+    /// trunk pipes instead of taking one latency draw. Nodes already added
+    /// are attached per the config; nodes added later attach on insertion.
+    ///
+    /// The `Clone` bound exists solely so the duplication knob can copy
+    /// deliveries — the engine's default path never clones.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ConfigError`] from [`WanConfig::validate`].
+    pub fn set_wan(&mut self, cfg: WanConfig) -> Result<(), ConfigError> {
+        cfg.validate()?;
+        let ids: Vec<ProcessId> = self.nodes.iter().map(|e| e.id).collect();
+        self.wan = Some(WanState::new(cfg, &ids));
+        self.cloner = Some(Box::new(N::Msg::clone));
+        Ok(())
+    }
+}
+
+impl<N> Sim<N>
+where
     N: SimNode + StateDigest,
     N::Msg: StateDigest,
 {
@@ -834,7 +1197,10 @@ where
     /// the model checker runs. Scheduled script events (crash/partition/
     /// latency/call) are folded in only as a count; externally controlled
     /// exploration injects those through [`Sim::crash_now`] and
-    /// [`Sim::invoke`] instead of the queue.
+    /// [`Sim::invoke`] instead of the queue. The WAN model is excluded for
+    /// the same reason (its deliveries draw randomness): the model checker
+    /// never enables it, so delay semantics under exploration are
+    /// unchanged by congestion modelling.
     #[must_use]
     pub fn state_digest(&self) -> u64 {
         let mut h = DigestHasher::new();
@@ -1422,5 +1788,284 @@ mod tests {
             assert!(sim.invoke(p(2), |_, _| {}));
         }
         assert_eq!(sim.state_digest(), before);
+    }
+
+    // ------------------------------------------------------------------
+    // WAN model integration
+    // ------------------------------------------------------------------
+
+    use crate::wan::{WanConfig, WanLinkSpec};
+
+    /// Capped uplink, fixed 1 ms propagation, 100-byte messages: the k-th
+    /// of ten same-flow sends arrives exactly when the uplink has
+    /// serialized k transfers — timing is size/capacity, not a latency
+    /// draw.
+    #[test]
+    fn wan_capped_uplink_serializes_a_flow_at_capacity() {
+        let mut sim = two_node_sim(20, LatencyModel::Fixed(Span::from_millis(1)));
+        sim.set_sizer(|_m| 100);
+        sim.set_wan(WanConfig::new().with_default_uplink(1_000))
+            .unwrap();
+        sim.schedule_call(Instant::ZERO, p(1), |_, out| {
+            for k in 0..10u64 {
+                out.send(p(2), k);
+            }
+        });
+        sim.run_until(Instant::from_micros(5_000_000));
+        let seen = &sim.node(p(2)).unwrap().seen;
+        assert_eq!(seen.len(), 10);
+        for (k, (at, _, msg)) in seen.iter().enumerate() {
+            assert_eq!(*msg, k as u64, "per-link FIFO");
+            // 100 B at 1000 B/s = 100 ms per serialized transfer, +1 ms
+            // propagation.
+            let expect = (k as u64 + 1) * 100_000 + 1_000;
+            assert_eq!(at.as_micros(), expect, "transfer {k}");
+        }
+        let stats = sim.stats();
+        assert_eq!(stats.wan_uplink_bytes, 1_000);
+        assert_eq!(stats.wan_inflight, 0);
+        assert_eq!(stats.wan_inflight_peak, 10);
+        assert_eq!(stats.wan_backlog_bytes, 0);
+        assert_eq!(stats.wan_backlog_peak_bytes, 1_000);
+    }
+
+    #[test]
+    fn wan_cross_region_routes_are_asymmetric() {
+        let mut sim = two_node_sim(21, LatencyModel::Fixed(Span::from_micros(100)));
+        let cfg = WanConfig::new()
+            .attach(p(1), 0)
+            .attach(p(2), 1)
+            .with_default_uplink(1_000_000)
+            .with_fallback_msg_bytes(256)
+            .with_route(
+                0,
+                1,
+                WanLinkSpec::new(LatencyModel::Fixed(Span::from_millis(40)), 1_000_000),
+            )
+            .with_route(
+                1,
+                0,
+                WanLinkSpec::new(LatencyModel::Fixed(Span::from_millis(5)), 1_000_000),
+            );
+        sim.set_wan(cfg).unwrap();
+        sim.schedule_call(Instant::ZERO, p(1), |_, out| out.send(p(2), 1));
+        sim.schedule_call(Instant::ZERO, p(2), |_, out| out.send(p(1), 2));
+        sim.run_until(Instant::from_micros(1_000_000));
+        // 256 B over a 1 MB/s uplink (256 µs) + the same over the trunk
+        // (store-and-forward, 256 µs) + directed propagation.
+        let fwd = sim.node(p(2)).unwrap().seen[0].0;
+        let back = sim.node(p(1)).unwrap().seen[0].0;
+        assert_eq!(fwd.as_micros(), 256 + 256 + 40_000);
+        assert_eq!(back.as_micros(), 256 + 256 + 5_000);
+        // Both transfers cleared their uplinks.
+        assert_eq!(sim.stats().wan_uplink_bytes, 512);
+    }
+
+    #[test]
+    fn wan_crash_drops_transmitting_uplink_transfers() {
+        let mut sim = two_node_sim(22, LatencyModel::Fixed(Span::from_millis(1)));
+        sim.set_sizer(|_m| 500);
+        sim.set_wan(WanConfig::new().with_default_uplink(1_000))
+            .unwrap();
+        // 500 B at 1000 B/s: still transmitting at 100 ms.
+        sim.schedule_call(Instant::ZERO, p(1), |_, out| out.send(p(2), 7));
+        sim.schedule_crash(Instant::from_micros(100_000), p(1));
+        sim.run_until(Instant::from_micros(2_000_000));
+        assert!(sim.node(p(2)).unwrap().seen.is_empty());
+        assert_eq!(sim.stats().dropped_crash_src, 1);
+        assert_eq!(sim.stats().wan_inflight, 0);
+        assert_eq!(sim.stats().wan_backlog_bytes, 0);
+    }
+
+    #[test]
+    fn wan_delay_partition_parks_and_retransmits_on_heal() {
+        let mut sim = two_node_sim(23, LatencyModel::Fixed(Span::from_millis(1)));
+        sim.set_sizer(|_m| 500);
+        sim.set_wan(WanConfig::new().with_default_uplink(1_000))
+            .unwrap();
+        sim.schedule_call(Instant::ZERO, p(1), |_, out| out.send(p(2), 9));
+        sim.schedule_partition(
+            Instant::from_micros(100_000),
+            PartitionSpec::split([p(1)]),
+            PartitionMode::Delay,
+        );
+        sim.schedule_heal(Instant::from_micros(200_000));
+        sim.run_until(Instant::from_micros(2_000_000));
+        let seen = &sim.node(p(2)).unwrap().seen;
+        assert_eq!(seen.len(), 1);
+        // Heal re-admits the full 500 B (re-transmission): 200 ms heal +
+        // 500 ms transmit + 1 ms propagation.
+        assert_eq!(seen[0].0.as_micros(), 701_000);
+        assert_eq!(sim.stats().parked, 1);
+        assert_eq!(sim.stats().wan_inflight, 0);
+    }
+
+    #[test]
+    fn wan_loss_partition_drops_transfers_midflight() {
+        let mut sim = two_node_sim(24, LatencyModel::Fixed(Span::from_millis(1)));
+        sim.set_sizer(|_m| 500);
+        sim.set_wan(WanConfig::new().with_default_uplink(1_000))
+            .unwrap();
+        sim.schedule_call(Instant::ZERO, p(1), |_, out| out.send(p(2), 9));
+        sim.schedule_partition(
+            Instant::from_micros(100_000),
+            PartitionSpec::split([p(1)]),
+            PartitionMode::Loss,
+        );
+        sim.run_until(Instant::from_micros(2_000_000));
+        assert!(sim.node(p(2)).unwrap().seen.is_empty());
+        assert_eq!(sim.stats().dropped_partition, 1);
+        assert_eq!(sim.stats().wan_inflight, 0);
+    }
+
+    #[test]
+    fn wan_duplication_keeps_fifo_and_counts_copies() {
+        let mut sim = two_node_sim(25, LatencyModel::Fixed(Span::from_millis(1)));
+        sim.set_wan(
+            WanConfig::new()
+                .with_default_uplink(1_000_000)
+                .with_duplication(1_000),
+        )
+        .unwrap();
+        sim.schedule_call(Instant::ZERO, p(1), |_, out| {
+            for k in 0..3u64 {
+                out.send(p(2), k);
+            }
+        });
+        sim.run_until(Instant::from_micros(1_000_000));
+        let seen: Vec<u64> = sim.node(p(2)).unwrap().seen.iter().map(|s| s.2).collect();
+        assert_eq!(seen, vec![0, 0, 1, 1, 2, 2], "copies arrive adjacent");
+        assert_eq!(sim.stats().wan_duplicated, 3);
+        assert_eq!(sim.stats().delivered, 6);
+        assert_eq!(sim.stats().sent, 3, "duplication is a wire artifact");
+    }
+
+    #[test]
+    fn wan_reorder_knob_never_breaks_link_fifo() {
+        let mut sim = two_node_sim(26, LatencyModel::Fixed(Span::from_micros(200)));
+        sim.set_wan(
+            WanConfig::new()
+                .with_default_uplink(1_000_000)
+                .with_reorder(1_000, Span::from_millis(5)),
+        )
+        .unwrap();
+        sim.schedule_call(Instant::ZERO, p(1), |_, out| {
+            for k in 0..50u64 {
+                out.send(p(2), k);
+            }
+        });
+        sim.run_until(Instant::from_micros(5_000_000));
+        let seen: Vec<u64> = sim.node(p(2)).unwrap().seen.iter().map(|s| s.2).collect();
+        assert_eq!(seen, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn wan_uplink_capacity_change_reshares_inflight() {
+        let mut sim = two_node_sim(27, LatencyModel::Fixed(Span::from_millis(1)));
+        sim.set_sizer(|_m| 1_000);
+        sim.set_wan(WanConfig::new().with_default_uplink(1_000_000))
+            .unwrap();
+        sim.schedule_call(Instant::ZERO, p(1), |_, out| out.send(p(2), 1));
+        // Halfway through the 1 ms transmission, throttle to 1000 B/s:
+        // 500 B remain → 500 ms more, + 1 ms propagation.
+        sim.schedule_set_wan_uplink(Instant::from_micros(500), p(1), 1_000);
+        sim.run_until(Instant::from_micros(2_000_000));
+        let seen = &sim.node(p(2)).unwrap().seen;
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].0.as_micros(), 500 + 500_000 + 1_000);
+    }
+
+    #[test]
+    fn wan_link_congestion_window_slows_the_trunk() {
+        let mut sim = two_node_sim(28, LatencyModel::Fixed(Span::from_micros(100)));
+        let fast = WanLinkSpec::new(LatencyModel::Fixed(Span::from_millis(10)), 1_000_000);
+        sim.set_wan(
+            WanConfig::new()
+                .attach(p(1), 0)
+                .attach(p(2), 1)
+                .with_default_uplink(1_000_000)
+                .with_fallback_msg_bytes(1_000)
+                .with_route(0, 1, fast),
+        )
+        .unwrap();
+        // Degrade the trunk before the transfer reaches it.
+        sim.schedule_set_wan_link(
+            Instant::from_micros(10),
+            0,
+            1,
+            WanLinkSpec::new(LatencyModel::Fixed(Span::from_millis(10)), 1_000),
+        );
+        sim.schedule_call(Instant::from_micros(100), p(1), |_, out| out.send(p(2), 5));
+        sim.run_until(Instant::from_micros(5_000_000));
+        let seen = &sim.node(p(2)).unwrap().seen;
+        assert_eq!(seen.len(), 1);
+        // 100 µs send + 1 ms uplink + 1 s degraded trunk + 10 ms latency.
+        assert_eq!(seen[0].0.as_micros(), 100 + 1_000 + 1_000_000 + 10_000);
+    }
+
+    #[test]
+    fn wan_replays_bit_identically_with_equal_seeds() {
+        let run = |seed: u64| {
+            let mut sim = two_node_sim(
+                seed,
+                LatencyModel::Uniform {
+                    lo: Span::from_micros(50),
+                    hi: Span::from_micros(2_000),
+                },
+            );
+            sim.set_sizer(|m| 64 + (*m as usize % 128));
+            sim.set_wan(
+                WanConfig::new()
+                    .attach(p(1), 0)
+                    .attach(p(2), 1)
+                    .with_default_uplink(8_000)
+                    .with_route(
+                        0,
+                        1,
+                        WanLinkSpec::new(
+                            LatencyModel::Uniform {
+                                lo: Span::from_millis(10),
+                                hi: Span::from_millis(60),
+                            },
+                            16_000,
+                        ),
+                    )
+                    .with_duplication(200)
+                    .with_reorder(300, Span::from_millis(4)),
+            )
+            .unwrap();
+            sim.schedule_call(Instant::ZERO, p(1), |_, out| {
+                for k in 0..30u64 {
+                    out.send(p(2), k);
+                }
+            });
+            sim.run_until(Instant::from_micros(10_000_000));
+            sim.node(p(2)).unwrap().seen.clone()
+        };
+        assert_eq!(run(404), run(404));
+        assert_ne!(run(404), run(405));
+    }
+
+    #[test]
+    fn wan_send_to_unknown_destination_is_dropped_quietly() {
+        let mut sim = two_node_sim(29, LatencyModel::default());
+        sim.set_wan(WanConfig::new()).unwrap();
+        sim.schedule_call(Instant::ZERO, p(1), |_, out| {
+            out.send(p(99), 1);
+            out.send(p(2), 2);
+        });
+        sim.run_until(Instant::from_micros(1_000_000));
+        let seen: Vec<u64> = sim.node(p(2)).unwrap().seen.iter().map(|s| s.2).collect();
+        assert_eq!(seen, vec![2]);
+        assert_eq!(sim.stats().wan_inflight, 0);
+    }
+
+    #[test]
+    fn try_new_rejects_inverted_uniform_bounds() {
+        let bad = NetConfig::new(1).with_latency(LatencyModel::Uniform {
+            lo: Span::from_millis(5),
+            hi: Span::from_millis(1),
+        });
+        assert!(Sim::<Recorder>::try_new(bad).is_err());
     }
 }

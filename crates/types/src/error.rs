@@ -30,6 +30,21 @@ pub enum ConfigError {
         /// Configured timeout cap (multiple of Ω).
         cap: u16,
     },
+    /// A uniform latency model with `lo > hi` cannot draw a sample.
+    LatencyBoundsInverted {
+        /// Configured lower latency bound.
+        lo: Span,
+        /// Configured upper latency bound.
+        hi: Span,
+    },
+    /// A link or uplink with zero capacity would stall every transfer
+    /// forever.
+    ZeroCapacity,
+    /// A per-mille probability knob outside `0..=1000`.
+    BadPermille {
+        /// The offending value.
+        value: u32,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -49,6 +64,16 @@ impl fmt::Display for ConfigError {
                 "accrual parameters out of range (window {window}, factor {factor}, cap {cap}): \
                  need window >= 2, factor >= 2, cap >= 1"
             ),
+            ConfigError::LatencyBoundsInverted { lo, hi } => write!(
+                f,
+                "uniform latency bounds inverted: lo ({lo}) exceeds hi ({hi})"
+            ),
+            ConfigError::ZeroCapacity => {
+                write!(f, "link capacity must be at least one byte per second")
+            }
+            ConfigError::BadPermille { value } => {
+                write!(f, "per-mille probability {value} exceeds 1000")
+            }
         }
     }
 }
